@@ -1,0 +1,217 @@
+//! Abstract syntax tree of the Luma scripting language.
+
+/// Binary operators, in source syntax order of appearance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%` (Lua-style floored modulo).
+    Mod,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `and` (short-circuit).
+    And,
+    /// `or` (short-circuit).
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Unary `-`.
+    Neg,
+    /// `not`.
+    Not,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `floor(x)`.
+    Floor,
+    /// `sqrt(x)`.
+    Sqrt,
+    /// `abs(x)`.
+    Abs,
+    /// `min(x, y)`.
+    Min,
+    /// `max(x, y)`.
+    Max,
+    /// `len(a)`.
+    Len,
+    /// `array(n)` — new nil-filled array.
+    Array,
+    /// `emit(v)` — fold into the checksum.
+    Emit,
+}
+
+impl Builtin {
+    /// Resolves a builtin by name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "floor" => Builtin::Floor,
+            "sqrt" => Builtin::Sqrt,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "len" => Builtin::Len,
+            "array" => Builtin::Array,
+            "emit" => Builtin::Emit,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the builtin requires.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Min | Builtin::Max => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// `nil` literal.
+    Nil,
+    /// Variable reference (local or global; resolved by the compiler).
+    Var(String),
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Call of a user function or a function-valued expression.
+    Call {
+        /// The function expression.
+        callee: Box<Expr>,
+        /// Argument expressions, in order.
+        args: Vec<Expr>,
+    },
+    /// Call of a builtin.
+    BuiltinCall {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `a[i]`.
+    Index {
+        /// The array expression.
+        array: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// `[e1, e2, ...]`
+    ArrayLit(Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name = expr;` — global at top level, local inside functions.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `name = expr;` or `arr[i] = expr;`
+    Assign {
+        /// `Expr::Var` or `Expr::Index`.
+        target: Expr,
+        /// The assigned value.
+        value: Expr,
+    },
+    /// `if cond { ... } else { ... }`.
+    If {
+        /// Condition (truthiness).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_body: Vec<Stmt>,
+    },
+    /// `while cond { ... }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Numeric for: `for i = start, limit [, step] { ... }` (inclusive
+    /// limit, like Lua).
+    For {
+        /// The loop variable.
+        var: String,
+        /// Initial value.
+        start: Expr,
+        /// Inclusive limit.
+        limit: Expr,
+        /// Step (defaults to 1).
+        step: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return [expr];` (halts the interpreter at top level).
+    Return(Option<Expr>),
+    /// `break;`.
+    Break,
+    /// Expression evaluated for side effects (calls).
+    Expr(Expr),
+}
+
+/// A user function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Function name (global).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Line of the `fn` keyword, for error messages.
+    pub line: u32,
+}
+
+/// A parsed script: function definitions plus top-level statements
+/// (the implicit `main`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// All function definitions, in source order.
+    pub functions: Vec<FnDef>,
+    /// Top-level statements (the implicit `main`).
+    pub top_level: Vec<Stmt>,
+}

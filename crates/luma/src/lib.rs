@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # luma — the scripting language and its two VM targets
+//!
+//! Luma is the from-scratch scripting language used to reproduce the
+//! paper's workloads. It compiles to two bytecode formats:
+//!
+//! * **LVM** — a register-based VM with 47 opcodes and 32-bit fixed-width
+//!   instructions in Lua 5.3's field layout (the paper's Lua analogue).
+//! * **SVM** — a stack-based VM with one-byte opcodes, variable-length
+//!   instructions and a 229-entry opcode space (the paper's SpiderMonkey
+//!   analogue).
+//!
+//! Both come with host *reference* interpreters that serve as bit-exact
+//! oracles for the guest interpreters running on the simulated core.
+//!
+//! ```
+//! let result = luma::lvm::run_source(
+//!     "fn sq(x) { return x * x; } emit(sq(N));",
+//!     &[("N", 7.0)],
+//!     10_000,
+//! )?;
+//! assert_eq!(f64::from_bits(result.emitted[0]), 49.0);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lvm;
+pub mod parser;
+pub mod scripts;
+pub mod svm;
+pub mod value;
+
+pub use lexer::ParseError;
+pub use parser::parse;

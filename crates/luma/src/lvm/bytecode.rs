@@ -1,0 +1,361 @@
+//! LVM — the register-based bytecode of the Lua-like interpreter.
+//!
+//! Instructions are 32-bit words in Lua 5.3's field layout:
+//!
+//! ```text
+//! |  B (9 bits)  |  C (9 bits)  |  A (8 bits)  | op (6 bits) |
+//! 31           23 22          14 13           6 5            0
+//! ```
+//!
+//! `Bx` occupies bits 31..14 (18 bits); `sBx` is `Bx` with an excess-K
+//! bias of 131071. The opcode sits in the six least-significant bits, just
+//! like Lua, which is what the guest interpreter's `Rmask` is set to
+//! (0x3F).
+
+/// Number of distinct LVM opcodes (Lua 5.3 has 47; so do we).
+pub const NUM_OPS: u32 = 47;
+
+/// Bias for the signed 18-bit `sBx` field.
+pub const SBX_BIAS: i32 = 131071;
+
+/// The LVM opcode set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// R\[A\] = R\[B\]
+    Move = 0,
+    /// R\[A\] = K\[Bx\]
+    LoadK = 1,
+    /// R\[A\] = nil
+    LoadNil = 2,
+    /// R\[A\] = bool(B)
+    LoadBool = 3,
+    /// R\[A\] = f64(sBx)
+    LoadInt = 4,
+    /// R\[A\] = G\[Bx\]
+    GetGlobal = 5,
+    /// G\[Bx\] = R\[A\]
+    SetGlobal = 6,
+    /// R\[A\] = new array of length num(R\[B\]), nil-filled
+    NewArr = 7,
+    /// R\[A\] = new array of length Bx, nil-filled
+    NewArrI = 8,
+    /// R\[A\] = R\[B\][R\[C\]]
+    GetIdx = 9,
+    /// R\[A\][R\[B\]] = R\[C\]
+    SetIdx = 10,
+    /// R\[A\] = R\[B\]\[C\]
+    GetIdxI = 11,
+    /// R\[A\]\[B\] = R\[C\]
+    SetIdxI = 12,
+    /// R\[A\] = len(R\[B\])
+    Len = 13,
+    /// R\[A\] = R\[B\] + R\[C\]
+    Add = 14,
+    /// R\[A\] = R\[B\] - R\[C\]
+    Sub = 15,
+    /// R\[A\] = R\[B\] * R\[C\]
+    Mul = 16,
+    /// R\[A\] = R\[B\] / R\[C\]
+    Div = 17,
+    /// Lua-style modulo: a - floor(a/b)*b
+    Mod = 18,
+    /// R\[A\] = -R\[B\]
+    Unm = 19,
+    /// R\[A\] = not truthy(R\[B\])
+    Not = 20,
+    /// R\[A\] = R\[B\] + K\[C\]
+    AddK = 21,
+    /// R\[A\] = R\[B\] - K\[C\]
+    SubK = 22,
+    /// R\[A\] = R\[B\] * K\[C\]
+    MulK = 23,
+    /// R\[A\] = R\[B\] / K\[C\]
+    DivK = 24,
+    /// R\[A\] = R\[B\] % K\[C\] (floored)
+    ModK = 25,
+    /// R\[A\] = R\[B\] + (C - 256)
+    AddI = 26,
+    /// vpc += sBx
+    Jmp = 27,
+    /// R\[A\] = R\[B\] == R\[C\]
+    Eq = 28,
+    /// R\[A\] = R\[B\] < R\[C\] (numbers only)
+    Lt = 29,
+    /// R\[A\] = R\[B\] <= R\[C\]
+    Le = 30,
+    /// R\[A\] = R\[B\] == K\[C\]
+    EqK = 31,
+    /// R\[A\] = R\[B\] < K\[C\]
+    LtK = 32,
+    /// R\[A\] = R\[B\] <= K\[C\]
+    LeK = 33,
+    /// R\[A\] = R\[B\] != R\[C\]
+    Ne = 34,
+    /// R\[A\] = R\[B\] != K\[C\]
+    NeK = 35,
+    /// if truthy(R\[A\]) vpc += sBx
+    TestT = 36,
+    /// if !truthy(R\[A\]) vpc += sBx
+    TestF = 37,
+    /// call R\[A\] with B-1 args in R[A+1..]; C-1 results (0 or 1)
+    Call = 38,
+    /// return; B==2 returns R\[A\]
+    Return = 39,
+    /// R\[A\] -= R[A+2]; vpc += sBx
+    ForPrep = 40,
+    /// R\[A\] += R[A+2]; loop if within R[A+1]; R[A+3] = R\[A\]
+    ForLoop = 41,
+    /// R\[A\] = function #Bx
+    Closure = 42,
+    /// R\[A\] = builtin_B(R\[A\], R[A+1], ...)
+    CallB = 43,
+    /// R\[A\] = sqrt(R\[B\])
+    Sqrt = 44,
+    /// R\[A\] = floor(R\[B\])
+    Floor = 45,
+    /// stop the interpreter (end of main)
+    Halt = 46,
+}
+
+impl Op {
+    /// All opcodes, indexable by numeric value.
+    pub const ALL: [Op; NUM_OPS as usize] = [
+        Op::Move,
+        Op::LoadK,
+        Op::LoadNil,
+        Op::LoadBool,
+        Op::LoadInt,
+        Op::GetGlobal,
+        Op::SetGlobal,
+        Op::NewArr,
+        Op::NewArrI,
+        Op::GetIdx,
+        Op::SetIdx,
+        Op::GetIdxI,
+        Op::SetIdxI,
+        Op::Len,
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Mod,
+        Op::Unm,
+        Op::Not,
+        Op::AddK,
+        Op::SubK,
+        Op::MulK,
+        Op::DivK,
+        Op::ModK,
+        Op::AddI,
+        Op::Jmp,
+        Op::Eq,
+        Op::Lt,
+        Op::Le,
+        Op::EqK,
+        Op::LtK,
+        Op::LeK,
+        Op::Ne,
+        Op::NeK,
+        Op::TestT,
+        Op::TestF,
+        Op::Call,
+        Op::Return,
+        Op::ForPrep,
+        Op::ForLoop,
+        Op::Closure,
+        Op::CallB,
+        Op::Sqrt,
+        Op::Floor,
+        Op::Halt,
+    ];
+
+    /// Decodes an opcode number.
+    pub fn from_u32(n: u32) -> Option<Op> {
+        Op::ALL.get(n as usize).copied()
+    }
+}
+
+/// Builtin function IDs used by `Op::CallB`.
+pub mod builtin_id {
+    /// `floor(x)`.
+    pub const FLOOR: u32 = 0;
+    /// `sqrt(x)`.
+    pub const SQRT: u32 = 1;
+    /// `abs(x)`.
+    pub const ABS: u32 = 2;
+    /// `min(x, y)`.
+    pub const MIN: u32 = 3;
+    /// `max(x, y)`.
+    pub const MAX: u32 = 4;
+    /// `emit(v)` — fold v into the checksum.
+    pub const EMIT: u32 = 5;
+    /// `len(a)`.
+    pub const LEN: u32 = 6;
+    /// `array(n)`.
+    pub const ARRAY: u32 = 7;
+    /// Number of builtins.
+    pub const COUNT: u32 = 8;
+}
+
+/// Packs an iABC instruction.
+pub fn abc(op: Op, a: u32, b: u32, c: u32) -> u32 {
+    debug_assert!(a < 256 && b < 512 && c < 512);
+    (op as u32) | (a << 6) | (c << 14) | (b << 23)
+}
+
+/// Packs an iABx instruction.
+pub fn abx(op: Op, a: u32, bx: u32) -> u32 {
+    debug_assert!(a < 256 && bx < (1 << 18));
+    (op as u32) | (a << 6) | (bx << 14)
+}
+
+/// Packs an iAsBx instruction.
+pub fn asbx(op: Op, a: u32, sbx: i32) -> u32 {
+    let bx = (sbx + SBX_BIAS) as u32;
+    abx(op, a, bx)
+}
+
+/// The opcode field (6 LSBs).
+pub fn get_op(i: u32) -> u32 {
+    i & 0x3F
+}
+/// The A field.
+pub fn get_a(i: u32) -> u32 {
+    (i >> 6) & 0xFF
+}
+/// The C field.
+pub fn get_c(i: u32) -> u32 {
+    (i >> 14) & 0x1FF
+}
+/// The B field.
+pub fn get_b(i: u32) -> u32 {
+    (i >> 23) & 0x1FF
+}
+/// The unsigned 18-bit Bx field.
+pub fn get_bx(i: u32) -> u32 {
+    i >> 14
+}
+/// The signed sBx field.
+pub fn get_sbx(i: u32) -> i32 {
+    get_bx(i) as i32 - SBX_BIAS
+}
+
+/// Per-function metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// Word offset of the function's first instruction in `code`.
+    pub code_off: u32,
+    /// Number of parameters.
+    pub nparams: u32,
+    /// Frame size in registers.
+    pub nregs: u32,
+}
+
+/// A compiled LVM program.
+#[derive(Debug, Clone, Default)]
+pub struct LvmProgram {
+    /// All functions' code, concatenated (function 0 is main).
+    pub code: Vec<u32>,
+    /// Shared constant pool (NaN-boxed).
+    pub consts: Vec<u64>,
+    /// Function table; index 0 is the implicit main.
+    pub funcs: Vec<FuncInfo>,
+    /// Number of global slots.
+    pub nglobals: u32,
+    /// Global slot names, for diagnostics (index = slot).
+    pub global_names: Vec<String>,
+}
+
+/// Renders one instruction for diagnostics.
+pub fn disasm(i: u32) -> String {
+    let op = match Op::from_u32(get_op(i)) {
+        Some(op) => op,
+        None => return format!("<bad op {}>", get_op(i)),
+    };
+    match op {
+        Op::LoadK | Op::GetGlobal | Op::SetGlobal | Op::NewArrI | Op::Closure => {
+            format!("{:?} A={} Bx={}", op, get_a(i), get_bx(i))
+        }
+        Op::Jmp | Op::TestT | Op::TestF | Op::ForPrep | Op::ForLoop | Op::LoadInt => {
+            format!("{:?} A={} sBx={}", op, get_a(i), get_sbx(i))
+        }
+        _ => format!("{:?} A={} B={} C={}", op, get_a(i), get_b(i), get_c(i)),
+    }
+}
+
+/// Renders a full program listing with function boundaries.
+pub fn listing(p: &LvmProgram) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut starts: Vec<(u32, usize)> =
+        p.funcs.iter().enumerate().map(|(i, f)| (f.code_off, i)).collect();
+    starts.sort_unstable();
+    for (pc, &word) in p.code.iter().enumerate() {
+        for &(fo, fi) in &starts {
+            if fo as usize == pc {
+                let f = p.funcs[fi];
+                let _ = writeln!(out, "fn_{fi}:  # params={} regs={}", f.nparams, f.nregs);
+            }
+        }
+        let _ = writeln!(out, "  {pc:>5}: {}", disasm(word));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_numbering_is_dense() {
+        for (n, op) in Op::ALL.iter().enumerate() {
+            assert_eq!(*op as u32, n as u32);
+            assert_eq!(Op::from_u32(n as u32), Some(*op));
+        }
+        assert_eq!(Op::ALL.len() as u32, NUM_OPS);
+        assert_eq!(Op::from_u32(NUM_OPS), None);
+    }
+
+    #[test]
+    fn abc_field_packing() {
+        let i = abc(Op::Add, 7, 300, 150);
+        assert_eq!(get_op(i), Op::Add as u32);
+        assert_eq!(get_a(i), 7);
+        assert_eq!(get_b(i), 300);
+        assert_eq!(get_c(i), 150);
+    }
+
+    #[test]
+    fn sbx_bias_roundtrip() {
+        for sbx in [-131071, -1, 0, 1, 131072] {
+            let i = asbx(Op::Jmp, 0, sbx);
+            assert_eq!(get_sbx(i), sbx);
+        }
+    }
+
+    #[test]
+    fn opcode_in_low_six_bits() {
+        // The guest's Rmask is 0x3F: opcode must be the 6 LSBs.
+        let i = abx(Op::LoadK, 255, (1 << 18) - 1);
+        assert_eq!(i & 0x3F, Op::LoadK as u32);
+    }
+
+    #[test]
+    fn listing_marks_functions() {
+        let script = crate::parser::parse("fn f(x) { return x; } emit(f(1));").unwrap();
+        let (p, _) = crate::lvm::compile_lvm(&script, &[]).unwrap();
+        let l = listing(&p);
+        assert!(l.contains("fn_0:"), "{l}");
+        assert!(l.contains("fn_1:"), "{l}");
+        assert!(l.contains("Halt"), "{l}");
+        assert!(l.contains("Return"), "{l}");
+    }
+
+    #[test]
+    fn disasm_smoke() {
+        assert!(disasm(abc(Op::Add, 1, 2, 3)).contains("Add"));
+        assert!(disasm(asbx(Op::Jmp, 0, -5)).contains("-5"));
+        assert!(disasm(0xFFFF_FFFF).contains("bad op"));
+    }
+}

@@ -1,0 +1,537 @@
+//! Host (oracle) interpreter for LVM bytecode.
+//!
+//! This is the bit-exact reference the guest interpreter is validated
+//! against: every arithmetic operation, rounding rule and the `emit`
+//! checksum match the guest's assembly semantics.
+
+use super::bytecode::{self as bc, builtin_id, LvmProgram, Op};
+use crate::value as v;
+use std::fmt;
+
+/// Runtime error raised by the reference interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Word offset of the faulting instruction.
+    pub pc: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lvm runtime error at pc {}: {}", self.pc, self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Fold of all emitted values (must equal the guest's).
+    pub checksum: u64,
+    /// The emitted values, in order.
+    pub emitted: Vec<u64>,
+    /// Bytecodes executed (= dispatch count).
+    pub steps: u64,
+    /// Dynamic opcode histogram.
+    pub op_counts: Vec<u64>,
+}
+
+struct Frame {
+    ret_pc: usize,
+    base: usize,
+    /// Absolute stack slot to receive the result, if the caller wants one.
+    result_slot: Option<usize>,
+}
+
+/// The reference interpreter.
+pub struct LvmInterp<'p> {
+    p: &'p LvmProgram,
+    globals: Vec<u64>,
+    arrays: Vec<Vec<u64>>,
+    stack: Vec<u64>,
+    frames: Vec<Frame>,
+    checksum: u64,
+    emitted: Vec<u64>,
+    op_counts: Vec<u64>,
+}
+
+impl<'p> LvmInterp<'p> {
+    /// Creates an interpreter with the given initial global values
+    /// (`global_init` from the compiler; padded with nil).
+    pub fn new(p: &'p LvmProgram, global_init: &[u64]) -> Self {
+        let mut globals = vec![v::NIL; p.nglobals as usize];
+        for (i, g) in global_init.iter().enumerate().take(globals.len()) {
+            globals[i] = *g;
+        }
+        LvmInterp {
+            p,
+            globals,
+            arrays: Vec::new(),
+            stack: Vec::new(),
+            frames: Vec::new(),
+            checksum: 0,
+            emitted: Vec::new(),
+            op_counts: vec![0; bc::NUM_OPS as usize],
+        }
+    }
+
+    fn fail<T>(&self, pc: usize, msg: impl Into<String>) -> Result<T, RuntimeError> {
+        Err(RuntimeError { pc, message: msg.into() })
+    }
+
+    fn arr_index(&self, pc: usize, aval: u64, ival: u64) -> Result<(usize, usize), RuntimeError> {
+        if v::is_num(aval) || v::tag(aval) != v::TAG_ARRAY {
+            return self.fail(pc, format!("indexing non-array {}", v::display(aval)));
+        }
+        if !v::is_num(ival) {
+            return self.fail(pc, format!("non-numeric index {}", v::display(ival)));
+        }
+        let handle = v::payload(aval) as usize;
+        let idx = v::as_num(ival).trunc();
+        let len = self.arrays[handle].len();
+        // Unsigned compare, matching the guest's bltu bound check.
+        let i = idx as i64 as u64;
+        if i >= len as u64 {
+            return self.fail(pc, format!("index {idx} out of bounds (len {len})"));
+        }
+        Ok((handle, i as usize))
+    }
+
+    fn num2(&self, pc: usize, a: u64, b: u64) -> Result<(f64, f64), RuntimeError> {
+        if !v::is_num(a) || !v::is_num(b) {
+            return self.fail(
+                pc,
+                format!("arithmetic on {} and {}", v::display(a), v::display(b)),
+            );
+        }
+        Ok((v::as_num(a), v::as_num(b)))
+    }
+
+    fn new_array(&mut self, len: usize) -> u64 {
+        let handle = self.arrays.len() as u64;
+        self.arrays.push(vec![v::NIL; len]);
+        v::array_ref(handle)
+    }
+
+    /// Runs to `Halt`.
+    ///
+    /// # Errors
+    /// Returns a [`RuntimeError`] on type errors, bad indices, stack
+    /// overflow, or when `max_steps` bytecodes have executed.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, RuntimeError> {
+        let code = &self.p.code;
+        let main = self.p.funcs[0];
+        self.stack.resize(main.nregs as usize, v::NIL);
+        let mut base = 0usize;
+        let mut pc = main.code_off as usize;
+        let mut steps = 0u64;
+
+        macro_rules! r {
+            ($i:expr) => {
+                self.stack[base + $i as usize]
+            };
+        }
+
+        loop {
+            if steps >= max_steps {
+                return self.fail(pc, format!("step limit {max_steps} exhausted"));
+            }
+            steps += 1;
+            let i = code[pc];
+            let this_pc = pc;
+            pc += 1;
+            let op = match Op::from_u32(bc::get_op(i)) {
+                Some(op) => op,
+                None => return self.fail(this_pc, format!("bad opcode {}", bc::get_op(i))),
+            };
+            self.op_counts[op as usize] += 1;
+            let a = bc::get_a(i) as usize;
+
+            match op {
+                Op::Move => {
+                    let b = bc::get_b(i) as usize;
+                    r!(a) = r!(b);
+                }
+                Op::LoadK => {
+                    r!(a) = self.p.consts[bc::get_bx(i) as usize];
+                }
+                Op::LoadNil => r!(a) = v::NIL,
+                Op::LoadBool => r!(a) = v::boolean(bc::get_b(i) != 0),
+                Op::LoadInt => r!(a) = v::num(bc::get_sbx(i) as f64),
+                Op::GetGlobal => r!(a) = self.globals[bc::get_bx(i) as usize],
+                Op::SetGlobal => self.globals[bc::get_bx(i) as usize] = r!(a),
+                Op::NewArr => {
+                    let b = r!(bc::get_b(i));
+                    if !v::is_num(b) {
+                        return self.fail(this_pc, "array length must be a number");
+                    }
+                    let n = v::as_num(b).trunc();
+                    if !(0.0..=1e9).contains(&n) {
+                        return self.fail(this_pc, format!("bad array length {n}"));
+                    }
+                    r!(a) = self.new_array(n as usize);
+                }
+                Op::NewArrI => {
+                    r!(a) = self.new_array(bc::get_bx(i) as usize);
+                }
+                Op::GetIdx => {
+                    let (h, idx) = self.arr_index(this_pc, r!(bc::get_b(i)), r!(bc::get_c(i)))?;
+                    r!(a) = self.arrays[h][idx];
+                }
+                Op::SetIdx => {
+                    let (h, idx) = self.arr_index(this_pc, r!(a), r!(bc::get_b(i)))?;
+                    self.arrays[h][idx] = r!(bc::get_c(i));
+                }
+                Op::GetIdxI => {
+                    let ival = v::num(bc::get_c(i) as f64);
+                    let (h, idx) = self.arr_index(this_pc, r!(bc::get_b(i)), ival)?;
+                    r!(a) = self.arrays[h][idx];
+                }
+                Op::SetIdxI => {
+                    let ival = v::num(bc::get_b(i) as f64);
+                    let (h, idx) = self.arr_index(this_pc, r!(a), ival)?;
+                    self.arrays[h][idx] = r!(bc::get_c(i));
+                }
+                Op::Len => {
+                    let b = r!(bc::get_b(i));
+                    if v::is_num(b) || v::tag(b) != v::TAG_ARRAY {
+                        return self.fail(this_pc, "len of non-array");
+                    }
+                    let n = self.arrays[v::payload(b) as usize].len();
+                    r!(a) = v::num(n as f64);
+                }
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                    let (x, y) = self.num2(this_pc, r!(bc::get_b(i)), r!(bc::get_c(i)))?;
+                    r!(a) = v::num(arith(op, x, y));
+                }
+                Op::AddK | Op::SubK | Op::MulK | Op::DivK | Op::ModK => {
+                    let k = self.p.consts[bc::get_c(i) as usize];
+                    let (x, y) = self.num2(this_pc, r!(bc::get_b(i)), k)?;
+                    let base_op = match op {
+                        Op::AddK => Op::Add,
+                        Op::SubK => Op::Sub,
+                        Op::MulK => Op::Mul,
+                        Op::DivK => Op::Div,
+                        _ => Op::Mod,
+                    };
+                    r!(a) = v::num(arith(base_op, x, y));
+                }
+                Op::AddI => {
+                    let b = r!(bc::get_b(i));
+                    if !v::is_num(b) {
+                        return self.fail(this_pc, "arithmetic on non-number");
+                    }
+                    let imm = bc::get_c(i) as i32 - 256;
+                    r!(a) = v::num(v::as_num(b) + imm as f64);
+                }
+                Op::Unm => {
+                    let b = r!(bc::get_b(i));
+                    if !v::is_num(b) {
+                        return self.fail(this_pc, "negating non-number");
+                    }
+                    r!(a) = v::num(-v::as_num(b));
+                }
+                Op::Not => {
+                    r!(a) = v::boolean(!v::truthy(r!(bc::get_b(i))));
+                }
+                Op::Jmp => {
+                    pc = (pc as i64 + bc::get_sbx(i) as i64) as usize;
+                }
+                Op::Eq => r!(a) = v::boolean(v::values_equal(r!(bc::get_b(i)), r!(bc::get_c(i)))),
+                Op::Ne => r!(a) = v::boolean(!v::values_equal(r!(bc::get_b(i)), r!(bc::get_c(i)))),
+                Op::EqK => {
+                    let k = self.p.consts[bc::get_c(i) as usize];
+                    r!(a) = v::boolean(v::values_equal(r!(bc::get_b(i)), k));
+                }
+                Op::NeK => {
+                    let k = self.p.consts[bc::get_c(i) as usize];
+                    r!(a) = v::boolean(!v::values_equal(r!(bc::get_b(i)), k));
+                }
+                Op::Lt | Op::Le => {
+                    let (x, y) = self.num2(this_pc, r!(bc::get_b(i)), r!(bc::get_c(i)))?;
+                    r!(a) = v::boolean(if op == Op::Lt { x < y } else { x <= y });
+                }
+                Op::LtK | Op::LeK => {
+                    let k = self.p.consts[bc::get_c(i) as usize];
+                    let (x, y) = self.num2(this_pc, r!(bc::get_b(i)), k)?;
+                    r!(a) = v::boolean(if op == Op::LtK { x < y } else { x <= y });
+                }
+                Op::TestT => {
+                    if v::truthy(r!(a)) {
+                        pc = (pc as i64 + bc::get_sbx(i) as i64) as usize;
+                    }
+                }
+                Op::TestF => {
+                    if !v::truthy(r!(a)) {
+                        pc = (pc as i64 + bc::get_sbx(i) as i64) as usize;
+                    }
+                }
+                Op::Call => {
+                    let fval = r!(a);
+                    if v::is_num(fval) || v::tag(fval) != v::TAG_FUNCTION {
+                        return self.fail(this_pc, format!("calling {}", v::display(fval)));
+                    }
+                    let fidx = v::payload(fval) as usize;
+                    let f = self.p.funcs[fidx];
+                    let nargs = bc::get_b(i) - 1;
+                    if nargs != f.nparams {
+                        return self.fail(
+                            this_pc,
+                            format!("arity mismatch: {} args for {} params", nargs, f.nparams),
+                        );
+                    }
+                    let want_result = bc::get_c(i) == 2;
+                    if self.frames.len() >= 100_000 {
+                        return self.fail(this_pc, "call stack overflow");
+                    }
+                    self.frames.push(Frame {
+                        ret_pc: pc,
+                        base,
+                        result_slot: want_result.then_some(base + a),
+                    });
+                    base = base + a + 1;
+                    let need = base + f.nregs as usize;
+                    if self.stack.len() < need {
+                        self.stack.resize(need, v::NIL);
+                    }
+                    pc = f.code_off as usize;
+                }
+                Op::Return => {
+                    let value = if bc::get_b(i) == 2 { r!(a) } else { v::NIL };
+                    let frame = match self.frames.pop() {
+                        Some(fr) => fr,
+                        None => return self.fail(this_pc, "return from main"),
+                    };
+                    if let Some(slot) = frame.result_slot {
+                        self.stack[slot] = value;
+                    }
+                    base = frame.base;
+                    pc = frame.ret_pc;
+                }
+                Op::ForPrep => {
+                    let (idx, step) = self.num2(this_pc, r!(a), r!(a + 2))?;
+                    if !v::is_num(r!(a + 1)) {
+                        return self.fail(this_pc, "for limit must be a number");
+                    }
+                    r!(a) = v::num(idx - step);
+                    pc = (pc as i64 + bc::get_sbx(i) as i64) as usize;
+                }
+                Op::ForLoop => {
+                    let idx = v::as_num(r!(a)) + v::as_num(r!(a + 2));
+                    let limit = v::as_num(r!(a + 1));
+                    let step = v::as_num(r!(a + 2));
+                    r!(a) = v::num(idx);
+                    let cont = if step > 0.0 { idx <= limit } else { idx >= limit };
+                    if cont {
+                        r!(a + 3) = v::num(idx);
+                        pc = (pc as i64 + bc::get_sbx(i) as i64) as usize;
+                    }
+                }
+                Op::Closure => {
+                    r!(a) = v::function_ref(bc::get_bx(i) as u64);
+                }
+                Op::CallB => {
+                    let id = bc::get_b(i);
+                    let x = r!(a);
+                    match id {
+                        builtin_id::FLOOR => {
+                            let (x, _) = self.num2(this_pc, x, v::num(0.0))?;
+                            r!(a) = v::num(x.floor());
+                        }
+                        builtin_id::SQRT => {
+                            let (x, _) = self.num2(this_pc, x, v::num(0.0))?;
+                            r!(a) = v::num(x.sqrt());
+                        }
+                        builtin_id::ABS => {
+                            let (x, _) = self.num2(this_pc, x, v::num(0.0))?;
+                            r!(a) = v::num(x.abs());
+                        }
+                        builtin_id::MIN | builtin_id::MAX => {
+                            let (x, y) = self.num2(this_pc, x, r!(a + 1))?;
+                            let m = if id == builtin_id::MIN { x.min(y) } else { x.max(y) };
+                            r!(a) = v::num(m);
+                        }
+                        builtin_id::EMIT => {
+                            self.checksum = v::checksum_step(self.checksum, x);
+                            self.emitted.push(x);
+                        }
+                        builtin_id::LEN => {
+                            if v::is_num(x) || v::tag(x) != v::TAG_ARRAY {
+                                return self.fail(this_pc, "len of non-array");
+                            }
+                            let n = self.arrays[v::payload(x) as usize].len();
+                            r!(a) = v::num(n as f64);
+                        }
+                        builtin_id::ARRAY => {
+                            if !v::is_num(x) {
+                                return self.fail(this_pc, "array length must be a number");
+                            }
+                            let n = v::as_num(x).trunc();
+                            if !(0.0..=1e9).contains(&n) {
+                                return self.fail(this_pc, format!("bad array length {n}"));
+                            }
+                            r!(a) = self.new_array(n as usize);
+                        }
+                        _ => return self.fail(this_pc, format!("bad builtin id {id}")),
+                    }
+                }
+                Op::Sqrt => {
+                    let (x, _) = self.num2(this_pc, r!(bc::get_b(i)), v::num(0.0))?;
+                    r!(a) = v::num(x.sqrt());
+                }
+                Op::Floor => {
+                    let (x, _) = self.num2(this_pc, r!(bc::get_b(i)), v::num(0.0))?;
+                    r!(a) = v::num(x.floor());
+                }
+                Op::Halt => {
+                    return Ok(RunResult {
+                        checksum: self.checksum,
+                        emitted: std::mem::take(&mut self.emitted),
+                        steps,
+                        op_counts: std::mem::take(&mut self.op_counts),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The shared arithmetic kernel; `Mod` is Lua-style (`a - floor(a/b)*b`),
+/// matching the guest handler exactly.
+fn arith(op: Op, x: f64, y: f64) -> f64 {
+    match op {
+        Op::Add => x + y,
+        Op::Sub => x - y,
+        Op::Mul => x * y,
+        Op::Div => x / y,
+        Op::Mod => x - (x / y).floor() * y,
+        _ => unreachable!("not an arithmetic opcode"),
+    }
+}
+
+/// Convenience: parse + compile + run a source string on the oracle.
+///
+/// # Errors
+/// Propagates parse, compile and runtime errors as strings.
+pub fn run_source(
+    src: &str,
+    predefined: &[(&str, f64)],
+    max_steps: u64,
+) -> Result<RunResult, String> {
+    let script = crate::parser::parse(src).map_err(|e| e.to_string())?;
+    let (p, init) = super::compile::compile_lvm(&script, predefined).map_err(|e| e.to_string())?;
+    LvmInterp::new(&p, &init).run(max_steps).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emits(src: &str) -> Vec<f64> {
+        run_source(src, &[], 10_000_000)
+            .unwrap()
+            .emitted
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_and_emit() {
+        assert_eq!(emits("emit(1 + 2 * 3);"), vec![7.0]);
+        assert_eq!(emits("var x = 10; emit(x / 4);"), vec![2.5]);
+        assert_eq!(emits("var x = 7; emit(x % 3);"), vec![1.0]);
+        assert_eq!(emits("var x = -7; emit(x % 3);"), vec![2.0]); // Lua-style mod
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(emits("var x = 3; if x < 5 { emit(1); } else { emit(2); }"), vec![1.0]);
+        assert_eq!(
+            emits("var s = 0; for i = 1, 10 { s = s + i; } emit(s);"),
+            vec![55.0]
+        );
+        assert_eq!(
+            emits("var s = 0; for i = 10, 1, -2 { s = s + i; } emit(s);"),
+            vec![30.0]
+        );
+        assert_eq!(
+            emits("var s = 0; var i = 0; while i < 5 { i = i + 1; s = s + i; if i == 3 { break; } } emit(s);"),
+            vec![6.0]
+        );
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } emit(fib(15));";
+        assert_eq!(emits(src), vec![610.0]);
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(
+            emits("var a = array(3); a[0] = 5; a[2] = a[0] + 1; emit(a[2]); emit(len(a));"),
+            vec![6.0, 3.0]
+        );
+        assert_eq!(emits("var a = [4, 5, 6]; emit(a[1]);"), vec![5.0]);
+    }
+
+    #[test]
+    fn logic_short_circuit() {
+        assert_eq!(emits("var x = nil; emit(x and 1 or 2);"), vec![2.0]);
+        assert_eq!(emits("var x = 5; emit(x and 1 or 2);"), vec![1.0]);
+        // RHS must not evaluate: would trap on nil index.
+        assert_eq!(emits("var a = nil; var t = true; if t or a[0] { emit(1); }"), vec![1.0]);
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(emits("emit(floor(2.7)); emit(sqrt(16)); emit(abs(-3));"), vec![2.0, 4.0, 3.0]);
+        assert_eq!(emits("emit(min(2, 3)); emit(max(2, 3));"), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn nil_equality() {
+        assert_eq!(emits("var a = array(1); if a[0] == nil { emit(1); } else { emit(0); }"), vec![1.0]);
+    }
+
+    #[test]
+    fn function_values() {
+        assert_eq!(
+            emits("fn double(x) { return x * 2; } var f = double; emit(f(21));"),
+            vec![42.0]
+        );
+    }
+
+    #[test]
+    fn type_error_reported() {
+        let r = run_source("var x = nil; var y = x + 1;", &[], 1000);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        assert!(run_source("var a = array(2); emit(a[2]);", &[], 1000).is_err());
+        assert!(run_source("var a = array(2); emit(a[0-1]);", &[], 1000).is_err());
+    }
+
+    #[test]
+    fn step_limit() {
+        assert!(run_source("while true { }", &[], 1000).is_err());
+    }
+
+    #[test]
+    fn predefined_globals_flow_through() {
+        let r = run_source("emit(N * 2);", &[("N", 21.0)], 1000).unwrap();
+        assert_eq!(f64::from_bits(r.emitted[0]), 42.0);
+    }
+
+    #[test]
+    fn op_counts_populated() {
+        let r = run_source("var s = 0; for i = 1, 100 { s = s + i; } emit(s);", &[], 100_000).unwrap();
+        assert!(r.op_counts[Op::ForLoop as usize] >= 100);
+        assert!(r.steps > 300);
+    }
+}

@@ -1,0 +1,9 @@
+//! LVM: the register-based bytecode VM (the paper's Lua analogue).
+
+pub mod bytecode;
+pub mod compile;
+pub mod interp;
+
+pub use bytecode::{disasm, listing, FuncInfo, LvmProgram, Op, NUM_OPS};
+pub use compile::{compile_lvm, CompileError};
+pub use interp::{run_source, LvmInterp, RunResult, RuntimeError};

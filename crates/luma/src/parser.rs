@@ -1,0 +1,425 @@
+//! Recursive-descent parser producing the Luma AST.
+
+use crate::ast::*;
+use crate::lexer::{lex, ParseError, Spanned, Tok};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parses a source string into a [`Script`].
+///
+/// # Errors
+/// Returns a [`ParseError`] pointing at the offending line.
+pub fn parse(src: &str) -> Result<Script, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut script = Script::default();
+    while !p.check(&Tok::Eof) {
+        if p.check(&Tok::Fn) {
+            script.functions.push(p.fn_def()?);
+        } else {
+            script.top_level.push(p.stmt()?);
+        }
+    }
+    Ok(script)
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn check(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.check(t) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { line: self.line(), message }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, ParseError> {
+        let line = self.line();
+        self.expect(&Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.check(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(FnDef { name, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&Tok::RBrace) && !self.check(&Tok::Eof) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Var => {
+                self.advance();
+                let name = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Var { name, init })
+            }
+            Tok::If => {
+                self.advance();
+                let cond = self.expr()?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&Tok::Else) {
+                    if self.check(&Tok::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Tok::While => {
+                self.advance();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::For => {
+                self.advance();
+                let var = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let start = self.expr()?;
+                self.expect(&Tok::Comma)?;
+                let limit = self.expr()?;
+                let step = if self.eat(&Tok::Comma) { self.expr()? } else { Expr::Num(1.0) };
+                let body = self.block()?;
+                Ok(Stmt::For { var, start, limit, step, body })
+            }
+            Tok::Return => {
+                self.advance();
+                let value = if self.check(&Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            Tok::Break => {
+                self.advance();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&Tok::Assign) {
+                    match e {
+                        Expr::Var(_) | Expr::Index { .. } => {
+                            let value = self.expr()?;
+                            self.expect(&Tok::Semi)?;
+                            Ok(Stmt::Assign { target: e, value })
+                        }
+                        _ => Err(self.err("invalid assignment target".to_string())),
+                    }
+                } else {
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::NotEq => BinOp::Ne,
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            // Fold negative literals so `-1` is a constant.
+            if let Expr::Num(n) = e {
+                return Ok(Expr::Num(-n));
+            }
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e) });
+        }
+        if self.eat(&Tok::Not) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e) });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat(&Tok::LBracket) {
+                let index = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                e = Expr::Index { array: Box::new(e), index: Box::new(index) };
+            } else if self.check(&Tok::LParen) {
+                self.advance();
+                let mut args = Vec::new();
+                if !self.check(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                // Builtins are resolved by name at the call site.
+                if let Expr::Var(name) = &e {
+                    if let Some(b) = Builtin::from_name(name) {
+                        if args.len() != b.arity() {
+                            return Err(self.err(format!(
+                                "builtin `{name}` takes {} argument(s), got {}",
+                                b.arity(),
+                                args.len()
+                            )));
+                        }
+                        e = Expr::BuiltinCall { builtin: b, args };
+                        continue;
+                    }
+                }
+                e = Expr::Call { callee: Box::new(e), args };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::True => Ok(Expr::Bool(true)),
+            Tok::False => Ok(Expr::Bool(false)),
+            Tok::Nil => Ok(Expr::Nil),
+            Tok::Ident(name) => Ok(Expr::Var(name)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                let mut items = Vec::new();
+                if !self.check(&Tok::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBracket)?;
+                Ok(Expr::ArrayLit(items))
+            }
+            other => Err(self.err(format!("unexpected {other} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_and_main() {
+        let s = parse("fn add(a, b) { return a + b; } var x = add(1, 2); emit(x);").unwrap();
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.functions[0].params, vec!["a", "b"]);
+        assert_eq!(s.top_level.len(), 2);
+    }
+
+    #[test]
+    fn precedence() {
+        let s = parse("var x = 1 + 2 * 3;").unwrap();
+        match &s.top_level[0] {
+            Stmt::Var { init: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_add() {
+        let s = parse("var x = 1 + 2 < 4;").unwrap();
+        match &s.top_level[0] {
+            Stmt::Var { init: Expr::Binary { op: BinOp::Lt, .. }, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_with_default_step() {
+        let s = parse("for i = 0, 9 { emit(i); }").unwrap();
+        match &s.top_level[0] {
+            Stmt::For { step, .. } => assert_eq!(*step, Expr::Num(1.0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let s = parse("if a { } else if b { } else { break; }").unwrap();
+        match &s.top_level[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        assert!(parse("var x = min(1);").is_err());
+        assert!(parse("var x = min(1, 2);").is_ok());
+    }
+
+    #[test]
+    fn index_and_call_chain() {
+        let s = parse("a[i][j] = f(x)[0];").unwrap();
+        assert!(matches!(s.top_level[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn invalid_assignment_target() {
+        assert!(parse("1 + 2 = 3;").is_err());
+    }
+
+    #[test]
+    fn negative_literal_folded() {
+        let s = parse("var x = -1.5;").unwrap();
+        match &s.top_level[0] {
+            Stmt::Var { init, .. } => assert_eq!(*init, Expr::Num(-1.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_literal() {
+        let s = parse("var a = [1, 2, 3];").unwrap();
+        match &s.top_level[0] {
+            Stmt::Var { init: Expr::ArrayLit(items), .. } => assert_eq!(items.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The benchmark corpus: the 11 workloads of Table III, rewritten in
+//! Luma (see DESIGN.md for the two documented substitutions:
+//! integer-coded k-mers in k-nucleotide and an in-script spigot in
+//! pidigits).
+
+/// One benchmark script with its input parameters.
+///
+/// `sim_arg` / `fpga_arg` mirror the paper's two input columns in
+/// Table III (scaled so simulated runs stay in the millions of
+/// instructions); `tiny_arg` is for fast unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Benchmark name (Table III).
+    pub name: &'static str,
+    /// One-line description from Table III.
+    pub description: &'static str,
+    /// The Luma source.
+    pub source: &'static str,
+    /// Input for simulator-scale runs.
+    pub sim_arg: f64,
+    /// Input for FPGA-scale runs.
+    pub fpga_arg: f64,
+    /// Input for unit tests.
+    pub tiny_arg: f64,
+}
+
+/// All 11 benchmarks, in the paper's Table III order.
+pub const BENCHMARKS: [Benchmark; 11] = [
+    Benchmark {
+        name: "binary-trees",
+        description: "Allocate and deallocate many binary trees",
+        source: include_str!("../scripts/binary_trees.luma"),
+        sim_arg: 7.0,
+        fpga_arg: 9.0,
+        tiny_arg: 4.0,
+    },
+    Benchmark {
+        name: "fannkuch-redux",
+        description: "Indexed-access to tiny integer-sequence",
+        source: include_str!("../scripts/fannkuch_redux.luma"),
+        sim_arg: 7.0,
+        fpga_arg: 8.0,
+        tiny_arg: 5.0,
+    },
+    Benchmark {
+        name: "k-nucleotide",
+        description: "Repeatedly update hashtables keyed by k-mers",
+        source: include_str!("../scripts/knucleotide.luma"),
+        sim_arg: 15000.0,
+        fpga_arg: 50000.0,
+        tiny_arg: 300.0,
+    },
+    Benchmark {
+        name: "mandelbrot",
+        description: "Generate Mandelbrot set membership counts",
+        source: include_str!("../scripts/mandelbrot.luma"),
+        sim_arg: 64.0,
+        fpga_arg: 160.0,
+        tiny_arg: 16.0,
+    },
+    Benchmark {
+        name: "n-body",
+        description: "Double-precision N-body simulation",
+        source: include_str!("../scripts/nbody.luma"),
+        sim_arg: 1500.0,
+        fpga_arg: 6000.0,
+        tiny_arg: 40.0,
+    },
+    Benchmark {
+        name: "spectral-norm",
+        description: "Eigenvalue using the power method",
+        source: include_str!("../scripts/spectral_norm.luma"),
+        sim_arg: 40.0,
+        fpga_arg: 90.0,
+        tiny_arg: 8.0,
+    },
+    Benchmark {
+        name: "n-sieve",
+        description: "Count primes with the Sieve of Eratosthenes",
+        source: include_str!("../scripts/nsieve.luma"),
+        sim_arg: 4.0,
+        fpga_arg: 6.0,
+        tiny_arg: 2.0,
+    },
+    Benchmark {
+        name: "random",
+        description: "Linear congruential random number generation",
+        source: include_str!("../scripts/random.luma"),
+        sim_arg: 40000.0,
+        fpga_arg: 150000.0,
+        tiny_arg: 800.0,
+    },
+    Benchmark {
+        name: "fibo",
+        description: "Recursive Fibonacci",
+        source: include_str!("../scripts/fibo.luma"),
+        sim_arg: 21.0,
+        fpga_arg: 25.0,
+        tiny_arg: 12.0,
+    },
+    Benchmark {
+        name: "ackermann",
+        description: "Ackermann function recursion",
+        source: include_str!("../scripts/ackermann.luma"),
+        sim_arg: 5.0,
+        fpga_arg: 7.0,
+        tiny_arg: 3.0,
+    },
+    Benchmark {
+        name: "pidigits",
+        description: "Streaming spigot computation of pi digits",
+        source: include_str!("../scripts/pidigits.luma"),
+        sim_arg: 110.0,
+        fpga_arg: 280.0,
+        tiny_arg: 20.0,
+    },
+];
+
+/// Looks up a benchmark by name.
+pub fn find(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_complete() {
+        assert_eq!(BENCHMARKS.len(), 11);
+        assert!(find("fibo").is_some());
+        assert!(find("n-body").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn all_parse() {
+        for b in &BENCHMARKS {
+            crate::parser::parse(b.source)
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn all_run_on_both_oracles_with_matching_checksums() {
+        for b in &BENCHMARKS {
+            let args = [("N", b.tiny_arg)];
+            let l = crate::lvm::run_source(b.source, &args, 100_000_000)
+                .unwrap_or_else(|e| panic!("{} fails on LVM oracle: {e}", b.name));
+            let s = crate::svm::run_source(b.source, &args, 200_000_000)
+                .unwrap_or_else(|e| panic!("{} fails on SVM oracle: {e}", b.name));
+            assert_eq!(
+                l.checksum, s.checksum,
+                "{}: LVM and SVM oracles disagree (emitted {:?} vs {:?})",
+                b.name, l.emitted, s.emitted
+            );
+            assert!(!l.emitted.is_empty(), "{} emits nothing", b.name);
+        }
+    }
+
+    #[test]
+    fn results_are_scale_sensitive() {
+        // Sanity: the checksum actually depends on N.
+        let b = find("fibo").unwrap();
+        let a = crate::lvm::run_source(b.source, &[("N", 10.0)], 10_000_000).unwrap();
+        let c = crate::lvm::run_source(b.source, &[("N", 11.0)], 10_000_000).unwrap();
+        assert_ne!(a.checksum, c.checksum);
+    }
+}

@@ -1,0 +1,645 @@
+//! AST → SVM stack bytecode compiler.
+//!
+//! Numeric `for` loops are desugared into `while` form with hidden limit
+//! and step locals (the loop variable is the counter itself — scripts in
+//! the benchmark corpus never mutate it, so LVM and SVM agree).
+
+use super::bytecode::{builtin_id, FuncInfo, Op, SvmProgram};
+use crate::ast::*;
+use crate::lvm::compile::CompileError;
+use crate::value;
+use std::collections::HashMap;
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { message: msg.into() })
+}
+
+struct Shared {
+    consts: Vec<u64>,
+    const_map: HashMap<u64, u32>,
+    globals: Vec<String>,
+    global_map: HashMap<String, u32>,
+    fn_ids: HashMap<String, u32>,
+    fn_arity: Vec<usize>,
+}
+
+impl Shared {
+    fn const_idx(&mut self, bits: u64) -> Result<u32, CompileError> {
+        if let Some(&i) = self.const_map.get(&bits) {
+            return Ok(i);
+        }
+        let i = self.consts.len() as u32;
+        if i >= 1 << 16 {
+            return err("too many constants");
+        }
+        self.consts.push(bits);
+        self.const_map.insert(bits, i);
+        Ok(i)
+    }
+}
+
+struct FnGen<'s> {
+    shared: &'s mut Shared,
+    code: Vec<u8>,
+    scopes: Vec<Vec<(String, u32)>>,
+    nlocals: u32,
+    max_locals: u32,
+    breaks: Vec<Vec<usize>>,
+    is_main: bool,
+    hidden: u32,
+}
+
+impl<'s> FnGen<'s> {
+    fn new(shared: &'s mut Shared, is_main: bool) -> Self {
+        FnGen {
+            shared,
+            code: Vec::new(),
+            scopes: vec![Vec::new()],
+            nlocals: 0,
+            max_locals: 0,
+            breaks: Vec::new(),
+            is_main,
+            hidden: 0,
+        }
+    }
+
+    fn op(&mut self, op: Op) {
+        self.code.push(op as u8);
+    }
+
+    fn op_u8(&mut self, op: Op, v: u8) {
+        self.code.push(op as u8);
+        self.code.push(v);
+    }
+
+    fn op_u16(&mut self, op: Op, v: u16) {
+        self.code.push(op as u8);
+        self.code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Emits a jump with a placeholder; returns the operand position.
+    fn jump(&mut self, op: Op) -> usize {
+        self.code.push(op as u8);
+        let at = self.code.len();
+        self.code.extend_from_slice(&[0, 0]);
+        at
+    }
+
+    fn patch_here(&mut self, operand_at: usize) {
+        // rel is measured from the byte after the 2-byte operand.
+        let rel = self.code.len() as i64 - (operand_at as i64 + 2);
+        let rel16 = i16::try_from(rel).expect("jump distance fits i16");
+        self.code[operand_at..operand_at + 2].copy_from_slice(&rel16.to_le_bytes());
+    }
+
+    fn jump_back(&mut self, op: Op, target: usize) {
+        self.code.push(op as u8);
+        let rel = target as i64 - (self.code.len() as i64 + 2);
+        let rel16 = i16::try_from(rel).expect("jump distance fits i16");
+        self.code.extend_from_slice(&rel16.to_le_bytes());
+    }
+
+    fn declare_local(&mut self, name: &str) -> Result<u32, CompileError> {
+        let slot = self.nlocals;
+        if slot >= 255 {
+            return err("too many locals");
+        }
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .push((name.to_string(), slot));
+        self.nlocals += 1;
+        self.max_locals = self.max_locals.max(self.nlocals);
+        Ok(slot)
+    }
+
+    fn hidden_name(&mut self, what: &str) -> String {
+        self.hidden += 1;
+        format!("({what}-{})", self.hidden)
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<u32> {
+        for scope in self.scopes.iter().rev() {
+            for (n, s) in scope.iter().rev() {
+                if n == name {
+                    return Some(*s);
+                }
+            }
+        }
+        None
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn pop_scope(&mut self) {
+        let dropped = self.scopes.pop().expect("scope stack never empty");
+        self.nlocals -= dropped.len() as u32;
+    }
+
+    fn get_local(&mut self, slot: u32) {
+        match slot {
+            0..=7 => self.op(Op::from_u8(Op::GetLocal0 as u8 + slot as u8).expect("dense")),
+            _ => self.op_u8(Op::GetLocal, slot as u8),
+        }
+    }
+
+    fn set_local(&mut self, slot: u32) {
+        match slot {
+            0..=3 => self.op(Op::from_u8(Op::SetLocal0 as u8 + slot as u8).expect("dense")),
+            _ => self.op_u8(Op::SetLocal, slot as u8),
+        }
+    }
+
+    fn push_const_bits(&mut self, bits: u64) -> Result<(), CompileError> {
+        let k = self.shared.const_idx(bits)?;
+        if k < 8 {
+            self.op(Op::from_u8(Op::PushConst0 as u8 + k as u8).expect("dense"));
+        } else {
+            self.op_u16(Op::PushConst, k as u16);
+        }
+        Ok(())
+    }
+
+    // ---- expressions: push exactly one value ----
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Num(n) => {
+                // -0.0 must go through the constant pool: the integer
+                // immediates would drop its sign bit.
+                let int_ok = n.fract() == 0.0 && !(*n == 0.0 && n.is_sign_negative());
+                if int_ok && (-128.0..=127.0).contains(n) {
+                    self.op_u8(Op::PushInt8, *n as i8 as u8);
+                } else if int_ok && (-32768.0..=32767.0).contains(n) {
+                    self.op_u16(Op::PushInt16, *n as i16 as u16);
+                } else {
+                    self.push_const_bits(value::num(*n))?;
+                }
+            }
+            Expr::Bool(true) => self.op(Op::PushTrue),
+            Expr::Bool(false) => self.op(Op::PushFalse),
+            Expr::Nil => self.op(Op::PushNil),
+            Expr::Var(name) => {
+                if let Some(slot) = self.lookup_local(name) {
+                    self.get_local(slot);
+                } else if let Some(&g) = self.shared.global_map.get(name.as_str()) {
+                    self.op_u16(Op::GetGlobal, g as u16);
+                } else if let Some(&f) = self.shared.fn_ids.get(name.as_str()) {
+                    self.op_u16(Op::PushFn, f as u16);
+                } else {
+                    return err(format!("undefined variable `{name}`"));
+                }
+            }
+            Expr::Unary { op, expr } => {
+                self.expr(expr)?;
+                self.op(match op {
+                    UnOp::Neg => Op::Neg,
+                    UnOp::Not => Op::Not,
+                });
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.expr(lhs)?;
+                    self.op(Op::Dup);
+                    let j = self.jump(Op::JumpIfFalse);
+                    self.op(Op::Pop);
+                    self.expr(rhs)?;
+                    self.patch_here(j);
+                }
+                BinOp::Or => {
+                    self.expr(lhs)?;
+                    self.op(Op::Dup);
+                    let j = self.jump(Op::JumpIfTrue);
+                    self.op(Op::Pop);
+                    self.expr(rhs)?;
+                    self.patch_here(j);
+                }
+                _ => {
+                    self.expr(lhs)?;
+                    // Inc/Dec specializations for +1/-1.
+                    if let Expr::Num(n) = **rhs {
+                        if n == 1.0 && *op == BinOp::Add {
+                            self.op(Op::Inc);
+                            return Ok(());
+                        }
+                        if n == 1.0 && *op == BinOp::Sub {
+                            self.op(Op::Dec);
+                            return Ok(());
+                        }
+                    }
+                    self.expr(rhs)?;
+                    self.op(match op {
+                        BinOp::Add => Op::Add,
+                        BinOp::Sub => Op::Sub,
+                        BinOp::Mul => Op::Mul,
+                        BinOp::Div => Op::Div,
+                        BinOp::Mod => Op::Mod,
+                        BinOp::Eq => Op::Eq,
+                        BinOp::Ne => Op::Ne,
+                        BinOp::Lt => Op::Lt,
+                        BinOp::Le => Op::Le,
+                        BinOp::Gt => Op::Gt,
+                        BinOp::Ge => Op::Ge,
+                        BinOp::And | BinOp::Or => unreachable!("handled above"),
+                    });
+                }
+            },
+            Expr::Index { array, index } => {
+                self.expr(array)?;
+                if let Expr::Num(n) = **index {
+                    if n.fract() == 0.0 && (0.0..256.0).contains(&n) {
+                        self.op_u8(Op::GetElemI, n as u8);
+                        return Ok(());
+                    }
+                }
+                self.expr(index)?;
+                self.op(Op::GetElem);
+            }
+            Expr::ArrayLit(items) => {
+                self.expr(&Expr::Num(items.len() as f64))?;
+                self.op(Op::NewArray);
+                for (i, item) in items.iter().enumerate() {
+                    self.op(Op::Dup);
+                    if i < 256 {
+                        self.expr(item)?;
+                        self.op_u8(Op::SetElemI, i as u8);
+                    } else {
+                        self.expr(&Expr::Num(i as f64))?;
+                        self.expr(item)?;
+                        self.op(Op::SetElem);
+                    }
+                }
+            }
+            Expr::Call { callee, args } => {
+                if let Expr::Var(name) = &**callee {
+                    if self.lookup_local(name).is_none()
+                        && !self.shared.global_map.contains_key(name.as_str())
+                    {
+                        if let Some(&f) = self.shared.fn_ids.get(name.as_str()) {
+                            let want = self.shared.fn_arity[f as usize];
+                            if want != args.len() {
+                                return err(format!(
+                                    "function `{name}` takes {want} argument(s), got {}",
+                                    args.len()
+                                ));
+                            }
+                        }
+                    }
+                }
+                self.expr(callee)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                if args.len() > 255 {
+                    return err("too many call arguments");
+                }
+                self.op_u8(Op::Call, args.len() as u8);
+            }
+            Expr::BuiltinCall { builtin, args } => {
+                match builtin {
+                    Builtin::Len => {
+                        self.expr(&args[0])?;
+                        self.op(Op::Len);
+                    }
+                    Builtin::Array => {
+                        self.expr(&args[0])?;
+                        self.op(Op::NewArray);
+                    }
+                    _ => {
+                        for a in args {
+                            self.expr(a)?;
+                        }
+                        let id = match builtin {
+                            Builtin::Floor => builtin_id::FLOOR,
+                            Builtin::Sqrt => builtin_id::SQRT,
+                            Builtin::Abs => builtin_id::ABS,
+                            Builtin::Min => builtin_id::MIN,
+                            Builtin::Max => builtin_id::MAX,
+                            Builtin::Emit => builtin_id::EMIT,
+                            Builtin::Len | Builtin::Array => unreachable!("handled above"),
+                        };
+                        self.op_u8(Op::Builtin, id as u8);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.push_scope();
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.pop_scope();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Var { name, init } => {
+                if self.is_main && self.scopes.len() == 1 {
+                    let g = *self
+                        .shared
+                        .global_map
+                        .get(name.as_str())
+                        .expect("top-level globals pre-registered");
+                    self.expr(init)?;
+                    self.op_u16(Op::SetGlobal, g as u16);
+                } else {
+                    self.expr(init)?;
+                    let slot = self.declare_local(name)?;
+                    self.set_local(slot);
+                }
+            }
+            Stmt::Assign { target, value } => match target {
+                Expr::Var(name) => {
+                    if let Some(slot) = self.lookup_local(name) {
+                        self.expr(value)?;
+                        self.set_local(slot);
+                    } else if let Some(&g) = self.shared.global_map.get(name.as_str()) {
+                        self.expr(value)?;
+                        self.op_u16(Op::SetGlobal, g as u16);
+                    } else {
+                        return err(format!("undefined variable `{name}`"));
+                    }
+                }
+                Expr::Index { array, index } => {
+                    self.expr(array)?;
+                    if let Expr::Num(n) = **index {
+                        if n.fract() == 0.0 && (0.0..256.0).contains(&n) {
+                            self.expr(value)?;
+                            self.op_u8(Op::SetElemI, n as u8);
+                            return Ok(());
+                        }
+                    }
+                    self.expr(index)?;
+                    self.expr(value)?;
+                    self.op(Op::SetElem);
+                }
+                _ => return err("invalid assignment target"),
+            },
+            Stmt::If { cond, then_body, else_body } => {
+                self.expr(cond)?;
+                let jelse = self.jump(Op::JumpIfFalse);
+                self.block(then_body)?;
+                if else_body.is_empty() {
+                    self.patch_here(jelse);
+                } else {
+                    let jend = self.jump(Op::Jump);
+                    self.patch_here(jelse);
+                    self.block(else_body)?;
+                    self.patch_here(jend);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.code.len();
+                self.expr(cond)?;
+                let jexit = self.jump(Op::JumpIfFalse);
+                self.breaks.push(Vec::new());
+                self.block(body)?;
+                self.jump_back(Op::Jump, top);
+                self.patch_here(jexit);
+                for b in self.breaks.pop().expect("pushed above") {
+                    self.patch_here(b);
+                }
+            }
+            Stmt::For { var, start, limit, step, body } => {
+                self.push_scope();
+                // Evaluate `start` before binding the loop variable so a
+                // shadowed outer binding of the same name is still visible.
+                self.expr(start)?;
+                let ivar = self.declare_local(var)?;
+                self.set_local(ivar);
+                let limit_name = self.hidden_name("limit");
+                let lslot = self.declare_local(&limit_name)?;
+                self.expr(limit)?;
+                self.set_local(lslot);
+                // Constant steps compile a direct comparison.
+                let step_const = if let Expr::Num(n) = step { Some(*n) } else { None };
+                let sslot = if step_const.is_none() {
+                    let step_name = self.hidden_name("step");
+                    let s = self.declare_local(&step_name)?;
+                    self.expr(step)?;
+                    self.set_local(s);
+                    Some(s)
+                } else {
+                    None
+                };
+
+                let top = self.code.len();
+                // Continue condition.
+                match step_const {
+                    Some(n) if n >= 0.0 => {
+                        self.get_local(ivar);
+                        self.get_local(lslot);
+                        self.op(Op::Le);
+                    }
+                    Some(_) => {
+                        self.get_local(ivar);
+                        self.get_local(lslot);
+                        self.op(Op::Ge);
+                    }
+                    None => {
+                        // (step > 0 and i <= limit) or (step <= 0 and i >= limit)
+                        let s = sslot.expect("dynamic step has a slot");
+                        self.get_local(s);
+                        self.op_u8(Op::PushInt8, 0);
+                        self.op(Op::Gt);
+                        let jneg = self.jump(Op::JumpIfFalse);
+                        self.get_local(ivar);
+                        self.get_local(lslot);
+                        self.op(Op::Le);
+                        let jdone = self.jump(Op::Jump);
+                        self.patch_here(jneg);
+                        self.get_local(ivar);
+                        self.get_local(lslot);
+                        self.op(Op::Ge);
+                        self.patch_here(jdone);
+                    }
+                }
+                let jexit = self.jump(Op::JumpIfFalse);
+                self.breaks.push(Vec::new());
+                self.block(body)?;
+                // Increment.
+                self.get_local(ivar);
+                match step_const {
+                    Some(1.0) => self.op(Op::Inc),
+                    Some(-1.0) => self.op(Op::Dec),
+                    Some(n) => {
+                        self.expr(&Expr::Num(n))?;
+                        self.op(Op::Add);
+                    }
+                    None => {
+                        self.get_local(sslot.expect("dynamic step has a slot"));
+                        self.op(Op::Add);
+                    }
+                }
+                self.set_local(ivar);
+                self.jump_back(Op::Jump, top);
+                self.patch_here(jexit);
+                for b in self.breaks.pop().expect("pushed above") {
+                    self.patch_here(b);
+                }
+                self.pop_scope();
+            }
+            Stmt::Return(value) => {
+                if self.is_main {
+                    self.op(Op::Halt);
+                } else {
+                    match value {
+                        Some(e) => {
+                            self.expr(e)?;
+                            self.op(Op::ReturnVal);
+                        }
+                        None => self.op(Op::Return),
+                    }
+                }
+            }
+            Stmt::Break => {
+                if self.breaks.is_empty() {
+                    return err("`break` outside a loop");
+                }
+                let j = self.jump(Op::Jump);
+                self.breaks.last_mut().expect("checked non-empty").push(j);
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.op(Op::Pop);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles a script to SVM bytecode. Returns the program and the
+/// initial global values.
+///
+/// # Errors
+/// Returns a [`CompileError`] for undefined names, arity mismatches and
+/// size-limit overflows.
+pub fn compile_svm(
+    script: &Script,
+    predefined_globals: &[(&str, f64)],
+) -> Result<(SvmProgram, Vec<u64>), CompileError> {
+    let mut shared = Shared {
+        consts: Vec::new(),
+        const_map: HashMap::new(),
+        globals: Vec::new(),
+        global_map: HashMap::new(),
+        fn_ids: HashMap::new(),
+        fn_arity: vec![0],
+    };
+
+    let mut global_init = Vec::new();
+    for (name, v) in predefined_globals {
+        if shared.global_map.contains_key(*name) {
+            return err(format!("duplicate predefined global `{name}`"));
+        }
+        shared.global_map.insert(name.to_string(), shared.globals.len() as u32);
+        shared.globals.push(name.to_string());
+        global_init.push(value::num(*v));
+    }
+    for s in &script.top_level {
+        if let Stmt::Var { name, .. } = s {
+            if !shared.global_map.contains_key(name) {
+                shared.global_map.insert(name.clone(), shared.globals.len() as u32);
+                shared.globals.push(name.clone());
+                global_init.push(value::NIL);
+            }
+        }
+    }
+    for (i, f) in script.functions.iter().enumerate() {
+        let id = i as u32 + 1;
+        if shared.fn_ids.insert(f.name.clone(), id).is_some() {
+            return err(format!("duplicate function `{}`", f.name));
+        }
+        shared.fn_arity.push(f.params.len());
+    }
+
+    let mut code: Vec<u8> = Vec::new();
+    let mut funcs: Vec<FuncInfo> = Vec::new();
+
+    {
+        let mut g = FnGen::new(&mut shared, true);
+        for s in &script.top_level {
+            g.stmt(s)?;
+        }
+        g.op(Op::Halt);
+        funcs.push(FuncInfo { code_off: 0, nparams: 0, nlocals: g.max_locals.max(1) });
+        code.extend_from_slice(&g.code);
+    }
+    for f in &script.functions {
+        let off = code.len() as u32;
+        let mut g = FnGen::new(&mut shared, false);
+        for p in &f.params {
+            g.declare_local(p)?;
+        }
+        for s in &f.body {
+            g.stmt(s)?;
+        }
+        g.op(Op::Return);
+        funcs.push(FuncInfo {
+            code_off: off,
+            nparams: f.params.len() as u32,
+            nlocals: g.max_locals.max(f.params.len() as u32).max(1),
+        });
+        code.extend_from_slice(&g.code);
+    }
+
+    Ok((
+        SvmProgram {
+            code,
+            consts: shared.consts,
+            funcs,
+            nglobals: shared.globals.len() as u32,
+            global_names: shared.globals,
+        },
+        global_init,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> (SvmProgram, Vec<u64>) {
+        compile_svm(&parse(src).unwrap(), &[]).unwrap()
+    }
+
+    #[test]
+    fn simple_compiles() {
+        let (p, _) = compile("var x = 1 + 2; emit(x);");
+        assert!(!p.code.is_empty());
+        assert_eq!(*p.code.last().unwrap(), Op::Halt as u8);
+    }
+
+    #[test]
+    fn specialized_locals_selected() {
+        let (p, _) = compile("fn f(a, b) { return a + b; } emit(f(1, 2));");
+        assert!(p.code.contains(&(Op::GetLocal0 as u8)));
+        assert!(p.code.contains(&(Op::GetLocal1 as u8)));
+    }
+
+    #[test]
+    fn inc_dec_specialized() {
+        let (p, _) = compile("fn f(a) { return a + 1; } fn g(a) { return a - 1; } emit(f(g(2)));");
+        assert!(p.code.contains(&(Op::Inc as u8)));
+        assert!(p.code.contains(&(Op::Dec as u8)));
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        assert!(compile_svm(&parse("emit(zzz);").unwrap(), &[]).is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(compile_svm(&parse("fn f(a) { return a; } f(1, 2);").unwrap(), &[]).is_err());
+    }
+}

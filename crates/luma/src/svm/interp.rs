@@ -1,0 +1,483 @@
+//! Host (oracle) interpreter for SVM bytecode — the bit-exact reference
+//! for the stack-based guest interpreter.
+
+use super::bytecode::{builtin_id, FuncInfo, Op, SvmProgram};
+use crate::lvm::interp::{RunResult, RuntimeError};
+use crate::value as v;
+
+struct Frame {
+    ret_pc: usize,
+    locals: usize,
+    /// Stack index of the callee's function-value slot (receives the
+    /// result).
+    fun_slot: usize,
+}
+
+/// The reference interpreter.
+pub struct SvmInterp<'p> {
+    p: &'p SvmProgram,
+    globals: Vec<u64>,
+    arrays: Vec<Vec<u64>>,
+    stack: Vec<u64>,
+    frames: Vec<Frame>,
+    checksum: u64,
+    emitted: Vec<u64>,
+    op_counts: Vec<u64>,
+}
+
+impl<'p> SvmInterp<'p> {
+    /// Creates an interpreter with initial global values.
+    pub fn new(p: &'p SvmProgram, global_init: &[u64]) -> Self {
+        let mut globals = vec![v::NIL; p.nglobals as usize];
+        for (i, g) in global_init.iter().enumerate().take(globals.len()) {
+            globals[i] = *g;
+        }
+        SvmInterp {
+            p,
+            globals,
+            arrays: Vec::new(),
+            stack: Vec::new(),
+            frames: Vec::new(),
+            checksum: 0,
+            emitted: Vec::new(),
+            op_counts: vec![0; super::bytecode::NUM_OPS as usize],
+        }
+    }
+
+    fn fail<T>(&self, pc: usize, msg: impl Into<String>) -> Result<T, RuntimeError> {
+        Err(RuntimeError { pc, message: msg.into() })
+    }
+
+    fn new_array(&mut self, len: usize) -> u64 {
+        let handle = self.arrays.len() as u64;
+        self.arrays.push(vec![v::NIL; len]);
+        v::array_ref(handle)
+    }
+
+    fn elem(&self, pc: usize, aval: u64, ival: u64) -> Result<(usize, usize), RuntimeError> {
+        if v::is_num(aval) || v::tag(aval) != v::TAG_ARRAY {
+            return self.fail(pc, format!("indexing non-array {}", v::display(aval)));
+        }
+        if !v::is_num(ival) {
+            return self.fail(pc, format!("non-numeric index {}", v::display(ival)));
+        }
+        let h = v::payload(aval) as usize;
+        let idx = v::as_num(ival).trunc();
+        let len = self.arrays[h].len();
+        let i = idx as i64 as u64;
+        if i >= len as u64 {
+            return self.fail(pc, format!("index {idx} out of bounds (len {len})"));
+        }
+        Ok((h, i as usize))
+    }
+
+    /// Runs to `Halt`.
+    ///
+    /// # Errors
+    /// Returns a [`RuntimeError`] on type errors, bad indices, stack
+    /// overflow, reserved opcodes, or step-limit exhaustion.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunResult, RuntimeError> {
+        let code = &self.p.code;
+        let main: FuncInfo = self.p.funcs[0];
+        let mut locals = 0usize;
+        self.stack.resize(main.nlocals as usize, v::NIL);
+        let mut pc = main.code_off as usize;
+        let mut steps = 0u64;
+
+        macro_rules! pop {
+            () => {
+                self.stack.pop().expect("operand stack underflow is a compiler bug")
+            };
+        }
+        macro_rules! push {
+            ($v:expr) => {
+                self.stack.push($v)
+            };
+        }
+        macro_rules! num1 {
+            ($pc:expr) => {{
+                let x = pop!();
+                if !v::is_num(x) {
+                    return self.fail($pc, format!("arithmetic on {}", v::display(x)));
+                }
+                v::as_num(x)
+            }};
+        }
+
+        loop {
+            if steps >= max_steps {
+                return self.fail(pc, format!("step limit {max_steps} exhausted"));
+            }
+            steps += 1;
+            let this_pc = pc;
+            let byte = code[pc];
+            let op = match Op::from_u8(byte) {
+                Some(op) => op,
+                None => return self.fail(pc, format!("reserved opcode {byte}")),
+            };
+            self.op_counts[byte as usize] += 1;
+            pc += 1;
+
+            // Operand readers.
+            let mut rd_u8 = || {
+                let b = code[pc];
+                pc += 1;
+                b
+            };
+            macro_rules! rd_u16 {
+                () => {{
+                    let w = u16::from_le_bytes([code[pc], code[pc + 1]]);
+                    pc += 2;
+                    w
+                }};
+            }
+            macro_rules! rd_i16 {
+                () => {{
+                    let w = i16::from_le_bytes([code[pc], code[pc + 1]]);
+                    pc += 2;
+                    w
+                }};
+            }
+
+            match op {
+                Op::Nop => {}
+                Op::PushConst => {
+                    let k = rd_u16!();
+                    push!(self.p.consts[k as usize]);
+                }
+                Op::PushInt8 => {
+                    let b = rd_u8() as i8;
+                    push!(v::num(b as f64));
+                }
+                Op::PushInt16 => {
+                    let w = rd_i16!();
+                    push!(v::num(w as f64));
+                }
+                Op::PushNil => push!(v::NIL),
+                Op::PushTrue => push!(v::TRUE),
+                Op::PushFalse => push!(v::FALSE),
+                Op::PushConst0
+                | Op::PushConst1
+                | Op::PushConst2
+                | Op::PushConst3
+                | Op::PushConst4
+                | Op::PushConst5
+                | Op::PushConst6
+                | Op::PushConst7 => {
+                    let k = byte - Op::PushConst0 as u8;
+                    push!(self.p.consts[k as usize]);
+                }
+                Op::GetLocal => {
+                    let n = rd_u8() as usize;
+                    push!(self.stack[locals + n]);
+                }
+                Op::SetLocal => {
+                    let n = rd_u8() as usize;
+                    self.stack[locals + n] = pop!();
+                }
+                Op::GetLocal0
+                | Op::GetLocal1
+                | Op::GetLocal2
+                | Op::GetLocal3
+                | Op::GetLocal4
+                | Op::GetLocal5
+                | Op::GetLocal6
+                | Op::GetLocal7 => {
+                    let n = (byte - Op::GetLocal0 as u8) as usize;
+                    push!(self.stack[locals + n]);
+                }
+                Op::SetLocal0 | Op::SetLocal1 | Op::SetLocal2 | Op::SetLocal3 => {
+                    let n = (byte - Op::SetLocal0 as u8) as usize;
+                    self.stack[locals + n] = pop!();
+                }
+                Op::GetGlobal => {
+                    let g = rd_u16!();
+                    push!(self.globals[g as usize]);
+                }
+                Op::SetGlobal => {
+                    let g = rd_u16!();
+                    self.globals[g as usize] = pop!();
+                }
+                Op::Pop => {
+                    let _ = pop!();
+                }
+                Op::Dup => {
+                    let top = *self.stack.last().expect("dup on empty stack is a compiler bug");
+                    push!(top);
+                }
+                Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                    let y = num1!(this_pc);
+                    let x = num1!(this_pc);
+                    let r = match op {
+                        Op::Add => x + y,
+                        Op::Sub => x - y,
+                        Op::Mul => x * y,
+                        Op::Div => x / y,
+                        _ => x - (x / y).floor() * y,
+                    };
+                    push!(v::num(r));
+                }
+                Op::Neg => {
+                    let x = num1!(this_pc);
+                    push!(v::num(-x));
+                }
+                Op::Not => {
+                    let x = pop!();
+                    push!(v::boolean(!v::truthy(x)));
+                }
+                Op::Eq | Op::Ne => {
+                    let y = pop!();
+                    let x = pop!();
+                    let eq = v::values_equal(x, y);
+                    push!(v::boolean(if op == Op::Eq { eq } else { !eq }));
+                }
+                Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                    let y = num1!(this_pc);
+                    let x = num1!(this_pc);
+                    let r = match op {
+                        Op::Lt => x < y,
+                        Op::Le => x <= y,
+                        Op::Gt => x > y,
+                        _ => x >= y,
+                    };
+                    push!(v::boolean(r));
+                }
+                Op::Jump => {
+                    let rel = rd_i16!();
+                    pc = (pc as i64 + rel as i64) as usize;
+                }
+                Op::JumpIfFalse => {
+                    let rel = rd_i16!();
+                    if !v::truthy(pop!()) {
+                        pc = (pc as i64 + rel as i64) as usize;
+                    }
+                }
+                Op::JumpIfTrue => {
+                    let rel = rd_i16!();
+                    if v::truthy(pop!()) {
+                        pc = (pc as i64 + rel as i64) as usize;
+                    }
+                }
+                Op::PushFn => {
+                    let f = rd_u16!();
+                    push!(v::function_ref(f as u64));
+                }
+                Op::Call => {
+                    let argc = rd_u8() as usize;
+                    let fun_slot = self.stack.len() - argc - 1;
+                    let fval = self.stack[fun_slot];
+                    if v::is_num(fval) || v::tag(fval) != v::TAG_FUNCTION {
+                        return self.fail(this_pc, format!("calling {}", v::display(fval)));
+                    }
+                    let f = self.p.funcs[v::payload(fval) as usize];
+                    if argc as u32 != f.nparams {
+                        return self.fail(this_pc, "arity mismatch");
+                    }
+                    if self.frames.len() >= 100_000 {
+                        return self.fail(this_pc, "call stack overflow");
+                    }
+                    self.frames.push(Frame { ret_pc: pc, locals, fun_slot });
+                    locals = fun_slot + 1;
+                    self.stack.resize(locals + f.nlocals as usize, v::NIL);
+                    pc = f.code_off as usize;
+                }
+                Op::Return | Op::ReturnVal => {
+                    let value = if op == Op::ReturnVal { pop!() } else { v::NIL };
+                    let frame = match self.frames.pop() {
+                        Some(fr) => fr,
+                        None => return self.fail(this_pc, "return from main"),
+                    };
+                    self.stack.truncate(frame.fun_slot);
+                    push!(value);
+                    locals = frame.locals;
+                    pc = frame.ret_pc;
+                }
+                Op::NewArray => {
+                    let n = num1!(this_pc).trunc();
+                    if !(0.0..=1e9).contains(&n) {
+                        return self.fail(this_pc, format!("bad array length {n}"));
+                    }
+                    let a = self.new_array(n as usize);
+                    push!(a);
+                }
+                Op::GetElem => {
+                    let i = pop!();
+                    let a = pop!();
+                    let (h, idx) = self.elem(this_pc, a, i)?;
+                    push!(self.arrays[h][idx]);
+                }
+                Op::SetElem => {
+                    let val = pop!();
+                    let i = pop!();
+                    let a = pop!();
+                    let (h, idx) = self.elem(this_pc, a, i)?;
+                    self.arrays[h][idx] = val;
+                }
+                Op::GetElemI => {
+                    let n = rd_u8();
+                    let a = pop!();
+                    let (h, idx) = self.elem(this_pc, a, v::num(n as f64))?;
+                    push!(self.arrays[h][idx]);
+                }
+                Op::SetElemI => {
+                    let n = rd_u8();
+                    let val = pop!();
+                    let a = pop!();
+                    let (h, idx) = self.elem(this_pc, a, v::num(n as f64))?;
+                    self.arrays[h][idx] = val;
+                }
+                Op::Len => {
+                    let a = pop!();
+                    if v::is_num(a) || v::tag(a) != v::TAG_ARRAY {
+                        return self.fail(this_pc, "len of non-array");
+                    }
+                    push!(v::num(self.arrays[v::payload(a) as usize].len() as f64));
+                }
+                Op::Builtin => {
+                    let id = rd_u8() as u32;
+                    match id {
+                        builtin_id::FLOOR => {
+                            let x = num1!(this_pc);
+                            push!(v::num(x.floor()));
+                        }
+                        builtin_id::SQRT => {
+                            let x = num1!(this_pc);
+                            push!(v::num(x.sqrt()));
+                        }
+                        builtin_id::ABS => {
+                            let x = num1!(this_pc);
+                            push!(v::num(x.abs()));
+                        }
+                        builtin_id::MIN | builtin_id::MAX => {
+                            let y = num1!(this_pc);
+                            let x = num1!(this_pc);
+                            push!(v::num(if id == builtin_id::MIN { x.min(y) } else { x.max(y) }));
+                        }
+                        builtin_id::EMIT => {
+                            let x = *self.stack.last().expect("emit needs a value");
+                            self.checksum = v::checksum_step(self.checksum, x);
+                            self.emitted.push(x);
+                            // value stays on the stack (emit returns it)
+                        }
+                        _ => return self.fail(this_pc, format!("bad builtin id {id}")),
+                    }
+                }
+                Op::Inc => {
+                    let x = num1!(this_pc);
+                    push!(v::num(x + 1.0));
+                }
+                Op::Dec => {
+                    let x = num1!(this_pc);
+                    push!(v::num(x - 1.0));
+                }
+                Op::Halt => {
+                    return Ok(RunResult {
+                        checksum: self.checksum,
+                        emitted: std::mem::take(&mut self.emitted),
+                        steps,
+                        op_counts: std::mem::take(&mut self.op_counts),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: parse + compile + run on the SVM oracle.
+///
+/// # Errors
+/// Propagates parse, compile and runtime errors as strings.
+pub fn run_source(
+    src: &str,
+    predefined: &[(&str, f64)],
+    max_steps: u64,
+) -> Result<RunResult, String> {
+    let script = crate::parser::parse(src).map_err(|e| e.to_string())?;
+    let (p, init) = super::compile::compile_svm(&script, predefined).map_err(|e| e.to_string())?;
+    SvmInterp::new(&p, &init).run(max_steps).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emits(src: &str) -> Vec<f64> {
+        run_source(src, &[], 50_000_000)
+            .unwrap()
+            .emitted
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(emits("emit(1 + 2 * 3);"), vec![7.0]);
+        assert_eq!(emits("var x = 7; emit(x % 3);"), vec![1.0]);
+        assert_eq!(emits("var x = -7; emit(x % 3);"), vec![2.0]);
+    }
+
+    #[test]
+    fn loops_and_calls() {
+        assert_eq!(emits("var s = 0; for i = 1, 10 { s = s + i; } emit(s);"), vec![55.0]);
+        assert_eq!(
+            emits("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } emit(fib(15));"),
+            vec![610.0]
+        );
+    }
+
+    #[test]
+    fn downward_for() {
+        assert_eq!(emits("var s = 0; for i = 10, 1, -2 { s = s + i; } emit(s);"), vec![30.0]);
+    }
+
+    #[test]
+    fn dynamic_step_for() {
+        assert_eq!(
+            emits("var d = 3; var s = 0; for i = 0, 10, d { s = s + i; } emit(s);"),
+            vec![18.0]
+        );
+        assert_eq!(
+            emits("var d = -5; var s = 0; for i = 10, 0, d { s = s + i; } emit(s);"),
+            vec![15.0]
+        );
+    }
+
+    #[test]
+    fn arrays_and_builtins() {
+        assert_eq!(
+            emits("var a = array(3); a[1] = 4; emit(a[1] + len(a)); emit(sqrt(49));"),
+            vec![7.0, 7.0]
+        );
+        assert_eq!(emits("var a = [9, 8]; emit(a[0] - a[1]);"), vec![1.0]);
+    }
+
+    #[test]
+    fn short_circuit() {
+        assert_eq!(emits("var x = nil; emit(x and 1 or 2);"), vec![2.0]);
+        assert_eq!(emits("var t = true; var a = nil; if t or a[0] { emit(1); }"), vec![1.0]);
+    }
+
+    #[test]
+    fn matches_lvm_oracle_on_shared_semantics() {
+        let src = "
+            fn mul_add(a, b, c) { return a * b + c; }
+            var acc = 0;
+            for i = 1, 50 {
+                acc = acc + mul_add(i, i, i % 7);
+            }
+            emit(acc);
+            emit(floor(acc / 1000));
+        ";
+        let l = crate::lvm::run_source(src, &[], 1_000_000).unwrap();
+        let s = run_source(src, &[], 1_000_000).unwrap();
+        assert_eq!(l.checksum, s.checksum);
+        assert_eq!(l.emitted, s.emitted);
+    }
+
+    #[test]
+    fn type_errors_trap() {
+        assert!(run_source("var x = nil; var y = x + 1;", &[], 1000).is_err());
+        assert!(run_source("var a = array(1); emit(a[5]);", &[], 1000).is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! SVM: the stack-based bytecode VM (the paper's SpiderMonkey analogue).
+
+pub mod bytecode;
+pub mod compile;
+pub mod disasm;
+pub mod interp;
+
+pub use bytecode::{FuncInfo, Op, SvmProgram, NUM_OPS};
+pub use compile::compile_svm;
+pub use disasm::{disasm_at, listing};
+pub use interp::{run_source, SvmInterp};

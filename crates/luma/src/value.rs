@@ -1,0 +1,207 @@
+//! The NaN-boxed value representation shared by the host reference
+//! interpreters and the guest interpreters.
+//!
+//! A value is a raw IEEE-754 double unless its top 16 bits are all ones
+//! (`0xFFFF`), in which case bits 47:44 carry a type tag and bits 43:0 a
+//! payload:
+//!
+//! | tag | meaning  | payload                    |
+//! |-----|----------|----------------------------|
+//! | 0   | nil      | 0                          |
+//! | 1   | false    | 0                          |
+//! | 2   | true     | 0                          |
+//! | 3   | array    | guest address / host handle|
+//! | 4   | function | function index             |
+//!
+//! Ordinary arithmetic can produce quiet NaNs (`0x7FF8...`), which never
+//! collide with the `0xFFFF` box prefix.
+
+/// Box prefix: top 16 bits all ones. This is also the bit pattern of `nil`.
+pub const BOX: u64 = 0xFFFF << 48;
+/// Tag field shift.
+pub const TAG_SHIFT: u32 = 44;
+/// Payload mask (low 44 bits).
+pub const PAYLOAD_MASK: u64 = (1 << 44) - 1;
+
+/// Tag value for `nil`.
+pub const TAG_NIL: u64 = 0;
+/// Tag value for `false`.
+pub const TAG_FALSE: u64 = 1;
+/// Tag value for `true`.
+pub const TAG_TRUE: u64 = 2;
+/// Tag value for array references.
+pub const TAG_ARRAY: u64 = 3;
+/// Tag value for function references.
+pub const TAG_FUNCTION: u64 = 4;
+
+/// The boxed `nil` bit pattern.
+pub const NIL: u64 = BOX;
+/// The boxed `false` bit pattern.
+pub const FALSE: u64 = BOX | (TAG_FALSE << TAG_SHIFT);
+/// The boxed `true` bit pattern.
+pub const TRUE: u64 = BOX | (TAG_TRUE << TAG_SHIFT);
+
+/// True if the bit pattern encodes a number (raw f64).
+#[inline]
+pub fn is_num(v: u64) -> bool {
+    (v & BOX) != BOX
+}
+
+/// Boxes a number.
+#[inline]
+pub fn num(x: f64) -> u64 {
+    let bits = x.to_bits();
+    debug_assert!(is_num(bits), "f64 bit pattern collides with box space");
+    bits
+}
+
+/// Unboxes a number (caller must check [`is_num`]).
+#[inline]
+pub fn as_num(v: u64) -> f64 {
+    f64::from_bits(v)
+}
+
+/// Boxes a boolean.
+#[inline]
+pub fn boolean(b: bool) -> u64 {
+    if b {
+        TRUE
+    } else {
+        FALSE
+    }
+}
+
+/// The tag of a boxed value (only meaningful when `!is_num(v)`).
+#[inline]
+pub fn tag(v: u64) -> u64 {
+    (v >> TAG_SHIFT) & 0xF
+}
+
+/// The payload of a boxed value.
+#[inline]
+pub fn payload(v: u64) -> u64 {
+    v & PAYLOAD_MASK
+}
+
+/// Boxes an array reference.
+#[inline]
+pub fn array_ref(handle: u64) -> u64 {
+    debug_assert!(handle <= PAYLOAD_MASK);
+    BOX | (TAG_ARRAY << TAG_SHIFT) | handle
+}
+
+/// Boxes a function reference.
+#[inline]
+pub fn function_ref(index: u64) -> u64 {
+    debug_assert!(index <= PAYLOAD_MASK);
+    BOX | (TAG_FUNCTION << TAG_SHIFT) | index
+}
+
+/// Truthiness: everything except `nil` and `false` is truthy.
+#[inline]
+pub fn truthy(v: u64) -> bool {
+    v != NIL && v != FALSE
+}
+
+/// Language equality: numbers compare by IEEE `==` (NaN != NaN,
+/// +0 == -0); boxed values compare by identity (raw bits).
+#[inline]
+pub fn values_equal(a: u64, b: u64) -> bool {
+    if is_num(a) && is_num(b) {
+        as_num(a) == as_num(b)
+    } else {
+        a == b
+    }
+}
+
+/// The checksum accumulator used by the `emit` builtin: both the host
+/// oracle and the guest interpreter fold emitted values with this exact
+/// function so results can be compared bit-for-bit.
+#[inline]
+pub fn checksum_step(h: u64, v: u64) -> u64 {
+    h.rotate_left(1) ^ v
+}
+
+/// Renders a value for diagnostics.
+pub fn display(v: u64) -> String {
+    if is_num(v) {
+        format!("{}", as_num(v))
+    } else {
+        match tag(v) {
+            TAG_NIL => "nil".to_string(),
+            TAG_FALSE => "false".to_string(),
+            TAG_TRUE => "true".to_string(),
+            TAG_ARRAY => format!("array@{:#x}", payload(v)),
+            TAG_FUNCTION => format!("function#{}", payload(v)),
+            t => format!("<bad tag {t}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_are_raw() {
+        for x in [0.0, -0.0, 1.5, -3.25, 1e300, f64::NAN, f64::INFINITY] {
+            let v = num(x);
+            assert!(is_num(v), "{x} should be a number");
+            if x.is_nan() {
+                assert!(as_num(v).is_nan());
+            } else {
+                assert_eq!(as_num(v), x);
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_tags() {
+        assert!(!is_num(NIL));
+        assert!(!is_num(TRUE));
+        assert_eq!(tag(NIL), TAG_NIL);
+        assert_eq!(tag(FALSE), TAG_FALSE);
+        assert_eq!(tag(TRUE), TAG_TRUE);
+        let a = array_ref(0x4000_0010);
+        assert_eq!(tag(a), TAG_ARRAY);
+        assert_eq!(payload(a), 0x4000_0010);
+        let f = function_ref(12);
+        assert_eq!(tag(f), TAG_FUNCTION);
+        assert_eq!(payload(f), 12);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!truthy(NIL));
+        assert!(!truthy(FALSE));
+        assert!(truthy(TRUE));
+        assert!(truthy(num(0.0))); // 0 is truthy, like Lua
+        assert!(truthy(array_ref(8)));
+    }
+
+    #[test]
+    fn equality_semantics() {
+        assert!(values_equal(num(1.0), num(1.0)));
+        assert!(!values_equal(num(f64::NAN), num(f64::NAN)));
+        assert!(values_equal(num(0.0), num(-0.0)));
+        assert!(values_equal(NIL, NIL));
+        assert!(!values_equal(NIL, FALSE));
+        assert!(values_equal(array_ref(8), array_ref(8)));
+        assert!(!values_equal(array_ref(8), array_ref(16)));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let a = checksum_step(checksum_step(0, num(1.0)), num(2.0));
+        let b = checksum_step(checksum_step(0, num(2.0)), num(1.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(display(num(1.5)), "1.5");
+        assert_eq!(display(NIL), "nil");
+        assert_eq!(display(TRUE), "true");
+        assert!(display(function_ref(3)).contains('3'));
+    }
+}

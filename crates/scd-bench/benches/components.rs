@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks for the simulator's building blocks:
+//! BTB lookup/insert (with and without the JTE overlay), direction
+//! predictors, cache accesses, and instruction encode/decode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scd_isa::{decode, encode, AluOp, Inst, Reg};
+use scd_sim::{
+    Btb, BtbConfig, BtbKey, Cache, CacheConfig, Direction, DirectionConfig, Replacement,
+};
+use std::hint::black_box;
+
+fn bench_btb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btb");
+    g.bench_function("pc_lookup_hit", |b| {
+        let mut btb = Btb::new(BtbConfig::set_assoc(256, 2, Replacement::RoundRobin));
+        for i in 0..64u64 {
+            btb.insert(BtbKey::Pc(0x1000 + 4 * i), 0x2000 + 4 * i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(btb.lookup(BtbKey::Pc(0x1000 + 4 * i)))
+        });
+    });
+    g.bench_function("jte_lookup_hit", |b| {
+        let mut btb = Btb::new(BtbConfig::set_assoc(256, 2, Replacement::RoundRobin));
+        for op in 0..47u64 {
+            btb.insert(BtbKey::Jte { bid: 0, opcode: op }, 0x3000 + 4 * op);
+        }
+        let mut op = 0u64;
+        b.iter(|| {
+            op = (op + 1) % 47;
+            black_box(btb.lookup(BtbKey::Jte { bid: 0, opcode: op }))
+        });
+    });
+    g.bench_function("mixed_insert", |b| {
+        let mut btb = Btb::new(BtbConfig::fully_assoc(62, Replacement::Lru));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if i % 3 == 0 {
+                btb.insert(BtbKey::Jte { bid: 0, opcode: i % 47 }, i);
+            } else {
+                btb.insert(BtbKey::Pc(4 * (i % 512)), i);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("direction");
+    for (name, cfg) in [
+        ("tournament", DirectionConfig::Tournament { global_entries: 512, local_entries: 128 }),
+        ("gshare", DirectionConfig::Gshare { entries: 128 }),
+    ] {
+        g.bench_function(name, |b| {
+            let mut p = Direction::new(cfg);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let pc = 0x1000 + 4 * (i % 97);
+                let taken = (i * 2654435761) % 7 < 4;
+                let pred = p.predict(pc);
+                p.update(pc, taken);
+                black_box(pred)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l1_access", |b| {
+        let mut cache = Cache::new(CacheConfig::new(16 * 1024, 2));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(40503);
+            black_box(cache.access((i * 64) % (1 << 20), i % 4 == 0))
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let insts = [
+        Inst::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+        Inst::Load { op: scd_isa::LoadOp::Ld, rd: Reg::T0, rs1: Reg::S1, offset: 16 },
+        Inst::Branch { op: scd_isa::BranchOp::Bne, rs1: Reg::T0, rs2: Reg::T1, offset: -64 },
+        Inst::Bop { bid: 0 },
+        Inst::LoadOp { op: scd_isa::LoadOp::Lwu, bid: 0, rd: Reg::A0, rs1: Reg::S1, offset: 0 },
+    ];
+    let words: Vec<u32> = insts.iter().map(|&i| encode(i).unwrap()).collect();
+    c.bench_function("isa/encode", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 1) % insts.len();
+            black_box(encode(insts[k]).unwrap())
+        });
+    });
+    c.bench_function("isa/decode", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 1) % words.len();
+            black_box(decode(words[k]).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, bench_btb, bench_predictors, bench_cache, bench_codec);
+criterion_main!(benches);

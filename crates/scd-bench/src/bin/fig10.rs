@@ -1,0 +1,26 @@
+//! Figure 10: instruction cache miss rates in MPKI.
+//! Paper: jump threading inflates Lua's I-cache misses (0.28 -> 4.80
+//! MPKI); note that our interpreters are leaner than Lua's C handlers,
+//! so absolute footprints are smaller (see EXPERIMENTS.md).
+
+use scd_bench::{arg_scale_from_cli, emit_report, format_table, run_matrix, ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+
+fn main() {
+    let scale = arg_scale_from_cli(ArgScale::Sim);
+    let variants = [Variant::Baseline, Variant::JumpThreading, Variant::Scd];
+    let mut out = String::new();
+    for vm in Vm::ALL {
+        let m = run_matrix(&SimConfig::embedded_a5(), vm, scale, &variants, true);
+        out += &format_table(
+            &format!("Figure 10: I-cache MPKI ({scale:?})"),
+            &m,
+            &variants,
+            |r, v| r.get(v).stats.icache_mpki(),
+            "misses/kinst",
+        );
+        out.push('\n');
+    }
+    emit_report("fig10", &out);
+}

@@ -1,0 +1,25 @@
+//! Figure 7: overall speedups of jump threading, VBBI and SCD over the
+//! out-of-the-box baseline, for both interpreters.
+//! Paper geomeans: Lua 19.9% (SCD), 8.8% (VBBI), -1.6% (JT);
+//! JavaScript 14.1%, 5.3%, 7.3%.
+
+use scd_bench::{arg_scale_from_cli, emit_report, format_table, run_matrix, ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+
+fn main() {
+    let scale = arg_scale_from_cli(ArgScale::Sim);
+    let mut out = String::new();
+    for vm in Vm::ALL {
+        let m = run_matrix(&SimConfig::embedded_a5(), vm, scale, &Variant::ALL, true);
+        out += &format_table(
+            &format!("Figure 7: speedup over baseline ({scale:?})"),
+            &m,
+            &[Variant::JumpThreading, Variant::Vbbi, Variant::Scd],
+            |r, v| r.speedup(v),
+            "x baseline",
+        );
+        out.push('\n');
+    }
+    emit_report("fig7", &out);
+}

@@ -1,0 +1,23 @@
+//! Figure 9: branch misprediction rate in MPKI (lower is better).
+//! Paper: SCD cuts Lua MPKI by ~70%, VBBI by ~77%, JT by ~24%.
+
+use scd_bench::{arg_scale_from_cli, emit_report, format_table, run_matrix, ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+
+fn main() {
+    let scale = arg_scale_from_cli(ArgScale::Sim);
+    let mut out = String::new();
+    for vm in Vm::ALL {
+        let m = run_matrix(&SimConfig::embedded_a5(), vm, scale, &Variant::ALL, true);
+        out += &format_table(
+            &format!("Figure 9: branch MPKI ({scale:?})"),
+            &m,
+            &Variant::ALL,
+            |r, v| r.get(v).stats.branch_mpki(),
+            "misses/kinst",
+        );
+        out.push('\n');
+    }
+    emit_report("fig9", &out);
+}

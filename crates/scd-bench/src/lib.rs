@@ -1,0 +1,250 @@
+//! # scd-bench — the paper-experiment harness
+//!
+//! One binary per table/figure of the evaluation section regenerates the
+//! corresponding result (see DESIGN.md's experiment index):
+//!
+//! ```text
+//! cargo run --release -p scd-bench --bin fig7      # overall speedups
+//! cargo run --release -p scd-bench --bin table4    # FPGA-config table
+//! ...
+//! ```
+//!
+//! This library holds the shared machinery: the run matrix (benchmark x
+//! VM x variant x configuration), correctness-checked runs, and table
+//! formatting.
+
+use luma::scripts::{Benchmark, BENCHMARKS};
+use scd_guest::{run_source, GuestOptions, GuestRun, Scheme, Vm};
+use scd_sim::{geomean, SimConfig};
+
+/// The four bars of Fig. 7: three software schemes plus the VBBI
+/// hardware predictor (which runs the *baseline* binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    Baseline,
+    JumpThreading,
+    Vbbi,
+    Scd,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 4] =
+        [Variant::Baseline, Variant::JumpThreading, Variant::Vbbi, Variant::Scd];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::JumpThreading => "jump-threading",
+            Variant::Vbbi => "vbbi",
+            Variant::Scd => "scd",
+        }
+    }
+
+    /// The guest build this variant runs.
+    pub fn scheme(self) -> Scheme {
+        match self {
+            Variant::Baseline | Variant::Vbbi => Scheme::Baseline,
+            Variant::JumpThreading => Scheme::Threaded,
+            Variant::Scd => Scheme::Scd,
+        }
+    }
+
+    /// The hardware configuration this variant needs, derived from a
+    /// base configuration.
+    pub fn configure(self, base: &SimConfig) -> SimConfig {
+        match self {
+            Variant::Vbbi => base.clone().with_vbbi(),
+            _ => base.clone(),
+        }
+    }
+}
+
+/// Input scale for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgScale {
+    /// Table III "Simulator" column (scaled).
+    Sim,
+    /// Table III "FPGA" column (scaled).
+    Fpga,
+    /// Tiny smoke-test inputs.
+    Tiny,
+}
+
+impl ArgScale {
+    pub fn arg(self, b: &Benchmark) -> f64 {
+        match self {
+            ArgScale::Sim => b.sim_arg,
+            ArgScale::Fpga => b.fpga_arg,
+            ArgScale::Tiny => b.tiny_arg,
+        }
+    }
+}
+
+/// Runs one benchmark under one variant.
+///
+/// # Panics
+/// Panics on any correctness failure (checksum/dispatch mismatch) — a
+/// harness run must never silently produce numbers from a wrong
+/// execution.
+pub fn run_one(
+    base_cfg: &SimConfig,
+    vm: Vm,
+    b: &Benchmark,
+    scale: ArgScale,
+    variant: Variant,
+) -> GuestRun {
+    let cfg = variant.configure(base_cfg);
+    run_source(
+        cfg,
+        vm,
+        b.source,
+        &[("N", scale.arg(b))],
+        variant.scheme(),
+        GuestOptions::default(),
+        u64::MAX,
+    )
+    .unwrap_or_else(|e| panic!("{} [{} / {}]: {e}", b.name, vm.name(), variant.name()))
+}
+
+/// A complete matrix of runs for one VM and configuration.
+pub struct Matrix {
+    pub vm: Vm,
+    pub rows: Vec<MatrixRow>,
+}
+
+/// All variants of one benchmark.
+pub struct MatrixRow {
+    pub bench: &'static Benchmark,
+    pub runs: Vec<(Variant, GuestRun)>,
+}
+
+impl MatrixRow {
+    pub fn get(&self, v: Variant) -> &GuestRun {
+        &self.runs.iter().find(|(vv, _)| *vv == v).expect("variant present").1
+    }
+
+    /// Speedup of `v` over the baseline (1.0 = no change).
+    pub fn speedup(&self, v: Variant) -> f64 {
+        self.get(Variant::Baseline).stats.cycles as f64 / self.get(v).stats.cycles as f64
+    }
+
+    /// Dynamic instruction count of `v` normalized to baseline.
+    pub fn norm_insts(&self, v: Variant) -> f64 {
+        self.get(v).stats.instructions as f64
+            / self.get(Variant::Baseline).stats.instructions as f64
+    }
+}
+
+/// Runs the full benchmark matrix for one VM.
+pub fn run_matrix(
+    base_cfg: &SimConfig,
+    vm: Vm,
+    scale: ArgScale,
+    variants: &[Variant],
+    progress: bool,
+) -> Matrix {
+    let mut rows = Vec::new();
+    for b in &BENCHMARKS {
+        let mut runs = Vec::new();
+        for &v in variants {
+            if progress {
+                eprintln!("  running {} [{} / {}]...", b.name, vm.name(), v.name());
+            }
+            runs.push((v, run_one(base_cfg, vm, b, scale, v)));
+        }
+        rows.push(MatrixRow { bench: b, runs });
+    }
+    Matrix { vm, rows }
+}
+
+/// Formats a per-benchmark table: one metric column per variant, with a
+/// GEOMEAN row (matching the paper's figures). Metrics that can be zero
+/// (MPKI) fall back to an arithmetic mean for the summary row.
+pub fn format_table(
+    title: &str,
+    matrix: &Matrix,
+    variants: &[Variant],
+    metric: impl Fn(&MatrixRow, Variant) -> f64,
+    unit: &str,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} [{}]", matrix.vm.name());
+    let _ = write!(out, "{:<18}", "benchmark");
+    for v in variants {
+        let _ = write!(out, "{:>16}", v.name());
+    }
+    let _ = writeln!(out, "  ({unit})");
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for row in &matrix.rows {
+        let _ = write!(out, "{:<18}", row.bench.name);
+        for (i, &v) in variants.iter().enumerate() {
+            let x = metric(row, v);
+            cols[i].push(x);
+            let _ = write!(out, "{x:>16.3}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<18}", "MEAN");
+    for c in &cols {
+        if c.iter().all(|&x| x > 0.0) {
+            let _ = write!(out, "{:>16.3}", geomean(c));
+        } else {
+            let mean = c.iter().sum::<f64>() / c.len() as f64;
+            let _ = write!(out, "{mean:>16.3}");
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Prints a report to stdout and also writes it to `results/<name>.txt`.
+pub fn emit_report(name: &str, body: &str) {
+    println!("{body}");
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.txt")), body);
+    }
+}
+
+/// Parses a `--quick` flag from the command line (tiny inputs, for CI).
+pub fn arg_scale_from_cli(default: ArgScale) -> ArgScale {
+    if std::env::args().any(|a| a == "--quick") {
+        ArgScale::Tiny
+    } else {
+        default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_wiring() {
+        assert_eq!(Variant::Vbbi.scheme(), Scheme::Baseline);
+        assert_eq!(Variant::Scd.scheme(), Scheme::Scd);
+        let cfg = Variant::Vbbi.configure(&SimConfig::embedded_a5());
+        assert_eq!(cfg.indirect, scd_sim::IndirectPredictor::Vbbi);
+        let cfg = Variant::Scd.configure(&SimConfig::embedded_a5());
+        assert_eq!(cfg.indirect, scd_sim::IndirectPredictor::BtbPc);
+    }
+
+    #[test]
+    fn tiny_matrix_runs_and_formats() {
+        let m = run_matrix(
+            &SimConfig::embedded_a5(),
+            Vm::Lvm,
+            ArgScale::Tiny,
+            &[Variant::Baseline, Variant::Scd],
+            false,
+        );
+        assert_eq!(m.rows.len(), 11);
+        let t = format_table("test", &m, &[Variant::Scd], |r, v| r.speedup(v), "x");
+        assert!(t.contains("MEAN"));
+        assert!(t.contains("fibo"));
+        // SCD wins on geomean even at tiny scale.
+        let speedups: Vec<f64> = m.rows.iter().map(|r| r.speedup(Variant::Scd)).collect();
+        assert!(geomean(&speedups) > 1.0);
+    }
+}

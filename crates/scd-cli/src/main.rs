@@ -1,0 +1,199 @@
+//! `scd` — the command-line front end of the Short-Circuit Dispatch
+//! reproduction.
+//!
+//! ```text
+//! scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]
+//!         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...
+//! scd disasm <script.luma> [--vm lvm|svm]
+//! scd listing [--scheme baseline|threaded|scd]     # guest interpreter asm
+//! scd bench list                                    # benchmark corpus
+//! scd model [--config a5|rocket|a8]                 # Table V area/power
+//! ```
+
+use scd_guest::{run_source, GuestOptions, Scheme, Vm};
+use scd_sim::SimConfig;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]\n\
+         \x20         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...\n\
+         \x20 scd disasm <script.luma> [--vm lvm|svm]\n\
+         \x20 scd listing [--scheme baseline|threaded|scd] [--vm lvm|svm]\n\
+         \x20 scd bench list\n\
+         \x20 scd model [--config a5|rocket|a8]"
+    );
+    exit(2);
+}
+
+struct Opts {
+    path: Option<String>,
+    vm: Vm,
+    scheme: Scheme,
+    cfg: SimConfig,
+    args: Vec<(String, f64)>,
+}
+
+fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
+    let mut o = Opts {
+        path: None,
+        vm: Vm::Lvm,
+        scheme: Scheme::Scd,
+        cfg: SimConfig::embedded_a5(),
+        args: Vec::new(),
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--vm" => {
+                o.vm = match argv.next().as_deref() {
+                    Some("lvm") => Vm::Lvm,
+                    Some("svm") => Vm::Svm,
+                    _ => usage(),
+                }
+            }
+            "--scheme" => {
+                o.scheme = match argv.next().as_deref() {
+                    Some("baseline") => Scheme::Baseline,
+                    Some("threaded") => Scheme::Threaded,
+                    Some("scd") => Scheme::Scd,
+                    _ => usage(),
+                }
+            }
+            "--config" => {
+                o.cfg = match argv.next().as_deref() {
+                    Some("a5") => SimConfig::embedded_a5(),
+                    Some("rocket") => SimConfig::fpga_rocket(),
+                    Some("a8") => SimConfig::highend_a8(),
+                    _ => usage(),
+                }
+            }
+            "--vbbi" => o.cfg = o.cfg.clone().with_vbbi(),
+            "--ittage" => o.cfg = o.cfg.clone().with_ittage(),
+            "--arg" => {
+                let kv = argv.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                let v: f64 = v.parse().unwrap_or_else(|_| usage());
+                o.args.push((k.to_string(), v));
+            }
+            _ if o.path.is_none() && !a.starts_with('-') => o.path = Some(a),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn read_script(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    })
+}
+
+fn cmd_run(o: Opts) {
+    let path = o.path.clone().unwrap_or_else(|| usage());
+    let src = read_script(&path);
+    let args: Vec<(&str, f64)> = o.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    match run_source(o.cfg.clone(), o.vm, &src, &args, o.scheme, GuestOptions::default(), u64::MAX)
+    {
+        Ok(run) => {
+            println!("config        : {}", o.cfg.name);
+            println!("vm / scheme   : {} / {}", o.vm.name(), o.scheme.name());
+            println!("checksum      : {:#018x} (oracle-validated)", run.checksum);
+            println!("bytecodes     : {}", run.dispatches);
+            println!("instructions  : {}", run.stats.instructions);
+            println!("cycles        : {}", run.stats.cycles);
+            println!("IPC           : {:.3}", run.stats.ipc());
+            println!("branch MPKI   : {:.2}", run.stats.branch_mpki());
+            if o.scheme == Scheme::Scd {
+                println!(
+                    "bop hit rate  : {:.1}%",
+                    100.0 * run.stats.bop_hits as f64 / run.stats.bop_executed.max(1) as f64
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_disasm(o: Opts) {
+    let path = o.path.clone().unwrap_or_else(|| usage());
+    let src = read_script(&path);
+    let script = match luma::parser::parse(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            exit(1);
+        }
+    };
+    let args: Vec<(&str, f64)> = o.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    match o.vm {
+        Vm::Lvm => match luma::lvm::compile_lvm(&script, &args) {
+            Ok((p, _)) => print!("{}", luma::lvm::listing(&p)),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        },
+        Vm::Svm => match luma::svm::compile_svm(&script, &args) {
+            Ok((p, _)) => print!("{}", luma::svm::listing(&p)),
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1);
+            }
+        },
+    }
+}
+
+fn cmd_listing(o: Opts) {
+    // Assemble the guest interpreter for a trivial image and print it.
+    let script = luma::parser::parse("emit(1);").expect("trivial script");
+    match o.vm {
+        Vm::Lvm => {
+            let (p, init) = luma::lvm::compile_lvm(&script, &[]).expect("compiles");
+            let img = scd_guest::build_lvm_image(&p, &init);
+            let g = scd_guest::build_lvm_guest(&img, o.scheme, GuestOptions::default());
+            print!("{}", g.program.listing());
+        }
+        Vm::Svm => {
+            let (p, init) = luma::svm::compile_svm(&script, &[]).expect("compiles");
+            let img = scd_guest::build_svm_image(&p, &init);
+            let g = scd_guest::build_svm_guest(&img, o.scheme, GuestOptions::default());
+            print!("{}", g.program.listing());
+        }
+    }
+}
+
+fn cmd_bench_list() {
+    println!("{:<18} {:>8} {:>9} {:>7}  description", "name", "sim-N", "fpga-N", "tiny-N");
+    for b in &luma::scripts::BENCHMARKS {
+        println!(
+            "{:<18} {:>8} {:>9} {:>7}  {}",
+            b.name, b.sim_arg, b.fpga_arg, b.tiny_arg, b.description
+        );
+    }
+}
+
+fn cmd_model(o: Opts) {
+    let t = scd_model::table_v(&o.cfg);
+    print!("{}", t.baseline.render(Some(&t.scd)));
+    println!("\narea increase : {:+.2}%", 100.0 * t.area_increase);
+    println!("power increase: {:+.2}%", 100.0 * t.power_increase);
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("run") => cmd_run(parse_opts(argv)),
+        Some("disasm") => cmd_disasm(parse_opts(argv)),
+        Some("listing") => cmd_listing(parse_opts(argv)),
+        Some("bench") => match argv.next().as_deref() {
+            Some("list") => cmd_bench_list(),
+            _ => usage(),
+        },
+        Some("model") => cmd_model(parse_opts(argv)),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,170 @@
+//! Guest address-space layout and image serialization.
+//!
+//! The host compiles a Luma script, serializes the resulting bytecode
+//! program into a flat image, and the guest interpreter (assembled with
+//! these constants baked in) runs it.
+
+use luma::lvm::LvmProgram;
+use luma::svm::SvmProgram;
+
+/// Base of the interpreter's text section.
+pub const TEXT_BASE: u64 = 0x0001_0000;
+/// Base of the program image (bytecode, constants, function table).
+pub const IMAGE_BASE: u64 = 0x1000_0000;
+/// Base of the globals area (8 bytes per slot).
+pub const GLOBALS_BASE: u64 = 0x2000_0000;
+/// Base of the value stack.
+pub const VSTACK_BASE: u64 = 0x3000_0000;
+/// Value stack size in bytes.
+pub const VSTACK_SIZE: u64 = 4 << 20;
+/// The VM control block sits right past the value-stack limit, so the
+/// reserved `tp` register doubles as both the stack-overflow bound and
+/// the control-block pointer.
+pub const VMCTL_BASE: u64 = VSTACK_BASE + VSTACK_SIZE;
+/// Control block size (hook flag, retired-bytecode counter).
+pub const VMCTL_SIZE: u64 = 4096;
+/// Base of the call-frame stack.
+pub const FRAME_BASE: u64 = 0x3800_0000;
+/// Frame stack size in bytes.
+pub const FRAME_SIZE: u64 = 4 << 20;
+/// Base of the bump-allocated heap (GC is off, as in the paper).
+pub const HEAP_BASE: u64 = 0x4000_0000;
+/// Heap size in bytes.
+pub const HEAP_SIZE: u64 = 192 << 20;
+
+/// Offset of the hook flag within the control block.
+pub const CTL_HOOK_FLAG: i64 = 0;
+/// Offset of the retired-bytecode counter within the control block.
+pub const CTL_DISPATCH_COUNT: i64 = 8;
+
+/// A serialized program image plus the addresses the interpreter needs.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Bytes to load at [`IMAGE_BASE`].
+    pub bytes: Vec<u8>,
+    /// Address of the bytecode (start of the image).
+    pub code_base: u64,
+    /// Address of the constant pool.
+    pub consts_base: u64,
+    /// Address of the function table (16-byte entries).
+    pub functab_base: u64,
+    /// Byte offset of main's first instruction within the code.
+    pub main_off: u64,
+    /// Main frame size: registers (LVM) or local slots (SVM).
+    pub main_frame_slots: u64,
+    /// Initial global values (written at [`GLOBALS_BASE`]).
+    pub global_init: Vec<u64>,
+}
+
+fn align8(v: &mut Vec<u8>) {
+    while !v.len().is_multiple_of(8) {
+        v.push(0);
+    }
+}
+
+/// Serializes an LVM program.
+///
+/// Function-table entry layout (16 bytes):
+/// `{ code_off_bytes: u32, nparams: u32, nregs: u32, pad: u32 }`.
+pub fn build_lvm_image(p: &LvmProgram, global_init: &[u64]) -> Image {
+    let mut bytes = Vec::new();
+    for w in &p.code {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    align8(&mut bytes);
+    let consts_off = bytes.len() as u64;
+    for c in &p.consts {
+        bytes.extend_from_slice(&c.to_le_bytes());
+    }
+    let functab_off = bytes.len() as u64;
+    for f in &p.funcs {
+        bytes.extend_from_slice(&(f.code_off * 4).to_le_bytes());
+        bytes.extend_from_slice(&f.nparams.to_le_bytes());
+        bytes.extend_from_slice(&f.nregs.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+    }
+    Image {
+        code_base: IMAGE_BASE,
+        consts_base: IMAGE_BASE + consts_off,
+        functab_base: IMAGE_BASE + functab_off,
+        main_off: p.funcs[0].code_off as u64 * 4,
+        main_frame_slots: p.funcs[0].nregs as u64,
+        global_init: global_init.to_vec(),
+        bytes,
+    }
+}
+
+/// Serializes an SVM program (same entry layout; the third field is
+/// `nlocals`).
+pub fn build_svm_image(p: &SvmProgram, global_init: &[u64]) -> Image {
+    let mut bytes = p.code.clone();
+    align8(&mut bytes);
+    let consts_off = bytes.len() as u64;
+    for c in &p.consts {
+        bytes.extend_from_slice(&c.to_le_bytes());
+    }
+    let functab_off = bytes.len() as u64;
+    for f in &p.funcs {
+        bytes.extend_from_slice(&f.code_off.to_le_bytes());
+        bytes.extend_from_slice(&f.nparams.to_le_bytes());
+        bytes.extend_from_slice(&f.nlocals.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+    }
+    Image {
+        code_base: IMAGE_BASE,
+        consts_base: IMAGE_BASE + consts_off,
+        functab_base: IMAGE_BASE + functab_off,
+        main_off: p.funcs[0].code_off as u64,
+        main_frame_slots: p.funcs[0].nlocals as u64,
+        global_init: global_init.to_vec(),
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use luma::parser::parse;
+
+    #[test]
+    fn lvm_image_layout() {
+        let script = parse("var x = 1.5; emit(x);").unwrap();
+        let (p, init) = luma::lvm::compile_lvm(&script, &[]).unwrap();
+        let img = build_lvm_image(&p, &init);
+        assert_eq!(img.code_base, IMAGE_BASE);
+        assert_eq!(img.consts_base % 8, 0);
+        assert!(img.functab_base >= img.consts_base);
+        // Function table holds one entry (main).
+        assert_eq!(img.bytes.len() as u64, img.functab_base - IMAGE_BASE + 16);
+        // The constant 1.5 is in the pool region.
+        let off = (img.consts_base - IMAGE_BASE) as usize;
+        let k = u64::from_le_bytes(img.bytes[off..off + 8].try_into().unwrap());
+        assert_eq!(f64::from_bits(k), 1.5);
+    }
+
+    #[test]
+    fn svm_image_layout() {
+        let script = parse("fn f(x) { return x; } emit(f(2));").unwrap();
+        let (p, init) = luma::svm::compile_svm(&script, &[]).unwrap();
+        let img = build_svm_image(&p, &init);
+        // Two functions -> 32 bytes of table.
+        assert_eq!(img.bytes.len() as u64, img.functab_base - IMAGE_BASE + 32);
+        assert_eq!(img.main_off, 0);
+    }
+
+    #[test]
+    fn address_map_is_disjoint() {
+        let regions = [
+            (IMAGE_BASE, IMAGE_BASE + (64 << 20)),
+            (GLOBALS_BASE, GLOBALS_BASE + (1 << 20)),
+            (VSTACK_BASE, VMCTL_BASE + VMCTL_SIZE),
+            (FRAME_BASE, FRAME_BASE + FRAME_SIZE),
+            (HEAP_BASE, HEAP_BASE + HEAP_SIZE),
+        ];
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(a.1 <= b.0 || b.1 <= a.0, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+}

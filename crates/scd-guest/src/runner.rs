@@ -1,0 +1,203 @@
+//! Builds a machine, loads a guest interpreter + program image, runs to
+//! completion and validates the result against the host oracle.
+
+use crate::common::{Guest, GuestOptions, Scheme};
+use crate::layout::{self, Image};
+use luma::lvm::LvmProgram;
+use luma::svm::SvmProgram;
+use scd_sim::{Machine, SimConfig, SimError, SimStats};
+use std::fmt;
+
+/// Which guest VM to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vm {
+    /// Register-based, Lua-like (47 opcodes).
+    Lvm,
+    /// Stack-based, SpiderMonkey-like (229-opcode space).
+    Svm,
+}
+
+impl Vm {
+    /// Both VMs, in the paper's presentation order.
+    pub const ALL: [Vm; 2] = [Vm::Lvm, Vm::Svm];
+
+    /// Report name, using the paper's language labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vm::Lvm => "lvm",
+            Vm::Svm => "svm",
+        }
+    }
+}
+
+/// Error from a guest run.
+#[derive(Debug)]
+pub enum GuestError {
+    /// The simulated machine faulted.
+    Sim(SimError),
+    /// The guest finished but its checksum differs from the oracle's.
+    ChecksumMismatch {
+        /// The guest's checksum.
+        guest: u64,
+        /// The oracle's checksum.
+        oracle: u64,
+    },
+    /// The guest's retired-bytecode count differs from the oracle's.
+    DispatchMismatch {
+        /// The guest's retired-bytecode count.
+        guest: u64,
+        /// The oracle's bytecode count.
+        oracle: u64,
+    },
+}
+
+impl fmt::Display for GuestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuestError::Sim(e) => write!(f, "simulation error: {e}"),
+            GuestError::ChecksumMismatch { guest, oracle } => {
+                write!(f, "checksum mismatch: guest {guest:#x}, oracle {oracle:#x}")
+            }
+            GuestError::DispatchMismatch { guest, oracle } => {
+                write!(f, "dispatch-count mismatch: guest {guest}, oracle {oracle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuestError {}
+
+impl From<SimError> for GuestError {
+    fn from(e: SimError) -> Self {
+        GuestError::Sim(e)
+    }
+}
+
+/// Result of a validated guest run.
+#[derive(Debug)]
+pub struct GuestRun {
+    /// The `emit` checksum computed by the guest.
+    pub checksum: u64,
+    /// Bytecodes dispatched (from the guest's own retired counter).
+    pub dispatches: u64,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+}
+
+fn run_image(
+    cfg: SimConfig,
+    guest: &Guest,
+    img: &Image,
+    max_insts: u64,
+) -> Result<(u64, u64, SimStats), GuestError> {
+    let mut m = Machine::new(cfg, &guest.program);
+    m.set_annotations(guest.annotations.clone());
+    m.map("image", layout::IMAGE_BASE, (img.bytes.len() as u64 + 4095) & !4095);
+    m.mem.write_bytes(layout::IMAGE_BASE, &img.bytes);
+    m.map("globals", layout::GLOBALS_BASE, 1 << 20);
+    for (i, g) in img.global_init.iter().enumerate() {
+        m.mem
+            .write_u64(layout::GLOBALS_BASE + 8 * i as u64, *g)
+            .expect("globals segment mapped");
+    }
+    m.map(
+        "vstack+ctl",
+        layout::VSTACK_BASE,
+        layout::VSTACK_SIZE + layout::VMCTL_SIZE,
+    );
+    m.map("frames", layout::FRAME_BASE, layout::FRAME_SIZE);
+    m.map("heap", layout::HEAP_BASE, layout::HEAP_SIZE);
+    let exit = m.run(max_insts)?;
+    let dispatches = m
+        .mem
+        .read_u64(layout::VMCTL_BASE + layout::CTL_DISPATCH_COUNT as u64)
+        .expect("ctl mapped");
+    Ok((exit.code, dispatches, m.stats.clone()))
+}
+
+/// Runs an LVM program on the simulated core under `scheme` and checks
+/// the checksum (and, with production weight, the dispatch count)
+/// against the host oracle.
+///
+/// # Errors
+/// Returns [`GuestError`] on simulator faults or oracle mismatches.
+pub fn run_lvm(
+    cfg: SimConfig,
+    program: &LvmProgram,
+    global_init: &[u64],
+    scheme: Scheme,
+    opts: GuestOptions,
+    max_insts: u64,
+) -> Result<GuestRun, GuestError> {
+    let img = layout::build_lvm_image(program, global_init);
+    let guest = crate::lvm::build_lvm_guest(&img, scheme, opts);
+    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts)?;
+
+    let oracle = luma::lvm::LvmInterp::new(program, global_init)
+        .run(max_insts)
+        .expect("oracle agrees the program terminates");
+    if oracle.checksum != checksum {
+        return Err(GuestError::ChecksumMismatch { guest: checksum, oracle: oracle.checksum });
+    }
+    if opts.production_weight && dispatches != oracle.steps {
+        return Err(GuestError::DispatchMismatch { guest: dispatches, oracle: oracle.steps });
+    }
+    Ok(GuestRun { checksum, dispatches, stats })
+}
+
+/// Runs an SVM program on the simulated core under `scheme` and checks
+/// it against the host oracle.
+///
+/// # Errors
+/// Returns [`GuestError`] on simulator faults or oracle mismatches.
+pub fn run_svm(
+    cfg: SimConfig,
+    program: &SvmProgram,
+    global_init: &[u64],
+    scheme: Scheme,
+    opts: GuestOptions,
+    max_insts: u64,
+) -> Result<GuestRun, GuestError> {
+    let img = layout::build_svm_image(program, global_init);
+    let guest = crate::svm::build_svm_guest(&img, scheme, opts);
+    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts)?;
+
+    let oracle = luma::svm::SvmInterp::new(program, global_init)
+        .run(max_insts)
+        .expect("oracle agrees the program terminates");
+    if oracle.checksum != checksum {
+        return Err(GuestError::ChecksumMismatch { guest: checksum, oracle: oracle.checksum });
+    }
+    if opts.production_weight && dispatches != oracle.steps {
+        return Err(GuestError::DispatchMismatch { guest: dispatches, oracle: oracle.steps });
+    }
+    Ok(GuestRun { checksum, dispatches, stats })
+}
+
+/// Compiles a benchmark source for the given VM and runs it end to end.
+///
+/// # Errors
+/// Returns a string describing parse/compile errors or a [`GuestError`].
+pub fn run_source(
+    cfg: SimConfig,
+    vm: Vm,
+    src: &str,
+    predefined: &[(&str, f64)],
+    scheme: Scheme,
+    opts: GuestOptions,
+    max_insts: u64,
+) -> Result<GuestRun, String> {
+    let script = luma::parser::parse(src).map_err(|e| e.to_string())?;
+    match vm {
+        Vm::Lvm => {
+            let (p, init) =
+                luma::lvm::compile_lvm(&script, predefined).map_err(|e| e.to_string())?;
+            run_lvm(cfg, &p, &init, scheme, opts, max_insts).map_err(|e| e.to_string())
+        }
+        Vm::Svm => {
+            let (p, init) =
+                luma::svm::compile_svm(&script, predefined).map_err(|e| e.to_string())?;
+            run_svm(cfg, &p, &init, scheme, opts, max_insts).map_err(|e| e.to_string())
+        }
+    }
+}

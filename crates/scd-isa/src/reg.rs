@@ -1,0 +1,215 @@
+//! Integer and floating-point architectural registers.
+
+use std::fmt;
+
+/// An integer (x) register of the simulated RV64-subset core.
+///
+/// `X0` is hard-wired to zero, as in RISC-V. The ABI aliases used by the
+/// guest interpreters are provided as associated constants (`Reg::RA`,
+/// `Reg::SP`, `Reg::A0`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "register index out of range");
+        Reg(n)
+    }
+
+    /// The register index (0..=31).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for `x0`, the hard-wired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `x0` — x0 (hard-wired zero).
+    pub const X0: Reg = Reg(0);
+    /// `zero` — zero (alias of x0).
+    pub const ZERO: Reg = Reg(0);
+    /// `ra` — return address.
+    pub const RA: Reg = Reg(1);
+    /// `sp` — stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// `gp` — global pointer.
+    pub const GP: Reg = Reg(3);
+    /// `tp` — thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// `t0` — temporary register.
+    pub const T0: Reg = Reg(5);
+    /// `t1` — temporary register.
+    pub const T1: Reg = Reg(6);
+    /// `t2` — temporary register.
+    pub const T2: Reg = Reg(7);
+    /// `s0` — callee-saved register.
+    pub const S0: Reg = Reg(8);
+    /// `s1` — callee-saved register.
+    pub const S1: Reg = Reg(9);
+    /// `a0` — argument/result register.
+    pub const A0: Reg = Reg(10);
+    /// `a1` — argument/result register.
+    pub const A1: Reg = Reg(11);
+    /// `a2` — argument/result register.
+    pub const A2: Reg = Reg(12);
+    /// `a3` — argument/result register.
+    pub const A3: Reg = Reg(13);
+    /// `a4` — argument/result register.
+    pub const A4: Reg = Reg(14);
+    /// `a5` — argument/result register.
+    pub const A5: Reg = Reg(15);
+    /// `a6` — argument/result register.
+    pub const A6: Reg = Reg(16);
+    /// `a7` — argument/result register.
+    pub const A7: Reg = Reg(17);
+    /// `s2` — callee-saved register.
+    pub const S2: Reg = Reg(18);
+    /// `s3` — callee-saved register.
+    pub const S3: Reg = Reg(19);
+    /// `s4` — callee-saved register.
+    pub const S4: Reg = Reg(20);
+    /// `s5` — callee-saved register.
+    pub const S5: Reg = Reg(21);
+    /// `s6` — callee-saved register.
+    pub const S6: Reg = Reg(22);
+    /// `s7` — callee-saved register.
+    pub const S7: Reg = Reg(23);
+    /// `s8` — callee-saved register.
+    pub const S8: Reg = Reg(24);
+    /// `s9` — callee-saved register.
+    pub const S9: Reg = Reg(25);
+    /// `s10` — callee-saved register.
+    pub const S10: Reg = Reg(26);
+    /// `s11` — callee-saved register.
+    pub const S11: Reg = Reg(27);
+    /// `t3` — temporary register.
+    pub const T3: Reg = Reg(28);
+    /// `t4` — temporary register.
+    pub const T4: Reg = Reg(29);
+    /// `t5` — temporary register.
+    pub const T5: Reg = Reg(30);
+    /// `t6` — temporary register.
+    pub const T6: Reg = Reg(31);
+}
+
+const X_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(X_NAMES[self.index()])
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// A floating-point (f) register holding a raw 64-bit IEEE-754 double.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 32, "fp register index out of range");
+        FReg(n)
+    }
+
+    /// The register index (0..=31).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `ft0` — FP temporary register.
+    pub const FT0: FReg = FReg(0);
+    /// `ft1` — FP temporary register.
+    pub const FT1: FReg = FReg(1);
+    /// `ft2` — FP temporary register.
+    pub const FT2: FReg = FReg(2);
+    /// `ft3` — FP temporary register.
+    pub const FT3: FReg = FReg(3);
+    /// `ft4` — FP temporary register.
+    pub const FT4: FReg = FReg(4);
+    /// `ft5` — FP temporary register.
+    pub const FT5: FReg = FReg(5);
+    /// `ft6` — FP temporary register.
+    pub const FT6: FReg = FReg(6);
+    /// `ft7` — FP temporary register.
+    pub const FT7: FReg = FReg(7);
+    /// `fs0` — FP callee-saved register.
+    pub const FS0: FReg = FReg(8);
+    /// `fs1` — FP callee-saved register.
+    pub const FS1: FReg = FReg(9);
+    /// `fa0` — FP argument/result register.
+    pub const FA0: FReg = FReg(10);
+    /// `fa1` — FP argument/result register.
+    pub const FA1: FReg = FReg(11);
+    /// `fa2` — FP argument/result register.
+    pub const FA2: FReg = FReg(12);
+    /// `fa3` — FP argument/result register.
+    pub const FA3: FReg = FReg(13);
+    /// `fa4` — FP argument/result register.
+    pub const FA4: FReg = FReg(14);
+    /// `fa5` — FP argument/result register.
+    pub const FA5: FReg = FReg(15);
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<FReg> for u8 {
+    fn from(r: FReg) -> u8 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names() {
+        assert_eq!(Reg::A0.to_string(), "a0");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::S11.to_string(), "s11");
+        assert_eq!(FReg::FA0.to_string(), "f10");
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::X0.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..32u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+            assert_eq!(FReg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # scd-model — analytical area/power/EDP model (Table V)
+//!
+//! The paper reports synthesis results (TSMC 40nm, Synopsys DC) showing
+//! SCD costs 0.72% chip area and 1.09% power, improving the Lua
+//! interpreter's energy-delay product by 24.2%. This crate reproduces
+//! that table with a bit-count model: module areas follow storage bits
+//! and gate counts, SCD's delta follows from its structural additions
+//! (J/B bit and opcode key per BTB entry, the three architectural
+//! registers, mask AND and compare datapath of Fig. 5, stall logic).
+//!
+//! ```
+//! use scd_model::{table_v, edp_improvement};
+//! use scd_sim::SimConfig;
+//!
+//! let t = table_v(&SimConfig::fpga_rocket());
+//! assert!(t.area_increase < 0.02); // sub-2% chip overhead
+//! let edp = edp_improvement(0.12, t.power_increase);
+//! assert!(edp > 0.15); // double-digit EDP gain
+//! ```
+
+pub mod area;
+pub mod energy;
+pub mod tech;
+
+pub use area::{edp_improvement, estimate, table_v, ChipEstimate, Module, TableV};
+pub use energy::{edp_improvement_measured, energy_of_run, EnergyEstimate, EnergyParams};
+pub use tech::ArrayKind;

@@ -1,0 +1,401 @@
+//! Branch target buffer with the SCD jump-table-entry (JTE) overlay.
+//!
+//! Each entry carries a J/B flag (Section III-B of the paper): `B` entries
+//! are conventional PC-indexed target predictions, `J` entries cache
+//! software jump-table entries keyed by `(branch id, opcode)`. The
+//! replacement policy implements the paper's default: an incoming JTE may
+//! evict a BTB entry but a BTB entry can never evict a JTE, and an
+//! optional cap bounds the number of resident JTEs (Section IV /
+//! Fig. 11c-d).
+
+use crate::cache::Replacement;
+
+/// BTB geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Total number of entries.
+    pub entries: usize,
+    /// Associativity; `0` means fully associative.
+    pub ways: usize,
+    /// Replacement policy within a set.
+    pub replacement: Replacement,
+    /// Maximum number of resident JTEs (`None` = unbounded).
+    pub jte_cap: Option<usize>,
+}
+
+impl BtbConfig {
+    /// Set-associative BTB (paper simulator config: 256 entries, 2-way,
+    /// round-robin).
+    pub fn set_assoc(entries: usize, ways: usize, replacement: Replacement) -> Self {
+        BtbConfig { entries, ways, replacement, jte_cap: None }
+    }
+
+    /// Fully-associative BTB (paper FPGA config: 62 entries, LRU).
+    pub fn fully_assoc(entries: usize, replacement: Replacement) -> Self {
+        BtbConfig { entries, ways: 0, replacement, jte_cap: None }
+    }
+
+    fn effective_ways(&self) -> usize {
+        if self.ways == 0 {
+            self.entries
+        } else {
+            self.ways
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    /// J/B flag: true = jump table entry.
+    jte: bool,
+    key: u64,
+    target: u64,
+    lru: u64,
+}
+
+/// Counters for BTB/JTE interaction, surfaced into `SimStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// JTE insertions performed.
+    pub jte_inserts: u64,
+    /// JTE insertions skipped because of the JTE cap.
+    pub jte_cap_skips: u64,
+    /// Valid B entries evicted by an incoming JTE.
+    pub btb_evicted_by_jte: u64,
+    /// B-entry insertions skipped because every way held a JTE.
+    pub btb_blocked_by_jte: u64,
+    /// `jte.flush` invocations.
+    pub jte_flushes: u64,
+}
+
+/// The branch target buffer.
+#[derive(Debug)]
+pub struct Btb {
+    cfg: BtbConfig,
+    sets: usize,
+    ways: usize,
+    entries: Vec<Entry>,
+    rr_next: Vec<usize>,
+    tick: u64,
+    jte_count: usize,
+    /// Interaction counters.
+    pub stats: BtbStats,
+}
+
+/// Key space separator so PC keys, JTE keys and VBBI keys never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BtbKey {
+    /// Conventional PC-indexed entry.
+    Pc(u64),
+    /// SCD jump table entry: (branch id, opcode).
+    Jte {
+        /// Branch ID (Section IV, multiple jump tables).
+        bid: u8,
+        /// The masked opcode value from Rop.
+        opcode: u64,
+    },
+    /// VBBI entry: hash of (PC, hint value).
+    Vbbi(u64),
+}
+
+impl BtbKey {
+    fn raw(self) -> (u64, bool) {
+        match self {
+            // PCs are 4-byte aligned; drop the known-zero bits for indexing.
+            BtbKey::Pc(pc) => (pc >> 2, false),
+            BtbKey::Jte { bid, opcode } => (opcode ^ ((bid as u64) << 56), true),
+            BtbKey::Vbbi(h) => (h, false),
+        }
+    }
+}
+
+impl Btb {
+    /// Builds a BTB from its configuration.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not divisible into power-of-two sets.
+    pub fn new(cfg: BtbConfig) -> Self {
+        let ways = cfg.effective_ways();
+        assert!(ways > 0 && cfg.entries > 0, "BTB must be non-empty");
+        assert_eq!(cfg.entries % ways, 0, "entries must divide into ways");
+        let sets = cfg.entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Btb {
+            cfg,
+            sets,
+            ways,
+            entries: vec![Entry::default(); cfg.entries],
+            rr_next: vec![0; sets],
+            tick: 0,
+            jte_count: 0,
+            stats: BtbStats::default(),
+        }
+    }
+
+    /// The configuration this BTB was built with.
+    pub fn config(&self) -> &BtbConfig {
+        &self.cfg
+    }
+
+    /// Number of currently resident JTEs.
+    pub fn resident_jtes(&self) -> usize {
+        self.jte_count
+    }
+
+    #[inline]
+    fn set_of(&self, raw: u64) -> usize {
+        (raw as usize) & (self.sets - 1)
+    }
+
+    /// Looks up a key; returns the cached target on hit and refreshes LRU.
+    #[inline]
+    pub fn lookup(&mut self, key: BtbKey) -> Option<u64> {
+        self.tick += 1;
+        let (raw, want_jte) = key.raw();
+        let set = self.set_of(raw);
+        let base = set * self.ways;
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.valid && e.jte == want_jte && e.key == raw {
+                e.lru = self.tick;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Inserts or updates an entry for `key`.
+    pub fn insert(&mut self, key: BtbKey, target: u64) {
+        self.tick += 1;
+        let (raw, is_jte) = key.raw();
+        let set = self.set_of(raw);
+        let base = set * self.ways;
+
+        // Update in place on tag match.
+        for e in &mut self.entries[base..base + self.ways] {
+            if e.valid && e.jte == is_jte && e.key == raw {
+                e.target = target;
+                e.lru = self.tick;
+                return;
+            }
+        }
+
+        let at_cap = is_jte
+            && self
+                .cfg
+                .jte_cap
+                .is_some_and(|cap| self.jte_count >= cap);
+
+        // Choose a victim way subject to the priority rules.
+        let allowed = |e: &Entry| -> bool {
+            if !e.valid {
+                // An invalid way is always usable, except that a JTE at cap
+                // must replace another JTE to keep the population bounded.
+                return !at_cap;
+            }
+            if is_jte {
+                if at_cap {
+                    e.jte
+                } else {
+                    true // JTE priority: may evict anything
+                }
+            } else {
+                !e.jte // B entries never evict JTEs
+            }
+        };
+
+        let ways = &self.entries[base..base + self.ways];
+        let victim = match self.cfg.replacement {
+            Replacement::Lru => {
+                let mut best: Option<(usize, u64)> = None;
+                for (i, e) in ways.iter().enumerate() {
+                    if !allowed(e) {
+                        continue;
+                    }
+                    let score = if e.valid { e.lru } else { 0 };
+                    if best.is_none_or(|(_, b)| score < b) {
+                        best = Some((i, score));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+            Replacement::RoundRobin => {
+                let start = self.rr_next[set];
+                let mut found = None;
+                for k in 0..self.ways {
+                    let i = (start + k) % self.ways;
+                    if allowed(&ways[i]) {
+                        found = Some(i);
+                        self.rr_next[set] = (i + 1) % self.ways;
+                        break;
+                    }
+                }
+                found
+            }
+        };
+
+        let Some(victim) = victim else {
+            if is_jte {
+                self.stats.jte_cap_skips += 1;
+            } else {
+                self.stats.btb_blocked_by_jte += 1;
+            }
+            return;
+        };
+
+        let old = self.entries[base + victim];
+        if old.valid {
+            if old.jte {
+                self.jte_count -= 1;
+            } else if is_jte {
+                self.stats.btb_evicted_by_jte += 1;
+            }
+        }
+        if is_jte {
+            self.jte_count += 1;
+            self.stats.jte_inserts += 1;
+        }
+        self.entries[base + victim] =
+            Entry { valid: true, jte: is_jte, key: raw, target, lru: self.tick };
+    }
+
+    /// A snapshot of the valid entries: `(is_jte, key, target)`, in
+    /// array order. For diagnostics and the Fig. 6 walk-through.
+    pub fn snapshot(&self) -> Vec<(bool, u64, u64)> {
+        self.entries
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| (e.jte, e.key, e.target))
+            .collect()
+    }
+
+    /// `jte.flush`: invalidates every JTE but leaves B entries intact.
+    pub fn flush_jtes(&mut self) {
+        for e in &mut self.entries {
+            if e.valid && e.jte {
+                e.valid = false;
+            }
+        }
+        self.jte_count = 0;
+        self.stats.jte_flushes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn btb(entries: usize, ways: usize) -> Btb {
+        Btb::new(BtbConfig::set_assoc(entries, ways, Replacement::Lru))
+    }
+
+    #[test]
+    fn pc_lookup_roundtrip() {
+        let mut b = btb(8, 2);
+        assert_eq!(b.lookup(BtbKey::Pc(0x1000)), None);
+        b.insert(BtbKey::Pc(0x1000), 0x2000);
+        assert_eq!(b.lookup(BtbKey::Pc(0x1000)), Some(0x2000));
+        b.insert(BtbKey::Pc(0x1000), 0x3000); // update in place
+        assert_eq!(b.lookup(BtbKey::Pc(0x1000)), Some(0x3000));
+    }
+
+    #[test]
+    fn jte_and_pc_do_not_alias() {
+        let mut b = btb(8, 2);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 5 }, 0xAAAA);
+        // A PC whose raw key equals the JTE's raw key must not hit it.
+        assert_eq!(b.lookup(BtbKey::Pc(5 << 2)), None);
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 5 }), Some(0xAAAA));
+        // Different branch id: different entry.
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 1, opcode: 5 }), None);
+    }
+
+    #[test]
+    fn jte_evicts_btb_but_not_vice_versa() {
+        // One set of 2 ways.
+        let mut b = btb(2, 2);
+        b.insert(BtbKey::Pc(0x1000), 1);
+        b.insert(BtbKey::Pc(0x2000), 2);
+        // JTE insertion must evict one of the B entries.
+        b.insert(BtbKey::Jte { bid: 0, opcode: 9 }, 3);
+        assert_eq!(b.resident_jtes(), 1);
+        assert_eq!(b.stats.btb_evicted_by_jte, 1);
+        // Fill the other way with a JTE too.
+        b.insert(BtbKey::Jte { bid: 0, opcode: 10 }, 4);
+        assert_eq!(b.resident_jtes(), 2);
+        // Now a B entry cannot get in.
+        b.insert(BtbKey::Pc(0x3000), 5);
+        assert_eq!(b.lookup(BtbKey::Pc(0x3000)), None);
+        assert_eq!(b.stats.btb_blocked_by_jte, 1);
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 9 }), Some(3));
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 10 }), Some(4));
+    }
+
+    #[test]
+    fn jte_cap_enforced() {
+        let mut cfg = BtbConfig::fully_assoc(8, Replacement::Lru);
+        cfg.jte_cap = Some(2);
+        let mut b = Btb::new(cfg);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 1 }, 1);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 2 }, 2);
+        assert_eq!(b.resident_jtes(), 2);
+        // Third JTE replaces an existing one (LRU: opcode 1), keeping count at cap.
+        b.insert(BtbKey::Jte { bid: 0, opcode: 3 }, 3);
+        assert_eq!(b.resident_jtes(), 2);
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 3 }), Some(3));
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 1 }), None);
+    }
+
+    #[test]
+    fn flush_jtes_spares_btb_entries() {
+        let mut b = btb(8, 2);
+        b.insert(BtbKey::Pc(0x1000), 1);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 7 }, 2);
+        b.flush_jtes();
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 7 }), None);
+        assert_eq!(b.lookup(BtbKey::Pc(0x1000)), Some(1));
+        assert_eq!(b.resident_jtes(), 0);
+        assert_eq!(b.stats.jte_flushes, 1);
+    }
+
+    #[test]
+    fn fully_assoc_lru() {
+        let mut b = Btb::new(BtbConfig::fully_assoc(2, Replacement::Lru));
+        b.insert(BtbKey::Pc(0x1000), 1);
+        b.insert(BtbKey::Pc(0x2000), 2);
+        let _ = b.lookup(BtbKey::Pc(0x1000)); // refresh
+        b.insert(BtbKey::Pc(0x3000), 3); // evicts 0x2000
+        assert_eq!(b.lookup(BtbKey::Pc(0x1000)), Some(1));
+        assert_eq!(b.lookup(BtbKey::Pc(0x2000)), None);
+        assert_eq!(b.lookup(BtbKey::Pc(0x3000)), Some(3));
+    }
+
+    #[test]
+    fn round_robin_respects_jte_priority() {
+        let mut b = Btb::new(BtbConfig::set_assoc(2, 2, Replacement::RoundRobin));
+        b.insert(BtbKey::Jte { bid: 0, opcode: 1 }, 1);
+        b.insert(BtbKey::Pc(0x1000), 2);
+        // RR pointer may point at the JTE way, but a B insert must skip it.
+        b.insert(BtbKey::Pc(0x2000), 3);
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 1 }), Some(1));
+    }
+
+    #[test]
+    fn snapshot_reports_valid_entries() {
+        let mut b = btb(8, 2);
+        b.insert(BtbKey::Pc(0x1000), 0x2000);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 5 }, 0x3000);
+        let snap = b.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.iter().any(|&(jte, _, t)| jte && t == 0x3000));
+        assert!(snap.iter().any(|&(jte, _, t)| !jte && t == 0x2000));
+    }
+
+    #[test]
+    fn vbbi_keys_are_separate() {
+        let mut b = btb(8, 2);
+        b.insert(BtbKey::Vbbi(0x123), 7);
+        assert_eq!(b.lookup(BtbKey::Vbbi(0x123)), Some(7));
+        assert_eq!(b.lookup(BtbKey::Pc(0x123 << 2)), Some(7)); // same raw key space as PC
+    }
+}

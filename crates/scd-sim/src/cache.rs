@@ -1,0 +1,213 @@
+//! Set-associative cache tag model (timing only — data lives in
+//! [`crate::mem::Memory`]).
+
+/// Replacement policy for caches and the BTB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used.
+    Lru,
+    /// Round-robin (as in the paper's simulator BTB configuration).
+    RoundRobin,
+}
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// A convenience constructor with 64-byte lines and LRU replacement.
+    pub fn new(size: u64, ways: usize) -> Self {
+        CacheConfig { size, ways, line: 64, replacement: Replacement::Lru }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size / (self.line * self.ways as u64)) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    lru: u64,
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// The access hit in the cache.
+    pub hit: bool,
+    /// A dirty line was evicted (write-back traffic).
+    pub writeback: bool,
+}
+
+/// A set-associative, write-back, write-allocate cache tag array.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    rr_next: Vec<usize>,
+    tick: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero sets/ways, or a line
+    /// size that is not a power of two).
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.ways > 0, "cache must have at least one way");
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            sets,
+            lines: vec![Line::default(); sets * cfg.ways],
+            rr_next: vec![0; sets],
+            tick: 0,
+            line_shift: cfg.line.trailing_zeros(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let blk = addr >> self.line_shift;
+        ((blk as usize) & (self.sets - 1), blk >> self.sets.trailing_zeros())
+    }
+
+    /// Performs one access; allocates on miss.
+    #[inline]
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
+        self.tick += 1;
+        let (set, tag) = self.index_tag(addr);
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+        for line in ways.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                line.dirty |= write;
+                return CacheAccess { hit: true, writeback: false };
+            }
+        }
+        // Miss: pick a victim.
+        let victim = match self.cfg.replacement {
+            Replacement::Lru => {
+                let mut v = 0;
+                let mut best = u64::MAX;
+                for (i, line) in ways.iter().enumerate() {
+                    if !line.valid {
+                        v = i;
+                        break;
+                    }
+                    if line.lru < best {
+                        best = line.lru;
+                        v = i;
+                    }
+                }
+                v
+            }
+            Replacement::RoundRobin => {
+                let v = self.rr_next[set];
+                self.rr_next[set] = (v + 1) % self.cfg.ways;
+                v
+            }
+        };
+        let writeback = ways[victim].valid && ways[victim].dirty;
+        ways[victim] = Line { valid: true, dirty: write, tag, lru: self.tick };
+        CacheAccess { hit: false, writeback }
+    }
+
+    /// Invalidates every line (used by tests and context-switch modeling).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B lines = 256 B
+        Cache::new(CacheConfig { size: 256, ways: 2, line: 64, replacement: Replacement::Lru })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x0, false).hit);
+        assert!(c.access(0x0, false).hit);
+        assert!(c.access(0x3f, false).hit); // same line
+        assert!(!c.access(0x40, false).hit); // next line, other set
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with addr bits [6]=0: 0x000, 0x080, 0x100 map to set 0.
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // touch 0x000, making 0x080 LRU
+        assert!(!c.access(0x100, false).hit); // evicts 0x080
+        assert!(c.access(0x000, false).hit);
+        assert!(!c.access(0x080, false).hit);
+    }
+
+    #[test]
+    fn dirty_writeback_reported() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x080, false);
+        let a = c.access(0x100, false); // evicts 0x000 (LRU, dirty)
+        assert!(!a.hit);
+        assert!(a.writeback);
+    }
+
+    #[test]
+    fn round_robin_cycles_ways() {
+        let mut c =
+            Cache::new(CacheConfig { size: 256, ways: 2, line: 64, replacement: Replacement::RoundRobin });
+        c.access(0x000, false); // way 0
+        c.access(0x080, false); // way 1
+        c.access(0x100, false); // way 0 evicted
+        assert!(c.access(0x080, false).hit);
+        assert!(!c.access(0x000, false).hit);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny();
+        c.access(0x0, false);
+        c.flush();
+        assert!(!c.access(0x0, false).hit);
+    }
+
+    #[test]
+    fn sets_computed() {
+        let cfg = CacheConfig::new(16 * 1024, 2);
+        assert_eq!(cfg.sets(), 128);
+    }
+}

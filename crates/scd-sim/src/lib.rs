@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # scd-sim — the embedded-processor simulator
+//!
+//! A cycle-approximate model of the small in-order cores evaluated in the
+//! paper (Table II): single- or dual-issue, shallow pipeline, tournament
+//! or gshare direction prediction, a branch target buffer with the SCD
+//! jump-table-entry overlay, return-address stack, VBBI, L1 I/D caches,
+//! TLBs and a flat DRAM latency.
+//!
+//! ```
+//! use scd_isa::{Asm, Reg};
+//! use scd_sim::{Machine, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new(0x1_0000);
+//! a.li(Reg::A0, 6);
+//! a.slli(Reg::A0, Reg::A0, 3); // 48
+//! a.li(Reg::A7, 0);
+//! a.ecall(); // halt with code in a0
+//! let program = a.finish()?;
+//!
+//! let mut m = Machine::new(SimConfig::embedded_a5(), &program);
+//! let exit = m.run(1_000)?;
+//! assert_eq!(exit.code, 48);
+//! assert!(m.stats.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod btb;
+pub mod cache;
+pub mod config;
+pub mod ittage;
+pub mod machine;
+pub mod mem;
+pub mod predictor;
+pub mod stats;
+pub mod tlb;
+
+pub use btb::{Btb, BtbConfig, BtbKey, BtbStats};
+pub use cache::{Cache, CacheAccess, CacheConfig, Replacement};
+pub use config::{IndirectPredictor, ScdConfig, SimConfig};
+pub use ittage::Ittage;
+pub use machine::{Annotations, Exit, Machine, Profile, SimError, VbbiHint, MAX_BRANCH_IDS};
+pub use mem::{MemFault, Memory};
+pub use predictor::{Direction, DirectionConfig, Ras};
+pub use stats::{geomean, AccessCounters, BranchClass, BranchCounters, SimStats};
+pub use tlb::Tlb;

@@ -1,0 +1,1255 @@
+//! The simulated embedded core: functional execution of the RV64-subset
+//! ISA plus a cycle-approximate in-order timing model.
+//!
+//! Timing follows the structure of small in-order cores (MinorCPU /
+//! Rocket, Table II of the paper):
+//!
+//! * one issue slot per instruction (an optional second slot models the
+//!   dual-issue A8-like core of Section VI-C2),
+//! * per-register ready cycles model load-use and long-latency interlocks,
+//! * the front end charges redirect penalties decided by the branch
+//!   predictor complex (direction predictor + BTB + RAS, or VBBI),
+//! * I/D cache, TLB and DRAM stalls are charged at the faulting
+//!   instruction (blocking, as in-order cores do),
+//! * `bop` implements the paper's stall scheme: fetch waits until Rop is
+//!   available, then redirects through the BTB JTE with no bubble on hit.
+
+use crate::btb::{Btb, BtbConfig, BtbKey};
+use crate::cache::Cache;
+use crate::ittage::Ittage;
+use crate::config::{IndirectPredictor, ScdConfig, SimConfig};
+use crate::mem::{MemFault, Memory};
+use crate::predictor::{Direction, Ras};
+use crate::stats::{BranchClass, SimStats};
+use crate::tlb::Tlb;
+use scd_isa::{AluOp, BranchOp, FCmpOp, FpOp, Inst, LoadOp, Program, Reg, Rounding, StoreOp};
+
+/// Maximum number of SCD branch IDs supported by the model.
+pub const MAX_BRANCH_IDS: usize = 4;
+
+/// Guest-binary metadata used for statistics attribution and VBBI.
+#[derive(Debug, Clone, Default)]
+pub struct Annotations {
+    /// PC ranges counted as dispatcher code (half-open), sorted.
+    pub dispatch_ranges: Vec<(u64, u64)>,
+    /// PCs of the dispatch indirect jumps (the `jmp`/`jru` of Fig. 1/4).
+    pub dispatch_jumps: Vec<u64>,
+    /// VBBI hint registrations: on the listed jump PCs the BTB is indexed
+    /// by hash(PC, masked hint-register value).
+    pub vbbi_hints: Vec<VbbiHint>,
+}
+
+impl Annotations {
+    /// Sorts internal tables; call after populating the fields.
+    pub fn normalize(&mut self) {
+        self.dispatch_ranges.sort_unstable();
+        self.dispatch_jumps.sort_unstable();
+        self.vbbi_hints.sort_unstable_by_key(|h| h.jump_pc);
+    }
+}
+
+/// One VBBI hint registration (Section II-A / reference \[9\] in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct VbbiHint {
+    /// PC of the indirect jump to predict with value-based indexing.
+    pub jump_pc: u64,
+    /// Register whose value correlates with the target (the opcode).
+    pub hint_reg: Reg,
+    /// Mask applied to the hint value.
+    pub mask: u64,
+}
+
+/// Why a simulation run ended abnormally.
+#[derive(Debug)]
+pub enum SimError {
+    /// Memory fault at `pc`.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u64,
+        /// The underlying access fault.
+        fault: MemFault,
+    },
+    /// PC left the text section.
+    PcOutOfRange {
+        /// The runaway PC value.
+        pc: u64,
+    },
+    /// The instruction-count budget was exhausted.
+    InstLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+    /// The guest executed `ebreak` (guest-side assertion failure).
+    Break {
+        /// PC of the `ebreak`.
+        pc: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Mem { pc, fault } => write!(f, "at pc {pc:#x}: {fault}"),
+            SimError::PcOutOfRange { pc } => write!(f, "pc {pc:#x} outside text section"),
+            SimError::InstLimit { limit } => write!(f, "instruction limit {limit} exhausted"),
+            SimError::Break { pc } => write!(f, "ebreak at pc {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Successful run result.
+#[derive(Debug)]
+pub struct Exit {
+    /// Value of `a0` at the halting `ecall`.
+    pub code: u64,
+    /// Bytes written through the putchar ecall.
+    pub output: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ScdRegs {
+    rop_v: bool,
+    rop_d: u64,
+    rmask: u64,
+    rbop_pc: u64,
+    /// Cycle at which Rop becomes visible to the fetch stage.
+    rop_ready: u64,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SimConfig,
+    insts: Vec<Inst>,
+    text_base: u64,
+    text_end: u64,
+
+    /// Integer register file (x0 kept zero).
+    pub regs: [u64; 32],
+    /// FP register file (raw f64 bits).
+    pub fregs: [u64; 32],
+    /// Program counter.
+    pub pc: u64,
+    /// Guest memory.
+    pub mem: Memory,
+
+    icache: Cache,
+    dcache: Cache,
+    l2: Option<Cache>,
+    itlb: Tlb,
+    dtlb: Tlb,
+    direction: Direction,
+    btb: Btb,
+    /// CBT-style dedicated JTE table (Section VII comparison).
+    jte_table: Option<Btb>,
+    ras: Ras,
+    ittage: Ittage,
+    scd: [ScdRegs; MAX_BRANCH_IDS],
+
+    cycle: u64,
+    xready: [u64; 32],
+    fready: [u64; 32],
+    issued_this_cycle: usize,
+    prev_dest: Option<Reg>,
+    prev_fdest: Option<scd_isa::FReg>,
+    prev_was_mem: bool,
+
+    ann: Annotations,
+    next_flush_at: u64,
+    output: Vec<u8>,
+    profile: Option<Profile>,
+
+    /// Run statistics.
+    pub stats: SimStats,
+}
+
+impl Machine {
+    /// Builds a machine for `cfg`, loading `program`'s text and rodata.
+    pub fn new(cfg: SimConfig, program: &Program) -> Self {
+        let mut mem = Memory::new();
+        let text_bytes: Vec<u8> = program.words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.add_segment("text", program.text_base, text_bytes.len() as u64);
+        mem.write_bytes(program.text_base, &text_bytes);
+        if !program.rodata.is_empty() {
+            mem.add_segment("rodata", program.rodata_base, program.rodata.len() as u64);
+            mem.write_bytes(program.rodata_base, &program.rodata);
+        }
+        let flush_at = cfg.scd.flush_interval.unwrap_or(u64::MAX);
+        Machine {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            l2: cfg.l2.map(Cache::new),
+            itlb: Tlb::new(cfg.itlb_entries),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            direction: Direction::new(cfg.direction),
+            btb: Btb::new(cfg.btb),
+            jte_table: cfg.scd.dedicated_jte_table.then(|| {
+                Btb::new(BtbConfig::fully_assoc(
+                    cfg.scd.jte_table_entries,
+                    crate::cache::Replacement::Lru,
+                ))
+            }),
+            ras: Ras::new(cfg.ras_entries),
+            ittage: Ittage::new(),
+            scd: Default::default(),
+            cycle: 0,
+            xready: [0; 32],
+            fready: [0; 32],
+            issued_this_cycle: 0,
+            prev_dest: None,
+            prev_fdest: None,
+            prev_was_mem: false,
+            ann: Annotations::default(),
+            next_flush_at: flush_at,
+            output: Vec::new(),
+            profile: None,
+            stats: SimStats::default(),
+            regs: [0; 32],
+            fregs: [0; 32],
+            pc: program.text_base,
+            mem,
+            insts: program.insts.clone(),
+            text_base: program.text_base,
+            text_end: program.text_end(),
+            cfg,
+        }
+    }
+
+    /// Maps an additional zero-filled memory segment.
+    pub fn map(&mut self, name: &'static str, base: u64, size: u64) {
+        self.mem.add_segment(name, base, size);
+    }
+
+    /// Installs guest annotations (dispatch ranges, VBBI hints).
+    pub fn set_annotations(&mut self, mut ann: Annotations) {
+        ann.normalize();
+        self.ann = ann;
+    }
+
+    /// Sets an integer register (x0 writes are ignored).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Reads an integer register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Read-only view of the BTB (for tests and diagnostics).
+    pub fn btb(&self) -> &Btb {
+        &self.btb
+    }
+
+    /// Enables per-PC profiling (retired instructions and attributed
+    /// cycles per static instruction). Costs a little simulation speed.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Profile {
+            text_base: self.text_base,
+            insts: vec![0; self.insts.len()],
+            cycles: vec![0; self.insts.len()],
+        });
+    }
+
+    /// The collected profile, if profiling was enabled.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_ref()
+    }
+
+    #[inline]
+    fn jte_lookup(&mut self, bid: u8, opcode: u64) -> Option<u64> {
+        let key = BtbKey::Jte { bid, opcode };
+        match &mut self.jte_table {
+            Some(t) => t.lookup(key),
+            None => self.btb.lookup(key),
+        }
+    }
+
+    #[inline]
+    fn jte_insert(&mut self, bid: u8, opcode: u64, target: u64) {
+        let key = BtbKey::Jte { bid, opcode };
+        match &mut self.jte_table {
+            Some(t) => t.insert(key, target),
+            None => self.btb.insert(key, target),
+        }
+    }
+
+    fn merged_btb_stats(&self) -> crate::btb::BtbStats {
+        let mut s = self.btb.stats;
+        if let Some(t) = &self.jte_table {
+            s.jte_inserts += t.stats.jte_inserts;
+            s.jte_cap_skips += t.stats.jte_cap_skips;
+            s.btb_evicted_by_jte += t.stats.btb_evicted_by_jte;
+            s.btb_blocked_by_jte += t.stats.btb_blocked_by_jte;
+            s.jte_flushes += t.stats.jte_flushes;
+        }
+        s
+    }
+
+    fn jte_flush(&mut self) {
+        match &mut self.jte_table {
+            Some(t) => t.flush_jtes(),
+            None => self.btb.flush_jtes(),
+        }
+        for s in &mut self.scd {
+            s.rop_v = false;
+        }
+    }
+
+    #[inline]
+    fn wx(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    #[inline]
+    fn in_dispatch(&self, pc: u64) -> bool {
+        let i = self.ann.dispatch_ranges.partition_point(|&(_, end)| end <= pc);
+        self.ann
+            .dispatch_ranges
+            .get(i)
+            .is_some_and(|&(start, _)| pc >= start)
+    }
+
+    #[inline]
+    fn is_dispatch_jump(&self, pc: u64) -> bool {
+        self.ann.dispatch_jumps.binary_search(&pc).is_ok()
+    }
+
+    fn vbbi_hint(&self, pc: u64) -> Option<VbbiHint> {
+        let i = self
+            .ann
+            .vbbi_hints
+            .binary_search_by_key(&pc, |h| h.jump_pc)
+            .ok()?;
+        Some(self.ann.vbbi_hints[i])
+    }
+
+    /// Cost of an L1 miss (L2 hit or DRAM), updating L2 stats.
+    fn l1_miss_cost(&mut self, addr: u64, write: bool) -> u64 {
+        match &mut self.l2 {
+            Some(l2) => {
+                self.stats.l2.accesses += 1;
+                let a = l2.access(addr, write);
+                if a.writeback {
+                    self.stats.l2.writebacks += 1;
+                }
+                if a.hit {
+                    self.cfg.l2_latency
+                } else {
+                    self.stats.l2.misses += 1;
+                    self.cfg.l2_latency + self.cfg.dram_latency
+                }
+            }
+            None => self.cfg.dram_latency,
+        }
+    }
+
+    /// Instruction fetch timing for the instruction at `pc`.
+    fn fetch_timing(&mut self, pc: u64) {
+        self.stats.itlb.accesses += 1;
+        if !self.itlb.access(pc) {
+            self.stats.itlb.misses += 1;
+            self.cycle += self.cfg.tlb_miss_penalty;
+        }
+        self.stats.icache.accesses += 1;
+        let a = self.icache.access(pc, false);
+        if !a.hit {
+            self.stats.icache.misses += 1;
+            self.cycle += self.l1_miss_cost(pc, false);
+        }
+    }
+
+    /// Data access timing; returns extra cycles charged (already added).
+    fn data_timing(&mut self, addr: u64, write: bool) {
+        self.stats.dtlb.accesses += 1;
+        if !self.dtlb.access(addr) {
+            self.stats.dtlb.misses += 1;
+            self.cycle += self.cfg.tlb_miss_penalty;
+        }
+        self.stats.dcache.accesses += 1;
+        let a = self.dcache.access(addr, write);
+        if a.writeback {
+            self.stats.dcache.writebacks += 1;
+        }
+        if !a.hit {
+            self.stats.dcache.misses += 1;
+            self.cycle += self.l1_miss_cost(addr, write);
+        }
+    }
+
+    /// Advances the issue clock for one instruction, honoring dual-issue
+    /// pairing rules and operand readiness.
+    fn issue(&mut self, inst: &Inst) {
+        let mut min_cycle = self.cycle;
+        for src in inst.use_xregs().into_iter().flatten() {
+            min_cycle = min_cycle.max(self.xready[src.index()]);
+        }
+        // FP sources.
+        match *inst {
+            Inst::FOp { rs1, rs2, .. } => {
+                min_cycle = min_cycle
+                    .max(self.fready[rs1.index()])
+                    .max(self.fready[rs2.index()]);
+            }
+            Inst::FCmp { rs1, rs2, .. } => {
+                min_cycle = min_cycle
+                    .max(self.fready[rs1.index()])
+                    .max(self.fready[rs2.index()]);
+            }
+            Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } => {
+                min_cycle = min_cycle.max(self.fready[rs1.index()]);
+            }
+            Inst::Fsd { rs2, .. } => {
+                min_cycle = min_cycle.max(self.fready[rs2.index()]);
+            }
+            _ => {}
+        }
+
+        let can_pair = self.cfg.issue_width > 1
+            && self.issued_this_cycle == 1
+            && min_cycle <= self.cycle
+            && !(self.prev_was_mem && (inst.is_load() || inst.is_store()))
+            && !inst
+                .use_xregs()
+                .into_iter()
+                .flatten()
+                .any(|s| Some(s) == self.prev_dest && !s.is_zero())
+            && match *inst {
+                Inst::FOp { rs1, rs2, .. } | Inst::FCmp { rs1, rs2, .. } => {
+                    Some(rs1) != self.prev_fdest && Some(rs2) != self.prev_fdest
+                }
+                Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } | Inst::Fsd { rs2: rs1, .. } => {
+                    Some(rs1) != self.prev_fdest
+                }
+                _ => true,
+            };
+
+        if can_pair {
+            self.issued_this_cycle = 2;
+        } else {
+            self.cycle = (self.cycle + 1).max(min_cycle);
+            self.issued_this_cycle = 1;
+        }
+        self.prev_dest = inst.def_xreg();
+        self.prev_fdest = inst.def_freg();
+        self.prev_was_mem = inst.is_load() || inst.is_store();
+    }
+
+    /// Charges a front-end redirect penalty and closes the issue group.
+    fn redirect(&mut self, penalty: u64) {
+        self.cycle += penalty;
+        self.issued_this_cycle = self.cfg.issue_width; // next inst starts a new cycle
+    }
+
+    fn branch_class(&self, pc: u64, rd: Reg, rs1: Reg) -> BranchClass {
+        if self.is_dispatch_jump(pc) {
+            BranchClass::IndirectDispatch
+        } else if rs1 == Reg::RA && rd.is_zero() {
+            BranchClass::Return
+        } else {
+            BranchClass::IndirectOther
+        }
+    }
+
+    /// Predicts and accounts an indirect jump (`jalr`/`jru`) at `pc`
+    /// resolving to `target`. Returns nothing; charges penalties.
+    fn account_indirect(&mut self, pc: u64, rd: Reg, rs1: Reg, target: u64) {
+        let class = self.branch_class(pc, rd, rs1);
+        let mispredicted = match class {
+            BranchClass::Return => {
+                let pred = self.ras.pop();
+                pred != Some(target)
+            }
+            _ if self.cfg.indirect == IndirectPredictor::Ittage => {
+                // ITTAGE covers every indirect jump; the PC-indexed BTB
+                // is its base component.
+                let pred = self
+                    .ittage
+                    .predict(pc)
+                    .or_else(|| self.btb.lookup(BtbKey::Pc(pc)));
+                let miss = pred != Some(target);
+                self.ittage.update(pc, target);
+                if miss {
+                    self.btb.insert(BtbKey::Pc(pc), target);
+                }
+                miss
+            }
+            _ => {
+                // VBBI applies only on registered jump PCs under the Vbbi
+                // configuration; everything else is PC-indexed.
+                let key = match (self.cfg.indirect, self.vbbi_hint(pc)) {
+                    (IndirectPredictor::Vbbi, Some(h)) => {
+                        let hint = self.regs[h.hint_reg.index()] & h.mask;
+                        let ready = self.xready[h.hint_reg.index()] + self.cfg.fetch_lead
+                            <= self.cycle;
+                        if ready {
+                            BtbKey::Vbbi(vbbi_mix(pc, hint))
+                        } else {
+                            BtbKey::Pc(pc)
+                        }
+                    }
+                    _ => BtbKey::Pc(pc),
+                };
+                let pred = self.btb.lookup(key);
+                let miss = pred != Some(target);
+                if miss {
+                    // Train with the resolved hint value (VBBI updates the
+                    // BTB with the actual key at execute).
+                    let update_key = match (self.cfg.indirect, self.vbbi_hint(pc)) {
+                        (IndirectPredictor::Vbbi, Some(h)) => {
+                            let hint = self.regs[h.hint_reg.index()] & h.mask;
+                            BtbKey::Vbbi(vbbi_mix(pc, hint))
+                        }
+                        _ => BtbKey::Pc(pc),
+                    };
+                    self.btb.insert(update_key, target);
+                }
+                miss
+            }
+        };
+        if rd == Reg::RA {
+            self.ras.push(pc + 4);
+        }
+        self.stats.record_branch(class, mispredicted);
+        if mispredicted {
+            self.redirect(self.cfg.branch_miss_penalty);
+        }
+    }
+
+    /// Runs until the guest halts via `ecall` (a7 = 0) or a limit/error.
+    ///
+    /// # Errors
+    /// Returns [`SimError`] on memory faults, runaway PCs, `ebreak`, or
+    /// when `max_insts` is exhausted.
+    pub fn run(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+        let scd_cfg: ScdConfig = self.cfg.scd;
+        let nbids = scd_cfg.branch_ids.min(MAX_BRANCH_IDS);
+        loop {
+            if self.stats.instructions >= max_insts {
+                self.stats.cycles = self.cycle;
+                self.stats.btb = self.merged_btb_stats();
+                return Err(SimError::InstLimit { limit: max_insts });
+            }
+            let pc = self.pc;
+            if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(4) {
+                return Err(SimError::PcOutOfRange { pc });
+            }
+            let inst = self.insts[((pc - self.text_base) / 4) as usize];
+
+            // ---- timing: fetch + issue ----
+            let cycle_before = self.cycle;
+            self.fetch_timing(pc);
+            self.issue(&inst);
+
+            // ---- retire bookkeeping ----
+            self.stats.instructions += 1;
+            if self.in_dispatch(pc) {
+                self.stats.dispatch_instructions += 1;
+            }
+            if self.stats.instructions >= self.next_flush_at {
+                // Emulated context switch: the OS executes jte.flush
+                // (Section IV).
+                self.jte_flush();
+                self.next_flush_at += scd_cfg.flush_interval.unwrap_or(u64::MAX);
+            }
+
+            let mut next_pc = pc + 4;
+            let merr = |fault: MemFault| SimError::Mem { pc, fault };
+
+            match inst {
+                Inst::Lui { rd, imm } => {
+                    self.wx(rd, imm as u64);
+                    self.xready[rd.index()] = self.cycle + 1;
+                }
+                Inst::Auipc { rd, imm } => {
+                    self.wx(rd, pc.wrapping_add(imm as u64));
+                    self.xready[rd.index()] = self.cycle + 1;
+                }
+                Inst::Jal { rd, offset } => {
+                    let target = pc.wrapping_add(offset as u64);
+                    self.wx(rd, pc + 4);
+                    self.xready[rd.index()] = self.cycle + 1;
+                    next_pc = target;
+                    // Direct jumps: BTB-predicted in fetch; miss costs a
+                    // decode-stage redirect.
+                    let hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+                    if !hit {
+                        self.btb.insert(BtbKey::Pc(pc), target);
+                        self.redirect(self.cfg.jal_redirect_penalty);
+                    }
+                    self.stats.record_branch(BranchClass::Direct, !hit);
+                    if rd == Reg::RA {
+                        self.ras.push(pc + 4);
+                    }
+                }
+                Inst::Jalr { rd, rs1, offset } => {
+                    let target = self.regs[rs1.index()].wrapping_add(offset as u64) & !1;
+                    self.wx(rd, pc + 4);
+                    self.xready[rd.index()] = self.cycle + 1;
+                    next_pc = target;
+                    self.account_indirect(pc, rd, rs1, target);
+                }
+                Inst::Branch { op, rs1, rs2, offset } => {
+                    let a = self.regs[rs1.index()];
+                    let b = self.regs[rs2.index()];
+                    let taken = match op {
+                        BranchOp::Beq => a == b,
+                        BranchOp::Bne => a != b,
+                        BranchOp::Blt => (a as i64) < (b as i64),
+                        BranchOp::Bge => (a as i64) >= (b as i64),
+                        BranchOp::Bltu => a < b,
+                        BranchOp::Bgeu => a >= b,
+                    };
+                    let target = pc.wrapping_add(offset as u64);
+                    // Effective front-end prediction: taken only when the
+                    // direction predictor says taken AND the BTB supplies
+                    // the target.
+                    let dir_pred = self.direction.predict(pc);
+                    let btb_hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+                    let pred_taken = dir_pred && btb_hit;
+                    let mispredicted = pred_taken != taken;
+                    self.direction.update(pc, taken);
+                    if taken {
+                        next_pc = target;
+                        if !btb_hit {
+                            self.btb.insert(BtbKey::Pc(pc), target);
+                        }
+                    }
+                    self.stats.record_branch(BranchClass::Conditional, mispredicted);
+                    if mispredicted {
+                        self.redirect(self.cfg.branch_miss_penalty);
+                    }
+                }
+                Inst::Load { op, rd, rs1, offset } => {
+                    let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                    let v = self.exec_load(op, addr).map_err(merr)?;
+                    self.wx(rd, v);
+                    self.stats.loads += 1;
+                    self.data_timing(addr, false);
+                    self.xready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
+                }
+                Inst::Store { op, rs2, rs1, offset } => {
+                    let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                    let v = self.regs[rs2.index()];
+                    self.exec_store(op, addr, v).map_err(merr)?;
+                    self.stats.stores += 1;
+                    self.data_timing(addr, true);
+                }
+                Inst::OpImm { op, rd, rs1, imm } => {
+                    let v = alu(op, self.regs[rs1.index()], imm as u64);
+                    self.wx(rd, v);
+                    self.xready[rd.index()] = self.cycle + 1;
+                }
+                Inst::Op { op, rd, rs1, rs2 } => {
+                    let v = alu(op, self.regs[rs1.index()], self.regs[rs2.index()]);
+                    self.wx(rd, v);
+                    let lat = if op.is_muldiv() {
+                        if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhu | AluOp::Mulw) {
+                            self.cfg.mul_latency
+                        } else {
+                            self.cfg.div_latency
+                        }
+                    } else {
+                        1
+                    };
+                    self.xready[rd.index()] = self.cycle + lat;
+                }
+                Inst::Fld { rd, rs1, offset } => {
+                    let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                    let v = self.mem.read_u64(addr).map_err(merr)?;
+                    self.fregs[rd.index()] = v;
+                    self.stats.loads += 1;
+                    self.data_timing(addr, false);
+                    self.fready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
+                }
+                Inst::Fsd { rs2, rs1, offset } => {
+                    let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                    self.mem.write_u64(addr, self.fregs[rs2.index()]).map_err(merr)?;
+                    self.stats.stores += 1;
+                    self.data_timing(addr, true);
+                }
+                Inst::FOp { op, rd, rs1, rs2 } => {
+                    let a = f64::from_bits(self.fregs[rs1.index()]);
+                    let b = f64::from_bits(self.fregs[rs2.index()]);
+                    let v = match op {
+                        FpOp::FaddD => a + b,
+                        FpOp::FsubD => a - b,
+                        FpOp::FmulD => a * b,
+                        FpOp::FdivD => a / b,
+                        FpOp::FminD => a.min(b),
+                        FpOp::FmaxD => a.max(b),
+                        FpOp::FsqrtD => a.sqrt(),
+                        FpOp::FsgnjD => f64::from_bits(
+                            (a.to_bits() & !SIGN) | (b.to_bits() & SIGN),
+                        ),
+                        FpOp::FsgnjnD => f64::from_bits(
+                            (a.to_bits() & !SIGN) | (!b.to_bits() & SIGN),
+                        ),
+                        FpOp::FsgnjxD => f64::from_bits(a.to_bits() ^ (b.to_bits() & SIGN)),
+                    };
+                    self.fregs[rd.index()] = v.to_bits();
+                    let lat = match op {
+                        FpOp::FdivD | FpOp::FsqrtD => self.cfg.fdiv_latency,
+                        _ => self.cfg.fpu_latency,
+                    };
+                    self.fready[rd.index()] = self.cycle + lat;
+                }
+                Inst::FCmp { op, rd, rs1, rs2 } => {
+                    let a = f64::from_bits(self.fregs[rs1.index()]);
+                    let b = f64::from_bits(self.fregs[rs2.index()]);
+                    let v = match op {
+                        FCmpOp::FeqD => a == b,
+                        FCmpOp::FltD => a < b,
+                        FCmpOp::FleD => a <= b,
+                    };
+                    self.wx(rd, v as u64);
+                    self.xready[rd.index()] = self.cycle + self.cfg.fpu_latency;
+                }
+                Inst::FcvtLD { rd, rs1, rm } => {
+                    let a = f64::from_bits(self.fregs[rs1.index()]);
+                    let rounded = match rm {
+                        Rounding::Rne => a.round_ties_even(),
+                        Rounding::Rtz => a.trunc(),
+                        Rounding::Rdn => a.floor(),
+                    };
+                    // RISC-V fcvt semantics: NaN and +overflow saturate
+                    // to i64::MAX, -overflow to i64::MIN.
+                    let v = if rounded.is_nan() || rounded >= i64::MAX as f64 {
+                        i64::MAX
+                    } else if rounded <= i64::MIN as f64 {
+                        i64::MIN
+                    } else {
+                        rounded as i64
+                    };
+                    self.wx(rd, v as u64);
+                    self.xready[rd.index()] = self.cycle + self.cfg.fpu_latency;
+                }
+                Inst::FcvtDL { rd, rs1 } => {
+                    let v = self.regs[rs1.index()] as i64 as f64;
+                    self.fregs[rd.index()] = v.to_bits();
+                    self.fready[rd.index()] = self.cycle + self.cfg.fpu_latency;
+                }
+                Inst::FmvXD { rd, rs1 } => {
+                    self.wx(rd, self.fregs[rs1.index()]);
+                    self.xready[rd.index()] = self.cycle + 1;
+                }
+                Inst::FmvDX { rd, rs1 } => {
+                    self.fregs[rd.index()] = self.regs[rs1.index()];
+                    self.fready[rd.index()] = self.cycle + 1;
+                }
+                Inst::Ecall => {
+                    match self.regs[Reg::A7.index()] {
+                        0 => {
+                            self.stats.cycles = self.cycle;
+                            self.stats.btb = self.merged_btb_stats();
+                            return Ok(Exit {
+                                code: self.regs[Reg::A0.index()],
+                                output: std::mem::take(&mut self.output),
+                            });
+                        }
+                        1 => self.output.push(self.regs[Reg::A0.index()] as u8),
+                        n => {
+                            // Unknown service: treat as a guest bug.
+                            let _ = n;
+                            return Err(SimError::Break { pc });
+                        }
+                    }
+                }
+                Inst::Ebreak => return Err(SimError::Break { pc }),
+                Inst::Fence => {}
+
+                // ---- SCD extension ----
+                Inst::SetMask { bid, rs1 } => {
+                    let bid = bid as usize % nbids.max(1);
+                    self.scd[bid].rmask = self.regs[rs1.index()];
+                }
+                Inst::Bop { bid } => {
+                    let bid = bid as usize % nbids.max(1);
+                    self.stats.bop_executed += 1;
+                    let s = self.scd[bid];
+                    if scd_cfg.enabled && s.rop_v {
+                        // Stall scheme: fetch waits until Rop is visible.
+                        if scd_cfg.stall_on_unready {
+                            let need = s.rop_ready + self.cfg.fetch_lead;
+                            if need > self.cycle {
+                                self.stats.bop_stall_cycles += need - self.cycle;
+                                self.cycle = need;
+                            }
+                            if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
+                                next_pc = t;
+                                self.scd[bid].rop_v = false;
+                                self.stats.bop_hits += 1;
+                                self.redirect(scd_cfg.bop_hit_bubbles);
+                            }
+                        } else {
+                            // Fall-through scheme: only short-circuit when
+                            // Rop was already available at fetch.
+                            let ready = s.rop_ready + self.cfg.fetch_lead <= self.cycle;
+                            if ready {
+                                if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
+                                    next_pc = t;
+                                    self.scd[bid].rop_v = false;
+                                    self.stats.bop_hits += 1;
+                                    self.redirect(scd_cfg.bop_hit_bubbles);
+                                }
+                            }
+                        }
+                    }
+                    self.scd[bid].rbop_pc = pc;
+                }
+                Inst::Jru { bid, rs1 } => {
+                    let bid = bid as usize % nbids.max(1);
+                    self.stats.jru_executed += 1;
+                    let target = self.regs[rs1.index()] & !1;
+                    next_pc = target;
+                    if scd_cfg.enabled && self.scd[bid].rop_v {
+                        let opcode = self.scd[bid].rop_d;
+                        self.jte_insert(bid as u8, opcode, target);
+                        self.scd[bid].rop_v = false;
+                    }
+                    self.account_indirect(pc, Reg::ZERO, rs1, target);
+                }
+                Inst::JteFlush => {
+                    self.jte_flush();
+                }
+                Inst::LoadOp { op, bid, rd, rs1, offset } => {
+                    let bid = bid as usize % nbids.max(1);
+                    let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                    let v = self.exec_load(op, addr).map_err(merr)?;
+                    self.wx(rd, v);
+                    self.stats.loads += 1;
+                    self.data_timing(addr, false);
+                    let ready = self.cycle + 1 + self.cfg.load_use_penalty;
+                    self.xready[rd.index()] = ready;
+                    let s = &mut self.scd[bid];
+                    s.rop_d = v & s.rmask;
+                    s.rop_v = true;
+                    s.rop_ready = ready;
+                }
+            }
+
+            if let Some(prof) = &mut self.profile {
+                let idx = ((pc - self.text_base) / 4) as usize;
+                prof.insts[idx] += 1;
+                prof.cycles[idx] += self.cycle - cycle_before;
+            }
+            self.pc = next_pc;
+        }
+    }
+
+    fn exec_load(&self, op: LoadOp, addr: u64) -> Result<u64, MemFault> {
+        Ok(match op {
+            LoadOp::Lb => self.mem.read_u8(addr)? as i8 as i64 as u64,
+            LoadOp::Lbu => self.mem.read_u8(addr)? as u64,
+            LoadOp::Lh => self.mem.read_u16(addr)? as i16 as i64 as u64,
+            LoadOp::Lhu => self.mem.read_u16(addr)? as u64,
+            LoadOp::Lw => self.mem.read_u32(addr)? as i32 as i64 as u64,
+            LoadOp::Lwu => self.mem.read_u32(addr)? as u64,
+            LoadOp::Ld => self.mem.read_u64(addr)?,
+        })
+    }
+
+    fn exec_store(&mut self, op: StoreOp, addr: u64, v: u64) -> Result<(), MemFault> {
+        match op {
+            StoreOp::Sb => self.mem.write_u8(addr, v as u8),
+            StoreOp::Sh => self.mem.write_u16(addr, v as u16),
+            StoreOp::Sw => self.mem.write_u32(addr, v as u32),
+            StoreOp::Sd => self.mem.write_u64(addr, v),
+        }
+    }
+}
+
+/// Per-static-instruction profile collected by
+/// [`Machine::enable_profiling`].
+#[derive(Debug, Clone)]
+pub struct Profile {
+    text_base: u64,
+    insts: Vec<u64>,
+    cycles: Vec<u64>,
+}
+
+impl Profile {
+    /// Retired count for the instruction at `pc`.
+    pub fn insts_at(&self, pc: u64) -> u64 {
+        self.insts
+            .get(((pc - self.text_base) / 4) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Cycles attributed to the instruction at `pc` (issue slot plus any
+    /// stall it caused).
+    pub fn cycles_at(&self, pc: u64) -> u64 {
+        self.cycles
+            .get(((pc - self.text_base) / 4) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The `n` hottest instructions by attributed cycles:
+    /// `(pc, cycles, retired)`.
+    pub fn hottest(&self, n: usize) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> = self
+            .cycles
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.text_base + 4 * i as u64, c, self.insts[i]))
+            .collect();
+        v.sort_by_key(|&(_, c, _)| std::cmp::Reverse(c));
+        v.truncate(n);
+        v
+    }
+
+    /// Total cycles attributed over a half-open PC range.
+    pub fn cycles_in_range(&self, start: u64, end: u64) -> u64 {
+        let a = ((start.saturating_sub(self.text_base)) / 4) as usize;
+        let b = (((end.saturating_sub(self.text_base)) / 4) as usize).min(self.cycles.len());
+        self.cycles[a.min(b)..b].iter().sum()
+    }
+}
+
+const SIGN: u64 = 1 << 63;
+
+fn vbbi_mix(pc: u64, hint: u64) -> u64 {
+    (pc >> 2) ^ hint.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(17)
+}
+
+/// Integer ALU semantics shared by the register and immediate forms.
+fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Addw => (a as i32).wrapping_add(b as i32) as i64 as u64,
+        AluOp::Subw => (a as i32).wrapping_sub(b as i32) as i64 as u64,
+        AluOp::Sllw => ((a as i32) << (b & 31)) as i64 as u64,
+        AluOp::Srlw => (((a as u32) >> (b & 31)) as i32) as i64 as u64,
+        AluOp::Sraw => ((a as i32) >> (b & 31)) as i64 as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        AluOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        AluOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+        AluOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+        AluOp::Divw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                u64::MAX
+            } else if a == i32::MIN && b == -1 {
+                a as i64 as u64
+            } else {
+                a.wrapping_div(b) as i64 as u64
+            }
+        }
+        AluOp::Remw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                a as i64 as u64
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as i64 as u64
+            }
+        }
+        AluOp::Remuw => {
+            let (a, b) = (a as u32, b as u32);
+            (if b == 0 { a } else { a % b }) as i32 as i64 as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_isa::Asm;
+
+    fn run_asm(build: impl FnOnce(&mut Asm)) -> (Exit, SimStats) {
+        let mut a = Asm::new(0x1_0000);
+        build(&mut a);
+        let p = a.finish().expect("assemble");
+        let mut m = Machine::new(SimConfig::embedded_a5(), &p);
+        m.map("scratch", 0x10_0000, 0x1000);
+        let exit = m.run(1_000_000).expect("run");
+        (exit, m.stats.clone())
+    }
+
+    fn halt(a: &mut Asm, code_reg: Reg) {
+        a.mv(Reg::A0, code_reg);
+        a.li(Reg::A7, 0);
+        a.ecall();
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        let (exit, stats) = run_asm(|a| {
+            a.li(Reg::A0, 0);
+            a.li(Reg::T0, 0);
+            a.li(Reg::T1, 100);
+            a.label("loop");
+            a.add(Reg::A0, Reg::A0, Reg::T0);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.bne(Reg::T0, Reg::T1, "loop");
+            halt(a, Reg::A0);
+        });
+        assert_eq!(exit.code, 4950);
+        assert!(stats.instructions > 300);
+        assert!(stats.cycles >= stats.instructions);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let (exit, _) = run_asm(|a| {
+            a.li(Reg::T0, 0x10_0000);
+            a.li(Reg::T1, -12345);
+            a.sd(Reg::T1, 8, Reg::T0);
+            a.ld(Reg::T2, 8, Reg::T0);
+            a.sub(Reg::A1, Reg::T2, Reg::T1); // 0 if equal
+            halt(a, Reg::A1);
+        });
+        assert_eq!(exit.code, 0);
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        let (exit, _) = run_asm(|a| {
+            a.li(Reg::T0, 0x7fff_ffff);
+            a.opi(AluOp::Addw, Reg::T1, Reg::T0, 1); // overflows to i32::MIN
+            halt(a, Reg::T1);
+        });
+        assert_eq!(exit.code as i64, i32::MIN as i64);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let (exit, _) = run_asm(|a| {
+            a.li(Reg::T0, 9);
+            a.fcvt_d_l(scd_isa::FReg::FT1, Reg::T0);
+            a.fsqrt(scd_isa::FReg::FT2, scd_isa::FReg::FT1);
+            a.fcvt_l_d(Reg::A1, scd_isa::FReg::FT2, Rounding::Rtz);
+            halt(a, Reg::A1);
+        });
+        assert_eq!(exit.code, 3);
+    }
+
+    #[test]
+    fn call_return_uses_ras() {
+        let (exit, stats) = run_asm(|a| {
+            a.li(Reg::A1, 0);
+            a.li(Reg::T1, 50);
+            a.label("loop");
+            a.call("inc");
+            a.bne(Reg::A1, Reg::T1, "loop");
+            halt(a, Reg::A1);
+            a.label("inc");
+            a.addi(Reg::A1, Reg::A1, 1);
+            a.ret();
+        });
+        assert_eq!(exit.code, 50);
+        // After warm-up the RAS should predict returns near-perfectly.
+        assert!(stats.ret.executed >= 50);
+        assert!(
+            stats.ret.mispredicted <= 2,
+            "return mispredictions: {}",
+            stats.ret.mispredicted
+        );
+    }
+
+    #[test]
+    fn branch_predictor_learns_loop() {
+        let (_, stats) = run_asm(|a| {
+            a.li(Reg::T0, 0);
+            a.li(Reg::T1, 1000);
+            a.label("loop");
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.bne(Reg::T0, Reg::T1, "loop");
+            halt(a, Reg::T0);
+        });
+        assert!(stats.cond.executed >= 1000);
+        // A steady loop branch should be near-perfectly predicted.
+        assert!(
+            stats.cond.mispredicted < 20,
+            "loop mispredictions: {}",
+            stats.cond.mispredicted
+        );
+    }
+
+    #[test]
+    fn scd_fast_path_basic() {
+        // A tiny dispatcher: two "bytecodes" (0 and 1) handled in a loop.
+        let (exit, stats) = run_asm(|a| {
+            // Bytecode array at 0x10_0000: alternating 0,1 x 100, terminator 2.
+            a.li(Reg::S1, 0x10_0000);
+            a.li(Reg::T0, 0);
+            a.li(Reg::T1, 100);
+            a.label("fill");
+            a.andi(Reg::T2, Reg::T0, 1);
+            a.slli(Reg::T3, Reg::T0, 2);
+            a.add(Reg::T3, Reg::T3, Reg::S1);
+            a.sw(Reg::T2, 0, Reg::T3);
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.bne(Reg::T0, Reg::T1, "fill");
+            // terminator opcode 2 at index 100
+            a.li(Reg::T2, 2);
+            a.slli(Reg::T3, Reg::T0, 2);
+            a.add(Reg::T3, Reg::T3, Reg::S1);
+            a.sw(Reg::T2, 0, Reg::T3);
+
+            // Interpreter setup: mask = 0x3f, a2 = counter
+            a.li(Reg::T0, 0x3f);
+            a.setmask(0, Reg::T0);
+            a.li(Reg::A2, 0);
+            a.la(Reg::S2, "jt");
+
+            a.label("dispatch");
+            a.load_op(LoadOp::Lw, 0, Reg::A0, 0, Reg::S1);
+            a.addi(Reg::S1, Reg::S1, 4);
+            a.bop(0);
+            // slow path: bound check + table jump
+            a.andi(Reg::A1, Reg::A0, 0x3f);
+            a.sltiu(Reg::T3, Reg::A1, 3);
+            a.beqz(Reg::T3, "bad");
+            a.slli(Reg::T3, Reg::A1, 3);
+            a.add(Reg::T3, Reg::T3, Reg::S2);
+            a.ld(Reg::T4, 0, Reg::T3);
+            a.jru(0, Reg::T4);
+
+            a.label("h0");
+            a.addi(Reg::A2, Reg::A2, 1);
+            a.j("dispatch");
+            a.label("h1");
+            a.addi(Reg::A2, Reg::A2, 2);
+            a.j("dispatch");
+            a.label("h2");
+            a.jte_flush();
+            halt(a, Reg::A2);
+            a.label("bad");
+            a.inst(Inst::Ebreak);
+
+            a.ro_label("jt");
+            a.ro_addr("h0");
+            a.ro_addr("h1");
+            a.ro_addr("h2");
+        });
+        // 50 zeros (+1 each) and 50 ones (+2 each) = 150
+        assert_eq!(exit.code, 150);
+        assert_eq!(stats.bop_executed, 101);
+        // First occurrence of each opcode takes the slow path; the
+        // remaining 98 dispatches of opcodes 0/1 hit.
+        assert_eq!(stats.bop_hits, 98);
+        assert_eq!(stats.jru_executed, 3);
+        assert_eq!(stats.btb.jte_inserts, 3);
+        assert_eq!(stats.btb.jte_flushes, 1);
+    }
+
+    #[test]
+    fn scd_disabled_falls_through() {
+        let cfg = SimConfig::embedded_a5().without_scd();
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::T0, 0x3f);
+        a.setmask(0, Reg::T0);
+        a.bop(0); // must fall through
+        a.li(Reg::A0, 7);
+        a.li(Reg::A7, 0);
+        a.ecall();
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(cfg, &p);
+        let exit = m.run(100).unwrap();
+        assert_eq!(exit.code, 7);
+        assert_eq!(m.stats.bop_hits, 0);
+    }
+
+    #[test]
+    fn putchar_collects_output() {
+        let (exit, _) = run_asm(|a| {
+            a.li(Reg::A0, b'h' as i64);
+            a.li(Reg::A7, 1);
+            a.ecall();
+            a.li(Reg::A0, b'i' as i64);
+            a.ecall();
+            a.li(Reg::A0, 0);
+            a.li(Reg::A7, 0);
+            a.ecall();
+        });
+        assert_eq!(exit.output, b"hi");
+    }
+
+    #[test]
+    fn inst_limit_errors() {
+        let mut a = Asm::new(0x1_0000);
+        a.label("spin");
+        a.j("spin");
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(SimConfig::embedded_a5(), &p);
+        assert!(matches!(m.run(100), Err(SimError::InstLimit { .. })));
+    }
+
+    #[test]
+    fn mem_fault_reported() {
+        let mut a = Asm::new(0x1_0000);
+        a.li(Reg::T0, 0x9999_0000);
+        a.ld(Reg::T1, 0, Reg::T0);
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(SimConfig::embedded_a5(), &p);
+        match m.run(100) {
+            Err(SimError::Mem { fault, .. }) => assert_eq!(fault.addr, 0x9999_0000),
+            other => panic!("expected memory fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alu_division_edge_cases() {
+        assert_eq!(alu(AluOp::Div, 7, 0), u64::MAX);
+        assert_eq!(alu(AluOp::Div, i64::MIN as u64, u64::MAX), i64::MIN as u64);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu(AluOp::Rem, i64::MIN as u64, u64::MAX), 0);
+        assert_eq!(alu(AluOp::Divu, 7, 0), u64::MAX);
+        assert_eq!(alu(AluOp::Remu, 7, 0), 7);
+        assert_eq!(alu(AluOp::Mulh, u64::MAX, u64::MAX), 0); // (-1)*(-1) >> 64
+        assert_eq!(alu(AluOp::Mulhu, u64::MAX, 2), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! Sparse, segment-based guest physical memory.
+//!
+//! The guest address space is a handful of disjoint segments (text, rodata,
+//! image, stacks, heap). Accesses outside any segment or straddling a
+//! segment end are reported as faults.
+
+use std::fmt;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting guest address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// True for stores.
+    pub write: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#x} ({} bytes)",
+            if self.write { "store" } else { "load" },
+            self.addr,
+            self.size
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+#[derive(Debug)]
+struct Segment {
+    name: &'static str,
+    base: u64,
+    data: Vec<u8>,
+}
+
+/// Segmented guest memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    segments: Vec<Segment>,
+}
+
+impl Memory {
+    /// Creates an empty memory with no segments.
+    pub fn new() -> Self {
+        Memory { segments: Vec::new() }
+    }
+
+    /// Adds a zero-filled segment.
+    ///
+    /// # Panics
+    /// Panics if the new segment overlaps an existing one.
+    pub fn add_segment(&mut self, name: &'static str, base: u64, size: u64) {
+        for s in &self.segments {
+            let s_end = s.base + s.data.len() as u64;
+            assert!(
+                base + size <= s.base || base >= s_end,
+                "segment {name} [{base:#x},{:#x}) overlaps {} [{:#x},{s_end:#x})",
+                base + size,
+                s.name,
+                s.base
+            );
+        }
+        self.segments.push(Segment { name, base, data: vec![0; size as usize] });
+    }
+
+    /// Copies `bytes` into memory at `addr` (must be within one segment).
+    ///
+    /// # Panics
+    /// Panics if the destination range is unmapped; loading an image into
+    /// unmapped memory is a harness bug, not a guest error.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let seg = self
+            .segments
+            .iter_mut()
+            .find(|s| addr >= s.base && addr + bytes.len() as u64 <= s.base + s.data.len() as u64)
+            .unwrap_or_else(|| panic!("write_bytes to unmapped {addr:#x}"));
+        let off = (addr - seg.base) as usize;
+        seg.data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64, size: u64) -> Option<(usize, usize)> {
+        for (i, s) in self.segments.iter().enumerate() {
+            if addr >= s.base && addr + size <= s.base + s.data.len() as u64 {
+                return Some((i, (addr - s.base) as usize));
+            }
+        }
+        None
+    }
+
+    /// Reads `SIZE` bytes little-endian.
+    #[inline]
+    pub fn read<const SIZE: usize>(&self, addr: u64) -> Result<[u8; SIZE], MemFault> {
+        let (seg, off) = self
+            .locate(addr, SIZE as u64)
+            .ok_or(MemFault { addr, size: SIZE as u64, write: false })?;
+        let mut out = [0u8; SIZE];
+        out.copy_from_slice(&self.segments[seg].data[off..off + SIZE]);
+        Ok(out)
+    }
+
+    /// Writes `SIZE` bytes little-endian.
+    #[inline]
+    pub fn write<const SIZE: usize>(&mut self, addr: u64, bytes: [u8; SIZE]) -> Result<(), MemFault> {
+        let (seg, off) = self
+            .locate(addr, SIZE as u64)
+            .ok_or(MemFault { addr, size: SIZE as u64, write: true })?;
+        self.segments[seg].data[off..off + SIZE].copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
+        Ok(self.read::<1>(addr)?[0])
+    }
+    /// Reads a little-endian u16.
+    pub fn read_u16(&self, addr: u64) -> Result<u16, MemFault> {
+        Ok(u16::from_le_bytes(self.read::<2>(addr)?))
+    }
+    /// Reads a little-endian u32.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, MemFault> {
+        Ok(u32::from_le_bytes(self.read::<4>(addr)?))
+    }
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemFault> {
+        Ok(u64::from_le_bytes(self.read::<8>(addr)?))
+    }
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), MemFault> {
+        self.write::<1>(addr, [v])
+    }
+    /// Writes a little-endian u16.
+    pub fn write_u16(&mut self, addr: u64, v: u16) -> Result<(), MemFault> {
+        self.write::<2>(addr, v.to_le_bytes())
+    }
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemFault> {
+        self.write::<4>(addr, v.to_le_bytes())
+    }
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.write::<8>(addr, v.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_rw() {
+        let mut m = Memory::new();
+        m.add_segment("a", 0x1000, 0x100);
+        m.write_u64(0x1000, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_u64(0x1000).unwrap(), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0x0d);
+        assert_eq!(m.read_u32(0x1004).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn faults_outside_segments() {
+        let mut m = Memory::new();
+        m.add_segment("a", 0x1000, 0x100);
+        assert!(m.read_u8(0xfff).is_err());
+        assert!(m.read_u64(0x10fc).is_err()); // straddles the end
+        assert!(m.write_u8(0x1100, 1).is_err());
+        let f = m.read_u32(0x5000).unwrap_err();
+        assert_eq!(f.addr, 0x5000);
+        assert!(!f.write);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_panics() {
+        let mut m = Memory::new();
+        m.add_segment("a", 0x1000, 0x100);
+        m.add_segment("b", 0x1080, 0x100);
+    }
+
+    #[test]
+    fn multiple_segments() {
+        let mut m = Memory::new();
+        m.add_segment("lo", 0x1000, 0x100);
+        m.add_segment("hi", 0x8000_0000, 0x100);
+        m.write_u32(0x8000_0000, 7).unwrap();
+        m.write_u32(0x1000, 9).unwrap();
+        assert_eq!(m.read_u32(0x8000_0000).unwrap(), 7);
+        assert_eq!(m.read_u32(0x1000).unwrap(), 9);
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = Memory::new();
+        m.add_segment("a", 0, 16);
+        m.write_bytes(4, &[1, 2, 3, 4]);
+        assert_eq!(m.read_u32(4).unwrap(), 0x04030201);
+    }
+}

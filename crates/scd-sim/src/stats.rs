@@ -1,0 +1,235 @@
+//! Execution statistics collected by the machine, with the derived
+//! metrics the paper's figures report (speedup, MPKI, instruction
+//! fractions).
+
+use crate::btb::BtbStats;
+
+/// Branch classes used for the Fig. 2 misprediction breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchClass {
+    /// Conditional branch.
+    Conditional,
+    /// Direct unconditional jump (`jal`, including calls).
+    Direct,
+    /// Return (`jalr` through `ra`).
+    Return,
+    /// The interpreter's dispatch indirect jump (`jalr`/`jru` at a
+    /// registered dispatch PC).
+    IndirectDispatch,
+    /// Any other indirect jump.
+    IndirectOther,
+}
+
+/// Counters for one branch class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchCounters {
+    /// Branches of this class retired.
+    pub executed: u64,
+    /// Of those, how many were mispredicted.
+    pub mispredicted: u64,
+}
+
+/// Counters for one cache or TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounters {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty-line writebacks.
+    pub writebacks: u64,
+}
+
+impl AccessCounters {
+    /// Misses per kilo-instruction.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// Full statistics of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Instructions retired from registered dispatcher PC ranges
+    /// (Fig. 3).
+    pub dispatch_instructions: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+
+    /// Conditional branches.
+    pub cond: BranchCounters,
+    /// Direct unconditional jumps.
+    pub direct: BranchCounters,
+    /// Returns.
+    pub ret: BranchCounters,
+    /// The interpreter's dispatch indirect jumps.
+    pub indirect_dispatch: BranchCounters,
+    /// Other indirect jumps.
+    pub indirect_other: BranchCounters,
+
+    /// `bop` executions.
+    pub bop_executed: u64,
+    /// `bop` fast-path hits (short-circuited dispatches).
+    pub bop_hits: u64,
+    /// Cycles spent stalled waiting for Rop at fetch.
+    pub bop_stall_cycles: u64,
+    /// `jru` executions.
+    pub jru_executed: u64,
+
+    /// L1 instruction cache.
+    pub icache: AccessCounters,
+    /// L1 data cache.
+    pub dcache: AccessCounters,
+    /// Unified L2 (all-zero when absent).
+    pub l2: AccessCounters,
+    /// Instruction TLB.
+    pub itlb: AccessCounters,
+    /// Data TLB.
+    pub dtlb: AccessCounters,
+
+    /// BTB/JTE interaction counters.
+    pub btb: BtbStats,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Accounts one retired branch of `class`.
+    pub fn record_branch(&mut self, class: BranchClass, mispredicted: bool) {
+        let c = match class {
+            BranchClass::Conditional => &mut self.cond,
+            BranchClass::Direct => &mut self.direct,
+            BranchClass::Return => &mut self.ret,
+            BranchClass::IndirectDispatch => &mut self.indirect_dispatch,
+            BranchClass::IndirectOther => &mut self.indirect_other,
+        };
+        c.executed += 1;
+        c.mispredicted += mispredicted as u64;
+    }
+
+    /// Total branch mispredictions across classes.
+    pub fn total_mispredictions(&self) -> u64 {
+        self.cond.mispredicted
+            + self.direct.mispredicted
+            + self.ret.mispredicted
+            + self.indirect_dispatch.mispredicted
+            + self.indirect_other.mispredicted
+    }
+
+    /// Branch misses per kilo-instruction (Fig. 9).
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_mispredictions() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// MPKI contributed by the dispatch indirect jump alone (Fig. 2).
+    pub fn dispatch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.indirect_dispatch.mispredicted as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// I-cache misses per kilo-instruction (Fig. 10).
+    pub fn icache_mpki(&self) -> f64 {
+        self.icache.mpki(self.instructions)
+    }
+
+    /// Fraction of dynamic instructions spent in the dispatcher (Fig. 3).
+    pub fn dispatch_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dispatch_instructions as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Geometric mean helper for the paper's GEOMEAN rows.
+///
+/// # Panics
+/// Panics if any value is non-positive.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = SimStats { cycles: 2000, instructions: 1000, ..Default::default() };
+        s.record_branch(BranchClass::IndirectDispatch, true);
+        s.record_branch(BranchClass::IndirectDispatch, false);
+        s.record_branch(BranchClass::Conditional, true);
+        assert_eq!(s.total_mispredictions(), 2);
+        assert!((s.branch_mpki() - 2.0).abs() < 1e-12);
+        assert!((s.dispatch_mpki() - 1.0).abs() < 1e-12);
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatch_fraction() {
+        let s = SimStats { instructions: 400, dispatch_instructions: 100, ..Default::default() };
+        assert!((s.dispatch_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn access_mpki() {
+        let a = AccessCounters { accesses: 100, misses: 5, writebacks: 0 };
+        assert!((a.mpki(1000) - 5.0).abs() < 1e-12);
+        assert_eq!(a.mpki(0), 0.0);
+    }
+}

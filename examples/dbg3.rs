@@ -1,0 +1,27 @@
+use scd_guest::{run_source, GuestOptions, Scheme, Vm};
+use scd_sim::SimConfig;
+use std::time::Instant;
+fn main() {
+    for name in ["fibo", "mandelbrot", "k-nucleotide"] {
+        let b = luma::scripts::find(name).unwrap();
+        println!("== {} (N={})", b.name, b.sim_arg);
+        let base_cycles = {
+            let t = Instant::now();
+            let r = run_source(SimConfig::embedded_a5(), Vm::Lvm, b.source, &[("N", b.sim_arg)],
+                Scheme::Baseline, GuestOptions::default(), u64::MAX).unwrap();
+            println!("  baseline: insts={:>10} cycles={:>10} mpki={:.2} dispatch_frac={:.1}% icache_mpki={:.2}  wall={:?}",
+                r.stats.instructions, r.stats.cycles, r.stats.branch_mpki(), 100.0*r.stats.dispatch_fraction(), r.stats.icache_mpki(), t.elapsed());
+            r.stats.cycles
+        };
+        for (label, cfg, scheme) in [
+            ("jt      ", SimConfig::embedded_a5(), Scheme::Threaded),
+            ("vbbi    ", SimConfig::embedded_a5().with_vbbi(), Scheme::Baseline),
+            ("scd     ", SimConfig::embedded_a5(), Scheme::Scd),
+        ] {
+            let r = run_source(cfg, Vm::Lvm, b.source, &[("N", b.sim_arg)], scheme, GuestOptions::default(), u64::MAX).unwrap();
+            println!("  {label}: insts={:>10} cycles={:>10} mpki={:.2} speedup={:+.1}% bophits={} stalls={}",
+                r.stats.instructions, r.stats.cycles, r.stats.branch_mpki(),
+                100.0*(base_cycles as f64 / r.stats.cycles as f64 - 1.0), r.stats.bop_hits, r.stats.bop_stall_cycles);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! A tiny Luma REPL running on the host oracle interpreter — handy for
+//! exploring the language the benchmarks are written in.
+//!
+//! Each line is compiled as a whole program; definitions accumulate
+//! across lines (globals and functions persist by textual accumulation,
+//! the classic trick for a compile-only pipeline). `emit(...)` prints.
+//!
+//! ```text
+//! cargo run --release --example luma_repl
+//! luma> var x = 21;
+//! luma> emit(x * 2);
+//! 42
+//! ```
+
+use std::io::{BufRead, Write as _};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut defs = String::new(); // accumulated fn/var definitions
+    let mut emitted_so_far = 0usize;
+    println!("Luma REPL (host oracle). `emit(expr);` prints; ctrl-d exits.");
+    loop {
+        print!("luma> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if line == ":defs" {
+            println!("{defs}");
+            continue;
+        }
+        // Bare expressions get an implicit emit.
+        let stmt = if !line.ends_with(';') && !line.ends_with('}') {
+            format!("emit({line});")
+        } else {
+            line.to_string()
+        };
+        let candidate = format!("{defs}\n{stmt}");
+        match luma::lvm::run_source(&candidate, &[], 50_000_000) {
+            Ok(result) => {
+                // Print only emissions new to this line.
+                for v in result.emitted.iter().skip(emitted_so_far) {
+                    println!("{}", luma::value::display(*v));
+                }
+                // Keep definitions (and their side effects) for next time.
+                defs = candidate;
+                emitted_so_far = result.emitted.len();
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

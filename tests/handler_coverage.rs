@@ -1,0 +1,217 @@
+//! Exercises (nearly) every bytecode handler of both guest interpreters
+//! with a kitchen-sink script, verifying coverage through the oracle's
+//! dynamic opcode histogram and correctness through the usual
+//! guest-vs-oracle checks.
+
+use luma::lvm::bytecode::Op as LOp;
+use luma::svm::bytecode::Op as SOp;
+use scd_guest::{run_source, GuestOptions, Scheme, Vm};
+use scd_sim::SimConfig;
+
+/// Touches every language feature: literals, booleans, nil, globals,
+/// locals, arrays (dynamic + literal), all arithmetic (register and
+/// constant forms), comparisons in both orders, logic, unary ops,
+/// builtins, numeric for (up and down), while + break, calls (named and
+/// first-class), deep expressions, and early returns.
+const KITCHEN_SINK: &str = "
+    var g = 10;
+    fn choose(c, x, y) {
+        if c { return x; }
+        return y;
+    }
+    fn poly(x) {
+        return x * x * 1.5 - x / 2 + x % 3;
+    }
+    var a = array(8);
+    var lit = [2, 4, 6];
+    for i = 0, 7 { a[i] = poly(i + 0.5); }
+    var total = 0;
+    for i = 7, 0, -1 { total = total + a[i]; }
+    emit(total);
+    emit(len(a) + len(lit));
+    var f = poly;
+    emit(f(4));
+    var i = 0;
+    while true {
+        i = i + 1;
+        if i >= 5 and not (i == 7) { break; }
+    }
+    emit(i);
+    emit(choose(i > 4, floor(2.9), sqrt(16)));
+    emit(choose(nil == false, 1, 2));
+    emit(min(abs(0 - 3), max(1, 2)));
+    var flag = true;
+    if flag != true { emit(0 - 1); } else { emit(42); }
+    g = g + total * 0;
+    emit(g <= 10);
+    emit(g >= 11 or i < 100);
+    lit[1] = lit[0] + lit[2];
+    emit(lit[1]);
+
+    # variable-variable arithmetic (register forms, incl. Mod/Div/Sub/Mul)
+    var m = 17;
+    var d = 5;
+    emit(m % d);
+    emit(m / d);
+    emit(m - d);
+    emit(m * d);
+    emit(-m + -d);
+    if m == d { emit(1); } else { emit(2); }
+    if m != d { emit(3); } else { emit(4); }
+    if m < d or d <= m { emit(5); }
+
+    # wide literals and a big constant pool (PushInt16 / PushConst)
+    var wide = 12345;
+    emit(wide % 1000);
+    emit(0.125 + 0.25 + 0.375 + 0.625 + 0.875 + 1.125 + 1.375 + 1.625 + 1.875 + 2.125);
+
+    # deep local frames (GetLocal3.. / SetLocal2.. / GetLocal n8)
+    fn many(p0, p1, p2, p3, p4, p5, p6, p7, p8, p9) {
+        var l0 = p0 + p9;
+        var l1 = p1 + p8;
+        var l2 = p2 + p7;
+        var l3 = p3 + p6;
+        var l4 = p4 + p5;
+        l2 = l2 * 2;
+        l3 = l3 * 3;
+        l4 = l4 * 4;
+        return l0 + l1 + l2 + l3 + l4;
+    }
+    emit(many(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+    # bare return (no value)
+    fn side(arr2) {
+        arr2[0] = 99;
+        return;
+    }
+    side(lit);
+    emit(lit[0]);
+";
+
+#[test]
+fn lvm_opcode_coverage_is_near_total() {
+    let script = luma::parser::parse(KITCHEN_SINK).unwrap();
+    let (p, init) = luma::lvm::compile_lvm(&script, &[]).unwrap();
+    let result = luma::lvm::LvmInterp::new(&p, &init).run(1_000_000).unwrap();
+    let missing: Vec<LOp> = LOp::ALL
+        .into_iter()
+        .filter(|&op| result.op_counts[op as usize] == 0)
+        .collect();
+    // A few opcodes are legitimately situational; everything else must
+    // have executed.
+    assert!(
+        missing.len() <= 6,
+        "too many unexercised LVM opcodes: {missing:?}"
+    );
+    // The headline ones must always be covered.
+    for op in [
+        LOp::Move,
+        LOp::LoadK,
+        LOp::GetGlobal,
+        LOp::SetGlobal,
+        LOp::NewArr,
+        LOp::NewArrI,
+        LOp::GetIdx,
+        LOp::SetIdx,
+        LOp::Add,
+        LOp::Mod,
+        LOp::AddK,
+        LOp::AddI,
+        LOp::Jmp,
+        LOp::Eq,
+        LOp::Lt,
+        LOp::TestT,
+        LOp::TestF,
+        LOp::Call,
+        LOp::Return,
+        LOp::ForPrep,
+        LOp::ForLoop,
+        LOp::Closure,
+        LOp::CallB,
+        LOp::Sqrt,
+        LOp::Floor,
+        LOp::Halt,
+    ] {
+        assert!(
+            result.op_counts[op as usize] > 0,
+            "{op:?} not exercised by the kitchen sink"
+        );
+    }
+}
+
+#[test]
+fn svm_opcode_coverage_is_near_total() {
+    let script = luma::parser::parse(KITCHEN_SINK).unwrap();
+    let (p, init) = luma::svm::compile_svm(&script, &[]).unwrap();
+    let result = luma::svm::SvmInterp::new(&p, &init).run(1_000_000).unwrap();
+    let mut missing = Vec::new();
+    for n in 0..luma::svm::bytecode::NUM_IMPLEMENTED {
+        let op = SOp::from_u8(n as u8).unwrap();
+        // Nop exists for alignment/patching and is never emitted.
+        if op != SOp::Nop && result.op_counts[n as usize] == 0 {
+            missing.push(op);
+        }
+    }
+    // Specialized forms beyond what this script needs may stay cold, but
+    // the bulk must run.
+    assert!(
+        missing.len() <= 4,
+        "too many unexercised SVM opcodes ({}): {missing:?}",
+        missing.len()
+    );
+    for op in [
+        SOp::PushConst,
+        SOp::PushInt8,
+        SOp::GetLocal0,
+        SOp::SetLocal0,
+        SOp::GetGlobal,
+        SOp::SetGlobal,
+        SOp::Add,
+        SOp::Mod,
+        SOp::Lt,
+        SOp::Eq,
+        SOp::Jump,
+        SOp::JumpIfFalse,
+        SOp::PushFn,
+        SOp::Call,
+        SOp::ReturnVal,
+        SOp::NewArray,
+        SOp::GetElem,
+        SOp::SetElemI,
+        SOp::Builtin,
+        SOp::Inc,
+        SOp::Halt,
+    ] {
+        assert!(
+            result.op_counts[op as u8 as usize] > 0,
+            "{op:?} not exercised by the kitchen sink"
+        );
+    }
+}
+
+#[test]
+fn kitchen_sink_runs_on_guests_in_all_schemes() {
+    for vm in Vm::ALL {
+        for scheme in Scheme::ALL {
+            // run_source validates checksum + dispatch count internally.
+            run_source(
+                SimConfig::embedded_a5(),
+                vm,
+                KITCHEN_SINK,
+                &[],
+                scheme,
+                GuestOptions::default(),
+                50_000_000,
+            )
+            .unwrap_or_else(|e| panic!("kitchen sink on {vm:?}/{scheme:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn kitchen_sink_oracles_agree() {
+    let l = luma::lvm::run_source(KITCHEN_SINK, &[], 1_000_000).unwrap();
+    let s = luma::svm::run_source(KITCHEN_SINK, &[], 1_000_000).unwrap();
+    assert_eq!(l.checksum, s.checksum);
+    assert_eq!(l.emitted, s.emitted);
+}
