@@ -302,7 +302,7 @@ mod tests {
             assert_eq!(Op::from_u8(n as u8), Some(*op));
         }
         assert_eq!(Op::from_u8(NUM_IMPLEMENTED as u8), None);
-        assert!(NUM_IMPLEMENTED < NUM_OPS);
+        const { assert!(NUM_IMPLEMENTED < NUM_OPS) };
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn bench_btb(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            if i % 3 == 0 {
+            if i.is_multiple_of(3) {
                 btb.insert(BtbKey::Jte { bid: 0, opcode: i % 47 }, i);
             } else {
                 btb.insert(BtbKey::Pc(4 * (i % 512)), i);
@@ -76,7 +76,7 @@ fn bench_cache(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(40503);
-            black_box(cache.access((i * 64) % (1 << 20), i % 4 == 0))
+            black_box(cache.access((i * 64) % (1 << 20), i.is_multiple_of(4)))
         });
     });
 }

@@ -14,8 +14,15 @@
 //! formatting.
 
 use luma::scripts::{Benchmark, BENCHMARKS};
-use scd_guest::{run_source, GuestOptions, GuestRun, Scheme, Vm};
-use scd_sim::{geomean, SimConfig};
+use scd_guest::{run_source_with, GuestOptions, GuestRun, Scheme, Vm};
+use scd_sim::{geomean, CycleBreakdown, SimConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Invariant-checkpoint stride for harness runs. Figure binaries run in
+/// release, so the self-check is explicitly enabled here: every figure
+/// is produced from a run whose counters passed the cross-checks.
+const INVARIANT_STRIDE: u64 = 1 << 16;
 
 /// The four bars of Fig. 7: three software schemes plus the VBBI
 /// hardware predictor (which runs the *baseline* binary).
@@ -94,7 +101,7 @@ pub fn run_one(
     variant: Variant,
 ) -> GuestRun {
     let cfg = variant.configure(base_cfg);
-    run_source(
+    run_source_with(
         cfg,
         vm,
         b.source,
@@ -102,8 +109,43 @@ pub fn run_one(
         variant.scheme(),
         GuestOptions::default(),
         u64::MAX,
+        |m| m.enable_invariants(INVARIANT_STRIDE),
     )
     .unwrap_or_else(|e| panic!("{} [{} / {}]: {e}", b.name, vm.name(), variant.name()))
+}
+
+/// [`run_one`], additionally streaming the run's retirement events into
+/// a [`CycleBreakdown`] so figures can attribute cycles from real events
+/// instead of PC-range heuristics.
+///
+/// # Panics
+/// Panics on any correctness failure, like [`run_one`].
+pub fn run_one_traced(
+    base_cfg: &SimConfig,
+    vm: Vm,
+    b: &Benchmark,
+    scale: ArgScale,
+    variant: Variant,
+) -> (GuestRun, CycleBreakdown) {
+    let cfg = variant.configure(base_cfg);
+    let breakdown = Rc::new(RefCell::new(CycleBreakdown::default()));
+    let sink = Rc::clone(&breakdown);
+    let run = run_source_with(
+        cfg,
+        vm,
+        b.source,
+        &[("N", scale.arg(b))],
+        variant.scheme(),
+        GuestOptions::default(),
+        u64::MAX,
+        move |m| {
+            m.enable_invariants(INVARIANT_STRIDE);
+            m.set_trace_sink(Box::new(sink));
+        },
+    )
+    .unwrap_or_else(|e| panic!("{} [{} / {}]: {e}", b.name, vm.name(), variant.name()));
+    let bd = *breakdown.borrow();
+    (run, bd)
 }
 
 /// A complete matrix of runs for one VM and configuration.
@@ -116,11 +158,27 @@ pub struct Matrix {
 pub struct MatrixRow {
     pub bench: &'static Benchmark,
     pub runs: Vec<(Variant, GuestRun)>,
+    /// Event-derived cycle decompositions (empty unless the matrix was
+    /// built with [`run_matrix_traced`]).
+    pub breakdowns: Vec<(Variant, CycleBreakdown)>,
 }
 
 impl MatrixRow {
     pub fn get(&self, v: Variant) -> &GuestRun {
         &self.runs.iter().find(|(vv, _)| *vv == v).expect("variant present").1
+    }
+
+    /// The event-derived cycle decomposition for `v`.
+    ///
+    /// # Panics
+    /// Panics when the matrix was not built with [`run_matrix_traced`].
+    pub fn breakdown(&self, v: Variant) -> &CycleBreakdown {
+        &self
+            .breakdowns
+            .iter()
+            .find(|(vv, _)| *vv == v)
+            .expect("matrix was built with tracing")
+            .1
     }
 
     /// Speedup of `v` over the baseline (1.0 = no change).
@@ -143,16 +201,47 @@ pub fn run_matrix(
     variants: &[Variant],
     progress: bool,
 ) -> Matrix {
+    run_matrix_inner(base_cfg, vm, scale, variants, progress, false)
+}
+
+/// [`run_matrix`] with per-run event tracing, filling
+/// [`MatrixRow::breakdowns`] so the figure can decompose cycles from the
+/// same runs that produced its headline numbers.
+pub fn run_matrix_traced(
+    base_cfg: &SimConfig,
+    vm: Vm,
+    scale: ArgScale,
+    variants: &[Variant],
+    progress: bool,
+) -> Matrix {
+    run_matrix_inner(base_cfg, vm, scale, variants, progress, true)
+}
+
+fn run_matrix_inner(
+    base_cfg: &SimConfig,
+    vm: Vm,
+    scale: ArgScale,
+    variants: &[Variant],
+    progress: bool,
+    traced: bool,
+) -> Matrix {
     let mut rows = Vec::new();
     for b in &BENCHMARKS {
         let mut runs = Vec::new();
+        let mut breakdowns = Vec::new();
         for &v in variants {
             if progress {
                 eprintln!("  running {} [{} / {}]...", b.name, vm.name(), v.name());
             }
-            runs.push((v, run_one(base_cfg, vm, b, scale, v)));
+            if traced {
+                let (run, bd) = run_one_traced(base_cfg, vm, b, scale, v);
+                runs.push((v, run));
+                breakdowns.push((v, bd));
+            } else {
+                runs.push((v, run_one(base_cfg, vm, b, scale, v)));
+            }
         }
-        rows.push(MatrixRow { bench: b, runs });
+        rows.push(MatrixRow { bench: b, runs, breakdowns });
     }
     Matrix { vm, rows }
 }
@@ -195,6 +284,66 @@ pub fn format_table(
         }
     }
     out.push('\n');
+    out
+}
+
+/// Sums the event-derived decompositions of one variant across every
+/// benchmark of a traced matrix.
+pub fn aggregate_breakdown(matrix: &Matrix, v: Variant) -> CycleBreakdown {
+    let mut agg = CycleBreakdown::default();
+    for row in &matrix.rows {
+        let b = row.breakdown(v);
+        agg.total += b.total;
+        agg.issue += b.issue;
+        agg.fetch_stall += b.fetch_stall;
+        agg.data_stall += b.data_stall;
+        agg.redirect += b.redirect;
+        agg.bop_stall += b.bop_stall;
+        agg.dispatch_total += b.dispatch_total;
+        agg.dispatch_redirect += b.dispatch_redirect;
+        agg.dispatch_fetch_stall += b.dispatch_fetch_stall;
+        agg.events += b.events;
+    }
+    agg
+}
+
+/// Formats the aggregated cycle decomposition per variant: where every
+/// simulated cycle went, attributed from the per-retirement events of
+/// the same runs that produced the headline table.
+pub fn format_breakdown(title: &str, matrix: &Matrix, variants: &[Variant]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} [{}]", matrix.vm.name());
+    let _ = writeln!(
+        out,
+        "{:<16}{:>12}{:>9}{:>9}{:>9}{:>10}{:>9}{:>11}{:>12}",
+        "variant",
+        "cycles",
+        "issue%",
+        "fetch%",
+        "data%",
+        "redir%",
+        "bop%",
+        "dispatch%",
+        "disp-redir%"
+    );
+    for &v in variants {
+        let b = aggregate_breakdown(matrix, v);
+        let pct = |x: u64| 100.0 * x as f64 / b.total.max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<16}{:>12}{:>9.1}{:>9.1}{:>9.1}{:>10.1}{:>9.1}{:>11.1}{:>12.1}",
+            v.name(),
+            b.total,
+            pct(b.issue),
+            pct(b.fetch_stall),
+            pct(b.data_stall),
+            pct(b.redirect),
+            pct(b.bop_stall),
+            pct(b.dispatch_total),
+            100.0 * b.dispatch_redirect as f64 / b.redirect.max(1) as f64,
+        );
+    }
     out
 }
 

@@ -4,20 +4,22 @@
 //! ```text
 //! scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]
 //!         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...
+//!         [--trace out.jsonl]
 //! scd disasm <script.luma> [--vm lvm|svm]
 //! scd listing [--scheme baseline|threaded|scd]     # guest interpreter asm
 //! scd bench list                                    # benchmark corpus
 //! scd model [--config a5|rocket|a8]                 # Table V area/power
 //! ```
 
-use scd_guest::{run_source, GuestOptions, Scheme, Vm};
-use scd_sim::SimConfig;
+use scd_guest::{run_source_with, GuestOptions, Scheme, Vm};
+use scd_sim::{JsonlSink, SimConfig};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]\n\
          \x20         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...\n\
+         \x20         [--trace out.jsonl]\n\
          \x20 scd disasm <script.luma> [--vm lvm|svm]\n\
          \x20 scd listing [--scheme baseline|threaded|scd] [--vm lvm|svm]\n\
          \x20 scd bench list\n\
@@ -32,6 +34,7 @@ struct Opts {
     scheme: Scheme,
     cfg: SimConfig,
     args: Vec<(String, f64)>,
+    trace: Option<String>,
 }
 
 fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
@@ -41,6 +44,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         scheme: Scheme::Scd,
         cfg: SimConfig::embedded_a5(),
         args: Vec::new(),
+        trace: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -69,6 +73,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
             }
             "--vbbi" => o.cfg = o.cfg.clone().with_vbbi(),
             "--ittage" => o.cfg = o.cfg.clone().with_ittage(),
+            "--trace" => o.trace = Some(argv.next().unwrap_or_else(|| usage())),
             "--arg" => {
                 let kv = argv.next().unwrap_or_else(|| usage());
                 let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
@@ -93,8 +98,26 @@ fn cmd_run(o: Opts) {
     let path = o.path.clone().unwrap_or_else(|| usage());
     let src = read_script(&path);
     let args: Vec<(&str, f64)> = o.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    match run_source(o.cfg.clone(), o.vm, &src, &args, o.scheme, GuestOptions::default(), u64::MAX)
-    {
+    let trace = o.trace.clone();
+    let result = run_source_with(
+        o.cfg.clone(),
+        o.vm,
+        &src,
+        &args,
+        o.scheme,
+        GuestOptions::default(),
+        u64::MAX,
+        |m| {
+            if let Some(path) = &trace {
+                let sink = JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    exit(1);
+                });
+                m.set_trace_sink(Box::new(sink));
+            }
+        },
+    );
+    match result {
         Ok(run) => {
             println!("config        : {}", o.cfg.name);
             println!("vm / scheme   : {} / {}", o.vm.name(), o.scheme.name());

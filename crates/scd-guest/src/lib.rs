@@ -38,5 +38,8 @@ pub mod svm;
 pub use common::{Guest, GuestOptions, Scheme};
 pub use layout::{build_lvm_image, build_svm_image, Image};
 pub use lvm::build_lvm_guest;
-pub use runner::{run_lvm, run_source, run_svm, GuestError, GuestRun, Vm};
+pub use runner::{
+    run_lvm, run_lvm_with, run_source, run_source_with, run_svm, run_svm_with, GuestError,
+    GuestRun, Vm,
+};
 pub use svm::build_svm_guest;

@@ -89,6 +89,7 @@ fn run_image(
     guest: &Guest,
     img: &Image,
     max_insts: u64,
+    setup: impl FnOnce(&mut Machine),
 ) -> Result<(u64, u64, SimStats), GuestError> {
     let mut m = Machine::new(cfg, &guest.program);
     m.set_annotations(guest.annotations.clone());
@@ -107,6 +108,7 @@ fn run_image(
     );
     m.map("frames", layout::FRAME_BASE, layout::FRAME_SIZE);
     m.map("heap", layout::HEAP_BASE, layout::HEAP_SIZE);
+    setup(&mut m);
     let exit = m.run(max_insts)?;
     let dispatches = m
         .mem
@@ -129,9 +131,27 @@ pub fn run_lvm(
     opts: GuestOptions,
     max_insts: u64,
 ) -> Result<GuestRun, GuestError> {
+    run_lvm_with(cfg, program, global_init, scheme, opts, max_insts, |_| {})
+}
+
+/// [`run_lvm`] with a `setup` hook run on the machine just before
+/// execution — the place to install a trace sink or tune the invariant
+/// checker.
+///
+/// # Errors
+/// Returns [`GuestError`] on simulator faults or oracle mismatches.
+pub fn run_lvm_with(
+    cfg: SimConfig,
+    program: &LvmProgram,
+    global_init: &[u64],
+    scheme: Scheme,
+    opts: GuestOptions,
+    max_insts: u64,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<GuestRun, GuestError> {
     let img = layout::build_lvm_image(program, global_init);
     let guest = crate::lvm::build_lvm_guest(&img, scheme, opts);
-    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts)?;
+    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts, setup)?;
 
     let oracle = luma::lvm::LvmInterp::new(program, global_init)
         .run(max_insts)
@@ -158,9 +178,27 @@ pub fn run_svm(
     opts: GuestOptions,
     max_insts: u64,
 ) -> Result<GuestRun, GuestError> {
+    run_svm_with(cfg, program, global_init, scheme, opts, max_insts, |_| {})
+}
+
+/// [`run_svm`] with a `setup` hook run on the machine just before
+/// execution — the place to install a trace sink or tune the invariant
+/// checker.
+///
+/// # Errors
+/// Returns [`GuestError`] on simulator faults or oracle mismatches.
+pub fn run_svm_with(
+    cfg: SimConfig,
+    program: &SvmProgram,
+    global_init: &[u64],
+    scheme: Scheme,
+    opts: GuestOptions,
+    max_insts: u64,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<GuestRun, GuestError> {
     let img = layout::build_svm_image(program, global_init);
     let guest = crate::svm::build_svm_guest(&img, scheme, opts);
-    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts)?;
+    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts, setup)?;
 
     let oracle = luma::svm::SvmInterp::new(program, global_init)
         .run(max_insts)
@@ -187,17 +225,37 @@ pub fn run_source(
     opts: GuestOptions,
     max_insts: u64,
 ) -> Result<GuestRun, String> {
+    run_source_with(cfg, vm, src, predefined, scheme, opts, max_insts, |_| {})
+}
+
+/// [`run_source`] with a `setup` hook run on the machine just before
+/// execution — the place to install a trace sink or tune the invariant
+/// checker.
+///
+/// # Errors
+/// Returns a string describing parse/compile errors or a [`GuestError`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_source_with(
+    cfg: SimConfig,
+    vm: Vm,
+    src: &str,
+    predefined: &[(&str, f64)],
+    scheme: Scheme,
+    opts: GuestOptions,
+    max_insts: u64,
+    setup: impl FnOnce(&mut Machine),
+) -> Result<GuestRun, String> {
     let script = luma::parser::parse(src).map_err(|e| e.to_string())?;
     match vm {
         Vm::Lvm => {
             let (p, init) =
                 luma::lvm::compile_lvm(&script, predefined).map_err(|e| e.to_string())?;
-            run_lvm(cfg, &p, &init, scheme, opts, max_insts).map_err(|e| e.to_string())
+            run_lvm_with(cfg, &p, &init, scheme, opts, max_insts, setup).map_err(|e| e.to_string())
         }
         Vm::Svm => {
             let (p, init) =
                 luma::svm::compile_svm(&script, predefined).map_err(|e| e.to_string())?;
-            run_svm(cfg, &p, &init, scheme, opts, max_insts).map_err(|e| e.to_string())
+            run_svm_with(cfg, &p, &init, scheme, opts, max_insts, setup).map_err(|e| e.to_string())
         }
     }
 }

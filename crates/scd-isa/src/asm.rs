@@ -715,7 +715,7 @@ mod tests {
             ref other => panic!("expected branch, got {other}"),
         }
         match p.insts[4] {
-            Inst::Jal { offset, .. } => assert_eq!(offset, -(0x10 as i64)),
+            Inst::Jal { offset, .. } => assert_eq!(offset, -0x10_i64),
             ref other => panic!("expected jal, got {other}"),
         }
     }

@@ -84,8 +84,8 @@ mod tests {
 
     #[test]
     fn cam_denser_than_nothing_but_pricier_than_sram() {
-        assert!(CAM_BIT_MM2 > RF_BIT_MM2);
-        assert!(RF_BIT_MM2 > SRAM_BIT_MM2);
+        const { assert!(CAM_BIT_MM2 > RF_BIT_MM2) };
+        const { assert!(RF_BIT_MM2 > SRAM_BIT_MM2) };
     }
 
     #[test]

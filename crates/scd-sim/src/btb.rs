@@ -1,12 +1,35 @@
 //! Branch target buffer with the SCD jump-table-entry (JTE) overlay.
 //!
-//! Each entry carries a J/B flag (Section III-B of the paper): `B` entries
-//! are conventional PC-indexed target predictions, `J` entries cache
-//! software jump-table entries keyed by `(branch id, opcode)`. The
-//! replacement policy implements the paper's default: an incoming JTE may
-//! evict a BTB entry but a BTB entry can never evict a JTE, and an
-//! optional cap bounds the number of resident JTEs (Section IV /
+//! Each entry carries a kind tag (Section III-B of the paper extends the
+//! J/B flag): `Pc` entries are conventional PC-indexed target
+//! predictions, `Jte` entries cache software jump-table entries keyed by
+//! `(branch id, opcode)`, and `Vbbi` entries are keyed by a hash of
+//! (PC, hint value). The tag participates in tag match, so the three key
+//! spaces can never satisfy each other's lookups even when their raw key
+//! bits collide.
+//!
+//! The replacement policy implements the paper's default: an incoming
+//! JTE may evict a `Pc`/`Vbbi` entry but those can never evict a JTE,
+//! and an optional cap bounds the number of resident JTEs (Section IV /
 //! Fig. 11c-d).
+//!
+//! ## JTE cap semantics
+//!
+//! `jte_cap` is a **global** bound on resident JTEs across all sets, not
+//! a per-set quota. While at the cap, an incoming JTE must displace
+//! another JTE so the population stays bounded:
+//!
+//! 1. if its own set holds a JTE, the replacement policy picks among
+//!    those ways (ordinary same-set replacement);
+//! 2. otherwise the globally least-recently-used JTE (in whatever set)
+//!    is invalidated first, and the insert then proceeds in its own set
+//!    under the normal no-cap priority rules.
+//!
+//! Rule 2 fixes a seed defect where an at-cap insert whose set held no
+//! JTE was silently dropped forever — even when the set had invalid
+//! ways — permanently locking the cap's population into whichever sets
+//! filled first. A JTE insert is now only ever dropped when `jte_cap`
+//! is `Some(0)`.
 
 use crate::cache::Replacement;
 
@@ -19,7 +42,9 @@ pub struct BtbConfig {
     pub ways: usize,
     /// Replacement policy within a set.
     pub replacement: Replacement,
-    /// Maximum number of resident JTEs (`None` = unbounded).
+    /// Maximum number of resident JTEs across all sets (`None` =
+    /// unbounded). See the module docs for the at-cap displacement
+    /// rules.
     pub jte_cap: Option<usize>,
 }
 
@@ -44,29 +69,76 @@ impl BtbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+/// Which key space a BTB entry belongs to. Stored in the entry and
+/// matched on lookup, so raw key collisions across spaces are inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Conventional PC-indexed entry.
+    Pc,
+    /// SCD jump table entry.
+    Jte,
+    /// VBBI entry (hash of PC and hint value).
+    Vbbi,
+}
+
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     valid: bool,
-    /// J/B flag: true = jump table entry.
-    jte: bool,
+    kind: EntryKind,
     key: u64,
     target: u64,
     lru: u64,
 }
 
+impl Default for Entry {
+    fn default() -> Self {
+        Entry { valid: false, kind: EntryKind::Pc, key: 0, target: 0, lru: 0 }
+    }
+}
+
 /// Counters for BTB/JTE interaction, surfaced into `SimStats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BtbStats {
-    /// JTE insertions performed.
+    /// JTE insertions performed (fresh entries; in-place target updates
+    /// are not counted).
     pub jte_inserts: u64,
-    /// JTE insertions skipped because of the JTE cap.
+    /// JTE insertions dropped because of the JTE cap (only possible
+    /// with `jte_cap == Some(0)`).
     pub jte_cap_skips: u64,
-    /// Valid B entries evicted by an incoming JTE.
+    /// Valid `Pc`/`Vbbi` entries evicted by an incoming JTE.
     pub btb_evicted_by_jte: u64,
-    /// B-entry insertions skipped because every way held a JTE.
+    /// Resident JTEs displaced by an insert (same-set replacement or
+    /// the at-cap global eviction).
+    pub jte_evictions: u64,
+    /// `Pc`/`Vbbi` insertions skipped because every way held a JTE.
     pub btb_blocked_by_jte: u64,
     /// `jte.flush` invocations.
     pub jte_flushes: u64,
+    /// JTE entries invalidated by `jte.flush` invocations.
+    pub jte_flushed: u64,
+}
+
+/// What [`Btb::insert`] did, for per-event tracing and invariant
+/// checking. Together with the inserted key's kind this determines the
+/// exact [`BtbStats`] delta of the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Tag match: the existing entry's target was refreshed in place.
+    Updated,
+    /// A new entry was written.
+    Inserted {
+        /// Kind of the valid entry this insert displaced in its own
+        /// set, if any.
+        evicted: Option<EntryKind>,
+        /// True when the at-cap rule additionally invalidated the
+        /// globally least-recently-used JTE in another set.
+        remote_jte_evicted: bool,
+    },
+    /// A JTE insert was dropped: the cap is in force and there is no
+    /// resident JTE to displace (`jte_cap == Some(0)`).
+    CapSkipped,
+    /// A `Pc`/`Vbbi` insert found every candidate way holding a JTE.
+    Blocked,
 }
 
 /// The branch target buffer.
@@ -100,12 +172,17 @@ pub enum BtbKey {
 }
 
 impl BtbKey {
-    fn raw(self) -> (u64, bool) {
+    /// The key space this key lives in.
+    pub fn kind(self) -> EntryKind {
+        self.raw().1
+    }
+
+    fn raw(self) -> (u64, EntryKind) {
         match self {
             // PCs are 4-byte aligned; drop the known-zero bits for indexing.
-            BtbKey::Pc(pc) => (pc >> 2, false),
-            BtbKey::Jte { bid, opcode } => (opcode ^ ((bid as u64) << 56), true),
-            BtbKey::Vbbi(h) => (h, false),
+            BtbKey::Pc(pc) => (pc >> 2, EntryKind::Pc),
+            BtbKey::Jte { bid, opcode } => (opcode ^ ((bid as u64) << 56), EntryKind::Jte),
+            BtbKey::Vbbi(h) => (h, EntryKind::Vbbi),
         }
     }
 }
@@ -152,11 +229,11 @@ impl Btb {
     #[inline]
     pub fn lookup(&mut self, key: BtbKey) -> Option<u64> {
         self.tick += 1;
-        let (raw, want_jte) = key.raw();
+        let (raw, kind) = key.raw();
         let set = self.set_of(raw);
         let base = set * self.ways;
         for e in &mut self.entries[base..base + self.ways] {
-            if e.valid && e.jte == want_jte && e.key == raw {
+            if e.valid && e.kind == kind && e.key == raw {
                 e.lru = self.tick;
                 return Some(e.target);
             }
@@ -164,43 +241,74 @@ impl Btb {
         None
     }
 
-    /// Inserts or updates an entry for `key`.
-    pub fn insert(&mut self, key: BtbKey, target: u64) {
+    /// Inserts or updates an entry for `key`, reporting what happened.
+    pub fn insert(&mut self, key: BtbKey, target: u64) -> InsertOutcome {
         self.tick += 1;
-        let (raw, is_jte) = key.raw();
+        let (raw, kind) = key.raw();
+        let is_jte = kind == EntryKind::Jte;
         let set = self.set_of(raw);
         let base = set * self.ways;
 
-        // Update in place on tag match.
+        // Update in place on tag match (population unchanged, so the cap
+        // never applies here).
         for e in &mut self.entries[base..base + self.ways] {
-            if e.valid && e.jte == is_jte && e.key == raw {
+            if e.valid && e.kind == kind && e.key == raw {
                 e.target = target;
                 e.lru = self.tick;
-                return;
+                return InsertOutcome::Updated;
             }
         }
 
-        let at_cap = is_jte
-            && self
-                .cfg
-                .jte_cap
-                .is_some_and(|cap| self.jte_count >= cap);
+        let at_cap = is_jte && self.cfg.jte_cap.is_some_and(|cap| self.jte_count >= cap);
+        let own_set_has_jte =
+            self.entries[base..base + self.ways].iter().any(|e| e.valid && e.kind == EntryKind::Jte);
+
+        // At the cap with no JTE in our own set: make room by evicting
+        // the globally least-recently-used JTE, then insert under the
+        // normal rules (module docs, rule 2).
+        let mut remote_jte_evicted = false;
+        let at_cap = if at_cap && !own_set_has_jte {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.valid && e.kind == EntryKind::Jte)
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i);
+            match victim {
+                Some(i) => {
+                    self.entries[i].valid = false;
+                    self.jte_count -= 1;
+                    self.stats.jte_evictions += 1;
+                    remote_jte_evicted = true;
+                    false
+                }
+                None => {
+                    // cap == 0: there is no JTE anywhere to displace.
+                    self.stats.jte_cap_skips += 1;
+                    return InsertOutcome::CapSkipped;
+                }
+            }
+        } else {
+            at_cap
+        };
 
         // Choose a victim way subject to the priority rules.
         let allowed = |e: &Entry| -> bool {
             if !e.valid {
-                // An invalid way is always usable, except that a JTE at cap
-                // must replace another JTE to keep the population bounded.
+                // An invalid way is always usable, except that a JTE at
+                // cap must replace another JTE to keep the population
+                // bounded (only reachable when the set holds one).
                 return !at_cap;
             }
             if is_jte {
                 if at_cap {
-                    e.jte
+                    e.kind == EntryKind::Jte
                 } else {
                     true // JTE priority: may evict anything
                 }
             } else {
-                !e.jte // B entries never evict JTEs
+                e.kind != EntryKind::Jte // Pc/Vbbi entries never evict JTEs
             }
         };
 
@@ -235,18 +343,17 @@ impl Btb {
         };
 
         let Some(victim) = victim else {
-            if is_jte {
-                self.stats.jte_cap_skips += 1;
-            } else {
-                self.stats.btb_blocked_by_jte += 1;
-            }
-            return;
+            debug_assert!(!is_jte, "a JTE insert always finds a victim once under the cap");
+            self.stats.btb_blocked_by_jte += 1;
+            return InsertOutcome::Blocked;
         };
 
         let old = self.entries[base + victim];
+        let evicted = old.valid.then_some(old.kind);
         if old.valid {
-            if old.jte {
+            if old.kind == EntryKind::Jte {
                 self.jte_count -= 1;
+                self.stats.jte_evictions += 1;
             } else if is_jte {
                 self.stats.btb_evicted_by_jte += 1;
             }
@@ -255,29 +362,57 @@ impl Btb {
             self.jte_count += 1;
             self.stats.jte_inserts += 1;
         }
-        self.entries[base + victim] =
-            Entry { valid: true, jte: is_jte, key: raw, target, lru: self.tick };
+        self.entries[base + victim] = Entry { valid: true, kind, key: raw, target, lru: self.tick };
+        InsertOutcome::Inserted { evicted, remote_jte_evicted }
     }
 
-    /// A snapshot of the valid entries: `(is_jte, key, target)`, in
+    /// A snapshot of the valid entries: `(kind, key, target)`, in
     /// array order. For diagnostics and the Fig. 6 walk-through.
-    pub fn snapshot(&self) -> Vec<(bool, u64, u64)> {
+    pub fn snapshot(&self) -> Vec<(EntryKind, u64, u64)> {
         self.entries
             .iter()
             .filter(|e| e.valid)
-            .map(|e| (e.jte, e.key, e.target))
+            .map(|e| (e.kind, e.key, e.target))
             .collect()
     }
 
-    /// `jte.flush`: invalidates every JTE but leaves B entries intact.
-    pub fn flush_jtes(&mut self) {
+    /// `jte.flush`: invalidates every JTE but leaves other entries
+    /// intact. Returns the number of entries invalidated.
+    pub fn flush_jtes(&mut self) -> u64 {
+        let mut flushed = 0;
         for e in &mut self.entries {
-            if e.valid && e.jte {
+            if e.valid && e.kind == EntryKind::Jte {
                 e.valid = false;
+                flushed += 1;
             }
         }
         self.jte_count = 0;
         self.stats.jte_flushes += 1;
+        self.stats.jte_flushed += flushed;
+        flushed
+    }
+
+    /// Checks the population identity `resident JTEs == inserts -
+    /// evictions - flush losses` against the counters; used by the
+    /// stat-invariant checker.
+    ///
+    /// # Panics
+    /// Panics (with both sides of the identity) when it is violated.
+    pub fn assert_population_invariant(&self) {
+        let derived = self
+            .stats
+            .jte_inserts
+            .checked_sub(self.stats.jte_evictions + self.stats.jte_flushed)
+            .expect("JTE losses cannot exceed inserts");
+        assert_eq!(
+            self.jte_count as u64, derived,
+            "resident JTEs diverged from insert/eviction/flush accounting"
+        );
+        debug_assert_eq!(
+            self.jte_count,
+            self.entries.iter().filter(|e| e.valid && e.kind == EntryKind::Jte).count(),
+            "cached JTE population diverged from the entry array"
+        );
     }
 }
 
@@ -293,9 +428,12 @@ mod tests {
     fn pc_lookup_roundtrip() {
         let mut b = btb(8, 2);
         assert_eq!(b.lookup(BtbKey::Pc(0x1000)), None);
-        b.insert(BtbKey::Pc(0x1000), 0x2000);
+        assert!(matches!(
+            b.insert(BtbKey::Pc(0x1000), 0x2000),
+            InsertOutcome::Inserted { evicted: None, .. }
+        ));
         assert_eq!(b.lookup(BtbKey::Pc(0x1000)), Some(0x2000));
-        b.insert(BtbKey::Pc(0x1000), 0x3000); // update in place
+        assert_eq!(b.insert(BtbKey::Pc(0x1000), 0x3000), InsertOutcome::Updated);
         assert_eq!(b.lookup(BtbKey::Pc(0x1000)), Some(0x3000));
     }
 
@@ -317,14 +455,18 @@ mod tests {
         b.insert(BtbKey::Pc(0x1000), 1);
         b.insert(BtbKey::Pc(0x2000), 2);
         // JTE insertion must evict one of the B entries.
-        b.insert(BtbKey::Jte { bid: 0, opcode: 9 }, 3);
+        let out = b.insert(BtbKey::Jte { bid: 0, opcode: 9 }, 3);
+        assert_eq!(
+            out,
+            InsertOutcome::Inserted { evicted: Some(EntryKind::Pc), remote_jte_evicted: false }
+        );
         assert_eq!(b.resident_jtes(), 1);
         assert_eq!(b.stats.btb_evicted_by_jte, 1);
         // Fill the other way with a JTE too.
         b.insert(BtbKey::Jte { bid: 0, opcode: 10 }, 4);
         assert_eq!(b.resident_jtes(), 2);
         // Now a B entry cannot get in.
-        b.insert(BtbKey::Pc(0x3000), 5);
+        assert_eq!(b.insert(BtbKey::Pc(0x3000), 5), InsertOutcome::Blocked);
         assert_eq!(b.lookup(BtbKey::Pc(0x3000)), None);
         assert_eq!(b.stats.btb_blocked_by_jte, 1);
         assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 9 }), Some(3));
@@ -344,6 +486,46 @@ mod tests {
         assert_eq!(b.resident_jtes(), 2);
         assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 3 }), Some(3));
         assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 1 }), None);
+        b.assert_population_invariant();
+    }
+
+    #[test]
+    fn at_cap_insert_into_jteless_set_displaces_global_lru() {
+        // 4 sets x 2 ways. Cap of 1: the first JTE lands in set 1; a
+        // second JTE whose key maps to set 2 must displace it rather
+        // than being dropped forever (the seed defect).
+        let mut cfg = BtbConfig::set_assoc(8, 2, Replacement::Lru);
+        cfg.jte_cap = Some(1);
+        let mut b = Btb::new(cfg);
+        assert!(matches!(
+            b.insert(BtbKey::Jte { bid: 0, opcode: 1 }, 0x100),
+            InsertOutcome::Inserted { evicted: None, remote_jte_evicted: false }
+        ));
+        assert_eq!(b.resident_jtes(), 1);
+        let out = b.insert(BtbKey::Jte { bid: 0, opcode: 2 }, 0x200);
+        assert_eq!(
+            out,
+            InsertOutcome::Inserted { evicted: None, remote_jte_evicted: true }
+        );
+        assert_eq!(b.resident_jtes(), 1);
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 2 }), Some(0x200));
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 1 }), None);
+        assert_eq!(b.stats.jte_cap_skips, 0);
+        assert_eq!(b.stats.jte_evictions, 1);
+        assert_eq!(b.stats.jte_inserts, 2);
+        b.assert_population_invariant();
+    }
+
+    #[test]
+    fn zero_cap_drops_every_jte() {
+        let mut cfg = BtbConfig::set_assoc(8, 2, Replacement::Lru);
+        cfg.jte_cap = Some(0);
+        let mut b = Btb::new(cfg);
+        assert_eq!(b.insert(BtbKey::Jte { bid: 0, opcode: 1 }, 1), InsertOutcome::CapSkipped);
+        assert_eq!(b.resident_jtes(), 0);
+        assert_eq!(b.stats.jte_cap_skips, 1);
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 1 }), None);
+        b.assert_population_invariant();
     }
 
     #[test]
@@ -351,11 +533,13 @@ mod tests {
         let mut b = btb(8, 2);
         b.insert(BtbKey::Pc(0x1000), 1);
         b.insert(BtbKey::Jte { bid: 0, opcode: 7 }, 2);
-        b.flush_jtes();
+        assert_eq!(b.flush_jtes(), 1);
         assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 7 }), None);
         assert_eq!(b.lookup(BtbKey::Pc(0x1000)), Some(1));
         assert_eq!(b.resident_jtes(), 0);
         assert_eq!(b.stats.jte_flushes, 1);
+        assert_eq!(b.stats.jte_flushed, 1);
+        b.assert_population_invariant();
     }
 
     #[test]
@@ -387,8 +571,8 @@ mod tests {
         b.insert(BtbKey::Jte { bid: 0, opcode: 5 }, 0x3000);
         let snap = b.snapshot();
         assert_eq!(snap.len(), 2);
-        assert!(snap.iter().any(|&(jte, _, t)| jte && t == 0x3000));
-        assert!(snap.iter().any(|&(jte, _, t)| !jte && t == 0x2000));
+        assert!(snap.iter().any(|&(k, _, t)| k == EntryKind::Jte && t == 0x3000));
+        assert!(snap.iter().any(|&(k, _, t)| k == EntryKind::Pc && t == 0x2000));
     }
 
     #[test]
@@ -396,6 +580,41 @@ mod tests {
         let mut b = btb(8, 2);
         b.insert(BtbKey::Vbbi(0x123), 7);
         assert_eq!(b.lookup(BtbKey::Vbbi(0x123)), Some(7));
-        assert_eq!(b.lookup(BtbKey::Pc(0x123 << 2)), Some(7)); // same raw key space as PC
+        // Raw key bits collide with Pc(0x123 << 2), but the kind tag
+        // keeps the spaces isolated: a VBBI entry must never satisfy a
+        // plain PC lookup (it would corrupt direct-branch prediction).
+        assert_eq!(b.lookup(BtbKey::Pc(0x123 << 2)), None);
+        // And vice versa: a PC entry never satisfies a VBBI lookup.
+        b.insert(BtbKey::Pc(0x777 << 2), 9);
+        assert_eq!(b.lookup(BtbKey::Vbbi(0x777)), None);
+    }
+
+    #[test]
+    fn population_invariant_over_mixed_workout() {
+        let mut cfg = BtbConfig::set_assoc(16, 2, Replacement::RoundRobin);
+        cfg.jte_cap = Some(3);
+        let mut b = Btb::new(cfg);
+        for i in 0..200u64 {
+            match i % 5 {
+                0 | 1 => {
+                    b.insert(BtbKey::Jte { bid: (i % 2) as u8, opcode: i % 23 }, i);
+                }
+                2 => {
+                    b.insert(BtbKey::Pc(4 * (i % 64)), i);
+                }
+                3 => {
+                    b.insert(BtbKey::Vbbi(i % 41), i);
+                }
+                _ => {
+                    if i % 60 == 4 {
+                        b.flush_jtes();
+                    } else {
+                        let _ = b.lookup(BtbKey::Jte { bid: 0, opcode: i % 23 });
+                    }
+                }
+            }
+            assert!(b.resident_jtes() <= 3);
+            b.assert_population_invariant();
+        }
     }
 }

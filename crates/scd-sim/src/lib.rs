@@ -37,8 +37,9 @@ pub mod mem;
 pub mod predictor;
 pub mod stats;
 pub mod tlb;
+pub mod trace;
 
-pub use btb::{Btb, BtbConfig, BtbKey, BtbStats};
+pub use btb::{Btb, BtbConfig, BtbKey, BtbStats, EntryKind, InsertOutcome};
 pub use cache::{Cache, CacheAccess, CacheConfig, Replacement};
 pub use config::{IndirectPredictor, ScdConfig, SimConfig};
 pub use ittage::Ittage;
@@ -47,3 +48,8 @@ pub use mem::{MemFault, Memory};
 pub use predictor::{Direction, DirectionConfig, Ras};
 pub use stats::{geomean, AccessCounters, BranchClass, BranchCounters, SimStats};
 pub use tlb::Tlb;
+pub use trace::{
+    diff_stats, BopEvent, BopOutcome, BranchEvent, BtbInsertEvent, CycleBreakdown, DataAccess,
+    FetchAccess, InstClass, Inserts, JsonlSink, JteFlushEvent, L2Access, RedirectCause,
+    RedirectEvent, ReplayStats, StatInvariants, TraceEvent, TraceSink, VecSink,
+};

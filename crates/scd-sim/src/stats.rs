@@ -52,7 +52,7 @@ impl AccessCounters {
 }
 
 /// Full statistics of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total cycles.
     pub cycles: u64,
@@ -81,6 +81,10 @@ pub struct SimStats {
     pub bop_executed: u64,
     /// `bop` fast-path hits (short-circuited dispatches).
     pub bop_hits: u64,
+    /// `bop` executions that fell back to the slow path (JTE miss,
+    /// invalid Rop, fall-through, or SCD disabled). Always satisfies
+    /// `bop_hits + bop_misses == bop_executed`.
+    pub bop_misses: u64,
     /// Cycles spent stalled waiting for Rop at fetch.
     pub bop_stall_cycles: u64,
     /// `jru` executions.

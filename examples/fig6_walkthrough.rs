@@ -8,7 +8,7 @@
 //! ```
 
 use scd::scd_isa::{Asm, LoadOp, Reg};
-use scd::scd_sim::{Machine, SimConfig};
+use scd::scd_sim::{EntryKind, Machine, SimConfig};
 
 /// A micro-interpreter with three opcodes: 0 = increment, 2 = exit,
 /// 3 = flush-then-exit. Runs the given bytecode stream to completion.
@@ -67,11 +67,17 @@ fn run_interp(bytecodes: &[u32]) -> Machine {
 
 fn show(m: &Machine, caption: &str) {
     println!("-- {caption}");
-    for (jte, key, target) in m.btb().snapshot() {
-        if jte {
-            println!("   V=1 J/B=J  opcode {key:>5?}      -> target {target:#x}   (jump table entry)");
-        } else {
-            println!("   V=1 J/B=B  pc>>2 {key:#7x} -> target {target:#x}   (BTB entry)");
+    for (kind, key, target) in m.btb().snapshot() {
+        match kind {
+            EntryKind::Jte => println!(
+                "   V=1 J/B=J  opcode {key:>5?}      -> target {target:#x}   (jump table entry)"
+            ),
+            EntryKind::Pc => println!(
+                "   V=1 J/B=B  pc>>2 {key:#7x} -> target {target:#x}   (BTB entry)"
+            ),
+            EntryKind::Vbbi => println!(
+                "   V=1 J/B=V  hash  {key:#7x} -> target {target:#x}   (VBBI entry)"
+            ),
         }
     }
     println!(
