@@ -1,0 +1,62 @@
+//! The crate-wide error type.
+//!
+//! Every stage of the pipeline has its own typed error — [`ParseError`]
+//! from the lexer/parser, [`CompileError`] from either compiler,
+//! [`RuntimeError`] from either reference interpreter — and [`LumaError`]
+//! is their sum. A malformed script must surface as one of these, never
+//! as a panic: the simulator treats guest failures as traps, and a host
+//! panic would abort the whole simulation instead.
+
+use crate::lexer::ParseError;
+use crate::lvm::compile::CompileError;
+use crate::lvm::interp::RuntimeError;
+use std::fmt;
+
+/// Any error a Luma script can produce, from source text to halt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LumaError {
+    /// Lexing or parsing failed.
+    Parse(ParseError),
+    /// Compilation to LVM or SVM bytecode failed.
+    Compile(CompileError),
+    /// The reference interpreter trapped.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for LumaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LumaError::Parse(e) => e.fmt(f),
+            LumaError::Compile(e) => e.fmt(f),
+            LumaError::Runtime(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LumaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LumaError::Parse(e) => Some(e),
+            LumaError::Compile(e) => Some(e),
+            LumaError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for LumaError {
+    fn from(e: ParseError) -> Self {
+        LumaError::Parse(e)
+    }
+}
+
+impl From<CompileError> for LumaError {
+    fn from(e: CompileError) -> Self {
+        LumaError::Compile(e)
+    }
+}
+
+impl From<RuntimeError> for LumaError {
+    fn from(e: RuntimeError) -> Self {
+        LumaError::Runtime(e)
+    }
+}

@@ -21,10 +21,11 @@
 //!     10_000,
 //! )?;
 //! assert_eq!(f64::from_bits(result.emitted[0]), 49.0);
-//! # Ok::<(), String>(())
+//! # Ok::<(), luma::LumaError>(())
 //! ```
 
 pub mod ast;
+pub mod error;
 pub mod lexer;
 pub mod lvm;
 pub mod parser;
@@ -32,5 +33,6 @@ pub mod scripts;
 pub mod svm;
 pub mod value;
 
+pub use error::LumaError;
 pub use lexer::ParseError;
 pub use parser::parse;

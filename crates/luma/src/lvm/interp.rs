@@ -90,7 +90,11 @@ impl<'p> LvmInterp<'p> {
         }
         let handle = v::payload(aval) as usize;
         let idx = v::as_num(ival).trunc();
-        let len = self.arrays[handle].len();
+        // Forged constants can carry an array ref with a bogus handle.
+        let len = match self.arrays.get(handle) {
+            Some(a) => a.len(),
+            None => return self.fail(pc, format!("bad array handle {handle}")),
+        };
         // Unsigned compare, matching the guest's bltu bound check.
         let i = idx as i64 as u64;
         if i >= len as u64 {
@@ -101,10 +105,7 @@ impl<'p> LvmInterp<'p> {
 
     fn num2(&self, pc: usize, a: u64, b: u64) -> Result<(f64, f64), RuntimeError> {
         if !v::is_num(a) || !v::is_num(b) {
-            return self.fail(
-                pc,
-                format!("arithmetic on {} and {}", v::display(a), v::display(b)),
-            );
+            return self.fail(pc, format!("arithmetic on {} and {}", v::display(a), v::display(b)));
         }
         Ok((v::as_num(a), v::as_num(b)))
     }
@@ -122,7 +123,10 @@ impl<'p> LvmInterp<'p> {
     /// overflow, or when `max_steps` bytecodes have executed.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult, RuntimeError> {
         let code = &self.p.code;
-        let main = self.p.funcs[0];
+        let main = match self.p.funcs.first() {
+            Some(f) => *f,
+            None => return self.fail(0, "program has no functions"),
+        };
         self.stack.resize(main.nregs as usize, v::NIL);
         let mut base = 0usize;
         let mut pc = main.code_off as usize;
@@ -139,7 +143,12 @@ impl<'p> LvmInterp<'p> {
                 return self.fail(pc, format!("step limit {max_steps} exhausted"));
             }
             steps += 1;
-            let i = code[pc];
+            let i = match code.get(pc) {
+                Some(&w) => w,
+                None => {
+                    return self.fail(pc, format!("pc {pc} outside code ({} words)", code.len()))
+                }
+            };
             let this_pc = pc;
             pc += 1;
             let op = match Op::from_u32(bc::get_op(i)) {
@@ -149,19 +158,44 @@ impl<'p> LvmInterp<'p> {
             self.op_counts[op as usize] += 1;
             let a = bc::get_a(i) as usize;
 
+            // Constant-pool reader (bounds-checked: hand-crafted
+            // programs must trap, not index out of range).
+            macro_rules! kst {
+                ($idx:expr) => {{
+                    let k = $idx as usize;
+                    match self.p.consts.get(k) {
+                        Some(&c) => c,
+                        None => return self.fail(this_pc, format!("constant {k} out of range")),
+                    }
+                }};
+            }
+
             match op {
                 Op::Move => {
                     let b = bc::get_b(i) as usize;
                     r!(a) = r!(b);
                 }
                 Op::LoadK => {
-                    r!(a) = self.p.consts[bc::get_bx(i) as usize];
+                    r!(a) = kst!(bc::get_bx(i));
                 }
                 Op::LoadNil => r!(a) = v::NIL,
                 Op::LoadBool => r!(a) = v::boolean(bc::get_b(i) != 0),
                 Op::LoadInt => r!(a) = v::num(bc::get_sbx(i) as f64),
-                Op::GetGlobal => r!(a) = self.globals[bc::get_bx(i) as usize],
-                Op::SetGlobal => self.globals[bc::get_bx(i) as usize] = r!(a),
+                Op::GetGlobal => {
+                    let g = bc::get_bx(i) as usize;
+                    match self.globals.get(g) {
+                        Some(&x) => r!(a) = x,
+                        None => return self.fail(this_pc, format!("global {g} out of range")),
+                    }
+                }
+                Op::SetGlobal => {
+                    let g = bc::get_bx(i) as usize;
+                    let val = r!(a);
+                    match self.globals.get_mut(g) {
+                        Some(slot) => *slot = val,
+                        None => return self.fail(this_pc, format!("global {g} out of range")),
+                    }
+                }
                 Op::NewArr => {
                     let b = r!(bc::get_b(i));
                     if !v::is_num(b) {
@@ -199,7 +233,11 @@ impl<'p> LvmInterp<'p> {
                     if v::is_num(b) || v::tag(b) != v::TAG_ARRAY {
                         return self.fail(this_pc, "len of non-array");
                     }
-                    let n = self.arrays[v::payload(b) as usize].len();
+                    let h = v::payload(b) as usize;
+                    let n = match self.arrays.get(h) {
+                        Some(arr) => arr.len(),
+                        None => return self.fail(this_pc, format!("bad array handle {h}")),
+                    };
                     r!(a) = v::num(n as f64);
                 }
                 Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
@@ -207,7 +245,7 @@ impl<'p> LvmInterp<'p> {
                     r!(a) = v::num(arith(op, x, y));
                 }
                 Op::AddK | Op::SubK | Op::MulK | Op::DivK | Op::ModK => {
-                    let k = self.p.consts[bc::get_c(i) as usize];
+                    let k = kst!(bc::get_c(i));
                     let (x, y) = self.num2(this_pc, r!(bc::get_b(i)), k)?;
                     let base_op = match op {
                         Op::AddK => Op::Add,
@@ -242,11 +280,11 @@ impl<'p> LvmInterp<'p> {
                 Op::Eq => r!(a) = v::boolean(v::values_equal(r!(bc::get_b(i)), r!(bc::get_c(i)))),
                 Op::Ne => r!(a) = v::boolean(!v::values_equal(r!(bc::get_b(i)), r!(bc::get_c(i)))),
                 Op::EqK => {
-                    let k = self.p.consts[bc::get_c(i) as usize];
+                    let k = kst!(bc::get_c(i));
                     r!(a) = v::boolean(v::values_equal(r!(bc::get_b(i)), k));
                 }
                 Op::NeK => {
-                    let k = self.p.consts[bc::get_c(i) as usize];
+                    let k = kst!(bc::get_c(i));
                     r!(a) = v::boolean(!v::values_equal(r!(bc::get_b(i)), k));
                 }
                 Op::Lt | Op::Le => {
@@ -254,7 +292,7 @@ impl<'p> LvmInterp<'p> {
                     r!(a) = v::boolean(if op == Op::Lt { x < y } else { x <= y });
                 }
                 Op::LtK | Op::LeK => {
-                    let k = self.p.consts[bc::get_c(i) as usize];
+                    let k = kst!(bc::get_c(i));
                     let (x, y) = self.num2(this_pc, r!(bc::get_b(i)), k)?;
                     r!(a) = v::boolean(if op == Op::LtK { x < y } else { x <= y });
                 }
@@ -274,7 +312,10 @@ impl<'p> LvmInterp<'p> {
                         return self.fail(this_pc, format!("calling {}", v::display(fval)));
                     }
                     let fidx = v::payload(fval) as usize;
-                    let f = self.p.funcs[fidx];
+                    let f = match self.p.funcs.get(fidx) {
+                        Some(f) => *f,
+                        None => return self.fail(this_pc, format!("bad function index {fidx}")),
+                    };
                     let nargs = bc::get_b(i) - 1;
                     if nargs != f.nparams {
                         return self.fail(
@@ -361,7 +402,11 @@ impl<'p> LvmInterp<'p> {
                             if v::is_num(x) || v::tag(x) != v::TAG_ARRAY {
                                 return self.fail(this_pc, "len of non-array");
                             }
-                            let n = self.arrays[v::payload(x) as usize].len();
+                            let h = v::payload(x) as usize;
+                            let n = match self.arrays.get(h) {
+                                Some(arr) => arr.len(),
+                                None => return self.fail(this_pc, format!("bad array handle {h}")),
+                            };
                             r!(a) = v::num(n as f64);
                         }
                         builtin_id::ARRAY => {
@@ -414,15 +459,16 @@ fn arith(op: Op, x: f64, y: f64) -> f64 {
 /// Convenience: parse + compile + run a source string on the oracle.
 ///
 /// # Errors
-/// Propagates parse, compile and runtime errors as strings.
+/// Propagates parse, compile and runtime errors as a typed
+/// [`LumaError`](crate::LumaError).
 pub fn run_source(
     src: &str,
     predefined: &[(&str, f64)],
     max_steps: u64,
-) -> Result<RunResult, String> {
-    let script = crate::parser::parse(src).map_err(|e| e.to_string())?;
-    let (p, init) = super::compile::compile_lvm(&script, predefined).map_err(|e| e.to_string())?;
-    LvmInterp::new(&p, &init).run(max_steps).map_err(|e| e.to_string())
+) -> Result<RunResult, crate::LumaError> {
+    let script = crate::parser::parse(src)?;
+    let (p, init) = super::compile::compile_lvm(&script, predefined)?;
+    Ok(LvmInterp::new(&p, &init).run(max_steps)?)
 }
 
 #[cfg(test)]
@@ -449,14 +495,8 @@ mod tests {
     #[test]
     fn control_flow() {
         assert_eq!(emits("var x = 3; if x < 5 { emit(1); } else { emit(2); }"), vec![1.0]);
-        assert_eq!(
-            emits("var s = 0; for i = 1, 10 { s = s + i; } emit(s);"),
-            vec![55.0]
-        );
-        assert_eq!(
-            emits("var s = 0; for i = 10, 1, -2 { s = s + i; } emit(s);"),
-            vec![30.0]
-        );
+        assert_eq!(emits("var s = 0; for i = 1, 10 { s = s + i; } emit(s);"), vec![55.0]);
+        assert_eq!(emits("var s = 0; for i = 10, 1, -2 { s = s + i; } emit(s);"), vec![30.0]);
         assert_eq!(
             emits("var s = 0; var i = 0; while i < 5 { i = i + 1; s = s + i; if i == 3 { break; } } emit(s);"),
             vec![6.0]
@@ -494,7 +534,10 @@ mod tests {
 
     #[test]
     fn nil_equality() {
-        assert_eq!(emits("var a = array(1); if a[0] == nil { emit(1); } else { emit(0); }"), vec![1.0]);
+        assert_eq!(
+            emits("var a = array(1); if a[0] == nil { emit(1); } else { emit(0); }"),
+            vec![1.0]
+        );
     }
 
     #[test]
@@ -530,7 +573,8 @@ mod tests {
 
     #[test]
     fn op_counts_populated() {
-        let r = run_source("var s = 0; for i = 1, 100 { s = s + i; } emit(s);", &[], 100_000).unwrap();
+        let r =
+            run_source("var s = 0; for i = 1, 100 { s = s + i; } emit(s);", &[], 100_000).unwrap();
         assert!(r.op_counts[Op::ForLoop as usize] >= 100);
         assert!(r.steps > 300);
     }

@@ -85,18 +85,22 @@ impl<'s> FnGen<'s> {
         at
     }
 
-    fn patch_here(&mut self, operand_at: usize) {
+    fn patch_here(&mut self, operand_at: usize) -> Result<(), CompileError> {
         // rel is measured from the byte after the 2-byte operand.
         let rel = self.code.len() as i64 - (operand_at as i64 + 2);
-        let rel16 = i16::try_from(rel).expect("jump distance fits i16");
+        let rel16 = i16::try_from(rel)
+            .map_err(|_| CompileError { message: format!("jump distance {rel} exceeds i16") })?;
         self.code[operand_at..operand_at + 2].copy_from_slice(&rel16.to_le_bytes());
+        Ok(())
     }
 
-    fn jump_back(&mut self, op: Op, target: usize) {
+    fn jump_back(&mut self, op: Op, target: usize) -> Result<(), CompileError> {
         self.code.push(op as u8);
         let rel = target as i64 - (self.code.len() as i64 + 2);
-        let rel16 = i16::try_from(rel).expect("jump distance fits i16");
+        let rel16 = i16::try_from(rel)
+            .map_err(|_| CompileError { message: format!("jump distance {rel} exceeds i16") })?;
         self.code.extend_from_slice(&rel16.to_le_bytes());
+        Ok(())
     }
 
     fn declare_local(&mut self, name: &str) -> Result<u32, CompileError> {
@@ -104,10 +108,7 @@ impl<'s> FnGen<'s> {
         if slot >= 255 {
             return err("too many locals");
         }
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .push((name.to_string(), slot));
+        self.scopes.last_mut().expect("scope stack never empty").push((name.to_string(), slot));
         self.nlocals += 1;
         self.max_locals = self.max_locals.max(self.nlocals);
         Ok(slot)
@@ -206,7 +207,7 @@ impl<'s> FnGen<'s> {
                     let j = self.jump(Op::JumpIfFalse);
                     self.op(Op::Pop);
                     self.expr(rhs)?;
-                    self.patch_here(j);
+                    self.patch_here(j)?;
                 }
                 BinOp::Or => {
                     self.expr(lhs)?;
@@ -214,7 +215,7 @@ impl<'s> FnGen<'s> {
                     let j = self.jump(Op::JumpIfTrue);
                     self.op(Op::Pop);
                     self.expr(rhs)?;
-                    self.patch_here(j);
+                    self.patch_here(j)?;
                 }
                 _ => {
                     self.expr(lhs)?;
@@ -297,33 +298,31 @@ impl<'s> FnGen<'s> {
                 }
                 self.op_u8(Op::Call, args.len() as u8);
             }
-            Expr::BuiltinCall { builtin, args } => {
-                match builtin {
-                    Builtin::Len => {
-                        self.expr(&args[0])?;
-                        self.op(Op::Len);
-                    }
-                    Builtin::Array => {
-                        self.expr(&args[0])?;
-                        self.op(Op::NewArray);
-                    }
-                    _ => {
-                        for a in args {
-                            self.expr(a)?;
-                        }
-                        let id = match builtin {
-                            Builtin::Floor => builtin_id::FLOOR,
-                            Builtin::Sqrt => builtin_id::SQRT,
-                            Builtin::Abs => builtin_id::ABS,
-                            Builtin::Min => builtin_id::MIN,
-                            Builtin::Max => builtin_id::MAX,
-                            Builtin::Emit => builtin_id::EMIT,
-                            Builtin::Len | Builtin::Array => unreachable!("handled above"),
-                        };
-                        self.op_u8(Op::Builtin, id as u8);
-                    }
+            Expr::BuiltinCall { builtin, args } => match builtin {
+                Builtin::Len => {
+                    self.expr(&args[0])?;
+                    self.op(Op::Len);
                 }
-            }
+                Builtin::Array => {
+                    self.expr(&args[0])?;
+                    self.op(Op::NewArray);
+                }
+                _ => {
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    let id = match builtin {
+                        Builtin::Floor => builtin_id::FLOOR,
+                        Builtin::Sqrt => builtin_id::SQRT,
+                        Builtin::Abs => builtin_id::ABS,
+                        Builtin::Min => builtin_id::MIN,
+                        Builtin::Max => builtin_id::MAX,
+                        Builtin::Emit => builtin_id::EMIT,
+                        Builtin::Len | Builtin::Array => unreachable!("handled above"),
+                    };
+                    self.op_u8(Op::Builtin, id as u8);
+                }
+            },
         }
         Ok(())
     }
@@ -388,12 +387,12 @@ impl<'s> FnGen<'s> {
                 let jelse = self.jump(Op::JumpIfFalse);
                 self.block(then_body)?;
                 if else_body.is_empty() {
-                    self.patch_here(jelse);
+                    self.patch_here(jelse)?;
                 } else {
                     let jend = self.jump(Op::Jump);
-                    self.patch_here(jelse);
+                    self.patch_here(jelse)?;
                     self.block(else_body)?;
-                    self.patch_here(jend);
+                    self.patch_here(jend)?;
                 }
             }
             Stmt::While { cond, body } => {
@@ -402,10 +401,10 @@ impl<'s> FnGen<'s> {
                 let jexit = self.jump(Op::JumpIfFalse);
                 self.breaks.push(Vec::new());
                 self.block(body)?;
-                self.jump_back(Op::Jump, top);
-                self.patch_here(jexit);
+                self.jump_back(Op::Jump, top)?;
+                self.patch_here(jexit)?;
                 for b in self.breaks.pop().expect("pushed above") {
-                    self.patch_here(b);
+                    self.patch_here(b)?;
                 }
             }
             Stmt::For { var, start, limit, step, body } => {
@@ -455,11 +454,11 @@ impl<'s> FnGen<'s> {
                         self.get_local(lslot);
                         self.op(Op::Le);
                         let jdone = self.jump(Op::Jump);
-                        self.patch_here(jneg);
+                        self.patch_here(jneg)?;
                         self.get_local(ivar);
                         self.get_local(lslot);
                         self.op(Op::Ge);
-                        self.patch_here(jdone);
+                        self.patch_here(jdone)?;
                     }
                 }
                 let jexit = self.jump(Op::JumpIfFalse);
@@ -480,10 +479,10 @@ impl<'s> FnGen<'s> {
                     }
                 }
                 self.set_local(ivar);
-                self.jump_back(Op::Jump, top);
-                self.patch_here(jexit);
+                self.jump_back(Op::Jump, top)?;
+                self.patch_here(jexit)?;
                 for b in self.breaks.pop().expect("pushed above") {
-                    self.patch_here(b);
+                    self.patch_here(b)?;
                 }
                 self.pop_scope();
             }
@@ -641,5 +640,19 @@ mod tests {
     #[test]
     fn arity_checked() {
         assert!(compile_svm(&parse("fn f(a) { return a; } f(1, 2);").unwrap(), &[]).is_err());
+    }
+
+    #[test]
+    fn oversized_jump_rejected() {
+        // An `if` body too large for a 16-bit jump displacement must be
+        // a typed compile error, not a panic (it panicked before the
+        // patchers returned Result).
+        let mut src = String::from("var x = 0; if x < 1 {");
+        for _ in 0..5000 {
+            src.push_str(" x = x + 123456.75;");
+        }
+        src.push('}');
+        let err = compile_svm(&parse(&src).unwrap(), &[]).unwrap_err();
+        assert!(err.message.contains("jump distance"), "{err}");
     }
 }

@@ -5,6 +5,10 @@ use super::bytecode::{builtin_id, FuncInfo, Op, SvmProgram};
 use crate::lvm::interp::{RunResult, RuntimeError};
 use crate::value as v;
 
+/// Value-stack size cap. Hand-crafted programs can declare absurd
+/// `nlocals`; capping turns the would-be allocation blow-up into a trap.
+const STACK_CAP: usize = 1_000_000;
+
 struct Frame {
     ret_pc: usize,
     locals: usize,
@@ -63,7 +67,11 @@ impl<'p> SvmInterp<'p> {
         }
         let h = v::payload(aval) as usize;
         let idx = v::as_num(ival).trunc();
-        let len = self.arrays[h].len();
+        // Byte-soup constants can forge an array ref with a bogus handle.
+        let len = match self.arrays.get(h) {
+            Some(a) => a.len(),
+            None => return self.fail(pc, format!("bad array handle {h}")),
+        };
         let i = idx as i64 as u64;
         if i >= len as u64 {
             return self.fail(pc, format!("index {idx} out of bounds (len {len})"));
@@ -75,18 +83,29 @@ impl<'p> SvmInterp<'p> {
     ///
     /// # Errors
     /// Returns a [`RuntimeError`] on type errors, bad indices, stack
-    /// overflow, reserved opcodes, or step-limit exhaustion.
+    /// overflow, reserved opcodes, truncated or out-of-range bytecode,
+    /// or step-limit exhaustion. Never panics, even on hand-crafted
+    /// byte-soup programs.
     pub fn run(&mut self, max_steps: u64) -> Result<RunResult, RuntimeError> {
         let code = &self.p.code;
-        let main: FuncInfo = self.p.funcs[0];
+        let main: FuncInfo = match self.p.funcs.first() {
+            Some(f) => *f,
+            None => return self.fail(0, "program has no functions"),
+        };
+        if main.nlocals as usize > STACK_CAP {
+            return self.fail(0, format!("main needs {} locals (cap {STACK_CAP})", main.nlocals));
+        }
         let mut locals = 0usize;
         self.stack.resize(main.nlocals as usize, v::NIL);
         let mut pc = main.code_off as usize;
         let mut steps = 0u64;
 
         macro_rules! pop {
-            () => {
-                self.stack.pop().expect("operand stack underflow is a compiler bug")
+            ($pc:expr) => {
+                match self.stack.pop() {
+                    Some(x) => x,
+                    None => return self.fail($pc, "operand stack underflow"),
+                }
             };
         }
         macro_rules! push {
@@ -96,7 +115,7 @@ impl<'p> SvmInterp<'p> {
         }
         macro_rules! num1 {
             ($pc:expr) => {{
-                let x = pop!();
+                let x = pop!($pc);
                 if !v::is_num(x) {
                     return self.fail($pc, format!("arithmetic on {}", v::display(x)));
                 }
@@ -110,7 +129,12 @@ impl<'p> SvmInterp<'p> {
             }
             steps += 1;
             let this_pc = pc;
-            let byte = code[pc];
+            let byte = match code.get(pc) {
+                Some(&b) => b,
+                None => {
+                    return self.fail(pc, format!("pc {pc} outside code ({} bytes)", code.len()))
+                }
+            };
             let op = match Op::from_u8(byte) {
                 Some(op) => op,
                 None => return self.fail(pc, format!("reserved opcode {byte}")),
@@ -118,35 +142,48 @@ impl<'p> SvmInterp<'p> {
             self.op_counts[byte as usize] += 1;
             pc += 1;
 
-            // Operand readers.
-            let mut rd_u8 = || {
-                let b = code[pc];
-                pc += 1;
-                b
-            };
+            // Operand readers (bounds-checked: byte soup must trap, not
+            // index out of range).
+            macro_rules! rd_u8 {
+                () => {
+                    match code.get(pc) {
+                        Some(&b) => {
+                            pc += 1;
+                            b
+                        }
+                        None => return self.fail(this_pc, "truncated instruction"),
+                    }
+                };
+            }
             macro_rules! rd_u16 {
-                () => {{
-                    let w = u16::from_le_bytes([code[pc], code[pc + 1]]);
-                    pc += 2;
-                    w
-                }};
+                () => {
+                    match code.get(pc..pc + 2) {
+                        Some(s) => {
+                            let w = u16::from_le_bytes([s[0], s[1]]);
+                            pc += 2;
+                            w
+                        }
+                        None => return self.fail(this_pc, "truncated instruction"),
+                    }
+                };
             }
             macro_rules! rd_i16 {
-                () => {{
-                    let w = i16::from_le_bytes([code[pc], code[pc + 1]]);
-                    pc += 2;
-                    w
-                }};
+                () => {
+                    rd_u16!() as i16
+                };
             }
 
             match op {
                 Op::Nop => {}
                 Op::PushConst => {
                     let k = rd_u16!();
-                    push!(self.p.consts[k as usize]);
+                    match self.p.consts.get(k as usize) {
+                        Some(&c) => push!(c),
+                        None => return self.fail(this_pc, format!("constant {k} out of range")),
+                    }
                 }
                 Op::PushInt8 => {
-                    let b = rd_u8() as i8;
+                    let b = rd_u8!() as i8;
                     push!(v::num(b as f64));
                 }
                 Op::PushInt16 => {
@@ -165,15 +202,25 @@ impl<'p> SvmInterp<'p> {
                 | Op::PushConst6
                 | Op::PushConst7 => {
                     let k = byte - Op::PushConst0 as u8;
-                    push!(self.p.consts[k as usize]);
+                    match self.p.consts.get(k as usize) {
+                        Some(&c) => push!(c),
+                        None => return self.fail(this_pc, format!("constant {k} out of range")),
+                    }
                 }
                 Op::GetLocal => {
-                    let n = rd_u8() as usize;
-                    push!(self.stack[locals + n]);
+                    let n = rd_u8!() as usize;
+                    match self.stack.get(locals + n) {
+                        Some(&x) => push!(x),
+                        None => return self.fail(this_pc, format!("local {n} out of range")),
+                    }
                 }
                 Op::SetLocal => {
-                    let n = rd_u8() as usize;
-                    self.stack[locals + n] = pop!();
+                    let n = rd_u8!() as usize;
+                    let val = pop!(this_pc);
+                    match self.stack.get_mut(locals + n) {
+                        Some(slot) => *slot = val,
+                        None => return self.fail(this_pc, format!("local {n} out of range")),
+                    }
                 }
                 Op::GetLocal0
                 | Op::GetLocal1
@@ -184,25 +231,42 @@ impl<'p> SvmInterp<'p> {
                 | Op::GetLocal6
                 | Op::GetLocal7 => {
                     let n = (byte - Op::GetLocal0 as u8) as usize;
-                    push!(self.stack[locals + n]);
+                    match self.stack.get(locals + n) {
+                        Some(&x) => push!(x),
+                        None => return self.fail(this_pc, format!("local {n} out of range")),
+                    }
                 }
                 Op::SetLocal0 | Op::SetLocal1 | Op::SetLocal2 | Op::SetLocal3 => {
                     let n = (byte - Op::SetLocal0 as u8) as usize;
-                    self.stack[locals + n] = pop!();
+                    let val = pop!(this_pc);
+                    match self.stack.get_mut(locals + n) {
+                        Some(slot) => *slot = val,
+                        None => return self.fail(this_pc, format!("local {n} out of range")),
+                    }
                 }
                 Op::GetGlobal => {
                     let g = rd_u16!();
-                    push!(self.globals[g as usize]);
+                    match self.globals.get(g as usize) {
+                        Some(&x) => push!(x),
+                        None => return self.fail(this_pc, format!("global {g} out of range")),
+                    }
                 }
                 Op::SetGlobal => {
                     let g = rd_u16!();
-                    self.globals[g as usize] = pop!();
+                    let val = pop!(this_pc);
+                    match self.globals.get_mut(g as usize) {
+                        Some(slot) => *slot = val,
+                        None => return self.fail(this_pc, format!("global {g} out of range")),
+                    }
                 }
                 Op::Pop => {
-                    let _ = pop!();
+                    let _ = pop!(this_pc);
                 }
                 Op::Dup => {
-                    let top = *self.stack.last().expect("dup on empty stack is a compiler bug");
+                    let top = match self.stack.last() {
+                        Some(&x) => x,
+                        None => return self.fail(this_pc, "dup on empty stack"),
+                    };
                     push!(top);
                 }
                 Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
@@ -222,12 +286,12 @@ impl<'p> SvmInterp<'p> {
                     push!(v::num(-x));
                 }
                 Op::Not => {
-                    let x = pop!();
+                    let x = pop!(this_pc);
                     push!(v::boolean(!v::truthy(x)));
                 }
                 Op::Eq | Op::Ne => {
-                    let y = pop!();
-                    let x = pop!();
+                    let y = pop!(this_pc);
+                    let x = pop!(this_pc);
                     let eq = v::values_equal(x, y);
                     push!(v::boolean(if op == Op::Eq { eq } else { !eq }));
                 }
@@ -248,13 +312,13 @@ impl<'p> SvmInterp<'p> {
                 }
                 Op::JumpIfFalse => {
                     let rel = rd_i16!();
-                    if !v::truthy(pop!()) {
+                    if !v::truthy(pop!(this_pc)) {
                         pc = (pc as i64 + rel as i64) as usize;
                     }
                 }
                 Op::JumpIfTrue => {
                     let rel = rd_i16!();
-                    if v::truthy(pop!()) {
+                    if v::truthy(pop!(this_pc)) {
                         pc = (pc as i64 + rel as i64) as usize;
                     }
                 }
@@ -263,18 +327,28 @@ impl<'p> SvmInterp<'p> {
                     push!(v::function_ref(f as u64));
                 }
                 Op::Call => {
-                    let argc = rd_u8() as usize;
-                    let fun_slot = self.stack.len() - argc - 1;
+                    let argc = rd_u8!() as usize;
+                    let fun_slot = match self.stack.len().checked_sub(argc + 1) {
+                        Some(s) => s,
+                        None => return self.fail(this_pc, "operand stack underflow"),
+                    };
                     let fval = self.stack[fun_slot];
                     if v::is_num(fval) || v::tag(fval) != v::TAG_FUNCTION {
                         return self.fail(this_pc, format!("calling {}", v::display(fval)));
                     }
-                    let f = self.p.funcs[v::payload(fval) as usize];
+                    let fidx = v::payload(fval) as usize;
+                    let f = match self.p.funcs.get(fidx) {
+                        Some(f) => *f,
+                        None => return self.fail(this_pc, format!("bad function index {fidx}")),
+                    };
                     if argc as u32 != f.nparams {
                         return self.fail(this_pc, "arity mismatch");
                     }
                     if self.frames.len() >= 100_000 {
                         return self.fail(this_pc, "call stack overflow");
+                    }
+                    if f.nlocals as usize > STACK_CAP - fun_slot.min(STACK_CAP) {
+                        return self.fail(this_pc, "value stack overflow");
                     }
                     self.frames.push(Frame { ret_pc: pc, locals, fun_slot });
                     locals = fun_slot + 1;
@@ -282,7 +356,7 @@ impl<'p> SvmInterp<'p> {
                     pc = f.code_off as usize;
                 }
                 Op::Return | Op::ReturnVal => {
-                    let value = if op == Op::ReturnVal { pop!() } else { v::NIL };
+                    let value = if op == Op::ReturnVal { pop!(this_pc) } else { v::NIL };
                     let frame = match self.frames.pop() {
                         Some(fr) => fr,
                         None => return self.fail(this_pc, "return from main"),
@@ -301,40 +375,44 @@ impl<'p> SvmInterp<'p> {
                     push!(a);
                 }
                 Op::GetElem => {
-                    let i = pop!();
-                    let a = pop!();
+                    let i = pop!(this_pc);
+                    let a = pop!(this_pc);
                     let (h, idx) = self.elem(this_pc, a, i)?;
                     push!(self.arrays[h][idx]);
                 }
                 Op::SetElem => {
-                    let val = pop!();
-                    let i = pop!();
-                    let a = pop!();
+                    let val = pop!(this_pc);
+                    let i = pop!(this_pc);
+                    let a = pop!(this_pc);
                     let (h, idx) = self.elem(this_pc, a, i)?;
                     self.arrays[h][idx] = val;
                 }
                 Op::GetElemI => {
-                    let n = rd_u8();
-                    let a = pop!();
+                    let n = rd_u8!();
+                    let a = pop!(this_pc);
                     let (h, idx) = self.elem(this_pc, a, v::num(n as f64))?;
                     push!(self.arrays[h][idx]);
                 }
                 Op::SetElemI => {
-                    let n = rd_u8();
-                    let val = pop!();
-                    let a = pop!();
+                    let n = rd_u8!();
+                    let val = pop!(this_pc);
+                    let a = pop!(this_pc);
                     let (h, idx) = self.elem(this_pc, a, v::num(n as f64))?;
                     self.arrays[h][idx] = val;
                 }
                 Op::Len => {
-                    let a = pop!();
+                    let a = pop!(this_pc);
                     if v::is_num(a) || v::tag(a) != v::TAG_ARRAY {
                         return self.fail(this_pc, "len of non-array");
                     }
-                    push!(v::num(self.arrays[v::payload(a) as usize].len() as f64));
+                    let h = v::payload(a) as usize;
+                    match self.arrays.get(h) {
+                        Some(arr) => push!(v::num(arr.len() as f64)),
+                        None => return self.fail(this_pc, format!("bad array handle {h}")),
+                    }
                 }
                 Op::Builtin => {
-                    let id = rd_u8() as u32;
+                    let id = rd_u8!() as u32;
                     match id {
                         builtin_id::FLOOR => {
                             let x = num1!(this_pc);
@@ -354,7 +432,10 @@ impl<'p> SvmInterp<'p> {
                             push!(v::num(if id == builtin_id::MIN { x.min(y) } else { x.max(y) }));
                         }
                         builtin_id::EMIT => {
-                            let x = *self.stack.last().expect("emit needs a value");
+                            let x = match self.stack.last() {
+                                Some(&x) => x,
+                                None => return self.fail(this_pc, "emit on empty stack"),
+                            };
                             self.checksum = v::checksum_step(self.checksum, x);
                             self.emitted.push(x);
                             // value stays on the stack (emit returns it)
@@ -386,15 +467,16 @@ impl<'p> SvmInterp<'p> {
 /// Convenience: parse + compile + run on the SVM oracle.
 ///
 /// # Errors
-/// Propagates parse, compile and runtime errors as strings.
+/// Propagates parse, compile and runtime errors as a typed
+/// [`LumaError`](crate::LumaError).
 pub fn run_source(
     src: &str,
     predefined: &[(&str, f64)],
     max_steps: u64,
-) -> Result<RunResult, String> {
-    let script = crate::parser::parse(src).map_err(|e| e.to_string())?;
-    let (p, init) = super::compile::compile_svm(&script, predefined).map_err(|e| e.to_string())?;
-    SvmInterp::new(&p, &init).run(max_steps).map_err(|e| e.to_string())
+) -> Result<RunResult, crate::LumaError> {
+    let script = crate::parser::parse(src)?;
+    let (p, init) = super::compile::compile_svm(&script, predefined)?;
+    Ok(SvmInterp::new(&p, &init).run(max_steps)?)
 }
 
 #[cfg(test)]
@@ -421,7 +503,9 @@ mod tests {
     fn loops_and_calls() {
         assert_eq!(emits("var s = 0; for i = 1, 10 { s = s + i; } emit(s);"), vec![55.0]);
         assert_eq!(
-            emits("fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } emit(fib(15));"),
+            emits(
+                "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } emit(fib(15));"
+            ),
             vec![610.0]
         );
     }
@@ -479,5 +563,75 @@ mod tests {
     fn type_errors_trap() {
         assert!(run_source("var x = nil; var y = x + 1;", &[], 1000).is_err());
         assert!(run_source("var a = array(1); emit(a[5]);", &[], 1000).is_err());
+    }
+
+    // ---- byte-soup robustness: hand-crafted programs must trap, never
+    // panic the host. These inputs all panicked before the interpreter
+    // was hardened. ----
+
+    fn soup(code: Vec<u8>, consts: Vec<u64>) -> SvmProgram {
+        SvmProgram {
+            code,
+            consts,
+            funcs: vec![FuncInfo { code_off: 0, nparams: 0, nlocals: 1 }],
+            nglobals: 0,
+            global_names: Vec::new(),
+        }
+    }
+
+    fn run_soup(p: &SvmProgram) -> Result<RunResult, RuntimeError> {
+        SvmInterp::new(p, &[]).run(10_000)
+    }
+
+    #[test]
+    fn truncated_instruction_traps() {
+        // PushConst with its 2-byte operand cut off.
+        let err = run_soup(&soup(vec![Op::PushConst as u8, 0x01], vec![])).unwrap_err();
+        assert!(err.message.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn empty_function_table_traps() {
+        let p = SvmProgram { funcs: Vec::new(), ..soup(vec![Op::Halt as u8], vec![]) };
+        let err = SvmInterp::new(&p, &[]).run(10).unwrap_err();
+        assert!(err.message.contains("no functions"), "{err}");
+    }
+
+    #[test]
+    fn stack_underflow_traps() {
+        // First Pop eats main's single local slot; the second underflows.
+        let code = vec![Op::Pop as u8, Op::Pop as u8, Op::Halt as u8];
+        let err = run_soup(&soup(code, vec![])).unwrap_err();
+        assert!(err.message.contains("underflow"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_constant_traps() {
+        let err = run_soup(&soup(vec![Op::PushConst0 as u8, Op::Halt as u8], vec![])).unwrap_err();
+        assert!(err.message.contains("constant"), "{err}");
+    }
+
+    #[test]
+    fn forged_array_handle_traps() {
+        // A constant carrying an array ref whose handle was never
+        // allocated.
+        let code = vec![Op::PushConst0 as u8, Op::Len as u8, Op::Halt as u8];
+        let err = run_soup(&soup(code, vec![v::array_ref(99)])).unwrap_err();
+        assert!(err.message.contains("bad array handle"), "{err}");
+    }
+
+    #[test]
+    fn jump_past_end_traps() {
+        // Forward jump straight out of the code array.
+        let code = vec![Op::Jump as u8, 0xFF, 0x7F];
+        let err = run_soup(&soup(code, vec![])).unwrap_err();
+        assert!(err.message.contains("outside code"), "{err}");
+    }
+
+    #[test]
+    fn call_on_underflowed_stack_traps() {
+        let code = vec![Op::Call as u8, 3, Op::Halt as u8];
+        let err = run_soup(&soup(code, vec![])).unwrap_err();
+        assert!(err.message.contains("underflow"), "{err}");
     }
 }

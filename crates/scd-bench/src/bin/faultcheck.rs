@@ -1,0 +1,101 @@
+//! Fault-injection sweep: the differential guard over the benchmark
+//! corpus.
+//!
+//! Runs every Table III benchmark, on both VMs, under each of the three
+//! standard seeded fault plans, and asserts the hint-not-oracle
+//! property: the faulted run must validate against the host oracle and
+//! finish architecturally bit-identical to the clean run. Timing may
+//! differ (lost JTEs lengthen the retired path); results may not.
+//!
+//! ```text
+//! cargo run --release -p scd-bench --bin faultcheck           # sim-scale
+//! cargo run -p scd-bench --bin faultcheck -- --quick          # tiny inputs
+//! cargo run -p scd-bench --bin faultcheck -- --quick --smoke  # CI subset
+//! ```
+//!
+//! Exits non-zero on the first divergence, printing the trace-window
+//! dump path emitted by the guard.
+
+use scd_bench::{arg_scale_from_cli, emit_report, ArgScale};
+use scd_guest::{differential_check, GuestOptions, Scheme, Vm};
+use scd_sim::{FaultPlan, SimConfig};
+use std::fmt::Write as _;
+
+const SEED: u64 = 2026;
+const WINDOW: usize = 256;
+
+/// `--smoke` restricts the sweep to three cheap, dispatch-diverse
+/// benchmarks so the debug-profile CI job finishes in minutes.
+const SMOKE_BENCHES: [&str; 3] = ["spectral-norm", "random", "fibo"];
+
+fn main() {
+    let scale = arg_scale_from_cli(ArgScale::Sim);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut out = String::new();
+    let _ = writeln!(out, "Fault-injection differential sweep ({scale:?}, seed {SEED})");
+    let _ = writeln!(
+        out,
+        "{:<18}{:<5}{:<18}{:>10}{:>14}{:>14}{:>9}",
+        "benchmark", "vm", "plan", "injected", "clean-insts", "fault-insts", "overhead"
+    );
+    let mut failures = 0u32;
+    for b in &luma::scripts::BENCHMARKS {
+        if smoke && !SMOKE_BENCHES.contains(&b.name) {
+            continue;
+        }
+        for vm in [Vm::Lvm, Vm::Svm] {
+            for plan in FaultPlan::standard_plans(SEED) {
+                let plan_name = plan.name();
+                match differential_check(
+                    SimConfig::embedded_a5(),
+                    vm,
+                    b.source,
+                    &[("N", scale.arg(b))],
+                    Scheme::Scd,
+                    GuestOptions::default(),
+                    plan,
+                    u64::MAX,
+                    WINDOW,
+                ) {
+                    Ok(r) => {
+                        let clean = r.clean.stats.instructions;
+                        let faulted = r.faulted.stats.instructions;
+                        let _ = writeln!(
+                            out,
+                            "{:<18}{:<5}{:<18}{:>10}{:>14}{:>14}{:>8.2}%",
+                            b.name,
+                            vm.name(),
+                            r.plan,
+                            r.injected,
+                            clean,
+                            faulted,
+                            100.0 * (faulted as f64 / clean.max(1) as f64 - 1.0),
+                        );
+                        assert!(
+                            faulted >= clean,
+                            "{}/{}/{}: faults shortened the retired path",
+                            b.name,
+                            vm.name(),
+                            r.plan
+                        );
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        let _ = writeln!(
+                            out,
+                            "{:<18}{:<5}{:<18}  FAILED: {e}",
+                            b.name,
+                            vm.name(),
+                            plan_name
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "\ndivergences: {failures}");
+    emit_report("faultcheck", &out);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

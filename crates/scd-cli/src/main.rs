@@ -4,26 +4,44 @@
 //! ```text
 //! scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]
 //!         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...
-//!         [--trace out.jsonl]
+//!         [--trace out.jsonl] [--fault-plan NAME[@SEED]]
+//!         [--cycle-budget N] [--wall-budget SECS]
+//!         [--checkpoint-every N] [--checkpoint-file F] [--resume F]
 //! scd disasm <script.luma> [--vm lvm|svm]
 //! scd listing [--scheme baseline|threaded|scd]     # guest interpreter asm
 //! scd bench list                                    # benchmark corpus
 //! scd model [--config a5|rocket|a8]                 # Table V area/power
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage, 3 guest trap / simulator fault,
+//! 4 watchdog budget exhausted, 5 invariant or oracle violation,
+//! 70 internal error (I/O, bad checkpoint).
 
-use scd_guest::{run_source_with, GuestOptions, Scheme, Vm};
-use scd_sim::{JsonlSink, SimConfig};
+use scd_guest::{GuestError, GuestOptions, GuestRun, Scheme, Session, Vm};
+use scd_sim::{FaultPlan, JsonlSink, SimConfig, SimError, Snapshot};
 use std::process::exit;
+
+/// The guest trapped or the simulator faulted.
+const EXIT_GUEST_TRAP: i32 = 3;
+/// A cycle or wall-clock watchdog budget was exhausted.
+const EXIT_WATCHDOG: i32 = 4;
+/// A statistics invariant or oracle check was violated.
+const EXIT_INVARIANT: i32 = 5;
+/// I/O failure, unreadable checkpoint, or other harness-side error.
+const EXIT_INTERNAL: i32 = 70;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]\n\
          \x20         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...\n\
-         \x20         [--trace out.jsonl]\n\
+         \x20         [--trace out.jsonl] [--fault-plan jte-corruption|btb-flush-storm|memory-system[@SEED]]\n\
+         \x20         [--cycle-budget N] [--wall-budget SECS]\n\
+         \x20         [--checkpoint-every N] [--checkpoint-file F] [--resume F]\n\
          \x20 scd disasm <script.luma> [--vm lvm|svm]\n\
          \x20 scd listing [--scheme baseline|threaded|scd] [--vm lvm|svm]\n\
          \x20 scd bench list\n\
-         \x20 scd model [--config a5|rocket|a8]"
+         \x20 scd model [--config a5|rocket|a8]\n\
+         exit codes: 0 ok, 2 usage, 3 guest trap, 4 watchdog, 5 invariant, 70 internal"
     );
     exit(2);
 }
@@ -35,6 +53,25 @@ struct Opts {
     cfg: SimConfig,
     args: Vec<(String, f64)>,
     trace: Option<String>,
+    fault_plan: Option<FaultPlan>,
+    cycle_budget: Option<u64>,
+    wall_budget: Option<f64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_file: String,
+    resume: Option<String>,
+}
+
+fn parse_fault_plan(spec: &str) -> Option<FaultPlan> {
+    let (name, seed) = match spec.split_once('@') {
+        Some((n, s)) => (n, s.parse::<u64>().ok()?),
+        None => (spec, 0xC0FFEE),
+    };
+    match name {
+        "jte-corruption" => Some(FaultPlan::jte_corruption(seed)),
+        "btb-flush-storm" => Some(FaultPlan::btb_flush_storm(seed)),
+        "memory-system" => Some(FaultPlan::memory_system(seed)),
+        _ => None,
+    }
 }
 
 fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
@@ -45,6 +82,12 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         cfg: SimConfig::embedded_a5(),
         args: Vec::new(),
         trace: None,
+        fault_plan: None,
+        cycle_budget: None,
+        wall_budget: None,
+        checkpoint_every: None,
+        checkpoint_file: "scd.ckpt".to_string(),
+        resume: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -74,6 +117,34 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
             "--vbbi" => o.cfg = o.cfg.clone().with_vbbi(),
             "--ittage" => o.cfg = o.cfg.clone().with_ittage(),
             "--trace" => o.trace = Some(argv.next().unwrap_or_else(|| usage())),
+            "--fault-plan" => {
+                let spec = argv.next().unwrap_or_else(|| usage());
+                o.fault_plan = Some(parse_fault_plan(&spec).unwrap_or_else(|| usage()));
+            }
+            "--cycle-budget" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                o.cycle_budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--wall-budget" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                let secs: f64 = v.parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs < 0.0 {
+                    usage();
+                }
+                o.wall_budget = Some(secs);
+            }
+            "--checkpoint-every" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                let n: u64 = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                o.checkpoint_every = Some(n);
+            }
+            "--checkpoint-file" => {
+                o.checkpoint_file = argv.next().unwrap_or_else(|| usage());
+            }
+            "--resume" => o.resume = Some(argv.next().unwrap_or_else(|| usage())),
             "--arg" => {
                 let kv = argv.next().unwrap_or_else(|| usage());
                 let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
@@ -90,53 +161,158 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
 fn read_script(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
-        exit(1);
+        exit(EXIT_INTERNAL);
     })
+}
+
+/// Why a run ended without a validated result.
+enum RunFailure {
+    /// The guest trapped, a budget expired, or oracle validation failed.
+    Guest(GuestError),
+    /// The checkpoint file could not be written.
+    Io(String),
+}
+
+/// Drives the machine to completion, snapshotting every `every` guest
+/// instructions. Checkpointing works by running in bounded chunks: the
+/// instruction limit passed to [`scd_sim::Machine::run`] is absolute, so
+/// each chunk ends in `SimError::InstLimit`, we persist a snapshot, and
+/// re-enter the (restart-safe) run loop.
+fn run_with_checkpoints(
+    session: &mut Session,
+    every: Option<u64>,
+    file: &str,
+) -> Result<GuestRun, RunFailure> {
+    loop {
+        let limit =
+            every.map_or(u64::MAX, |n| session.machine.stats.instructions.saturating_add(n));
+        match session.machine.run(limit) {
+            Ok(exit) => return session.validate(&exit).map_err(RunFailure::Guest),
+            Err(SimError::InstLimit { .. }) if every.is_some() => {
+                let bytes = session.machine.snapshot().to_bytes();
+                std::fs::write(file, &bytes)
+                    .map_err(|e| RunFailure::Io(format!("cannot write checkpoint {file}: {e}")))?;
+                eprintln!(
+                    "checkpoint: {} instructions -> {file}",
+                    session.machine.stats.instructions
+                );
+            }
+            Err(e) => return Err(RunFailure::Guest(GuestError::Sim(e))),
+        }
+    }
+}
+
+fn print_header(o: &Opts) {
+    println!("config        : {}", o.cfg.name);
+    println!("vm / scheme   : {} / {}", o.vm.name(), o.scheme.name());
+}
+
+fn print_stats(o: &Opts, stats: &scd_sim::SimStats) {
+    println!("instructions  : {}", stats.instructions);
+    println!("cycles        : {}", stats.cycles);
+    println!("IPC           : {:.3}", stats.ipc());
+    println!("branch MPKI   : {:.2}", stats.branch_mpki());
+    if o.scheme == Scheme::Scd {
+        println!(
+            "bop hit rate  : {:.1}%",
+            100.0 * stats.bop_hits as f64 / stats.bop_executed.max(1) as f64
+        );
+    }
 }
 
 fn cmd_run(o: Opts) {
     let path = o.path.clone().unwrap_or_else(|| usage());
     let src = read_script(&path);
     let args: Vec<(&str, f64)> = o.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let trace = o.trace.clone();
-    let result = run_source_with(
+
+    let mut session = match Session::from_source(
         o.cfg.clone(),
         o.vm,
         &src,
         &args,
         o.scheme,
         GuestOptions::default(),
-        u64::MAX,
-        |m| {
-            if let Some(path) = &trace {
-                let sink = JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
-                    eprintln!("cannot create trace file {path}: {e}");
-                    exit(1);
-                });
-                m.set_trace_sink(Box::new(sink));
-            }
-        },
-    );
-    match result {
-        Ok(run) => {
-            println!("config        : {}", o.cfg.name);
-            println!("vm / scheme   : {} / {}", o.vm.name(), o.scheme.name());
-            println!("checksum      : {:#018x} (oracle-validated)", run.checksum);
-            println!("bytecodes     : {}", run.dispatches);
-            println!("instructions  : {}", run.stats.instructions);
-            println!("cycles        : {}", run.stats.cycles);
-            println!("IPC           : {:.3}", run.stats.ipc());
-            println!("branch MPKI   : {:.2}", run.stats.branch_mpki());
-            if o.scheme == Scheme::Scd {
-                println!(
-                    "bop hit rate  : {:.1}%",
-                    100.0 * run.stats.bop_hits as f64 / run.stats.bop_executed.max(1) as f64
-                );
-            }
-        }
+    ) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
-            exit(1);
+            exit(EXIT_GUEST_TRAP);
+        }
+    };
+    if let Some(tp) = &o.trace {
+        let sink = JsonlSink::create(std::path::Path::new(tp)).unwrap_or_else(|e| {
+            eprintln!("cannot create trace file {tp}: {e}");
+            exit(EXIT_INTERNAL);
+        });
+        session.machine.set_trace_sink(Box::new(sink));
+    }
+    if let Some(plan) = o.fault_plan.clone() {
+        eprintln!("fault plan: {}", plan.name());
+        session.machine.set_fault_plan(plan);
+    }
+    if let Some(c) = o.cycle_budget {
+        session.machine.set_cycle_budget(c);
+    }
+    if let Some(s) = o.wall_budget {
+        session.machine.set_wall_budget(std::time::Duration::from_secs_f64(s));
+    }
+    if let Some(rp) = &o.resume {
+        let bytes = std::fs::read(rp).unwrap_or_else(|e| {
+            eprintln!("cannot read checkpoint {rp}: {e}");
+            exit(EXIT_INTERNAL);
+        });
+        let snap = Snapshot::from_bytes(&bytes).unwrap_or_else(|e| {
+            eprintln!("bad checkpoint {rp}: {e}");
+            exit(EXIT_INTERNAL);
+        });
+        if let Err(e) = session.machine.restore(&snap) {
+            eprintln!("cannot resume from {rp}: {e}");
+            exit(EXIT_INTERNAL);
+        }
+        eprintln!("resumed {rp} at instruction {}", session.machine.stats.instructions);
+    }
+
+    // StatInvariants failures surface as panics deep in the simulator;
+    // catch them so they map to a distinct exit code instead of an abort.
+    let every = o.checkpoint_every;
+    let file = o.checkpoint_file.clone();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_with_checkpoints(&mut session, every, &file)
+    }));
+    match outcome {
+        Ok(Ok(run)) => {
+            print_header(&o);
+            println!("checksum      : {:#018x} (oracle-validated)", run.checksum);
+            println!("bytecodes     : {}", run.dispatches);
+            print_stats(&o, &run.stats);
+            if let Some(p) = session.machine.fault_plan() {
+                println!("faults        : {} injected ({})", p.injected(), p.name());
+            }
+        }
+        Ok(Err(RunFailure::Io(msg))) => {
+            eprintln!("error: {msg}");
+            exit(EXIT_INTERNAL);
+        }
+        Ok(Err(RunFailure::Guest(e))) => {
+            print_header(&o);
+            print_stats(&o, &session.machine.stats);
+            eprintln!("error: {e}");
+            exit(match &e {
+                GuestError::Sim(SimError::Watchdog { .. }) => EXIT_WATCHDOG,
+                GuestError::Sim(_) => EXIT_GUEST_TRAP,
+                GuestError::ChecksumMismatch { .. } | GuestError::DispatchMismatch { .. } => {
+                    EXIT_INVARIANT
+                }
+            });
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("invariant violation: {msg}");
+            exit(EXIT_INVARIANT);
         }
     }
 }

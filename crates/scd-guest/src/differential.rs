@@ -1,0 +1,217 @@
+//! The fault-injection differential guard.
+//!
+//! SCD's entire safety argument is that its micro-architectural state —
+//! JTEs overlaid on the BTB, predictors, caches, TLBs — is a *hint*,
+//! never an oracle: corrupting or losing any of it may change timing but
+//! can never change what the guest computes. This module turns that
+//! argument into an executable check. It runs the same guest twice, once
+//! clean and once under a seeded [`FaultPlan`], validates both runs
+//! against the host oracle, and then compares the two machines'
+//! architectural state bit for bit with
+//! [`diff_architectural`](scd_sim::diff_architectural).
+//!
+//! On divergence the guard dumps the tail of the faulted run's trace (a
+//! bounded [`RingSink`] window ending at the divergence) to a JSONL file
+//! so the failure can be replayed and minimized offline.
+
+use crate::common::{GuestOptions, Scheme};
+use crate::runner::{GuestRun, Session, Vm};
+use scd_sim::{diff_architectural, FaultPlan, RingSink, SimConfig};
+use std::cell::RefCell;
+use std::fmt;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// A passed differential check: both runs validated against the oracle
+/// and their architectural state is bit-identical.
+#[derive(Debug)]
+pub struct DifferentialReport {
+    /// The fault plan's name.
+    pub plan: &'static str,
+    /// Faults actually injected into the faulted run.
+    pub injected: u64,
+    /// The clean run's validated result.
+    pub clean: GuestRun,
+    /// The faulted run's validated result (timing stats may differ from
+    /// `clean`; architectural results do not).
+    pub faulted: GuestRun,
+}
+
+/// A failed differential check.
+#[derive(Debug)]
+pub enum DifferentialError {
+    /// The guest would not load (parse/compile failure).
+    Setup(String),
+    /// The clean (no-fault) run itself failed — not a fault-injection
+    /// finding, the baseline is broken.
+    Clean(String),
+    /// The faulted run trapped or failed oracle validation.
+    Faulted {
+        /// The fault plan's name.
+        plan: &'static str,
+        /// What went wrong.
+        detail: String,
+        /// Where the trace window was dumped, if writable.
+        dump: Option<PathBuf>,
+    },
+    /// Both runs completed but architectural state differs — the
+    /// hint-not-oracle property is violated.
+    Divergence {
+        /// The fault plan's name.
+        plan: &'static str,
+        /// First architectural difference found.
+        detail: String,
+        /// Where the trace window was dumped, if writable.
+        dump: Option<PathBuf>,
+    },
+}
+
+impl fmt::Display for DifferentialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DifferentialError::Setup(e) => write!(f, "differential setup failed: {e}"),
+            DifferentialError::Clean(e) => write!(f, "clean run failed: {e}"),
+            DifferentialError::Faulted { plan, detail, dump } => {
+                write!(f, "faulted run under plan `{plan}` failed: {detail}")?;
+                if let Some(p) = dump {
+                    write!(f, " (trace window: {})", p.display())?;
+                }
+                Ok(())
+            }
+            DifferentialError::Divergence { plan, detail, dump } => {
+                write!(f, "architectural divergence under plan `{plan}`: {detail}")?;
+                if let Some(p) = dump {
+                    write!(f, " (trace window: {})", p.display())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DifferentialError {}
+
+/// Dumps the ring window to a JSONL file in the system temp directory;
+/// returns `None` when the buffer is empty or the write fails (the
+/// check's verdict never depends on the dump succeeding).
+fn dump_window(plan: &str, ring: &RingSink) -> Option<PathBuf> {
+    if ring.is_empty() {
+        return None;
+    }
+    let path = std::env::temp_dir().join(format!("scd-divergence-{plan}.jsonl"));
+    std::fs::write(&path, ring.to_jsonl()).ok()?;
+    Some(path)
+}
+
+/// Runs `src` clean and under `plan`, proving the faulted run
+/// architecturally identical.
+///
+/// The faulted machine carries a [`RingSink`] of the last `window`
+/// retirement events (fault injections included); on any failure the
+/// window is dumped next to the error. Timing statistics are allowed —
+/// expected, even — to differ: a lost JTE sends its dispatch down the
+/// slow path, so the faulted run retires *at least* as many instructions
+/// as the clean one.
+///
+/// # Errors
+/// Returns a [`DifferentialError`] describing the first failed stage.
+#[allow(clippy::too_many_arguments)]
+pub fn differential_check(
+    cfg: SimConfig,
+    vm: Vm,
+    src: &str,
+    predefined: &[(&str, f64)],
+    scheme: Scheme,
+    opts: GuestOptions,
+    plan: FaultPlan,
+    max_insts: u64,
+    window: usize,
+) -> Result<DifferentialReport, DifferentialError> {
+    let plan_name = plan.name();
+
+    let mut clean = Session::from_source(cfg.clone(), vm, src, predefined, scheme, opts)
+        .map_err(DifferentialError::Setup)?;
+    let clean_run =
+        clean.run_and_validate(max_insts).map_err(|e| DifferentialError::Clean(e.to_string()))?;
+
+    let mut faulted = Session::from_source(cfg, vm, src, predefined, scheme, opts)
+        .map_err(DifferentialError::Setup)?;
+    let ring = Rc::new(RefCell::new(RingSink::new(window.max(1))));
+    faulted.machine.set_trace_sink(Box::new(Rc::clone(&ring)));
+    faulted.machine.set_fault_plan(plan);
+
+    let faulted_run = match faulted.machine.run(max_insts) {
+        Ok(exit) => match faulted.validate(&exit) {
+            Ok(run) => run,
+            Err(e) => {
+                return Err(DifferentialError::Faulted {
+                    plan: plan_name,
+                    detail: e.to_string(),
+                    dump: dump_window(plan_name, &ring.borrow()),
+                })
+            }
+        },
+        Err(e) => {
+            return Err(DifferentialError::Faulted {
+                plan: plan_name,
+                detail: e.to_string(),
+                dump: dump_window(plan_name, &ring.borrow()),
+            })
+        }
+    };
+
+    if let Some(detail) = diff_architectural(&clean.machine, &faulted.machine) {
+        return Err(DifferentialError::Divergence {
+            plan: plan_name,
+            detail,
+            dump: dump_window(plan_name, &ring.borrow()),
+        });
+    }
+
+    let injected = faulted.machine.fault_plan().map_or(0, |p| p.injected());
+    Ok(DifferentialReport { plan: plan_name, injected, clean: clean_run, faulted: faulted_run })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "var s = 0; for i = 1, N { s = s + i * i % 13; } emit(s);";
+
+    #[test]
+    fn guard_passes_on_clean_guest() {
+        for plan in FaultPlan::standard_plans(42) {
+            let report = differential_check(
+                scd_sim::SimConfig::embedded_a5(),
+                Vm::Lvm,
+                SRC,
+                &[("N", 300.0)],
+                Scheme::Scd,
+                GuestOptions::default(),
+                plan,
+                200_000_000,
+                256,
+            )
+            .expect("fault injection must not change architectural results");
+            assert!(report.injected > 0, "plan never fired; weaken the period");
+            assert_eq!(report.clean.checksum, report.faulted.checksum);
+        }
+    }
+
+    #[test]
+    fn faults_never_shorten_the_retired_path() {
+        let report = differential_check(
+            scd_sim::SimConfig::embedded_a5(),
+            Vm::Svm,
+            SRC,
+            &[("N", 300.0)],
+            Scheme::Scd,
+            GuestOptions::default(),
+            FaultPlan::jte_corruption(7),
+            200_000_000,
+            256,
+        )
+        .unwrap();
+        assert!(report.faulted.stats.instructions >= report.clean.stats.instructions);
+    }
+}

@@ -5,7 +5,7 @@ use crate::common::{Guest, GuestOptions, Scheme};
 use crate::layout::{self, Image};
 use luma::lvm::LvmProgram;
 use luma::svm::SvmProgram;
-use scd_sim::{Machine, SimConfig, SimError, SimStats};
+use scd_sim::{Exit, Machine, SimConfig, SimError, SimStats};
 use std::fmt;
 
 /// Which guest VM to run.
@@ -84,6 +84,24 @@ pub struct GuestRun {
     pub stats: SimStats,
 }
 
+/// Builds a machine with the guest interpreter installed and the
+/// program image, globals, stacks and heap mapped — loaded but not yet
+/// run.
+fn build_machine(cfg: SimConfig, guest: &Guest, img: &Image) -> Machine {
+    let mut m = Machine::new(cfg, &guest.program);
+    m.set_annotations(guest.annotations.clone());
+    m.map("image", layout::IMAGE_BASE, (img.bytes.len() as u64 + 4095) & !4095);
+    m.mem.write_bytes(layout::IMAGE_BASE, &img.bytes);
+    m.map("globals", layout::GLOBALS_BASE, 1 << 20);
+    for (i, g) in img.global_init.iter().enumerate() {
+        m.mem.write_u64(layout::GLOBALS_BASE + 8 * i as u64, *g).expect("globals segment mapped");
+    }
+    m.map("vstack+ctl", layout::VSTACK_BASE, layout::VSTACK_SIZE + layout::VMCTL_SIZE);
+    m.map("frames", layout::FRAME_BASE, layout::FRAME_SIZE);
+    m.map("heap", layout::HEAP_BASE, layout::HEAP_SIZE);
+    m
+}
+
 fn run_image(
     cfg: SimConfig,
     guest: &Guest,
@@ -91,30 +109,121 @@ fn run_image(
     max_insts: u64,
     setup: impl FnOnce(&mut Machine),
 ) -> Result<(u64, u64, SimStats), GuestError> {
-    let mut m = Machine::new(cfg, &guest.program);
-    m.set_annotations(guest.annotations.clone());
-    m.map("image", layout::IMAGE_BASE, (img.bytes.len() as u64 + 4095) & !4095);
-    m.mem.write_bytes(layout::IMAGE_BASE, &img.bytes);
-    m.map("globals", layout::GLOBALS_BASE, 1 << 20);
-    for (i, g) in img.global_init.iter().enumerate() {
-        m.mem
-            .write_u64(layout::GLOBALS_BASE + 8 * i as u64, *g)
-            .expect("globals segment mapped");
-    }
-    m.map(
-        "vstack+ctl",
-        layout::VSTACK_BASE,
-        layout::VSTACK_SIZE + layout::VMCTL_SIZE,
-    );
-    m.map("frames", layout::FRAME_BASE, layout::FRAME_SIZE);
-    m.map("heap", layout::HEAP_BASE, layout::HEAP_SIZE);
+    let mut m = build_machine(cfg, guest, img);
     setup(&mut m);
     let exit = m.run(max_insts)?;
-    let dispatches = m
-        .mem
-        .read_u64(layout::VMCTL_BASE + layout::CTL_DISPATCH_COUNT as u64)
-        .expect("ctl mapped");
+    let dispatches =
+        m.mem.read_u64(layout::VMCTL_BASE + layout::CTL_DISPATCH_COUNT as u64).expect("ctl mapped");
     Ok((exit.code, dispatches, m.stats.clone()))
+}
+
+/// The compiled guest program plus everything the oracle needs.
+enum Compiled {
+    Lvm {
+        /// Register-VM bytecode.
+        program: LvmProgram,
+        /// Initial global values.
+        init: Vec<u64>,
+    },
+    Svm {
+        /// Stack-VM bytecode.
+        program: SvmProgram,
+        /// Initial global values.
+        init: Vec<u64>,
+    },
+}
+
+/// A loaded guest run whose [`Machine`] is exposed for stepwise control.
+///
+/// Where [`run_source`] runs a guest in one shot, a `Session` separates
+/// *loading* from *running* so the caller can install fault plans, trace
+/// sinks, watchdog budgets or checkpoints on [`Session::machine`] before
+/// (or between) runs, then have the result checked against the host
+/// oracle with [`Session::validate`].
+pub struct Session {
+    /// The fully loaded simulated machine. Drive it directly:
+    /// `machine.set_fault_plan(..)`, `machine.snapshot()`,
+    /// `machine.run(..)`, ...
+    pub machine: Machine,
+    compiled: Compiled,
+    opts: GuestOptions,
+}
+
+impl Session {
+    /// Parses and compiles `src` for `vm`, builds the guest interpreter
+    /// under `scheme` and loads everything into a fresh machine.
+    ///
+    /// # Errors
+    /// Returns a string describing parse or compile errors.
+    pub fn from_source(
+        cfg: SimConfig,
+        vm: Vm,
+        src: &str,
+        predefined: &[(&str, f64)],
+        scheme: Scheme,
+        opts: GuestOptions,
+    ) -> Result<Session, String> {
+        let script = luma::parser::parse(src).map_err(|e| e.to_string())?;
+        let (compiled, img, guest) = match vm {
+            Vm::Lvm => {
+                let (p, init) =
+                    luma::lvm::compile_lvm(&script, predefined).map_err(|e| e.to_string())?;
+                let img = layout::build_lvm_image(&p, &init);
+                let guest = crate::lvm::build_lvm_guest(&img, scheme, opts);
+                (Compiled::Lvm { program: p, init }, img, guest)
+            }
+            Vm::Svm => {
+                let (p, init) =
+                    luma::svm::compile_svm(&script, predefined).map_err(|e| e.to_string())?;
+                let img = layout::build_svm_image(&p, &init);
+                let guest = crate::svm::build_svm_guest(&img, scheme, opts);
+                (Compiled::Svm { program: p, init }, img, guest)
+            }
+        };
+        Ok(Session { machine: build_machine(cfg, &guest, &img), compiled, opts })
+    }
+
+    /// Runs the machine to completion and validates the result; the
+    /// one-shot convenience over [`Session::validate`].
+    ///
+    /// # Errors
+    /// Returns [`GuestError`] on simulator faults or oracle mismatches.
+    pub fn run_and_validate(&mut self, max_insts: u64) -> Result<GuestRun, GuestError> {
+        let exit = self.machine.run(max_insts)?;
+        self.validate(&exit)
+    }
+
+    /// Checks a completed run (its halting [`Exit`]) against the host
+    /// oracle: the `emit` checksum must match, and with production
+    /// weight the retired-dispatch count must too.
+    ///
+    /// # Errors
+    /// Returns [`GuestError::ChecksumMismatch`] or
+    /// [`GuestError::DispatchMismatch`] when the guest and oracle
+    /// disagree.
+    pub fn validate(&mut self, exit: &Exit) -> Result<GuestRun, GuestError> {
+        let checksum = exit.code;
+        let dispatches = self
+            .machine
+            .mem
+            .read_u64(layout::VMCTL_BASE + layout::CTL_DISPATCH_COUNT as u64)
+            .expect("ctl mapped");
+        let oracle = match &self.compiled {
+            Compiled::Lvm { program, init } => luma::lvm::LvmInterp::new(program, init)
+                .run(u64::MAX)
+                .expect("oracle agrees the program terminates"),
+            Compiled::Svm { program, init } => luma::svm::SvmInterp::new(program, init)
+                .run(u64::MAX)
+                .expect("oracle agrees the program terminates"),
+        };
+        if oracle.checksum != checksum {
+            return Err(GuestError::ChecksumMismatch { guest: checksum, oracle: oracle.checksum });
+        }
+        if self.opts.production_weight && dispatches != oracle.steps {
+            return Err(GuestError::DispatchMismatch { guest: dispatches, oracle: oracle.steps });
+        }
+        Ok(GuestRun { checksum, dispatches, stats: self.machine.stats.clone() })
+    }
 }
 
 /// Runs an LVM program on the simulated core under `scheme` and checks

@@ -260,8 +260,9 @@ impl Btb {
         }
 
         let at_cap = is_jte && self.cfg.jte_cap.is_some_and(|cap| self.jte_count >= cap);
-        let own_set_has_jte =
-            self.entries[base..base + self.ways].iter().any(|e| e.valid && e.kind == EntryKind::Jte);
+        let own_set_has_jte = self.entries[base..base + self.ways]
+            .iter()
+            .any(|e| e.valid && e.kind == EntryKind::Jte);
 
         // At the cap with no JTE in our own set: make room by evicting
         // the globally least-recently-used JTE, then insert under the
@@ -369,11 +370,7 @@ impl Btb {
     /// A snapshot of the valid entries: `(kind, key, target)`, in
     /// array order. For diagnostics and the Fig. 6 walk-through.
     pub fn snapshot(&self) -> Vec<(EntryKind, u64, u64)> {
-        self.entries
-            .iter()
-            .filter(|e| e.valid)
-            .map(|e| (e.kind, e.key, e.target))
-            .collect()
+        self.entries.iter().filter(|e| e.valid).map(|e| (e.kind, e.key, e.target)).collect()
     }
 
     /// `jte.flush`: invalidates every JTE but leaves other entries
@@ -413,6 +410,141 @@ impl Btb {
             self.entries.iter().filter(|e| e.valid && e.kind == EntryKind::Jte).count(),
             "cached JTE population diverged from the entry array"
         );
+    }
+
+    // ---- fault-injection hooks (crate::fault) ----
+
+    /// Fault hook: invalidates one pseudo-randomly chosen resident JTE,
+    /// modeling parity-detected corruption. The loss is counted as a JTE
+    /// eviction so the population identity keeps balancing. Returns the
+    /// number of JTEs invalidated (0 or 1).
+    pub(crate) fn fault_invalidate_jte(&mut self, r: u64) -> u64 {
+        let resident = self.entries.iter().filter(|e| e.valid && e.kind == EntryKind::Jte).count();
+        if resident == 0 {
+            return 0;
+        }
+        let pick = (r % resident as u64) as usize;
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid && e.kind == EntryKind::Jte)
+            .nth(pick)
+            .map(|(i, _)| i)
+            .expect("pick < resident count");
+        self.entries[idx].valid = false;
+        self.jte_count -= 1;
+        self.stats.jte_evictions += 1;
+        1
+    }
+
+    /// Fault hook: invalidates every entry. Resident JTEs lost this way
+    /// are counted as JTE evictions (they were not `jte.flush`ed);
+    /// `Pc`/`Vbbi` entries have no population counters and simply
+    /// vanish. Returns the number of JTEs lost.
+    pub(crate) fn fault_flush_all(&mut self) -> u64 {
+        let mut lost = 0;
+        for e in &mut self.entries {
+            if e.valid && e.kind == EntryKind::Jte {
+                lost += 1;
+            }
+            e.valid = false;
+        }
+        self.jte_count = 0;
+        self.stats.jte_evictions += lost;
+        lost
+    }
+
+    /// Fault hook: flips one pseudo-random bit in the key or target of a
+    /// pseudo-randomly chosen valid **non-JTE** entry. Those entries
+    /// hold verified predictions (resolved at execute), so the flip can
+    /// only cost cycles. The kind tag is never touched — a corrupted
+    /// entry can never cross into the unverified JTE key space.
+    pub(crate) fn fault_flip_bit(&mut self, r: u64) {
+        let candidates =
+            self.entries.iter().filter(|e| e.valid && e.kind != EntryKind::Jte).count();
+        if candidates == 0 {
+            return;
+        }
+        let pick = (r % candidates as u64) as usize;
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid && e.kind != EntryKind::Jte)
+            .nth(pick)
+            .map(|(i, _)| i)
+            .expect("pick < candidate count");
+        let bit = (r >> 32) % 128;
+        if bit < 64 {
+            self.entries[idx].key ^= 1 << bit;
+        } else {
+            self.entries[idx].target ^= 1 << (bit - 64);
+        }
+    }
+
+    // ---- checkpoint codec (crate::snapshot) ----
+
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.entries.len() as u64);
+        for e in &self.entries {
+            let kind = match e.kind {
+                EntryKind::Pc => 0u64,
+                EntryKind::Jte => 1,
+                EntryKind::Vbbi => 2,
+            };
+            out.push(e.valid as u64 | (kind << 1));
+            out.push(e.key);
+            out.push(e.target);
+            out.push(e.lru);
+        }
+        out.push(self.rr_next.len() as u64);
+        out.extend(self.rr_next.iter().map(|&v| v as u64));
+        out.push(self.tick);
+        out.push(self.jte_count as u64);
+        let s = &self.stats;
+        out.extend_from_slice(&[
+            s.jte_inserts,
+            s.jte_cap_skips,
+            s.btb_evicted_by_jte,
+            s.jte_evictions,
+            s.btb_blocked_by_jte,
+            s.jte_flushes,
+            s.jte_flushed,
+        ]);
+    }
+
+    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
+        let n = c.next() as usize;
+        assert_eq!(n, self.entries.len(), "snapshot BTB geometry mismatch");
+        for e in &mut self.entries {
+            let flags = c.next();
+            e.valid = flags & 1 != 0;
+            e.kind = match flags >> 1 {
+                0 => EntryKind::Pc,
+                1 => EntryKind::Jte,
+                2 => EntryKind::Vbbi,
+                k => panic!("snapshot holds unknown BTB entry kind {k}"),
+            };
+            e.key = c.next();
+            e.target = c.next();
+            e.lru = c.next();
+        }
+        let nrr = c.next() as usize;
+        assert_eq!(nrr, self.rr_next.len(), "snapshot BTB set-count mismatch");
+        for v in &mut self.rr_next {
+            *v = c.next() as usize;
+        }
+        self.tick = c.next();
+        self.jte_count = c.next() as usize;
+        let s = &mut self.stats;
+        s.jte_inserts = c.next();
+        s.jte_cap_skips = c.next();
+        s.btb_evicted_by_jte = c.next();
+        s.jte_evictions = c.next();
+        s.btb_blocked_by_jte = c.next();
+        s.jte_flushes = c.next();
+        s.jte_flushed = c.next();
     }
 }
 
@@ -503,10 +635,7 @@ mod tests {
         ));
         assert_eq!(b.resident_jtes(), 1);
         let out = b.insert(BtbKey::Jte { bid: 0, opcode: 2 }, 0x200);
-        assert_eq!(
-            out,
-            InsertOutcome::Inserted { evicted: None, remote_jte_evicted: true }
-        );
+        assert_eq!(out, InsertOutcome::Inserted { evicted: None, remote_jte_evicted: true });
         assert_eq!(b.resident_jtes(), 1);
         assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 2 }), Some(0x200));
         assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 1 }), None);
@@ -616,5 +745,61 @@ mod tests {
             assert!(b.resident_jtes() <= 3);
             b.assert_population_invariant();
         }
+    }
+
+    #[test]
+    fn fault_hooks_keep_population_identity() {
+        let mut b = btb(8, 2);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 1 }, 0x10);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 2 }, 0x20);
+        b.insert(BtbKey::Pc(0x1000), 0x30);
+        assert_eq!(b.fault_invalidate_jte(7), 1);
+        assert_eq!(b.resident_jtes(), 1);
+        assert_eq!(b.stats.jte_evictions, 1);
+        b.assert_population_invariant();
+        assert_eq!(b.fault_flush_all(), 1);
+        assert_eq!(b.resident_jtes(), 0);
+        assert_eq!(b.stats.jte_evictions, 2);
+        assert!(b.snapshot().is_empty());
+        b.assert_population_invariant();
+        // Nothing left: both hooks are no-ops now.
+        assert_eq!(b.fault_invalidate_jte(3), 0);
+        b.fault_flip_bit(99);
+        b.assert_population_invariant();
+    }
+
+    #[test]
+    fn fault_bit_flip_never_touches_jtes() {
+        let mut b = btb(2, 2);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 5 }, 0xAAAA);
+        b.insert(BtbKey::Pc(0x1000), 0x2000);
+        for r in 0..64u64 {
+            b.fault_flip_bit(r.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        // The JTE is untouched; the Pc entry may have any key/target but
+        // is still tagged Pc.
+        assert_eq!(b.lookup(BtbKey::Jte { bid: 0, opcode: 5 }), Some(0xAAAA));
+        assert_eq!(b.resident_jtes(), 1);
+        b.assert_population_invariant();
+    }
+
+    #[test]
+    fn snapshot_words_roundtrip() {
+        let mut b = btb(8, 2);
+        b.insert(BtbKey::Jte { bid: 0, opcode: 1 }, 0x10);
+        b.insert(BtbKey::Pc(0x1000), 0x30);
+        b.insert(BtbKey::Vbbi(0x55), 0x40);
+        b.flush_jtes();
+        let mut w = Vec::new();
+        b.snapshot_words(&mut w);
+        let mut b2 = btb(8, 2);
+        let mut c = crate::snapshot::Cursor::new(&w);
+        b2.restore_words(&mut c);
+        assert_eq!(c.remaining(), 0);
+        assert_eq!(b2.stats, b.stats);
+        assert_eq!(b2.resident_jtes(), b.resident_jtes());
+        assert_eq!(b2.snapshot(), b.snapshot());
+        assert_eq!(b2.lookup(BtbKey::Pc(0x1000)), Some(0x30));
+        b2.assert_population_invariant();
     }
 }

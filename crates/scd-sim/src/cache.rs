@@ -138,11 +138,44 @@ impl Cache {
         CacheAccess { hit: false, writeback }
     }
 
-    /// Invalidates every line (used by tests and context-switch modeling).
+    /// Invalidates every line (used by tests, context-switch modeling
+    /// and the cache-invalidation fault hook).
     pub fn flush(&mut self) {
         for l in &mut self.lines {
             *l = Line::default();
         }
+    }
+
+    // ---- checkpoint codec (crate::snapshot) ----
+
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.lines.len() as u64);
+        for l in &self.lines {
+            out.push(l.valid as u64 | (l.dirty as u64) << 1);
+            out.push(l.tag);
+            out.push(l.lru);
+        }
+        out.push(self.rr_next.len() as u64);
+        out.extend(self.rr_next.iter().map(|&v| v as u64));
+        out.push(self.tick);
+    }
+
+    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
+        let n = c.next() as usize;
+        assert_eq!(n, self.lines.len(), "snapshot cache geometry mismatch");
+        for l in &mut self.lines {
+            let flags = c.next();
+            l.valid = flags & 1 != 0;
+            l.dirty = flags & 2 != 0;
+            l.tag = c.next();
+            l.lru = c.next();
+        }
+        let nrr = c.next() as usize;
+        assert_eq!(nrr, self.rr_next.len(), "snapshot cache set-count mismatch");
+        for v in &mut self.rr_next {
+            *v = c.next() as usize;
+        }
+        self.tick = c.next();
     }
 }
 
@@ -188,8 +221,12 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_ways() {
-        let mut c =
-            Cache::new(CacheConfig { size: 256, ways: 2, line: 64, replacement: Replacement::RoundRobin });
+        let mut c = Cache::new(CacheConfig {
+            size: 256,
+            ways: 2,
+            line: 64,
+            replacement: Replacement::RoundRobin,
+        });
         c.access(0x000, false); // way 0
         c.access(0x080, false); // way 1
         c.access(0x100, false); // way 0 evicted

@@ -78,13 +78,9 @@ impl Ittage {
         let folded = Self::fold(self.history, self.tables[ti].hist_bits);
         // Index and tag use independent mixes so every table spreads a
         // PC's history contexts across its whole set.
-        let idx_mix = (pc >> 2)
-            ^ folded
-            ^ (folded >> 7)
-            ^ (ti as u64).wrapping_mul(0x9E37_79B9);
+        let idx_mix = (pc >> 2) ^ folded ^ (folded >> 7) ^ (ti as u64).wrapping_mul(0x9E37_79B9);
         let index = (idx_mix as usize) & (TABLE_ENTRIES - 1);
-        let tag_mix = (pc >> 2)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let tag_mix = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ folded.wrapping_mul(0x85EB_CA77_C2B2_AE63 ^ ti as u64);
         let tag = ((tag_mix >> 24) & 0xFFFF) as u16;
         (index, tag)
@@ -105,8 +101,7 @@ impl Ittage {
     /// Predicts the target of the indirect jump at `pc` (None = no
     /// tagged component hits; fall back to the BTB).
     pub fn predict(&self, pc: u64) -> Option<u64> {
-        self.provider(pc)
-            .map(|(ti, idx)| self.tables[ti].entries[idx].target)
+        self.provider(pc).map(|(ti, idx)| self.tables[ti].entries[idx].target)
     }
 
     /// Trains with the resolved target and advances the history.
@@ -166,6 +161,60 @@ impl Ittage {
             // Aging: failed allocation attempts erode usefulness.
             e.useful = false;
         }
+    }
+
+    /// Fault hook: corrupts the predictor wholesale — random confidence,
+    /// flipped target bits in valid entries, scrambled history. ITTAGE
+    /// predictions are verified at execute, so this is timing-only
+    /// state.
+    pub(crate) fn scramble(&mut self, rng: &mut crate::fault::Rng) {
+        for t in &mut self.tables {
+            for e in &mut t.entries {
+                if e.valid {
+                    e.conf = Counter2::from_raw((rng.next() & 3) as u8);
+                    e.target ^= rng.next() & 0xFFFC; // keep 4-byte alignment
+                    e.useful = rng.next() & 1 != 0;
+                }
+            }
+        }
+        self.history ^= ((rng.next() as u128) << 64) | rng.next() as u128;
+    }
+
+    // ---- checkpoint codec (crate::snapshot) ----
+
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.tables.len() as u64);
+        for t in &self.tables {
+            out.push(t.entries.len() as u64);
+            for e in &t.entries {
+                out.push(e.valid as u64 | (e.useful as u64) << 1 | (e.conf.raw() as u64) << 2);
+                out.push(e.tag as u64);
+                out.push(e.target);
+            }
+        }
+        out.push((self.history >> 64) as u64);
+        out.push(self.history as u64);
+        out.push(self.clock);
+    }
+
+    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
+        let nt = c.next() as usize;
+        assert_eq!(nt, self.tables.len(), "snapshot ITTAGE table count mismatch");
+        for t in &mut self.tables {
+            let n = c.next() as usize;
+            assert_eq!(n, t.entries.len(), "snapshot ITTAGE table size mismatch");
+            for e in &mut t.entries {
+                let flags = c.next();
+                e.valid = flags & 1 != 0;
+                e.useful = flags & 2 != 0;
+                e.conf = Counter2::from_raw((flags >> 2) as u8);
+                e.tag = c.next() as u16;
+                e.target = c.next();
+            }
+        }
+        let hi = c.next() as u128;
+        self.history = (hi << 64) | c.next() as u128;
+        self.clock = c.next();
     }
 }
 

@@ -31,10 +31,12 @@
 pub mod btb;
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod ittage;
 pub mod machine;
 pub mod mem;
 pub mod predictor;
+pub mod snapshot;
 pub mod stats;
 pub mod tlb;
 pub mod trace;
@@ -42,14 +44,18 @@ pub mod trace;
 pub use btb::{Btb, BtbConfig, BtbKey, BtbStats, EntryKind, InsertOutcome};
 pub use cache::{Cache, CacheAccess, CacheConfig, Replacement};
 pub use config::{IndirectPredictor, ScdConfig, SimConfig};
+pub use fault::{diff_architectural, FaultEvent, FaultKind, FaultPlan};
 pub use ittage::Ittage;
-pub use machine::{Annotations, Exit, Machine, Profile, SimError, VbbiHint, MAX_BRANCH_IDS};
+pub use machine::{
+    Annotations, Exit, Machine, Profile, SimError, VbbiHint, WatchdogKind, MAX_BRANCH_IDS,
+};
 pub use mem::{MemFault, Memory};
 pub use predictor::{Direction, DirectionConfig, Ras};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{geomean, AccessCounters, BranchClass, BranchCounters, SimStats};
 pub use tlb::Tlb;
 pub use trace::{
     diff_stats, BopEvent, BopOutcome, BranchEvent, BtbInsertEvent, CycleBreakdown, DataAccess,
-    FetchAccess, InstClass, Inserts, JsonlSink, JteFlushEvent, L2Access, RedirectCause,
-    RedirectEvent, ReplayStats, StatInvariants, TraceEvent, TraceSink, VecSink,
+    FetchAccess, Inserts, InstClass, JsonlSink, JteFlushEvent, L2Access, RedirectCause,
+    RedirectEvent, ReplayStats, RingSink, StatInvariants, TraceEvent, TraceSink, VecSink,
 };

@@ -16,16 +16,18 @@
 
 use crate::btb::{Btb, BtbConfig, BtbKey, EntryKind, InsertOutcome};
 use crate::cache::Cache;
-use crate::ittage::Ittage;
 use crate::config::{IndirectPredictor, ScdConfig, SimConfig};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::ittage::Ittage;
 use crate::mem::{MemFault, Memory};
 use crate::predictor::{Direction, Ras};
+use crate::snapshot::{self, Cursor, Snapshot, SnapshotError};
 use crate::stats::{BranchClass, SimStats};
 use crate::tlb::Tlb;
 use crate::trace::{
-    BopEvent, BopOutcome, BranchEvent, BtbInsertEvent, DataAccess, FetchAccess, InstClass,
-    Inserts, JteFlushEvent, L2Access, RedirectCause, RedirectEvent, SinkSlot, StatInvariants,
-    TraceEvent, TraceSink,
+    BopEvent, BopOutcome, BranchEvent, BtbInsertEvent, DataAccess, FetchAccess, Inserts, InstClass,
+    JteFlushEvent, L2Access, RedirectCause, RedirectEvent, SinkSlot, StatInvariants, TraceEvent,
+    TraceSink,
 };
 use scd_isa::{AluOp, BranchOp, FCmpOp, FpOp, Inst, LoadOp, Program, Reg, Rounding, StoreOp};
 
@@ -89,6 +91,41 @@ pub enum SimError {
         /// PC of the `ebreak`.
         pc: u64,
     },
+    /// A watchdog budget expired (see [`Machine::set_cycle_budget`] and
+    /// [`Machine::set_wall_budget`]). Statistics are finalized for the
+    /// partial run before this is returned.
+    Watchdog {
+        /// Which budget fired.
+        kind: WatchdogKind,
+        /// Instructions retired when the watchdog fired.
+        instructions: u64,
+        /// Simulated cycles elapsed when the watchdog fired.
+        cycles: u64,
+    },
+}
+
+/// Which watchdog budget expired.
+///
+/// Every loop iteration of [`Machine::run`] retires exactly one
+/// instruction, so a guest that retires instructions without making
+/// progress (a livelock: an interpreter loop that never reaches its
+/// exit `ecall`) eventually exhausts the cycle budget; a simulator-side
+/// hang would exhaust the wall-clock budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogKind {
+    /// The simulated-cycle budget was exhausted.
+    Cycles,
+    /// The host wall-clock budget was exhausted.
+    WallClock,
+}
+
+impl std::fmt::Display for WatchdogKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WatchdogKind::Cycles => "cycle",
+            WatchdogKind::WallClock => "wall-clock",
+        })
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -98,6 +135,10 @@ impl std::fmt::Display for SimError {
             SimError::PcOutOfRange { pc } => write!(f, "pc {pc:#x} outside text section"),
             SimError::InstLimit { limit } => write!(f, "instruction limit {limit} exhausted"),
             SimError::Break { pc } => write!(f, "ebreak at pc {pc:#x}"),
+            SimError::Watchdog { kind, instructions, cycles } => write!(
+                f,
+                "{kind} watchdog fired after {instructions} instructions / {cycles} cycles"
+            ),
         }
     }
 }
@@ -170,6 +211,10 @@ pub struct Machine {
     invariants: Option<StatInvariants>,
     scratch: Scratch,
 
+    fault_plan: Option<FaultPlan>,
+    cycle_budget: Option<u64>,
+    wall_budget: Option<std::time::Duration>,
+
     /// Run statistics.
     pub stats: SimStats,
 }
@@ -185,6 +230,7 @@ struct Scratch {
     bop: Option<BopEvent>,
     inserts: Inserts,
     flush: Option<JteFlushEvent>,
+    fault: Option<FaultEvent>,
 }
 
 impl Machine {
@@ -232,6 +278,9 @@ impl Machine {
             // builds opt in via enable_invariants().
             invariants: cfg!(debug_assertions).then(|| StatInvariants::new(4096)),
             scratch: Scratch::default(),
+            fault_plan: None,
+            cycle_budget: None,
+            wall_budget: None,
             stats: SimStats::default(),
             regs: [0; 32],
             fregs: [0; 32],
@@ -321,6 +370,100 @@ impl Machine {
         self.invariants = None;
     }
 
+    /// Arms a fault-injection plan. From the next `run` on, the plan
+    /// injects micro-architectural faults at its scheduled instruction
+    /// counts; every injection is recorded on that retirement's trace
+    /// event. Faults only touch predictive state (BTB/JTE, RAS,
+    /// predictors, cache/TLB tags), so architectural results must be
+    /// unchanged — [`crate::diff_architectural`] checks exactly that.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The armed fault plan, if any (e.g. to read its injection count).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Aborts `run` with a [`SimError::Watchdog`] once the simulated
+    /// cycle counter reaches `cycles`. Detects livelocked guests:
+    /// retirement always advances the cycle counter, so a guest that
+    /// never halts exhausts any finite cycle budget.
+    pub fn set_cycle_budget(&mut self, cycles: u64) {
+        self.cycle_budget = Some(cycles);
+    }
+
+    /// Aborts `run` with a [`SimError::Watchdog`] once `budget` host
+    /// wall-clock time has elapsed (checked every 4096 retirements).
+    pub fn set_wall_budget(&mut self, budget: std::time::Duration) {
+        self.wall_budget = Some(budget);
+    }
+
+    /// Bytes the guest has written through the putchar `ecall` so far.
+    /// (A successful exit takes the buffer; this view is for comparing
+    /// partial runs.)
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Applies one injected fault, returning the number of JTEs it
+    /// knocked out (accounted as evictions on both the live counters and
+    /// the trace event, so the population identity stays balanced).
+    fn inject_fault(&mut self, kind: FaultKind, plan: &mut FaultPlan) -> u64 {
+        match kind {
+            FaultKind::JteInvalidate => {
+                let r = plan.rng().next();
+                match &mut self.jte_table {
+                    Some(t) => t.fault_invalidate_jte(r),
+                    None => self.btb.fault_invalidate_jte(r),
+                }
+            }
+            FaultKind::BtbFlush => {
+                let mut evicted = self.btb.fault_flush_all();
+                if let Some(t) = &mut self.jte_table {
+                    evicted += t.fault_flush_all();
+                }
+                evicted
+            }
+            FaultKind::BtbBitFlip => {
+                self.btb.fault_flip_bit(plan.rng().next());
+                0
+            }
+            FaultKind::RasFlush => {
+                self.ras.clear();
+                0
+            }
+            FaultKind::CacheInvalidate => {
+                self.icache.flush();
+                self.dcache.flush();
+                if let Some(l2) = &mut self.l2 {
+                    l2.flush();
+                }
+                0
+            }
+            FaultKind::TlbInvalidate => {
+                self.itlb.flush();
+                self.dtlb.flush();
+                0
+            }
+            FaultKind::PredictorScramble => {
+                self.direction.scramble(plan.rng());
+                self.ittage.scramble(plan.rng());
+                0
+            }
+        }
+    }
+
+    /// Finalizes statistics for a run that ends without a guest exit
+    /// (instruction limit or watchdog), leaving the machine re-runnable.
+    fn finalize_partial(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.btb = self.merged_btb_stats();
+        if let Some(sink) = &mut self.tracer.0 {
+            sink.finish();
+        }
+    }
+
     fn note_branch(&mut self, class: BranchClass, mispredicted: bool) {
         self.stats.record_branch(class, mispredicted);
         self.scratch.branch = Some(BranchEvent { class, mispredicted });
@@ -331,10 +474,7 @@ impl Machine {
     }
 
     fn note_flush(&mut self, flushed: u64) {
-        let f = self
-            .scratch
-            .flush
-            .get_or_insert(JteFlushEvent { flushes: 0, flushed: 0 });
+        let f = self.scratch.flush.get_or_insert(JteFlushEvent { flushes: 0, flushed: 0 });
         f.flushes += 1;
         f.flushed += flushed;
     }
@@ -392,10 +532,7 @@ impl Machine {
     #[inline]
     fn in_dispatch(&self, pc: u64) -> bool {
         let i = self.ann.dispatch_ranges.partition_point(|&(_, end)| end <= pc);
-        self.ann
-            .dispatch_ranges
-            .get(i)
-            .is_some_and(|&(start, _)| pc >= start)
+        self.ann.dispatch_ranges.get(i).is_some_and(|&(start, _)| pc >= start)
     }
 
     #[inline]
@@ -404,11 +541,7 @@ impl Machine {
     }
 
     fn vbbi_hint(&self, pc: u64) -> Option<VbbiHint> {
-        let i = self
-            .ann
-            .vbbi_hints
-            .binary_search_by_key(&pc, |h| h.jump_pc)
-            .ok()?;
+        let i = self.ann.vbbi_hints.binary_search_by_key(&pc, |h| h.jump_pc).ok()?;
         Some(self.ann.vbbi_hints[i])
     }
 
@@ -494,14 +627,10 @@ impl Machine {
         // FP sources.
         match *inst {
             Inst::FOp { rs1, rs2, .. } => {
-                min_cycle = min_cycle
-                    .max(self.fready[rs1.index()])
-                    .max(self.fready[rs2.index()]);
+                min_cycle = min_cycle.max(self.fready[rs1.index()]).max(self.fready[rs2.index()]);
             }
             Inst::FCmp { rs1, rs2, .. } => {
-                min_cycle = min_cycle
-                    .max(self.fready[rs1.index()])
-                    .max(self.fready[rs2.index()]);
+                min_cycle = min_cycle.max(self.fready[rs1.index()]).max(self.fready[rs2.index()]);
             }
             Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } => {
                 min_cycle = min_cycle.max(self.fready[rs1.index()]);
@@ -572,10 +701,7 @@ impl Machine {
             _ if self.cfg.indirect == IndirectPredictor::Ittage => {
                 // ITTAGE covers every indirect jump; the PC-indexed BTB
                 // is its base component.
-                let pred = self
-                    .ittage
-                    .predict(pc)
-                    .or_else(|| self.btb.lookup(BtbKey::Pc(pc)));
+                let pred = self.ittage.predict(pc).or_else(|| self.btb.lookup(BtbKey::Pc(pc)));
                 let miss = pred != Some(target);
                 self.ittage.update(pc, target);
                 if miss {
@@ -590,8 +716,8 @@ impl Machine {
                 let key = match (self.cfg.indirect, self.vbbi_hint(pc)) {
                     (IndirectPredictor::Vbbi, Some(h)) => {
                         let hint = self.regs[h.hint_reg.index()] & h.mask;
-                        let ready = self.xready[h.hint_reg.index()] + self.cfg.fetch_lead
-                            <= self.cycle;
+                        let ready =
+                            self.xready[h.hint_reg.index()] + self.cfg.fetch_lead <= self.cycle;
                         if ready {
                             BtbKey::Vbbi(vbbi_mix(pc, hint))
                         } else {
@@ -635,14 +761,29 @@ impl Machine {
     pub fn run(&mut self, max_insts: u64) -> Result<Exit, SimError> {
         let scd_cfg: ScdConfig = self.cfg.scd;
         let nbids = scd_cfg.branch_ids.min(MAX_BRANCH_IDS);
+        let wall_start = std::time::Instant::now();
         loop {
             if self.stats.instructions >= max_insts {
-                self.stats.cycles = self.cycle;
-                self.stats.btb = self.merged_btb_stats();
-                if let Some(sink) = &mut self.tracer.0 {
-                    sink.finish();
-                }
+                self.finalize_partial();
                 return Err(SimError::InstLimit { limit: max_insts });
+            }
+            if self.cycle_budget.is_some_and(|b| self.cycle >= b) {
+                self.finalize_partial();
+                return Err(SimError::Watchdog {
+                    kind: WatchdogKind::Cycles,
+                    instructions: self.stats.instructions,
+                    cycles: self.cycle,
+                });
+            }
+            if let Some(wall) = self.wall_budget {
+                if self.stats.instructions.is_multiple_of(4096) && wall_start.elapsed() >= wall {
+                    self.finalize_partial();
+                    return Err(SimError::Watchdog {
+                        kind: WatchdogKind::WallClock,
+                        instructions: self.stats.instructions,
+                        cycles: self.cycle,
+                    });
+                }
             }
             let pc = self.pc;
             if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(4) {
@@ -668,6 +809,16 @@ impl Machine {
                 let flushed = self.jte_flush();
                 self.note_flush(flushed);
                 self.next_flush_at += scd_cfg.flush_interval.unwrap_or(u64::MAX);
+            }
+            // Fault injection fires between retirements, before this
+            // instruction executes; the plan is taken out of `self` for
+            // the call so `inject_fault` can borrow the machine freely.
+            if let Some(mut plan) = self.fault_plan.take() {
+                if let Some(kind) = plan.due(self.stats.instructions) {
+                    let evicted = self.inject_fault(kind, &mut plan);
+                    self.scratch.fault = Some(FaultEvent { kind, evicted });
+                }
+                self.fault_plan = Some(plan);
             }
 
             let mut next_pc = pc + 4;
@@ -799,12 +950,12 @@ impl Machine {
                         FpOp::FminD => a.min(b),
                         FpOp::FmaxD => a.max(b),
                         FpOp::FsqrtD => a.sqrt(),
-                        FpOp::FsgnjD => f64::from_bits(
-                            (a.to_bits() & !SIGN) | (b.to_bits() & SIGN),
-                        ),
-                        FpOp::FsgnjnD => f64::from_bits(
-                            (a.to_bits() & !SIGN) | (!b.to_bits() & SIGN),
-                        ),
+                        FpOp::FsgnjD => {
+                            f64::from_bits((a.to_bits() & !SIGN) | (b.to_bits() & SIGN))
+                        }
+                        FpOp::FsgnjnD => {
+                            f64::from_bits((a.to_bits() & !SIGN) | (!b.to_bits() & SIGN))
+                        }
                         FpOp::FsgnjxD => f64::from_bits(a.to_bits() ^ (b.to_bits() & SIGN)),
                     };
                     self.fregs[rd.index()] = v.to_bits();
@@ -978,6 +1129,7 @@ impl Machine {
                     bop: self.scratch.bop,
                     inserts: self.scratch.inserts,
                     flush: self.scratch.flush,
+                    fault: self.scratch.fault,
                 };
                 if let Some(sink) = &mut self.tracer.0 {
                     sink.event(&ev);
@@ -986,10 +1138,7 @@ impl Machine {
                     inv.observe(&ev);
                 }
                 let checkpoint = exit_code.is_some()
-                    || self
-                        .invariants
-                        .as_ref()
-                        .is_some_and(|inv| inv.due(self.stats.instructions));
+                    || self.invariants.as_ref().is_some_and(|inv| inv.due(self.stats.instructions));
                 if checkpoint && self.invariants.is_some() {
                     let mut live = self.stats.clone();
                     live.cycles = self.cycle;
@@ -1007,15 +1156,8 @@ impl Machine {
             }
 
             if let Some(code) = exit_code {
-                self.stats.cycles = self.cycle;
-                self.stats.btb = self.merged_btb_stats();
-                if let Some(sink) = &mut self.tracer.0 {
-                    sink.finish();
-                }
-                return Ok(Exit {
-                    code,
-                    output: std::mem::take(&mut self.output),
-                });
+                self.finalize_partial();
+                return Ok(Exit { code, output: std::mem::take(&mut self.output) });
             }
             self.pc = next_pc;
         }
@@ -1041,6 +1183,161 @@ impl Machine {
             StoreOp::Sd => self.mem.write_u64(addr, v),
         }
     }
+
+    // ---- checkpoint / resume ----
+
+    /// Identifies the (config, program) pair a snapshot belongs to, so a
+    /// restore into a differently-built machine is rejected instead of
+    /// silently misinterpreting the word stream.
+    fn fingerprint(&self) -> u64 {
+        let mut h = snapshot::fnv1a(snapshot::FNV_OFFSET, format!("{:?}", self.cfg).as_bytes());
+        h = snapshot::fnv1a(h, &self.text_base.to_le_bytes());
+        h = snapshot::fnv1a(h, &self.text_end.to_le_bytes());
+        snapshot::fnv1a(h, &(self.insts.len() as u64).to_le_bytes())
+    }
+
+    /// Captures the complete machine state — architectural (registers,
+    /// PC, memory, guest output) and micro-architectural (caches, TLBs,
+    /// predictors, BTB/JTE, SCD registers, pipeline scoreboard, and all
+    /// statistics) — such that [`Machine::restore`] followed by `run`
+    /// reproduces the uninterrupted run bit for bit, stats included.
+    ///
+    /// Not captured: trace sinks, the stat self-checker, profiling
+    /// buffers, fault plans and watchdog budgets. Re-arm those on the
+    /// restored machine if needed.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut w = Vec::new();
+        w.extend_from_slice(&self.regs);
+        w.extend_from_slice(&self.fregs);
+        w.push(self.pc);
+        w.push(self.cycle);
+        w.extend_from_slice(&self.xready);
+        w.extend_from_slice(&self.fready);
+        w.push(self.issued_this_cycle as u64);
+        w.push(self.prev_dest.map_or(u64::MAX, |r| r.index() as u64));
+        w.push(self.prev_fdest.map_or(u64::MAX, |r| r.index() as u64));
+        w.push(self.prev_was_mem as u64);
+        for s in &self.scd {
+            w.push(s.rop_v as u64);
+            w.push(s.rop_d);
+            w.push(s.rmask);
+            w.push(s.rbop_pc);
+            w.push(s.rop_ready);
+        }
+        w.push(self.next_flush_at);
+        snapshot::stats_to_words(&self.stats, &mut w);
+        self.icache.snapshot_words(&mut w);
+        self.dcache.snapshot_words(&mut w);
+        match &self.l2 {
+            Some(l2) => {
+                w.push(1);
+                l2.snapshot_words(&mut w);
+            }
+            None => w.push(0),
+        }
+        self.itlb.snapshot_words(&mut w);
+        self.dtlb.snapshot_words(&mut w);
+        self.direction.snapshot_words(&mut w);
+        self.btb.snapshot_words(&mut w);
+        match &self.jte_table {
+            Some(t) => {
+                w.push(1);
+                t.snapshot_words(&mut w);
+            }
+            None => w.push(0),
+        }
+        self.ras.snapshot_words(&mut w);
+        self.ittage.snapshot_words(&mut w);
+        Snapshot {
+            fingerprint: self.fingerprint(),
+            words: w,
+            segments: self.mem.snapshot_segments(),
+            output: self.output.clone(),
+        }
+    }
+
+    /// Restores a [`Machine::snapshot`] into this machine. The machine
+    /// must have been built from the same configuration and program and
+    /// have the same memory segments mapped.
+    ///
+    /// The stat self-checker is disarmed: it replays the event stream
+    /// from instruction 0, which a mid-stream resume cannot provide.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Fingerprint`] when the snapshot belongs to a
+    /// different (config, program) pair; [`SnapshotError::Format`] when
+    /// the memory layout or optional structures do not line up.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let expected = self.fingerprint();
+        if snap.fingerprint != expected {
+            return Err(SnapshotError::Fingerprint { expected, found: snap.fingerprint });
+        }
+        self.mem.restore_segments(&snap.segments).map_err(SnapshotError::Format)?;
+        let mut c = Cursor::new(&snap.words);
+        for r in &mut self.regs {
+            *r = c.next();
+        }
+        for r in &mut self.fregs {
+            *r = c.next();
+        }
+        self.pc = c.next();
+        self.cycle = c.next();
+        for r in &mut self.xready {
+            *r = c.next();
+        }
+        for r in &mut self.fready {
+            *r = c.next();
+        }
+        self.issued_this_cycle = c.next() as usize;
+        self.prev_dest = match c.next() {
+            u64::MAX => None,
+            n => Some(Reg::new(n as u8)),
+        };
+        self.prev_fdest = match c.next() {
+            u64::MAX => None,
+            n => Some(scd_isa::FReg::new(n as u8)),
+        };
+        self.prev_was_mem = c.next() != 0;
+        for s in &mut self.scd {
+            s.rop_v = c.next() != 0;
+            s.rop_d = c.next();
+            s.rmask = c.next();
+            s.rbop_pc = c.next();
+            s.rop_ready = c.next();
+        }
+        self.next_flush_at = c.next();
+        self.stats = snapshot::stats_from_words(&mut c);
+        self.icache.restore_words(&mut c);
+        self.dcache.restore_words(&mut c);
+        let have_l2 = c.next() != 0;
+        match (&mut self.l2, have_l2) {
+            (Some(l2), true) => l2.restore_words(&mut c),
+            (None, false) => {}
+            _ => return Err(SnapshotError::Format("L2 presence mismatch".into())),
+        }
+        self.itlb.restore_words(&mut c);
+        self.dtlb.restore_words(&mut c);
+        self.direction.restore_words(&mut c);
+        self.btb.restore_words(&mut c);
+        let have_jt = c.next() != 0;
+        match (&mut self.jte_table, have_jt) {
+            (Some(t), true) => t.restore_words(&mut c),
+            (None, false) => {}
+            _ => return Err(SnapshotError::Format("JTE-table presence mismatch".into())),
+        }
+        self.ras.restore_words(&mut c);
+        self.ittage.restore_words(&mut c);
+        if c.remaining() != 0 {
+            return Err(SnapshotError::Format(format!(
+                "{} unconsumed snapshot words",
+                c.remaining()
+            )));
+        }
+        self.output = snap.output.clone();
+        self.scratch = Scratch::default();
+        self.invariants = None;
+        Ok(())
+    }
 }
 
 /// Per-static-instruction profile collected by
@@ -1055,19 +1352,13 @@ pub struct Profile {
 impl Profile {
     /// Retired count for the instruction at `pc`.
     pub fn insts_at(&self, pc: u64) -> u64 {
-        self.insts
-            .get(((pc - self.text_base) / 4) as usize)
-            .copied()
-            .unwrap_or(0)
+        self.insts.get(((pc - self.text_base) / 4) as usize).copied().unwrap_or(0)
     }
 
     /// Cycles attributed to the instruction at `pc` (issue slot plus any
     /// stall it caused).
     pub fn cycles_at(&self, pc: u64) -> u64 {
-        self.cycles
-            .get(((pc - self.text_base) / 4) as usize)
-            .copied()
-            .unwrap_or(0)
+        self.cycles.get(((pc - self.text_base) / 4) as usize).copied().unwrap_or(0)
     }
 
     /// The `n` hottest instructions by attributed cycles:
@@ -1265,11 +1556,7 @@ mod tests {
         assert_eq!(exit.code, 50);
         // After warm-up the RAS should predict returns near-perfectly.
         assert!(stats.ret.executed >= 50);
-        assert!(
-            stats.ret.mispredicted <= 2,
-            "return mispredictions: {}",
-            stats.ret.mispredicted
-        );
+        assert!(stats.ret.mispredicted <= 2, "return mispredictions: {}", stats.ret.mispredicted);
     }
 
     #[test]
@@ -1284,70 +1571,70 @@ mod tests {
         });
         assert!(stats.cond.executed >= 1000);
         // A steady loop branch should be near-perfectly predicted.
-        assert!(
-            stats.cond.mispredicted < 20,
-            "loop mispredictions: {}",
-            stats.cond.mispredicted
-        );
+        assert!(stats.cond.mispredicted < 20, "loop mispredictions: {}", stats.cond.mispredicted);
+    }
+
+    /// A tiny dispatcher: two "bytecodes" (0 and 1) handled in a loop.
+    /// Shared by the SCD fast-path test and the checkpoint tests (it
+    /// exercises every structure a snapshot must carry).
+    fn build_dispatcher(a: &mut Asm) {
+        // Bytecode array at 0x10_0000: alternating 0,1 x 100, terminator 2.
+        a.li(Reg::S1, 0x10_0000);
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 100);
+        a.label("fill");
+        a.andi(Reg::T2, Reg::T0, 1);
+        a.slli(Reg::T3, Reg::T0, 2);
+        a.add(Reg::T3, Reg::T3, Reg::S1);
+        a.sw(Reg::T2, 0, Reg::T3);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.bne(Reg::T0, Reg::T1, "fill");
+        // terminator opcode 2 at index 100
+        a.li(Reg::T2, 2);
+        a.slli(Reg::T3, Reg::T0, 2);
+        a.add(Reg::T3, Reg::T3, Reg::S1);
+        a.sw(Reg::T2, 0, Reg::T3);
+
+        // Interpreter setup: mask = 0x3f, a2 = counter
+        a.li(Reg::T0, 0x3f);
+        a.setmask(0, Reg::T0);
+        a.li(Reg::A2, 0);
+        a.la(Reg::S2, "jt");
+
+        a.label("dispatch");
+        a.load_op(LoadOp::Lw, 0, Reg::A0, 0, Reg::S1);
+        a.addi(Reg::S1, Reg::S1, 4);
+        a.bop(0);
+        // slow path: bound check + table jump
+        a.andi(Reg::A1, Reg::A0, 0x3f);
+        a.sltiu(Reg::T3, Reg::A1, 3);
+        a.beqz(Reg::T3, "bad");
+        a.slli(Reg::T3, Reg::A1, 3);
+        a.add(Reg::T3, Reg::T3, Reg::S2);
+        a.ld(Reg::T4, 0, Reg::T3);
+        a.jru(0, Reg::T4);
+
+        a.label("h0");
+        a.addi(Reg::A2, Reg::A2, 1);
+        a.j("dispatch");
+        a.label("h1");
+        a.addi(Reg::A2, Reg::A2, 2);
+        a.j("dispatch");
+        a.label("h2");
+        a.jte_flush();
+        halt(a, Reg::A2);
+        a.label("bad");
+        a.inst(Inst::Ebreak);
+
+        a.ro_label("jt");
+        a.ro_addr("h0");
+        a.ro_addr("h1");
+        a.ro_addr("h2");
     }
 
     #[test]
     fn scd_fast_path_basic() {
-        // A tiny dispatcher: two "bytecodes" (0 and 1) handled in a loop.
-        let (exit, stats) = run_asm(|a| {
-            // Bytecode array at 0x10_0000: alternating 0,1 x 100, terminator 2.
-            a.li(Reg::S1, 0x10_0000);
-            a.li(Reg::T0, 0);
-            a.li(Reg::T1, 100);
-            a.label("fill");
-            a.andi(Reg::T2, Reg::T0, 1);
-            a.slli(Reg::T3, Reg::T0, 2);
-            a.add(Reg::T3, Reg::T3, Reg::S1);
-            a.sw(Reg::T2, 0, Reg::T3);
-            a.addi(Reg::T0, Reg::T0, 1);
-            a.bne(Reg::T0, Reg::T1, "fill");
-            // terminator opcode 2 at index 100
-            a.li(Reg::T2, 2);
-            a.slli(Reg::T3, Reg::T0, 2);
-            a.add(Reg::T3, Reg::T3, Reg::S1);
-            a.sw(Reg::T2, 0, Reg::T3);
-
-            // Interpreter setup: mask = 0x3f, a2 = counter
-            a.li(Reg::T0, 0x3f);
-            a.setmask(0, Reg::T0);
-            a.li(Reg::A2, 0);
-            a.la(Reg::S2, "jt");
-
-            a.label("dispatch");
-            a.load_op(LoadOp::Lw, 0, Reg::A0, 0, Reg::S1);
-            a.addi(Reg::S1, Reg::S1, 4);
-            a.bop(0);
-            // slow path: bound check + table jump
-            a.andi(Reg::A1, Reg::A0, 0x3f);
-            a.sltiu(Reg::T3, Reg::A1, 3);
-            a.beqz(Reg::T3, "bad");
-            a.slli(Reg::T3, Reg::A1, 3);
-            a.add(Reg::T3, Reg::T3, Reg::S2);
-            a.ld(Reg::T4, 0, Reg::T3);
-            a.jru(0, Reg::T4);
-
-            a.label("h0");
-            a.addi(Reg::A2, Reg::A2, 1);
-            a.j("dispatch");
-            a.label("h1");
-            a.addi(Reg::A2, Reg::A2, 2);
-            a.j("dispatch");
-            a.label("h2");
-            a.jte_flush();
-            halt(a, Reg::A2);
-            a.label("bad");
-            a.inst(Inst::Ebreak);
-
-            a.ro_label("jt");
-            a.ro_addr("h0");
-            a.ro_addr("h1");
-            a.ro_addr("h2");
-        });
+        let (exit, stats) = run_asm(build_dispatcher);
         // 50 zeros (+1 each) and 50 ones (+2 each) = 150
         assert_eq!(exit.code, 150);
         assert_eq!(stats.bop_executed, 101);
@@ -1476,10 +1763,7 @@ mod tests {
         let dual = cycles_at_width(2, build);
         // A dependent chain gains nothing from the second slot (the halt
         // epilogue may pair, hence the tiny slack).
-        assert!(
-            single - dual <= 2,
-            "RAW chain must not pair: single {single}, dual {dual}"
-        );
+        assert!(single - dual <= 2, "RAW chain must not pair: single {single}, dual {dual}");
     }
 
     #[test]
@@ -1569,5 +1853,114 @@ mod tests {
         let c = m.cycle;
         m.issue(&addi(Reg::T2));
         assert_eq!((m.issued_this_cycle, m.cycle), (1, c + 1), "third op starts a new group");
+    }
+
+    // ---- watchdog ----
+
+    #[test]
+    fn cycle_watchdog_catches_livelock() {
+        let mut a = Asm::new(0x1_0000);
+        a.label("spin");
+        a.j("spin");
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(SimConfig::embedded_a5(), &p);
+        m.set_cycle_budget(10_000);
+        match m.run(u64::MAX) {
+            Err(SimError::Watchdog { kind: WatchdogKind::Cycles, instructions, cycles }) => {
+                assert!(cycles >= 10_000, "budget not exhausted: {cycles}");
+                assert!(instructions > 0);
+                // Stats are finalized for the partial run.
+                assert_eq!(m.stats.cycles, cycles);
+                assert_eq!(m.stats.instructions, instructions);
+            }
+            other => panic!("expected cycle watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_watchdog_fires() {
+        let mut a = Asm::new(0x1_0000);
+        a.label("spin");
+        a.j("spin");
+        let p = a.finish().unwrap();
+        let mut m = Machine::new(SimConfig::embedded_a5(), &p);
+        m.set_wall_budget(std::time::Duration::ZERO);
+        assert!(matches!(
+            m.run(u64::MAX),
+            Err(SimError::Watchdog { kind: WatchdogKind::WallClock, .. })
+        ));
+    }
+
+    // ---- checkpoint / resume ----
+
+    fn dispatcher_machine(p: &scd_isa::Program) -> Machine {
+        let mut m = Machine::new(SimConfig::embedded_a5(), p);
+        m.map("scratch", 0x10_0000, 0x1000);
+        m
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_run_exactly() {
+        let mut a = Asm::new(0x1_0000);
+        build_dispatcher(&mut a);
+        let p = a.finish().expect("assemble");
+
+        // Reference: the uninterrupted run.
+        let mut whole = dispatcher_machine(&p);
+        let exit_whole = whole.run(1_000_000).expect("run");
+
+        // Chunked: stop every 117 instructions, snapshot through the
+        // byte codec, restore into a FRESH machine, continue.
+        let mut m = dispatcher_machine(&p);
+        let mut limit = 117;
+        let exit_chunked = loop {
+            match m.run(limit) {
+                Ok(exit) => break exit,
+                Err(SimError::InstLimit { .. }) => {
+                    let bytes = m.snapshot().to_bytes();
+                    let snap = Snapshot::from_bytes(&bytes).expect("decode");
+                    let mut fresh = dispatcher_machine(&p);
+                    fresh.restore(&snap).expect("restore");
+                    m = fresh;
+                    limit += 117;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+
+        assert_eq!(exit_whole.code, exit_chunked.code);
+        assert_eq!(exit_whole.output, exit_chunked.output);
+        // The whole point: SimStats (cycles, every counter) bit-identical.
+        assert_eq!(whole.stats, m.stats);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_program() {
+        let mut a = Asm::new(0x1_0000);
+        a.label("spin");
+        a.j("spin");
+        let p1 = a.finish().unwrap();
+        let mut b = Asm::new(0x1_0000);
+        b.nop();
+        b.label("spin");
+        b.j("spin");
+        let p2 = b.finish().unwrap();
+        let m1 = Machine::new(SimConfig::embedded_a5(), &p1);
+        let snap = m1.snapshot();
+        let mut m2 = Machine::new(SimConfig::embedded_a5(), &p2);
+        assert!(matches!(m2.restore(&snap), Err(SnapshotError::Fingerprint { .. })));
+    }
+
+    #[test]
+    fn restore_rejects_missing_segment() {
+        let mut a = Asm::new(0x1_0000);
+        a.label("spin");
+        a.j("spin");
+        let p = a.finish().unwrap();
+        let mut m1 = Machine::new(SimConfig::embedded_a5(), &p);
+        m1.map("scratch", 0x10_0000, 0x1000);
+        let snap = m1.snapshot();
+        let mut m2 = Machine::new(SimConfig::embedded_a5(), &p); // no scratch
+        assert!(matches!(m2.restore(&snap), Err(SnapshotError::Format(_))));
     }
 }

@@ -96,9 +96,11 @@ impl Memory {
     /// Reads `SIZE` bytes little-endian.
     #[inline]
     pub fn read<const SIZE: usize>(&self, addr: u64) -> Result<[u8; SIZE], MemFault> {
-        let (seg, off) = self
-            .locate(addr, SIZE as u64)
-            .ok_or(MemFault { addr, size: SIZE as u64, write: false })?;
+        let (seg, off) = self.locate(addr, SIZE as u64).ok_or(MemFault {
+            addr,
+            size: SIZE as u64,
+            write: false,
+        })?;
         let mut out = [0u8; SIZE];
         out.copy_from_slice(&self.segments[seg].data[off..off + SIZE]);
         Ok(out)
@@ -106,10 +108,16 @@ impl Memory {
 
     /// Writes `SIZE` bytes little-endian.
     #[inline]
-    pub fn write<const SIZE: usize>(&mut self, addr: u64, bytes: [u8; SIZE]) -> Result<(), MemFault> {
-        let (seg, off) = self
-            .locate(addr, SIZE as u64)
-            .ok_or(MemFault { addr, size: SIZE as u64, write: true })?;
+    pub fn write<const SIZE: usize>(
+        &mut self,
+        addr: u64,
+        bytes: [u8; SIZE],
+    ) -> Result<(), MemFault> {
+        let (seg, off) = self.locate(addr, SIZE as u64).ok_or(MemFault {
+            addr,
+            size: SIZE as u64,
+            write: true,
+        })?;
         self.segments[seg].data[off..off + SIZE].copy_from_slice(&bytes);
         Ok(())
     }
@@ -145,6 +153,49 @@ impl Memory {
     /// Writes a little-endian u64.
     pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
         self.write::<8>(addr, v.to_le_bytes())
+    }
+
+    /// Iterates the mapped segments as `(name, base, data)`, in mapping
+    /// order. Used by the fault-injection differential guard to compare
+    /// whole memories byte for byte.
+    pub fn segments(&self) -> impl Iterator<Item = (&'static str, u64, &[u8])> {
+        self.segments.iter().map(|s| (s.name, s.base, s.data.as_slice()))
+    }
+
+    // ---- checkpoint codec (crate::snapshot) ----
+
+    pub(crate) fn snapshot_segments(&self) -> Vec<(String, u64, Vec<u8>)> {
+        self.segments.iter().map(|s| (s.name.to_string(), s.base, s.data.clone())).collect()
+    }
+
+    /// Restores segment contents from a snapshot. The target memory must
+    /// have the identical layout (same machine config and program).
+    pub(crate) fn restore_segments(
+        &mut self,
+        segs: &[(String, u64, Vec<u8>)],
+    ) -> Result<(), String> {
+        if segs.len() != self.segments.len() {
+            return Err(format!(
+                "snapshot has {} segments, machine has {}",
+                segs.len(),
+                self.segments.len()
+            ));
+        }
+        for (s, (name, base, data)) in self.segments.iter_mut().zip(segs) {
+            if s.name != name || s.base != *base || s.data.len() != data.len() {
+                return Err(format!(
+                    "segment mismatch: machine {}@{:#x}+{:#x}, snapshot {}@{:#x}+{:#x}",
+                    s.name,
+                    s.base,
+                    s.data.len(),
+                    name,
+                    base,
+                    data.len()
+                ));
+            }
+            s.data.copy_from_slice(data);
+        }
+        Ok(())
     }
 }
 

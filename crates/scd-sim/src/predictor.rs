@@ -30,6 +30,16 @@ impl Counter2 {
             self.0 = self.0.saturating_sub(1);
         }
     }
+
+    /// Raw counter value, for checkpointing.
+    pub(crate) fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a counter from a raw value (clamped into 0..=3).
+    pub(crate) fn from_raw(v: u8) -> Self {
+        Counter2(v.min(3))
+    }
 }
 
 /// Configuration for a direction predictor.
@@ -55,17 +65,9 @@ pub enum DirectionConfig {
 #[allow(missing_docs)] // fields mirror DirectionConfig
 pub enum Direction {
     /// Tournament predictor state.
-    Tournament {
-        global: Vec<Counter2>,
-        local: Vec<Counter2>,
-        chooser: Vec<Counter2>,
-        ghr: u64,
-    },
+    Tournament { global: Vec<Counter2>, local: Vec<Counter2>, chooser: Vec<Counter2>, ghr: u64 },
     /// gshare predictor state.
-    Gshare {
-        table: Vec<Counter2>,
-        ghr: u64,
-    },
+    Gshare { table: Vec<Counter2>, ghr: u64 },
 }
 
 impl Direction {
@@ -79,16 +81,17 @@ impl Direction {
             n
         };
         match cfg {
-            DirectionConfig::Tournament { global_entries, local_entries } => Direction::Tournament {
-                global: vec![Counter2::weakly_taken(); check(global_entries)],
-                local: vec![Counter2::weakly_taken(); check(local_entries)],
-                chooser: vec![Counter2::weakly_taken(); check(global_entries)],
-                ghr: 0,
-            },
-            DirectionConfig::Gshare { entries } => Direction::Gshare {
-                table: vec![Counter2::weakly_taken(); check(entries)],
-                ghr: 0,
-            },
+            DirectionConfig::Tournament { global_entries, local_entries } => {
+                Direction::Tournament {
+                    global: vec![Counter2::weakly_taken(); check(global_entries)],
+                    local: vec![Counter2::weakly_taken(); check(local_entries)],
+                    chooser: vec![Counter2::weakly_taken(); check(global_entries)],
+                    ghr: 0,
+                }
+            }
+            DirectionConfig::Gshare { entries } => {
+                Direction::Gshare { table: vec![Counter2::weakly_taken(); check(entries)], ghr: 0 }
+            }
         }
     }
 
@@ -137,6 +140,77 @@ impl Direction {
             }
         }
     }
+
+    /// Fault hook: overwrites every counter and the global history with
+    /// pseudo-random garbage. Direction predictions are resolved at
+    /// execute, so this is timing-only state.
+    pub(crate) fn scramble(&mut self, rng: &mut crate::fault::Rng) {
+        let scramble_table = |t: &mut Vec<Counter2>, rng: &mut crate::fault::Rng| {
+            for c in t.iter_mut() {
+                *c = Counter2::from_raw((rng.next() & 3) as u8);
+            }
+        };
+        match self {
+            Direction::Tournament { global, local, chooser, ghr } => {
+                scramble_table(global, rng);
+                scramble_table(local, rng);
+                scramble_table(chooser, rng);
+                *ghr = rng.next();
+            }
+            Direction::Gshare { table, ghr } => {
+                scramble_table(table, rng);
+                *ghr = rng.next();
+            }
+        }
+    }
+
+    // ---- checkpoint codec (crate::snapshot) ----
+
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        let push_table = |out: &mut Vec<u64>, t: &[Counter2]| {
+            out.push(t.len() as u64);
+            out.extend(t.iter().map(|c| c.raw() as u64));
+        };
+        match self {
+            Direction::Tournament { global, local, chooser, ghr } => {
+                out.push(0);
+                push_table(out, global);
+                push_table(out, local);
+                push_table(out, chooser);
+                out.push(*ghr);
+            }
+            Direction::Gshare { table, ghr } => {
+                out.push(1);
+                push_table(out, table);
+                out.push(*ghr);
+            }
+        }
+    }
+
+    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
+        let restore_table = |t: &mut Vec<Counter2>, c: &mut crate::snapshot::Cursor| {
+            let n = c.next() as usize;
+            assert_eq!(n, t.len(), "snapshot predictor table size mismatch");
+            for slot in t.iter_mut() {
+                *slot = Counter2::from_raw(c.next() as u8);
+            }
+        };
+        let tag = c.next();
+        match self {
+            Direction::Tournament { global, local, chooser, ghr } => {
+                assert_eq!(tag, 0, "snapshot predictor variant mismatch");
+                restore_table(global, c);
+                restore_table(local, c);
+                restore_table(chooser, c);
+                *ghr = c.next();
+            }
+            Direction::Gshare { table, ghr } => {
+                assert_eq!(tag, 1, "snapshot predictor variant mismatch");
+                restore_table(table, c);
+                *ghr = c.next();
+            }
+        }
+    }
 }
 
 /// Return-address stack (circular; overflow overwrites the oldest entry,
@@ -177,6 +251,32 @@ impl Ras {
         self.depth -= 1;
         Some(v)
     }
+
+    /// Fault hook: empties the stack. Return predictions are verified at
+    /// execute, so a drained RAS only costs mispredict penalties.
+    pub(crate) fn clear(&mut self) {
+        self.top = 0;
+        self.depth = 0;
+    }
+
+    // ---- checkpoint codec (crate::snapshot) ----
+
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.stack.len() as u64);
+        out.extend_from_slice(&self.stack);
+        out.push(self.top as u64);
+        out.push(self.depth as u64);
+    }
+
+    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
+        let n = c.next() as usize;
+        assert_eq!(n, self.stack.len(), "snapshot RAS size mismatch");
+        for v in &mut self.stack {
+            *v = c.next();
+        }
+        self.top = c.next() as usize;
+        self.depth = c.next() as usize;
+    }
 }
 
 #[cfg(test)]
@@ -212,10 +312,8 @@ mod tests {
 
     #[test]
     fn tournament_learns_alternating_via_global() {
-        let mut p = Direction::new(DirectionConfig::Tournament {
-            global_entries: 512,
-            local_entries: 128,
-        });
+        let mut p =
+            Direction::new(DirectionConfig::Tournament { global_entries: 512, local_entries: 128 });
         let pc = 0x2000;
         // Alternating pattern: global history should capture it.
         let mut correct = 0;
@@ -230,7 +328,10 @@ mod tests {
             }
             p.update(pc, taken);
         }
-        assert!(correct * 10 >= total * 9, "tournament should learn alternation: {correct}/{total}");
+        assert!(
+            correct * 10 >= total * 9,
+            "tournament should learn alternation: {correct}/{total}"
+        );
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Whole-machine checkpointing: serialize core *and* µarch state so a
+//! run can be interrupted and resumed with bit-identical results.
+//!
+//! [`crate::Machine::snapshot`] captures everything timing-relevant —
+//! register files, PC, cycle count, scoreboard, SCD operand registers,
+//! statistics, caches, TLBs, BTB/JTE tables, RAS, both predictors and
+//! all memory segments — into a [`Snapshot`]. Restoring it into a
+//! machine built from the *same* config and program (checked via a
+//! fingerprint) and continuing the run reproduces the uninterrupted
+//! run's [`crate::SimStats`] exactly; a test asserts this.
+//!
+//! The byte encoding ([`Snapshot::to_bytes`]/[`Snapshot::from_bytes`])
+//! is a self-contained little-endian format (magic `SCDCKPT1`) with no
+//! external dependencies, used by `scd-cli run --checkpoint-every` /
+//! `--resume`.
+
+use crate::stats::SimStats;
+use std::fmt;
+
+/// Magic prefix of the checkpoint byte format.
+const MAGIC: &[u8; 8] = b"SCDCKPT1";
+
+/// Error decoding or restoring a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream is not a well-formed checkpoint.
+    Format(String),
+    /// The checkpoint was taken from a different config/program.
+    Fingerprint {
+        /// Fingerprint of the machine being restored into.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Format(m) => write!(f, "malformed checkpoint: {m}"),
+            SnapshotError::Fingerprint { expected, found } => write!(
+                f,
+                "checkpoint is for a different config/program \
+                 (machine fingerprint {expected:#018x}, snapshot {found:#018x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A point-in-time capture of a [`crate::Machine`]'s complete state.
+///
+/// Opaque by design: the only consumers are
+/// [`crate::Machine::restore`] and the byte codec. The capture excludes
+/// the trace sink, profiler and invariant checker (observers, not
+/// state) and any installed fault plan; restoring disables invariant
+/// checking on the target machine because the replay checker assumes it
+/// observed the run from instruction zero.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) fingerprint: u64,
+    /// All scalar core + µarch state, in the fixed order produced by
+    /// `Machine::snapshot`.
+    pub(crate) words: Vec<u64>,
+    /// Memory segments as (name, base, data).
+    pub(crate) segments: Vec<(String, u64, Vec<u8>)>,
+    /// Guest output bytes emitted so far.
+    pub(crate) output: Vec<u8>,
+}
+
+impl Snapshot {
+    /// The config/program fingerprint this snapshot was taken from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Serializes the snapshot into the `SCDCKPT1` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        push_u64(&mut out, self.fingerprint);
+        push_u64(&mut out, self.words.len() as u64);
+        for &w in &self.words {
+            push_u64(&mut out, w);
+        }
+        push_bytes(&mut out, &self.output);
+        push_u64(&mut out, self.segments.len() as u64);
+        for (name, base, data) in &self.segments {
+            push_bytes(&mut out, name.as_bytes());
+            push_u64(&mut out, *base);
+            push_bytes(&mut out, data);
+        }
+        out
+    }
+
+    /// Parses a snapshot back from bytes produced by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Format`] on truncated or malformed
+    /// input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(SnapshotError::Format("bad magic".into()));
+        }
+        let fingerprint = r.u64()?;
+        let nwords = r.u64()? as usize;
+        if nwords > bytes.len() / 8 {
+            return Err(SnapshotError::Format("word count exceeds input".into()));
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(r.u64()?);
+        }
+        let output = r.bytes_field()?.to_vec();
+        let nsegs = r.u64()? as usize;
+        if nsegs > bytes.len() {
+            return Err(SnapshotError::Format("segment count exceeds input".into()));
+        }
+        let mut segments = Vec::with_capacity(nsegs);
+        for _ in 0..nsegs {
+            let name = String::from_utf8(r.bytes_field()?.to_vec())
+                .map_err(|_| SnapshotError::Format("segment name not utf-8".into()))?;
+            let base = r.u64()?;
+            let data = r.bytes_field()?.to_vec();
+            segments.push((name, base, data));
+        }
+        if r.pos != bytes.len() {
+            return Err(SnapshotError::Format("trailing bytes".into()));
+        }
+        Ok(Snapshot { fingerprint, words, segments, output })
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    push_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| SnapshotError::Format("truncated".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn bytes_field(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+}
+
+/// Read cursor over a snapshot's word stream, handed to each component's
+/// `restore_words`.
+///
+/// Exhausting the stream or failing a geometry assertion panics: both
+/// mean the snapshot passed the fingerprint check yet disagrees with the
+/// machine's shape, which is an internal inconsistency, not a user
+/// error.
+pub(crate) struct Cursor<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(words: &'a [u64]) -> Self {
+        Cursor { words, pos: 0 }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let w = *self.words.get(self.pos).expect("snapshot word stream exhausted");
+        self.pos += 1;
+        w
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+}
+
+/// FNV-1a offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a folding step over a byte slice, chained via `init`.
+pub(crate) fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes every [`SimStats`] field in fixed order.
+pub(crate) fn stats_to_words(s: &SimStats, out: &mut Vec<u64>) {
+    out.extend_from_slice(&[s.cycles, s.instructions, s.dispatch_instructions, s.loads, s.stores]);
+    for b in [&s.cond, &s.direct, &s.ret, &s.indirect_dispatch, &s.indirect_other] {
+        out.extend_from_slice(&[b.executed, b.mispredicted]);
+    }
+    out.extend_from_slice(&[
+        s.bop_executed,
+        s.bop_hits,
+        s.bop_misses,
+        s.bop_stall_cycles,
+        s.jru_executed,
+    ]);
+    for a in [&s.icache, &s.dcache, &s.l2, &s.itlb, &s.dtlb] {
+        out.extend_from_slice(&[a.accesses, a.misses, a.writebacks]);
+    }
+    let b = &s.btb;
+    out.extend_from_slice(&[
+        b.jte_inserts,
+        b.jte_cap_skips,
+        b.btb_evicted_by_jte,
+        b.jte_evictions,
+        b.btb_blocked_by_jte,
+        b.jte_flushes,
+        b.jte_flushed,
+    ]);
+}
+
+/// Inverse of [`stats_to_words`].
+#[allow(clippy::field_reassign_with_default)]
+pub(crate) fn stats_from_words(c: &mut Cursor) -> SimStats {
+    let mut s = SimStats::default();
+    s.cycles = c.next();
+    s.instructions = c.next();
+    s.dispatch_instructions = c.next();
+    s.loads = c.next();
+    s.stores = c.next();
+    for b in
+        [&mut s.cond, &mut s.direct, &mut s.ret, &mut s.indirect_dispatch, &mut s.indirect_other]
+    {
+        b.executed = c.next();
+        b.mispredicted = c.next();
+    }
+    s.bop_executed = c.next();
+    s.bop_hits = c.next();
+    s.bop_misses = c.next();
+    s.bop_stall_cycles = c.next();
+    s.jru_executed = c.next();
+    for a in [&mut s.icache, &mut s.dcache, &mut s.l2, &mut s.itlb, &mut s.dtlb] {
+        a.accesses = c.next();
+        a.misses = c.next();
+        a.writebacks = c.next();
+    }
+    let b = &mut s.btb;
+    b.jte_inserts = c.next();
+    b.jte_cap_skips = c.next();
+    b.btb_evicted_by_jte = c.next();
+    b.jte_evictions = c.next();
+    b.btb_blocked_by_jte = c.next();
+    b.jte_flushes = c.next();
+    b.jte_flushed = c.next();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let snap = Snapshot {
+            fingerprint: 0xfeed_beef,
+            words: vec![1, 2, 3, u64::MAX],
+            segments: vec![("text".into(), 0x1000, vec![1, 2, 3]), ("heap".into(), 0x4000, vec![])],
+            output: vec![b'h', b'i'],
+        };
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back.fingerprint, snap.fingerprint);
+        assert_eq!(back.words, snap.words);
+        assert_eq!(back.segments, snap.segments);
+        assert_eq!(back.output, snap.output);
+    }
+
+    #[test]
+    fn malformed_bytes_error() {
+        assert!(Snapshot::from_bytes(b"").is_err());
+        assert!(Snapshot::from_bytes(b"NOTCKPT0").is_err());
+        let snap = Snapshot { fingerprint: 1, words: vec![7], segments: vec![], output: vec![] };
+        let mut bytes = snap.to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(Snapshot::from_bytes(&bytes).is_err());
+        // Trailing garbage is rejected too.
+        let mut bytes = snap.to_bytes();
+        bytes.push(0);
+        assert!(Snapshot::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn stats_words_roundtrip() {
+        let mut s = SimStats::default();
+        s.cycles = 123;
+        s.instructions = 45;
+        s.cond.executed = 6;
+        s.cond.mispredicted = 2;
+        s.bop_hits = 9;
+        s.l2.misses = 3;
+        s.btb.jte_evictions = 8;
+        let mut w = Vec::new();
+        stats_to_words(&s, &mut w);
+        let mut c = Cursor::new(&w);
+        let back = stats_from_words(&mut c);
+        assert_eq!(back, s);
+        assert_eq!(c.remaining(), 0);
+    }
+}

@@ -59,6 +59,29 @@ impl Tlb {
             e.valid = false;
         }
     }
+
+    // ---- checkpoint codec (crate::snapshot) ----
+
+    pub(crate) fn snapshot_words(&self, out: &mut Vec<u64>) {
+        out.push(self.entries.len() as u64);
+        for e in &self.entries {
+            out.push(e.valid as u64);
+            out.push(e.vpn);
+            out.push(e.lru);
+        }
+        out.push(self.tick);
+    }
+
+    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
+        let n = c.next() as usize;
+        assert_eq!(n, self.entries.len(), "snapshot TLB geometry mismatch");
+        for e in &mut self.entries {
+            e.valid = c.next() != 0;
+            e.vpn = c.next();
+            e.lru = c.next();
+        }
+        self.tick = c.next();
+    }
 }
 
 #[cfg(test)]

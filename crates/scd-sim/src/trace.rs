@@ -28,6 +28,7 @@
 //! checkpoint panic instead of a silently wrong figure.
 
 use crate::btb::{EntryKind, InsertOutcome};
+use crate::fault::{FaultEvent, FaultKind};
 use crate::stats::{BranchClass, SimStats};
 use scd_isa::Inst;
 
@@ -390,6 +391,10 @@ pub struct TraceEvent {
     pub inserts: Inserts,
     /// JTE flushes performed.
     pub flush: Option<JteFlushEvent>,
+    /// Micro-architectural fault injected before this instruction (by a
+    /// [`crate::FaultPlan`]). Carries the number of JTEs it evicted so
+    /// replayed statistics stay balanced.
+    pub fault: Option<FaultEvent>,
 }
 
 // ---------------------------------------------------------------------
@@ -416,6 +421,61 @@ pub struct VecSink {
 impl TraceSink for VecSink {
     fn event(&mut self, ev: &TraceEvent) {
         self.events.push(*ev);
+    }
+}
+
+/// Keeps only the most recent `cap` events — a bounded window for
+/// post-mortem dumps. The fault-injection differential guard installs
+/// one on the faulted run so a divergence can dump the trace tail
+/// without paying for a full-run trace.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    buf: std::collections::VecDeque<TraceEvent>,
+}
+
+impl RingSink {
+    /// Creates a ring buffer holding at most `cap` events.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "RingSink needs a nonzero capacity");
+        RingSink { cap, buf: std::collections::VecDeque::with_capacity(cap) }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered events (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been buffered yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Serializes the window as JSONL, oldest event first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.buf {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(*ev);
     }
 }
 
@@ -564,7 +624,12 @@ impl TraceEvent {
             );
         }
         if let Some(b) = &self.bop {
-            let _ = write!(out, ",\"bop\":{{\"outcome\":\"{}\",\"stall\":{}}}", b.outcome.name(), b.stall);
+            let _ = write!(
+                out,
+                ",\"bop\":{{\"outcome\":\"{}\",\"stall\":{}}}",
+                b.outcome.name(),
+                b.stall
+            );
         }
         if !self.inserts.is_empty() {
             out.push_str(",\"inserts\":[");
@@ -592,7 +657,15 @@ impl TraceEvent {
             out.push(']');
         }
         if let Some(f) = &self.flush {
-            let _ = write!(out, ",\"flush\":{{\"flushes\":{},\"flushed\":{}}}", f.flushes, f.flushed);
+            let _ =
+                write!(out, ",\"flush\":{{\"flushes\":{},\"flushed\":{}}}", f.flushes, f.flushed);
+        }
+        if let Some(ft) = &self.fault {
+            let _ = write!(out, ",\"fault\":{{\"kind\":\"{}\"", ft.kind.name());
+            if ft.evicted != 0 {
+                let _ = write!(out, ",\"evicted\":{}", ft.evicted);
+            }
+            out.push('}');
         }
         out.push('}');
     }
@@ -628,6 +701,7 @@ impl TraceEvent {
             bop: None,
             inserts: Inserts::default(),
             flush: None,
+            fault: None,
         };
         if let Some(f) = get(obj, "fetch") {
             let f = f.as_obj().ok_or("fetch must be an object")?;
@@ -688,11 +762,11 @@ impl TraceEvent {
                     "inserted" => InsertOutcome::Inserted {
                         evicted: match get(item, "evicted") {
                             Some(v) => {
-                                let name =
-                                    v.as_str().ok_or("evicted must be a string")?;
-                                Some(kind_from_name(name).ok_or_else(|| {
-                                    format!("unknown evicted kind {name:?}")
-                                })?)
+                                let name = v.as_str().ok_or("evicted must be a string")?;
+                                Some(
+                                    kind_from_name(name)
+                                        .ok_or_else(|| format!("unknown evicted kind {name:?}"))?,
+                                )
                             }
                             None => None,
                         },
@@ -708,6 +782,15 @@ impl TraceEvent {
             ev.flush = Some(JteFlushEvent {
                 flushes: get_num(f, "flushes")?,
                 flushed: get_num(f, "flushed")?,
+            });
+        }
+        if let Some(ft) = get(obj, "fault") {
+            let ft = ft.as_obj().ok_or("fault must be an object")?;
+            let name = get_str(ft, "kind")?;
+            ev.fault = Some(FaultEvent {
+                kind: FaultKind::from_name(name)
+                    .ok_or_else(|| format!("unknown fault kind {name:?}"))?,
+                evicted: get_num_or_zero(ft, "evicted")?,
             });
         }
         Ok(ev)
@@ -1115,6 +1198,11 @@ impl ReplayStats {
             s.btb.jte_flushes += f.flushes;
             s.btb.jte_flushed += f.flushed;
         }
+        // Injected faults account their JTE losses as evictions, keeping
+        // the resident-population identity balanced.
+        if let Some(ft) = ev.fault {
+            s.btb.jte_evictions += ft.evicted;
+        }
     }
 
     /// The replayed statistics so far (`cycles` set from the last event).
@@ -1150,18 +1238,39 @@ pub fn diff_stats(live: &SimStats, replay: &SimStats) -> Option<String> {
         };
     }
     cmp!(
-        cycles, instructions, dispatch_instructions, loads, stores,
-        cond.executed, cond.mispredicted,
-        direct.executed, direct.mispredicted,
-        ret.executed, ret.mispredicted,
-        indirect_dispatch.executed, indirect_dispatch.mispredicted,
-        indirect_other.executed, indirect_other.mispredicted,
-        bop_executed, bop_hits, bop_misses, bop_stall_cycles, jru_executed,
-        icache.accesses, icache.misses, icache.writebacks,
-        dcache.accesses, dcache.misses, dcache.writebacks,
-        l2.accesses, l2.misses, l2.writebacks,
-        itlb.accesses, itlb.misses,
-        dtlb.accesses, dtlb.misses,
+        cycles,
+        instructions,
+        dispatch_instructions,
+        loads,
+        stores,
+        cond.executed,
+        cond.mispredicted,
+        direct.executed,
+        direct.mispredicted,
+        ret.executed,
+        ret.mispredicted,
+        indirect_dispatch.executed,
+        indirect_dispatch.mispredicted,
+        indirect_other.executed,
+        indirect_other.mispredicted,
+        bop_executed,
+        bop_hits,
+        bop_misses,
+        bop_stall_cycles,
+        jru_executed,
+        icache.accesses,
+        icache.misses,
+        icache.writebacks,
+        dcache.accesses,
+        dcache.misses,
+        dcache.writebacks,
+        l2.accesses,
+        l2.misses,
+        l2.writebacks,
+        itlb.accesses,
+        itlb.misses,
+        dtlb.accesses,
+        dtlb.misses,
     );
     if live.btb != replay.btb {
         return Some(format!("btb: live {:?} vs replay {:?}", live.btb, replay.btb));
@@ -1205,10 +1314,7 @@ impl StatInvariants {
     pub fn check(&self, live: &SimStats, resident_jtes: u64) {
         let replay = self.replay.stats();
         if let Some(d) = diff_stats(live, &replay) {
-            panic!(
-                "stat invariant violated after {} instructions: {d}",
-                live.instructions
-            );
+            panic!("stat invariant violated after {} instructions: {d}", live.instructions);
         }
         assert_eq!(
             live.bop_hits + live.bop_misses,
@@ -1331,6 +1437,7 @@ mod tests {
             bop: None,
             inserts: Inserts::default(),
             flush: None,
+            fault: None,
         };
         let mut load = TraceEvent {
             seq: 1,
@@ -1373,8 +1480,7 @@ mod tests {
             ..base
         };
         jru.branch = Some(BranchEvent { class: BranchClass::IndirectDispatch, mispredicted: true });
-        jru.redirect =
-            Some(RedirectEvent { cause: RedirectCause::IndirectMispredict, penalty: 3 });
+        jru.redirect = Some(RedirectEvent { cause: RedirectCause::IndirectMispredict, penalty: 3 });
         jru.inserts.push(BtbInsertEvent {
             key: EntryKind::Jte,
             outcome: InsertOutcome::Inserted {
@@ -1392,6 +1498,7 @@ mod tests {
             ..base
         };
         flush.flush = Some(JteFlushEvent { flushes: 1, flushed: 4 });
+        flush.fault = Some(FaultEvent { kind: FaultKind::JteInvalidate, evicted: 1 });
         vec![base, load, bop, jru, flush]
     }
 
@@ -1399,8 +1506,7 @@ mod tests {
     fn json_roundtrip_preserves_events() {
         for ev in sample_events() {
             let line = ev.to_json();
-            let back = TraceEvent::from_json(&line)
-                .unwrap_or_else(|e| panic!("parse {line}: {e}"));
+            let back = TraceEvent::from_json(&line).unwrap_or_else(|e| panic!("parse {line}: {e}"));
             assert_eq!(back, ev, "roundtrip of {line}");
         }
     }
@@ -1448,6 +1554,24 @@ mod tests {
         assert_eq!(s.btb.btb_blocked_by_jte, 1);
         assert_eq!(s.btb.jte_flushes, 1);
         assert_eq!(s.btb.jte_flushed, 4);
+        // The injected fault on the last event accounts its JTE loss.
+        assert_eq!(s.btb.jte_evictions, 1);
+    }
+
+    #[test]
+    fn ring_sink_keeps_tail() {
+        let mut sink = RingSink::new(3);
+        assert!(sink.is_empty());
+        for ev in sample_events() {
+            sink.event(&ev);
+        }
+        assert_eq!(sink.len(), 3);
+        let seqs: Vec<u64> = sink.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+        let jsonl = sink.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        let first = TraceEvent::from_json(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(first.seq, 2);
     }
 
     #[test]

@@ -14,10 +14,10 @@ use scd_sim::SimConfig;
 /// and a function call, parameterized by random constants.
 fn arb_program() -> impl Strategy<Value = String> {
     (
-        1i32..20,          // loop bound
-        -50i32..50,        // seed a
-        -50i32..50,        // seed b
-        1i32..8,           // array length
+        1i32..20,   // loop bound
+        -50i32..50, // seed a
+        -50i32..50, // seed b
+        1i32..8,    // array length
         prop::sample::select(vec!["+", "-", "*"]),
         prop::sample::select(vec!["<", "<=", ">", ">=", "==", "!="]),
     )
@@ -88,5 +88,67 @@ proptest! {
             200_000_000,
         )
         .map_err(|e| TestCaseError::fail(format!("{e}\nsource:\n{src}")))?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: hostile inputs must produce typed errors, never panics.
+// ---------------------------------------------------------------------------
+
+use luma::svm::{FuncInfo, SvmInterp, SvmProgram};
+
+/// Constants a hostile bytecode image could carry: bounded numbers (so a
+/// decoded `array(n)` length stays allocatable), booleans, nil, and
+/// forged array references pointing at handles that were never created.
+fn arb_soup_const() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (-100_000i32..100_000).prop_map(|i| luma::value::num(i as f64 / 100.0)),
+        any::<bool>().prop_map(luma::value::boolean),
+        Just(luma::value::NIL),
+        (0u64..64).prop_map(luma::value::array_ref),
+    ]
+}
+
+/// An arbitrary SVM image: random code bytes with a curated constant
+/// pool, as an attacker holding the loader (but not the host) would
+/// deliver it.
+fn arb_svm_soup() -> impl Strategy<Value = (SvmProgram, Vec<u64>)> {
+    (
+        prop::collection::vec(any::<u8>(), 0..256),
+        prop::collection::vec(arb_soup_const(), 0..8),
+        prop::collection::vec(arb_soup_const(), 0..4),
+        0u32..8,
+    )
+        .prop_map(|(code, consts, ginit, nlocals)| {
+            let p = SvmProgram {
+                code,
+                consts,
+                funcs: vec![FuncInfo { code_off: 0, nparams: 0, nlocals }],
+                nglobals: ginit.len() as u32,
+                global_names: Vec::new(),
+            };
+            (p, ginit)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn isa_decode_never_panics(w in any::<u32>()) {
+        if let Ok(inst) = scd_isa::decode(w) {
+            // Anything that decodes must survive a codec round trip.
+            let re = scd_isa::encode(inst)
+                .map_err(|e| TestCaseError::fail(format!("{inst:?} failed to re-encode: {e}")))?;
+            prop_assert_eq!(scd_isa::decode(re).expect("re-encoded word decodes"), inst);
+        }
+    }
+
+    #[test]
+    fn svm_loader_never_panics_on_byte_soup(soup in arb_svm_soup()) {
+        // Byte soup may trap (typed RuntimeError) or halt cleanly; either
+        // way the host interpreter must not panic or abort.
+        let (p, ginit) = soup;
+        let _ = SvmInterp::new(&p, &ginit).run(512);
     }
 }
