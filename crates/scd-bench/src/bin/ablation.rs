@@ -1,161 +1,7 @@
-//! Ablation studies for the design choices discussed in the paper:
-//!
-//! 1. `bop` stall scheme vs fall-through scheme (Section III-B) and the
-//!    scheduled-fetch code layout that hides the Rop latency.
-//! 2. OS context-switch JTE flushing at different quantum lengths
-//!    (Section IV).
-//! 3. Interpreter "production weight": how the dispatcher's share of
-//!    work changes SCD's benefit (lean vs production fetch block).
-
-use luma::scripts::BENCHMARKS;
-use scd_bench::{arg_scale_from_cli, emit_report, ArgScale};
-use scd_guest::{run_source, GuestOptions, Scheme, Vm};
-use scd_sim::{geomean, SimConfig};
-use std::fmt::Write as _;
-
-fn speedups(
-    cfg_base: &SimConfig,
-    cfg_scd: &SimConfig,
-    opts: GuestOptions,
-    scale: ArgScale,
-) -> Vec<f64> {
-    BENCHMARKS
-        .iter()
-        .map(|b| {
-            let args = [("N", scale.arg(b))];
-            let base = run_source(
-                cfg_base.clone(),
-                Vm::Lvm,
-                b.source,
-                &args,
-                Scheme::Baseline,
-                opts,
-                u64::MAX,
-            )
-            .expect("baseline runs");
-            let scd =
-                run_source(cfg_scd.clone(), Vm::Lvm, b.source, &args, Scheme::Scd, opts, u64::MAX)
-                    .expect("scd runs");
-            base.stats.cycles as f64 / scd.stats.cycles as f64
-        })
-        .collect()
-}
+//! Thin alias for `sweep --only ablation`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::ablation`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Tiny);
-    let a5 = SimConfig::embedded_a5();
-    let mut out = String::new();
-    let _ = writeln!(out, "Ablations (LVM, {scale:?} inputs; SCD speedup over baseline)\n");
-
-    // 1. bop readiness handling.
-    let _ = writeln!(out, "1. bop readiness handling (Section III-B):");
-    let stall = speedups(&a5, &a5, GuestOptions::default(), scale);
-    let mut ft_cfg = a5.clone();
-    ft_cfg.scd.stall_on_unready = false;
-    let fall = speedups(&a5, &ft_cfg, GuestOptions::default(), scale);
-    let sched = speedups(
-        &a5,
-        &a5,
-        GuestOptions { production_weight: true, scheduled_fetch: true },
-        scale,
-    );
-    let _ = writeln!(out, "   stall scheme (paper default): {:+.1}%", 100.0 * (geomean(&stall) - 1.0));
-    let _ = writeln!(out, "   fall-through scheme         : {:+.1}%", 100.0 * (geomean(&fall) - 1.0));
-    let _ = writeln!(out, "   stall + scheduled fetch     : {:+.1}%", 100.0 * (geomean(&sched) - 1.0));
-
-    // 2. Context-switch flushing.
-    let _ = writeln!(out, "\n2. JTE flush on emulated context switches (Section IV):");
-    for quantum in [u64::MAX, 1_000_000, 100_000, 10_000] {
-        let mut cfg = a5.clone();
-        cfg.scd.flush_interval = if quantum == u64::MAX { None } else { Some(quantum) };
-        let s = speedups(&a5, &cfg, GuestOptions::default(), scale);
-        let label = if quantum == u64::MAX {
-            "never".to_string()
-        } else {
-            format!("every {quantum} insts")
-        };
-        let _ = writeln!(out, "   flush {label:<22}: {:+.1}%", 100.0 * (geomean(&s) - 1.0));
-    }
-
-    // 3. Interpreter weight.
-    let _ = writeln!(out, "\n3. Interpreter fetch-block weight:");
-    for (label, opts) in [
-        ("production (hook + counters)", GuestOptions::default()),
-        ("lean (bare fetch)", GuestOptions { production_weight: false, scheduled_fetch: false }),
-    ] {
-        let s = speedups(&a5, &a5, opts, scale);
-        let _ = writeln!(out, "   {label:<30}: {:+.1}%", 100.0 * (geomean(&s) - 1.0));
-    }
-
-    // 4. I-cache capacity: our interpreters are leaner than Lua's C
-    //    handlers and fit comfortably in 16 KB, so jump threading's code
-    //    bloat is invisible there (see EXPERIMENTS.md). Shrinking the
-    //    I-cache restores the paper's Fig. 10 effect.
-    let _ = writeln!(out, "\n4. Jump-threading I-cache pressure vs I$ capacity (LVM):");
-    for kb in [16u64, 4, 2, 1] {
-        let mut cfg = a5.clone();
-        cfg.icache.size = kb * 1024;
-        let mut jt_mpki = Vec::new();
-        let mut base_mpki = Vec::new();
-        let mut jt_speed = Vec::new();
-        for b in BENCHMARKS.iter() {
-            let args = [("N", scale.arg(b))];
-            let base = run_source(cfg.clone(), Vm::Lvm, b.source, &args, Scheme::Baseline,
-                GuestOptions::default(), u64::MAX).expect("baseline runs");
-            let jt = run_source(cfg.clone(), Vm::Lvm, b.source, &args, Scheme::Threaded,
-                GuestOptions::default(), u64::MAX).expect("threaded runs");
-            base_mpki.push(base.stats.icache_mpki());
-            jt_mpki.push(jt.stats.icache_mpki());
-            jt_speed.push(base.stats.cycles as f64 / jt.stats.cycles as f64);
-        }
-        let avg = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
-        let _ = writeln!(
-            out,
-            "   {kb:>2} KB I$: baseline I$ MPKI {:>6.2}, jump-threaded {:>6.2}, JT speedup {:+.1}%",
-            avg(&base_mpki),
-            avg(&jt_mpki),
-            100.0 * (geomean(&jt_speed) - 1.0)
-        );
-    }
-
-    // 5. Indirect predictor ladder: how far can pure prediction go,
-    //    and what does SCD add beyond it (cf. Section VII related work)?
-    let _ = writeln!(out, "\n5. Indirect-predictor ladder (baseline binary unless noted):");
-    {
-        let base = speedups(&a5, &a5.clone().without_scd(), GuestOptions::default(), scale);
-        let _ = writeln!(out, "   SCD binary on non-SCD core    : {:+.1}%", 100.0 * (geomean(&base) - 1.0));
-    }
-    for (label, cfg) in [
-        ("VBBI", a5.clone().with_vbbi()),
-        ("ITTAGE", a5.clone().with_ittage()),
-    ] {
-        let s: Vec<f64> = BENCHMARKS
-            .iter()
-            .map(|b| {
-                let args = [("N", scale.arg(b))];
-                let base = run_source(a5.clone(), Vm::Lvm, b.source, &args, Scheme::Baseline,
-                    GuestOptions::default(), u64::MAX).expect("baseline runs");
-                let pred = run_source(cfg.clone(), Vm::Lvm, b.source, &args, Scheme::Baseline,
-                    GuestOptions::default(), u64::MAX).expect("predictor run");
-                base.stats.cycles as f64 / pred.stats.cycles as f64
-            })
-            .collect();
-        let _ = writeln!(out, "   {label:<30}: {:+.1}%", 100.0 * (geomean(&s) - 1.0));
-    }
-    {
-        let s = speedups(&a5, &a5, GuestOptions::default(), scale);
-        let _ = writeln!(out, "   SCD (BTB overlay)             : {:+.1}%", 100.0 * (geomean(&s) - 1.0));
-    }
-
-    // 6. BTB overlay vs dedicated (CBT-style) JTE table, at a small BTB
-    //    where contention between B entries and JTEs is worst.
-    let _ = writeln!(out, "\n6. JTE storage organization at a 64-entry BTB:");
-    let small = SimConfig::embedded_a5().with_btb_entries(64);
-    let overlay = speedups(&small, &small, GuestOptions::default(), scale);
-    let cbt_cfg = small.clone().with_dedicated_jte_table(64);
-    let cbt = speedups(&small, &cbt_cfg, GuestOptions::default(), scale);
-    let _ = writeln!(out, "   BTB overlay (SCD, no extra table): {:+.1}%", 100.0 * (geomean(&overlay) - 1.0));
-    let _ = writeln!(out, "   dedicated table (CBT-style)      : {:+.1}%", 100.0 * (geomean(&cbt) - 1.0));
-
-    emit_report("ablation", &out);
+    scd_bench::run_report_cli("ablation");
 }

@@ -1,53 +1,7 @@
-//! Figure 10: instruction cache miss rates in MPKI, plus the fetch-stall
-//! cycles those misses actually cost — attributed from the per-retirement
-//! trace events of the same runs rather than from PC-range heuristics.
-//! Paper: jump threading inflates Lua's I-cache misses (0.28 -> 4.80
-//! MPKI); note that our interpreters are leaner than Lua's C handlers,
-//! so absolute footprints are smaller (see EXPERIMENTS.md).
-
-use scd_bench::{
-    aggregate_breakdown, arg_scale_from_cli, emit_report, format_table, run_matrix_traced,
-    ArgScale, Variant,
-};
-use scd_guest::Vm;
-use scd_sim::SimConfig;
-use std::fmt::Write as _;
+//! Thin alias for `sweep --only fig10`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::fig10`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let variants = [Variant::Baseline, Variant::JumpThreading, Variant::Scd];
-    let mut out = String::new();
-    for vm in Vm::ALL {
-        let m = run_matrix_traced(&SimConfig::embedded_a5(), vm, scale, &variants, true);
-        out += &format_table(
-            &format!("Figure 10: I-cache MPKI ({scale:?})"),
-            &m,
-            &variants,
-            |r, v| r.get(v).stats.icache_mpki(),
-            "misses/kinst",
-        );
-        out.push('\n');
-        // What the misses cost: fetch-stall cycles per kilo-instruction,
-        // and how much of that stalling lands in dispatcher code.
-        let _ = writeln!(out, "Fetch-stall attribution from trace events [{}]", m.vm.name());
-        let _ = writeln!(
-            out,
-            "{:<16}{:>16}{:>16}{:>16}",
-            "variant", "stall cyc/kinst", "share of cyc%", "in dispatch%"
-        );
-        for &v in &variants {
-            let b = aggregate_breakdown(&m, v);
-            let insts: u64 = m.rows.iter().map(|r| r.get(v).stats.instructions).sum();
-            let _ = writeln!(
-                out,
-                "{:<16}{:>16.2}{:>16.1}{:>16.1}",
-                v.name(),
-                b.fetch_stall as f64 * 1000.0 / insts.max(1) as f64,
-                100.0 * b.fetch_stall as f64 / b.total.max(1) as f64,
-                100.0 * b.dispatch_fetch_stall as f64 / b.fetch_stall.max(1) as f64,
-            );
-        }
-        out.push('\n');
-    }
-    emit_report("fig10", &out);
+    scd_bench::run_report_cli("fig10");
 }

@@ -1,82 +1,7 @@
-//! Figure 11: sensitivity studies.
-//! (a)/(b) SCD speedup vs BTB size {64, 128, 256, 512} for both VMs.
-//! (c)/(d) SCD speedup vs the maximum JTE cap {4, 16, unbounded} at the
-//! smallest BTB (64 entries).
-
-use luma::scripts::BENCHMARKS;
-use scd_bench::{arg_scale_from_cli, emit_report, run_one, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_sim::{geomean, SimConfig};
-use std::fmt::Write as _;
+//! Thin alias for `sweep --only fig11`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::fig11`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let mut out = String::new();
-
-    // (a)/(b): BTB size sweep.
-    for vm in Vm::ALL {
-        let _ = writeln!(out, "Figure 11a/b: SCD speedup vs BTB size [{}] ({scale:?})", vm.name());
-        let sizes = [64usize, 128, 256, 512];
-        let _ = write!(out, "{:<18}", "benchmark");
-        for s in sizes {
-            let _ = write!(out, "{s:>10}");
-        }
-        let _ = writeln!(out);
-        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-        for b in &BENCHMARKS {
-            let _ = write!(out, "{:<18}", b.name);
-            for (i, &entries) in sizes.iter().enumerate() {
-                let cfg = SimConfig::embedded_a5().with_btb_entries(entries);
-                eprintln!("  fig11ab {} [{}] btb={entries}", b.name, vm.name());
-                let base = run_one(&cfg, vm, b, scale, Variant::Baseline);
-                let scd = run_one(&cfg, vm, b, scale, Variant::Scd);
-                let speedup = base.stats.cycles as f64 / scd.stats.cycles as f64;
-                cols[i].push(speedup);
-                let _ = write!(out, "{speedup:>10.3}");
-            }
-            let _ = writeln!(out);
-        }
-        let _ = write!(out, "{:<18}", "GEOMEAN");
-        for c in &cols {
-            let _ = write!(out, "{:>10.3}", geomean(c));
-        }
-        let _ = writeln!(out, "\n");
-    }
-
-    // (c)/(d): JTE cap sweep at the smallest BTB.
-    for vm in Vm::ALL {
-        let _ = writeln!(
-            out,
-            "Figure 11c/d: SCD speedup vs JTE cap at 64-entry BTB [{}] ({scale:?})",
-            vm.name()
-        );
-        let caps: [(Option<usize>, &str); 3] = [(Some(4), "4"), (Some(16), "16"), (None, "inf")];
-        let _ = write!(out, "{:<18}", "benchmark");
-        for (_, label) in caps {
-            let _ = write!(out, "{label:>10}");
-        }
-        let _ = writeln!(out);
-        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); caps.len()];
-        for b in &BENCHMARKS {
-            let _ = write!(out, "{:<18}", b.name);
-            let base_cfg = SimConfig::embedded_a5().with_btb_entries(64);
-            let base = run_one(&base_cfg, vm, b, scale, Variant::Baseline);
-            for (i, (cap, _)) in caps.iter().enumerate() {
-                eprintln!("  fig11cd {} [{}] cap={cap:?}", b.name, vm.name());
-                let cfg = base_cfg.clone().with_jte_cap(*cap);
-                let scd = run_one(&cfg, vm, b, scale, Variant::Scd);
-                let speedup = base.stats.cycles as f64 / scd.stats.cycles as f64;
-                cols[i].push(speedup);
-                let _ = write!(out, "{speedup:>10.3}");
-            }
-            let _ = writeln!(out);
-        }
-        let _ = write!(out, "{:<18}", "GEOMEAN");
-        for c in &cols {
-            let _ = write!(out, "{:>10.3}", geomean(c));
-        }
-        let _ = writeln!(out, "\n");
-    }
-
-    emit_report("fig11", &out);
+    scd_bench::run_report_cli("fig11");
 }

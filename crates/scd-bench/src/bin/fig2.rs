@@ -1,37 +1,7 @@
-//! Figure 2: branch MPKI breakdown for the Lua-like interpreter
-//! (baseline), split by branch class. The paper's point: the dispatch
-//! indirect jump dominates mispredictions.
-
-use scd_bench::{arg_scale_from_cli, emit_report, run_matrix, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_sim::SimConfig;
-use std::fmt::Write as _;
+//! Thin alias for `sweep --only fig2`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::fig2`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let m = run_matrix(&SimConfig::embedded_a5(), Vm::Lvm, scale, &[Variant::Baseline], true);
-    let mut out = String::new();
-    let _ = writeln!(out, "Figure 2: branch MPKI breakdown, LVM baseline ({scale:?})");
-    let _ = writeln!(
-        out,
-        "{:<18}{:>12}{:>12}{:>12}{:>12}{:>12}{:>14}",
-        "benchmark", "cond", "direct", "return", "ind-other", "ind-DISPATCH", "dispatch-share"
-    );
-    for row in &m.rows {
-        let s = &row.get(Variant::Baseline).stats;
-        let ki = s.instructions as f64 / 1000.0;
-        let total = s.total_mispredictions() as f64;
-        let _ = writeln!(
-            out,
-            "{:<18}{:>12.2}{:>12.2}{:>12.2}{:>12.2}{:>12.2}{:>13.1}%",
-            row.bench.name,
-            s.cond.mispredicted as f64 / ki,
-            s.direct.mispredicted as f64 / ki,
-            s.ret.mispredicted as f64 / ki,
-            s.indirect_other.mispredicted as f64 / ki,
-            s.indirect_dispatch.mispredicted as f64 / ki,
-            100.0 * s.indirect_dispatch.mispredicted as f64 / total.max(1.0),
-        );
-    }
-    emit_report("fig2", &out);
+    scd_bench::run_report_cli("fig2");
 }

@@ -1,30 +1,7 @@
-//! Figure 3: fraction of dynamic instructions spent in the dispatcher
-//! code for the Lua-like interpreter (baseline). Paper: >25%.
-
-use scd_bench::{arg_scale_from_cli, emit_report, run_matrix, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_sim::SimConfig;
-use std::fmt::Write as _;
+//! Thin alias for `sweep --only fig3`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::fig3`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let m = run_matrix(&SimConfig::embedded_a5(), Vm::Lvm, scale, &[Variant::Baseline], true);
-    let mut out = String::new();
-    let _ = writeln!(out, "Figure 3: dispatcher-instruction fraction, LVM baseline ({scale:?})");
-    let _ = writeln!(out, "{:<18}{:>14}{:>16}{:>16}", "benchmark", "dispatch-%", "dispatch-insts", "total-insts");
-    let mut fracs = Vec::new();
-    for row in &m.rows {
-        let s = &row.get(Variant::Baseline).stats;
-        fracs.push(s.dispatch_fraction());
-        let _ = writeln!(
-            out,
-            "{:<18}{:>13.1}%{:>16}{:>16}",
-            row.bench.name,
-            100.0 * s.dispatch_fraction(),
-            s.dispatch_instructions,
-            s.instructions
-        );
-    }
-    let _ = writeln!(out, "{:<18}{:>13.1}%", "MEAN", 100.0 * fracs.iter().sum::<f64>() / fracs.len() as f64);
-    emit_report("fig3", &out);
+    scd_bench::run_report_cli("fig3");
 }

@@ -1,37 +1,7 @@
-//! Figure 7: overall speedups of jump threading, VBBI and SCD over the
-//! out-of-the-box baseline, for both interpreters, plus the cycle
-//! decomposition behind them. The decomposition is attributed from the
-//! per-retirement trace events of the same runs (redirect penalties,
-//! cache-miss stalls, Rop waits), not from PC-range heuristics.
-//! Paper geomeans: Lua 19.9% (SCD), 8.8% (VBBI), -1.6% (JT);
-//! JavaScript 14.1%, 5.3%, 7.3%.
-
-use scd_bench::{
-    arg_scale_from_cli, emit_report, format_breakdown, format_table, run_matrix_traced, ArgScale,
-    Variant,
-};
-use scd_guest::Vm;
-use scd_sim::SimConfig;
+//! Thin alias for `sweep --only fig7`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::fig7`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let mut out = String::new();
-    for vm in Vm::ALL {
-        let m = run_matrix_traced(&SimConfig::embedded_a5(), vm, scale, &Variant::ALL, true);
-        out += &format_table(
-            &format!("Figure 7: speedup over baseline ({scale:?})"),
-            &m,
-            &[Variant::JumpThreading, Variant::Vbbi, Variant::Scd],
-            |r, v| r.speedup(v),
-            "x baseline",
-        );
-        out.push('\n');
-        out += &format_breakdown(
-            "Cycle decomposition from trace events (all benchmarks)",
-            &m,
-            &Variant::ALL,
-        );
-        out.push('\n');
-    }
-    emit_report("fig7", &out);
+    scd_bench::run_report_cli("fig7");
 }

@@ -1,24 +1,7 @@
-//! Figure 8: normalized dynamic instruction count (lower is better).
-//! Paper: SCD cuts total instructions by ~10% on both interpreters.
-
-use scd_bench::{arg_scale_from_cli, emit_report, format_table, run_matrix, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_sim::SimConfig;
+//! Thin alias for `sweep --only fig8`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::fig8`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let variants = [Variant::Baseline, Variant::JumpThreading, Variant::Scd];
-    let mut out = String::new();
-    for vm in Vm::ALL {
-        let m = run_matrix(&SimConfig::embedded_a5(), vm, scale, &variants, true);
-        out += &format_table(
-            &format!("Figure 8: normalized dynamic instruction count ({scale:?})"),
-            &m,
-            &variants,
-            |r, v| r.norm_insts(v),
-            "x baseline insts",
-        );
-        out.push('\n');
-    }
-    emit_report("fig8", &out);
+    scd_bench::run_report_cli("fig8");
 }

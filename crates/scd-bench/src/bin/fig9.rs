@@ -1,23 +1,7 @@
-//! Figure 9: branch misprediction rate in MPKI (lower is better).
-//! Paper: SCD cuts Lua MPKI by ~70%, VBBI by ~77%, JT by ~24%.
-
-use scd_bench::{arg_scale_from_cli, emit_report, format_table, run_matrix, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_sim::SimConfig;
+//! Thin alias for `sweep --only fig9`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::fig9`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let mut out = String::new();
-    for vm in Vm::ALL {
-        let m = run_matrix(&SimConfig::embedded_a5(), vm, scale, &Variant::ALL, true);
-        out += &format_table(
-            &format!("Figure 9: branch MPKI ({scale:?})"),
-            &m,
-            &Variant::ALL,
-            |r, v| r.get(v).stats.branch_mpki(),
-            "misses/kinst",
-        );
-        out.push('\n');
-    }
-    emit_report("fig9", &out);
+    scd_bench::run_report_cli("fig9");
 }

@@ -1,33 +1,7 @@
-//! Section VI-C2: SCD on a higher-end dual-issue in-order core
-//! (Cortex-A8-like: 32KB I$, 256KB L2, 512-entry BTB).
-//! Paper: SCD still achieves 17.6% / 15.2% geomean speedups with
-//! ~10% instruction reductions.
-
-use scd_bench::{arg_scale_from_cli, emit_report, format_table, run_matrix, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_sim::SimConfig;
+//! Thin alias for `sweep --only highend`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::highend`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Sim);
-    let variants = [Variant::Baseline, Variant::Scd];
-    let mut out = String::new();
-    for vm in Vm::ALL {
-        let m = run_matrix(&SimConfig::highend_a8(), vm, scale, &variants, true);
-        out += &format_table(
-            &format!("Section VI-C2: SCD on the dual-issue A8-like core ({scale:?})"),
-            &m,
-            &[Variant::Scd],
-            |r, v| r.speedup(v),
-            "x baseline",
-        );
-        out += &format_table(
-            "  normalized instruction count",
-            &m,
-            &[Variant::Scd],
-            |r, v| r.norm_insts(v),
-            "x baseline insts",
-        );
-        out.push('\n');
-    }
-    emit_report("highend", &out);
+    scd_bench::run_report_cli("highend");
 }

@@ -1,0 +1,231 @@
+//! The one-stop evaluation driver: regenerates every figure and table
+//! from a single deduplicated run matrix, executed in parallel.
+//!
+//! ```text
+//! cargo run --release -p scd-bench --bin sweep                    # everything
+//! cargo run --release -p scd-bench --bin sweep -- --list          # report index
+//! cargo run --release -p scd-bench --bin sweep -- --only fig7,table4
+//! cargo run --release -p scd-bench --bin sweep -- --threads 4
+//! cargo run --release -p scd-bench --bin sweep -- --quick         # tiny inputs
+//! cargo run --release -p scd-bench --bin sweep -- --smoke         # CI drift gate
+//! cargo run --release -p scd-bench --bin sweep -- --smoke --bless # re-pin goldens
+//! ```
+//!
+//! Without `--smoke`, every selected report is rendered to stdout and
+//! `results/<name>.txt` (exactly the bytes the per-figure binaries
+//! produce), and host-performance accounting is written to
+//! `BENCH_sweep.json` (see EXPERIMENTS.md for the schema).
+//!
+//! With `--smoke`, a small fixed report subset runs on tiny inputs and
+//! each rendered report is byte-compared against the pinned golden in
+//! `tests/golden/sweep_smoke/`; any drift exits non-zero. This is the
+//! CI gate that catches unintended changes to simulator timing or
+//! table formatting. `--bless` re-pins the goldens after an intended
+//! change.
+
+use scd_bench::figures::{self, Render, Report, REPORTS};
+use scd_bench::{emit_report, threads_from_cli, ArgScale, RunMatrix, SweepResults};
+use std::fmt::Write as _;
+use std::process::exit;
+
+/// Reports the `--smoke` gate runs: cheap, structurally diverse (a
+/// hand-rolled table, an arithmetic-mean table, and the full
+/// two-VM/four-variant matrix through `format_table`), and overlapping
+/// enough to exercise cell deduplication.
+const SMOKE_REPORTS: [&str; 3] = ["fig2", "fig3", "fig9"];
+const SMOKE_GOLDEN_DIR: &str = "tests/golden/sweep_smoke";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| argv.iter().any(|a| a == f);
+    if has("--list") {
+        for r in REPORTS {
+            println!("{:<10} {:?}  {}", r.name, r.default_scale, r.title);
+        }
+        return;
+    }
+    let smoke = has("--smoke");
+    let quick = has("--quick") || smoke;
+    let bless = has("--bless");
+    let threads = threads_from_cli();
+
+    let only = parse_only(&argv);
+    let selected: Vec<&Report> = match &only {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                figures::report(n).unwrap_or_else(|| {
+                    eprintln!("unknown report `{n}`; see --list");
+                    exit(2);
+                })
+            })
+            .collect(),
+        None if smoke => {
+            SMOKE_REPORTS.iter().map(|n| figures::report(n).expect("smoke report")).collect()
+        }
+        None => REPORTS.iter().collect(),
+    };
+
+    let mut m = RunMatrix::new();
+    let plans: Vec<(&Report, Box<dyn Render>)> = selected
+        .iter()
+        .map(|rep| {
+            let scale = if quick { ArgScale::Tiny } else { rep.default_scale };
+            (*rep, (rep.plan)(&mut m, scale))
+        })
+        .collect();
+
+    eprintln!(
+        "sweep: {} report(s), {} unique cells ({} requested, {:.2}x dedup), {threads} thread(s)",
+        plans.len(),
+        m.len(),
+        m.requested(),
+        m.requested() as f64 / m.len().max(1) as f64
+    );
+
+    let results = m.run(threads, true);
+
+    let mut drifted = 0u32;
+    for (rep, plan) in &plans {
+        let body = plan.render(&results);
+        if smoke {
+            drifted += u32::from(!check_smoke(rep.name, &body, bless));
+        } else {
+            emit_report(rep.name, &body);
+        }
+    }
+
+    if !smoke {
+        let report_names: Vec<&str> = plans.iter().map(|(r, _)| r.name).collect();
+        let json = bench_json(&results, threads, &report_names, quick);
+        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        let wall = results.wall.as_secs_f64();
+        eprintln!(
+            "sweep: {} cells in {wall:.1}s wall ({:.1}s summed cell time, {:.1}s dedup-unaware \
+             sequential estimate) -> BENCH_sweep.json",
+            results.len(),
+            results.serial_unique().as_secs_f64(),
+            results.serial_requested().as_secs_f64(),
+        );
+    }
+    if drifted > 0 {
+        eprintln!("sweep --smoke: {drifted} report(s) drifted from pinned goldens");
+        exit(1);
+    }
+}
+
+/// Parses `--only a,b` / `--only=a,b` into a name list.
+fn parse_only(argv: &[String]) -> Option<Vec<String>> {
+    let mut sel = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let list = if a == "--only" {
+            it.next().cloned()
+        } else {
+            a.strip_prefix("--only=").map(str::to_string)
+        };
+        if let Some(list) = list {
+            sel = Some(list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect());
+        }
+    }
+    sel
+}
+
+/// Compares one rendered report against its pinned smoke golden (or
+/// re-pins it under `--bless`). Returns whether the report is clean.
+fn check_smoke(name: &str, body: &str, bless: bool) -> bool {
+    let path = std::path::Path::new(SMOKE_GOLDEN_DIR).join(format!("{name}.txt"));
+    if bless {
+        std::fs::create_dir_all(SMOKE_GOLDEN_DIR).expect("create golden dir");
+        std::fs::write(&path, body).expect("write golden");
+        eprintln!("  blessed {}", path.display());
+        return true;
+    }
+    match std::fs::read_to_string(&path) {
+        Ok(golden) if golden == body => {
+            eprintln!("  {name:<10} matches {}", path.display());
+            true
+        }
+        Ok(golden) => {
+            eprintln!("  {name:<10} DRIFTED from {}", path.display());
+            print_first_diff(&golden, body);
+            false
+        }
+        Err(e) => {
+            eprintln!("  {name:<10} golden unreadable ({e}); regenerate with --smoke --bless");
+            false
+        }
+    }
+}
+
+fn print_first_diff(golden: &str, got: &str) {
+    for (i, (g, n)) in golden.lines().zip(got.lines()).enumerate() {
+        if g != n {
+            eprintln!("    first differing line {}:", i + 1);
+            eprintln!("    - {g}");
+            eprintln!("    + {n}");
+            return;
+        }
+    }
+    eprintln!(
+        "    outputs differ in length: golden {} vs rendered {} lines",
+        golden.lines().count(),
+        got.lines().count()
+    );
+}
+
+/// Host-performance record: what the sweep cost and what sharing one
+/// deduplicated matrix across figures saved. Durations are host
+/// wall-clock milliseconds; `serial_requested_ms` is the dedup-unaware
+/// estimate (each cell's runtime weighted by how many reports asked for
+/// it) — the cost of the old one-binary-per-figure flow on one thread.
+fn bench_json(r: &SweepResults, threads: usize, reports: &[&str], quick: bool) -> String {
+    let wall_ms = r.wall.as_secs_f64() * 1e3;
+    let unique_ms = r.serial_unique().as_secs_f64() * 1e3;
+    let requested_ms = r.serial_requested().as_secs_f64() * 1e3;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"scd-sweep-bench-v1\",");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"reports\": [{}],",
+        reports.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(s, "  \"cells\": {},", r.len());
+    let _ = writeln!(s, "  \"cells_requested\": {},", r.iter().map(|(_, h, _)| h).sum::<usize>());
+    let _ = writeln!(s, "  \"wall_ms\": {wall_ms:.3},");
+    let _ = writeln!(s, "  \"serial_unique_ms\": {unique_ms:.3},");
+    let _ = writeln!(s, "  \"serial_requested_ms\": {requested_ms:.3},");
+    let _ = writeln!(s, "  \"parallel_speedup\": {:.3},", unique_ms / wall_ms.max(1e-9));
+    let _ = writeln!(s, "  \"dedup_speedup\": {:.3},", requested_ms / unique_ms.max(1e-9));
+    let _ = writeln!(
+        s,
+        "  \"speedup_vs_sequential_bins\": {:.3},",
+        requested_ms / wall_ms.max(1e-9)
+    );
+    s.push_str("  \"per_cell\": [\n");
+    let n = r.len();
+    for (i, (spec, hits, out)) in r.iter().enumerate() {
+        let stats = &out.run.stats;
+        let _ = write!(
+            s,
+            "    {{\"bench\": \"{}\", \"vm\": \"{}\", \"scheme\": \"{}\", \"arg\": {}, \
+             \"traced\": {}, \"hits\": {hits}, \"wall_ms\": {:.3}, \"cycles\": {}, \
+             \"instructions\": {}, \"ipc\": {:.4}}}",
+            spec.bench.name,
+            spec.vm.name(),
+            spec.scheme.name(),
+            spec.arg,
+            spec.traced,
+            out.wall.as_secs_f64() * 1e3,
+            stats.cycles,
+            stats.instructions,
+            stats.ipc(),
+        );
+        s.push_str(if i + 1 == n { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

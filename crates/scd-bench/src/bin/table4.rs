@@ -1,68 +1,7 @@
-//! Table IV: instruction count and cycle count of the Lua-like
-//! interpreter on the FPGA (Rocket) configuration — baseline, jump
-//! threading, SCD — with savings and speedups.
-//! Paper geomeans: SCD saves 10.44% instructions, 12.04% cycles; jump
-//! threading saves 4.84% instructions, ~0% cycles.
-
-use luma::scripts::BENCHMARKS;
-use scd_bench::{arg_scale_from_cli, emit_report, run_one, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_sim::{geomean, SimConfig};
-use std::fmt::Write as _;
+//! Thin alias for `sweep --only table4`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::table4`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Fpga);
-    let cfg = SimConfig::fpga_rocket();
-    let mut out = String::new();
-    let _ = writeln!(out, "Table IV: Lua-like interpreter on the Rocket (FPGA) configuration ({scale:?})");
-    let _ = writeln!(
-        out,
-        "{:<18}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}{:>11}{:>11}{:>11}{:>11}",
-        "benchmark", "base-inst", "base-cyc", "jt-inst", "jt-cyc", "scd-inst", "scd-cyc",
-        "jt-isave", "jt-spdup", "scd-isave", "scd-spdup"
-    );
-    let (mut jts, mut jtc, mut scds, mut scdc) = (vec![], vec![], vec![], vec![]);
-    for b in &BENCHMARKS {
-        eprintln!("  table4 {}", b.name);
-        let base = run_one(&cfg, Vm::Lvm, b, scale, Variant::Baseline);
-        let jt = run_one(&cfg, Vm::Lvm, b, scale, Variant::JumpThreading);
-        let scd = run_one(&cfg, Vm::Lvm, b, scale, Variant::Scd);
-        let isave = |x: &scd_guest::GuestRun| {
-            1.0 - x.stats.instructions as f64 / base.stats.instructions as f64
-        };
-        let spdup = |x: &scd_guest::GuestRun| {
-            base.stats.cycles as f64 / x.stats.cycles as f64 - 1.0
-        };
-        jts.push(1.0 - isave(&jt));
-        jtc.push(1.0 + spdup(&jt));
-        scds.push(1.0 - isave(&scd));
-        scdc.push(1.0 + spdup(&scd));
-        let _ = writeln!(
-            out,
-            "{:<18}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}{:>10.2}%{:>10.2}%{:>10.2}%{:>10.2}%",
-            b.name,
-            base.stats.instructions,
-            base.stats.cycles,
-            jt.stats.instructions,
-            jt.stats.cycles,
-            scd.stats.instructions,
-            scd.stats.cycles,
-            100.0 * isave(&jt),
-            100.0 * spdup(&jt),
-            100.0 * isave(&scd),
-            100.0 * spdup(&scd),
-        );
-    }
-    let _ = writeln!(
-        out,
-        "{:<18}{:>56}{:>42}{:>10.2}%{:>10.2}%{:>10.2}%{:>10.2}%",
-        "GEOMEAN",
-        "",
-        "",
-        100.0 * (1.0 - geomean(&jts)),
-        100.0 * (geomean(&jtc) - 1.0),
-        100.0 * (1.0 - geomean(&scds)),
-        100.0 * (geomean(&scdc) - 1.0),
-    );
-    emit_report("table4", &out);
+    scd_bench::run_report_cli("table4");
 }

@@ -1,75 +1,7 @@
-//! Table V: area/power breakdown of the Rocket-like core with and
-//! without SCD (analytical 40nm model; see DESIGN.md for the synthesis
-//! substitution), plus the EDP improvement combining Table IV speedups.
-//! Paper: +0.72% area, +1.09% power, 24.2% EDP improvement.
-
-use luma::scripts::BENCHMARKS;
-use scd_bench::{arg_scale_from_cli, emit_report, run_one, ArgScale, Variant};
-use scd_guest::Vm;
-use scd_model::{edp_improvement, edp_improvement_measured, table_v, EnergyParams};
-use scd_sim::{geomean, SimConfig};
-use std::fmt::Write as _;
+//! Thin alias for `sweep --only table5`: plans the report's cells into the
+//! shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::table5`. Honors `--quick` and `--threads N`.
 
 fn main() {
-    let scale = arg_scale_from_cli(ArgScale::Fpga);
-    let cfg = SimConfig::fpga_rocket();
-    let t = table_v(&cfg);
-    let mut out = String::new();
-    let _ = writeln!(out, "Table V: area/power estimate, baseline vs SCD (analytical 40nm model)\n");
-    out += &t.baseline.render(Some(&t.scd));
-    let _ = writeln!(
-        out,
-        "\nTotal area increase : {:+.2}%   (paper: +0.72%)",
-        100.0 * t.area_increase
-    );
-    let _ = writeln!(
-        out,
-        "Total power increase: {:+.2}%   (paper: +1.09%)",
-        100.0 * t.power_increase
-    );
-    let _ = writeln!(
-        out,
-        "BTB area increase   : {:+.1}%   (paper: ~+21.6%)",
-        100.0 * t.btb_area_increase
-    );
-    let _ = writeln!(
-        out,
-        "BTB power increase  : {:+.1}%   (paper: ~+11.7%)",
-        100.0 * t.btb_power_increase
-    );
-
-    // EDP needs runtimes: per-benchmark speedups on the FPGA config.
-    // Two methods: (i) constant-power (the paper's arithmetic: chip
-    // power delta x squared runtime ratio) and (ii) activity-based
-    // energy from the simulator's event counts.
-    let _ = writeln!(out, "\nEDP improvement (per benchmark, Rocket config, {scale:?} inputs):");
-    let eparams = EnergyParams::default();
-    let mut edps = Vec::new();
-    let mut edps_measured = Vec::new();
-    for b in &BENCHMARKS {
-        eprintln!("  table5 {}", b.name);
-        let base = run_one(&cfg, Vm::Lvm, b, scale, Variant::Baseline);
-        let scd = run_one(&cfg, Vm::Lvm, b, scale, Variant::Scd);
-        let speedup = base.stats.cycles as f64 / scd.stats.cycles as f64 - 1.0;
-        let e = edp_improvement(speedup, t.power_increase);
-        let em = edp_improvement_measured(&base.stats, &scd.stats, &eparams);
-        edps.push(1.0 - e);
-        edps_measured.push(1.0 - em);
-        let _ = writeln!(
-            out,
-            "  {:<18}{:>8.2}% speedup ->{:>8.2}% EDP (const-power), {:>7.2}% EDP (activity)",
-            b.name,
-            100.0 * speedup,
-            100.0 * e,
-            100.0 * em
-        );
-    }
-    let _ = writeln!(
-        out,
-        "  {:<18}{:>28.2}% const-power, {:>7.2}% activity-based (paper: 24.2%)",
-        "GEOMEAN",
-        100.0 * (1.0 - geomean(&edps)),
-        100.0 * (1.0 - geomean(&edps_measured))
-    );
-    emit_report("table5", &out);
+    scd_bench::run_report_cli("table5");
 }

@@ -1,0 +1,53 @@
+//! Figure 2: branch MPKI breakdown for the Lua-like interpreter
+//! (baseline), split by branch class. The paper's point: the dispatch
+//! indirect jump dominates mispredictions.
+
+use super::Render;
+use crate::sweep::{plan_matrix, MatrixPlan, RunMatrix, SweepResults};
+use crate::{ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+use std::fmt::Write as _;
+
+/// Plans the figure's cells and returns its renderer.
+pub fn plan(m: &mut RunMatrix, scale: ArgScale) -> Box<dyn Render> {
+    let matrix =
+        plan_matrix(m, &SimConfig::embedded_a5(), Vm::Lvm, scale, &[Variant::Baseline], false);
+    Box::new(Plan { scale, matrix })
+}
+
+struct Plan {
+    scale: ArgScale,
+    matrix: MatrixPlan,
+}
+
+impl Render for Plan {
+    fn render(&self, r: &SweepResults) -> String {
+        let scale = self.scale;
+        let m = self.matrix.resolve(r);
+        let mut out = String::new();
+        let _ = writeln!(out, "Figure 2: branch MPKI breakdown, LVM baseline ({scale:?})");
+        let _ = writeln!(
+            out,
+            "{:<18}{:>12}{:>12}{:>12}{:>12}{:>12}{:>14}",
+            "benchmark", "cond", "direct", "return", "ind-other", "ind-DISPATCH", "dispatch-share"
+        );
+        for row in &m.rows {
+            let s = &row.get(Variant::Baseline).stats;
+            let ki = s.instructions as f64 / 1000.0;
+            let total = s.total_mispredictions() as f64;
+            let _ = writeln!(
+                out,
+                "{:<18}{:>12.2}{:>12.2}{:>12.2}{:>12.2}{:>12.2}{:>13.1}%",
+                row.bench.name,
+                s.cond.mispredicted as f64 / ki,
+                s.direct.mispredicted as f64 / ki,
+                s.ret.mispredicted as f64 / ki,
+                s.indirect_other.mispredicted as f64 / ki,
+                s.indirect_dispatch.mispredicted as f64 / ki,
+                100.0 * s.indirect_dispatch.mispredicted as f64 / total.max(1.0),
+            );
+        }
+        out
+    }
+}

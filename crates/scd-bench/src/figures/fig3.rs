@@ -1,0 +1,56 @@
+//! Figure 3: fraction of dynamic instructions spent in the dispatcher
+//! code for the Lua-like interpreter (baseline). Paper: >25%.
+
+use super::Render;
+use crate::sweep::{plan_matrix, MatrixPlan, RunMatrix, SweepResults};
+use crate::{ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+use std::fmt::Write as _;
+
+/// Plans the figure's cells and returns its renderer.
+pub fn plan(m: &mut RunMatrix, scale: ArgScale) -> Box<dyn Render> {
+    let matrix =
+        plan_matrix(m, &SimConfig::embedded_a5(), Vm::Lvm, scale, &[Variant::Baseline], false);
+    Box::new(Plan { scale, matrix })
+}
+
+struct Plan {
+    scale: ArgScale,
+    matrix: MatrixPlan,
+}
+
+impl Render for Plan {
+    fn render(&self, r: &SweepResults) -> String {
+        let scale = self.scale;
+        let m = self.matrix.resolve(r);
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "Figure 3: dispatcher-instruction fraction, LVM baseline ({scale:?})");
+        let _ = writeln!(
+            out,
+            "{:<18}{:>14}{:>16}{:>16}",
+            "benchmark", "dispatch-%", "dispatch-insts", "total-insts"
+        );
+        let mut fracs = Vec::new();
+        for row in &m.rows {
+            let s = &row.get(Variant::Baseline).stats;
+            fracs.push(s.dispatch_fraction());
+            let _ = writeln!(
+                out,
+                "{:<18}{:>13.1}%{:>16}{:>16}",
+                row.bench.name,
+                100.0 * s.dispatch_fraction(),
+                s.dispatch_instructions,
+                s.instructions
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<18}{:>13.1}%",
+            "MEAN",
+            100.0 * fracs.iter().sum::<f64>() / fracs.len() as f64
+        );
+        out
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 7: overall speedups of jump threading, VBBI and SCD over the
+//! out-of-the-box baseline, for both interpreters, plus the cycle
+//! decomposition behind them. The decomposition is attributed from the
+//! per-retirement trace events of the same runs (redirect penalties,
+//! cache-miss stalls, Rop waits), not from PC-range heuristics.
+//! Paper geomeans: Lua 19.9% (SCD), 8.8% (VBBI), -1.6% (JT);
+//! JavaScript 14.1%, 5.3%, 7.3%.
+
+use super::Render;
+use crate::sweep::{plan_matrix, MatrixPlan, RunMatrix, SweepResults};
+use crate::{format_breakdown, format_table, ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+
+/// Plans the figure's cells and returns its renderer.
+pub fn plan(m: &mut RunMatrix, scale: ArgScale) -> Box<dyn Render> {
+    let matrices = Vm::ALL
+        .iter()
+        .map(|&vm| plan_matrix(m, &SimConfig::embedded_a5(), vm, scale, &Variant::ALL, true))
+        .collect();
+    Box::new(Plan { scale, matrices })
+}
+
+struct Plan {
+    scale: ArgScale,
+    matrices: Vec<MatrixPlan>,
+}
+
+impl Render for Plan {
+    fn render(&self, r: &SweepResults) -> String {
+        let scale = self.scale;
+        let mut out = String::new();
+        for plan in &self.matrices {
+            let m = plan.resolve(r);
+            out += &format_table(
+                &format!("Figure 7: speedup over baseline ({scale:?})"),
+                &m,
+                &[Variant::JumpThreading, Variant::Vbbi, Variant::Scd],
+                |r, v| r.speedup(v),
+                "x baseline",
+            );
+            out.push('\n');
+            out += &format_breakdown(
+                "Cycle decomposition from trace events (all benchmarks)",
+                &m,
+                &Variant::ALL,
+            );
+            out.push('\n');
+        }
+        out
+    }
+}

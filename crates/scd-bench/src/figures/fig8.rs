@@ -1,0 +1,43 @@
+//! Figure 8: normalized dynamic instruction count (lower is better).
+//! Paper: SCD cuts total instructions by ~10% on both interpreters.
+
+use super::Render;
+use crate::sweep::{plan_matrix, MatrixPlan, RunMatrix, SweepResults};
+use crate::{format_table, ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+
+const VARIANTS: [Variant; 3] = [Variant::Baseline, Variant::JumpThreading, Variant::Scd];
+
+/// Plans the figure's cells and returns its renderer.
+pub fn plan(m: &mut RunMatrix, scale: ArgScale) -> Box<dyn Render> {
+    let matrices = Vm::ALL
+        .iter()
+        .map(|&vm| plan_matrix(m, &SimConfig::embedded_a5(), vm, scale, &VARIANTS, false))
+        .collect();
+    Box::new(Plan { scale, matrices })
+}
+
+struct Plan {
+    scale: ArgScale,
+    matrices: Vec<MatrixPlan>,
+}
+
+impl Render for Plan {
+    fn render(&self, r: &SweepResults) -> String {
+        let scale = self.scale;
+        let mut out = String::new();
+        for plan in &self.matrices {
+            let m = plan.resolve(r);
+            out += &format_table(
+                &format!("Figure 8: normalized dynamic instruction count ({scale:?})"),
+                &m,
+                &VARIANTS,
+                |r, v| r.norm_insts(v),
+                "x baseline insts",
+            );
+            out.push('\n');
+        }
+        out
+    }
+}

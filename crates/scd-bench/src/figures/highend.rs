@@ -1,0 +1,52 @@
+//! Section VI-C2: SCD on a higher-end dual-issue in-order core
+//! (Cortex-A8-like: 32KB I$, 256KB L2, 512-entry BTB).
+//! Paper: SCD still achieves 17.6% / 15.2% geomean speedups with
+//! ~10% instruction reductions.
+
+use super::Render;
+use crate::sweep::{plan_matrix, MatrixPlan, RunMatrix, SweepResults};
+use crate::{format_table, ArgScale, Variant};
+use scd_guest::Vm;
+use scd_sim::SimConfig;
+
+const VARIANTS: [Variant; 2] = [Variant::Baseline, Variant::Scd];
+
+/// Plans the figure's cells and returns its renderer.
+pub fn plan(m: &mut RunMatrix, scale: ArgScale) -> Box<dyn Render> {
+    let matrices = Vm::ALL
+        .iter()
+        .map(|&vm| plan_matrix(m, &SimConfig::highend_a8(), vm, scale, &VARIANTS, false))
+        .collect();
+    Box::new(Plan { scale, matrices })
+}
+
+struct Plan {
+    scale: ArgScale,
+    matrices: Vec<MatrixPlan>,
+}
+
+impl Render for Plan {
+    fn render(&self, r: &SweepResults) -> String {
+        let scale = self.scale;
+        let mut out = String::new();
+        for plan in &self.matrices {
+            let m = plan.resolve(r);
+            out += &format_table(
+                &format!("Section VI-C2: SCD on the dual-issue A8-like core ({scale:?})"),
+                &m,
+                &[Variant::Scd],
+                |r, v| r.speedup(v),
+                "x baseline",
+            );
+            out += &format_table(
+                "  normalized instruction count",
+                &m,
+                &[Variant::Scd],
+                |r, v| r.norm_insts(v),
+                "x baseline insts",
+            );
+            out.push('\n');
+        }
+        out
+    }
+}

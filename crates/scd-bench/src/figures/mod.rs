@@ -1,0 +1,117 @@
+//! Per-figure planners and renderers over the shared sweep.
+//!
+//! Each submodule owns one figure or table of the evaluation section.
+//! Its `plan` hook contributes the cells the figure needs to a shared
+//! [`RunMatrix`] and returns a [`Render`] that, once the matrix has
+//! executed, formats the figure from the [`SweepResults`] — the same
+//! bytes the old sequential binary produced. Planning is cheap and
+//! side-effect-free; all simulation happens in [`RunMatrix::run`].
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod highend;
+pub mod table4;
+pub mod table5;
+
+use crate::sweep::{RunMatrix, SweepResults};
+use crate::ArgScale;
+
+/// A planned figure: holds the cell ids it needs, renders once the
+/// shared matrix has run.
+pub trait Render: Send {
+    /// Formats the figure from executed results.
+    fn render(&self, r: &SweepResults) -> String;
+}
+
+/// Registry entry for one report the sweep can regenerate.
+pub struct Report {
+    /// Report name; also the `results/<name>.txt` stem.
+    pub name: &'static str,
+    /// One-line description (shown by `sweep --list`).
+    pub title: &'static str,
+    /// The input scale the committed `results/` files were produced at.
+    pub default_scale: ArgScale,
+    /// Plans the report's cells into `m` and returns its renderer.
+    pub plan: fn(&mut RunMatrix, ArgScale) -> Box<dyn Render>,
+}
+
+/// Every report, in the paper's presentation order.
+pub const REPORTS: &[Report] = &[
+    Report {
+        name: "fig2",
+        title: "branch MPKI breakdown, LVM baseline",
+        default_scale: ArgScale::Sim,
+        plan: fig2::plan,
+    },
+    Report {
+        name: "fig3",
+        title: "dispatcher-instruction fraction, LVM baseline",
+        default_scale: ArgScale::Sim,
+        plan: fig3::plan,
+    },
+    Report {
+        name: "fig7",
+        title: "overall speedups + cycle decomposition",
+        default_scale: ArgScale::Sim,
+        plan: fig7::plan,
+    },
+    Report {
+        name: "fig8",
+        title: "normalized dynamic instruction count",
+        default_scale: ArgScale::Sim,
+        plan: fig8::plan,
+    },
+    Report {
+        name: "fig9",
+        title: "branch MPKI per variant",
+        default_scale: ArgScale::Sim,
+        plan: fig9::plan,
+    },
+    Report {
+        name: "fig10",
+        title: "I-cache MPKI + fetch-stall attribution",
+        default_scale: ArgScale::Sim,
+        plan: fig10::plan,
+    },
+    Report {
+        name: "fig11",
+        title: "BTB-size and JTE-cap sensitivity",
+        default_scale: ArgScale::Sim,
+        plan: fig11::plan,
+    },
+    Report {
+        name: "highend",
+        title: "SCD on the dual-issue A8-like core",
+        default_scale: ArgScale::Sim,
+        plan: highend::plan,
+    },
+    Report {
+        name: "table4",
+        title: "instruction/cycle counts on the Rocket (FPGA) config",
+        default_scale: ArgScale::Fpga,
+        plan: table4::plan,
+    },
+    Report {
+        name: "table5",
+        title: "area/power model + EDP improvement",
+        default_scale: ArgScale::Fpga,
+        plan: table5::plan,
+    },
+    Report {
+        name: "ablation",
+        title: "design-choice ablations",
+        default_scale: ArgScale::Tiny,
+        plan: ablation::plan,
+    },
+];
+
+/// Looks a report up by name.
+pub fn report(name: &str) -> Option<&'static Report> {
+    REPORTS.iter().find(|r| r.name == name)
+}

@@ -1,28 +1,41 @@
 //! # scd-bench — the paper-experiment harness
 //!
-//! One binary per table/figure of the evaluation section regenerates the
-//! corresponding result (see DESIGN.md's experiment index):
+//! One `sweep` driver regenerates the whole evaluation section — every
+//! figure and table — from a single deduplicated, parallel run matrix:
 //!
 //! ```text
-//! cargo run --release -p scd-bench --bin fig7      # overall speedups
-//! cargo run --release -p scd-bench --bin table4    # FPGA-config table
-//! ...
+//! cargo run --release -p scd-bench --bin sweep                  # everything
+//! cargo run --release -p scd-bench --bin sweep -- --only fig7,table4
+//! cargo run --release -p scd-bench --bin sweep -- --threads 4
+//! cargo run --release -p scd-bench --bin sweep -- --smoke       # CI drift gate
 //! ```
 //!
-//! This library holds the shared machinery: the run matrix (benchmark x
-//! VM x variant x configuration), correctness-checked runs, and table
-//! formatting.
+//! The per-figure binaries (`fig2` ... `table5`, `ablation`) still
+//! exist, but each is now a thin alias for `sweep --only <name>`: the
+//! cells it needs are planned into a [`RunMatrix`](sweep::RunMatrix),
+//! executed in parallel, and rendered by the same code path the sweep
+//! uses (see [`figures`]).
+//!
+//! This library holds the shared machinery: the deduplicating run-matrix
+//! builder and parallel executor ([`sweep`]), the per-figure planners
+//! and renderers ([`figures`]), and the table formatting below.
 
-use luma::scripts::{Benchmark, BENCHMARKS};
-use scd_guest::{run_source_with, GuestOptions, GuestRun, Scheme, Vm};
+use luma::scripts::Benchmark;
+use scd_guest::Scheme;
 use scd_sim::{geomean, CycleBreakdown, SimConfig};
-use std::cell::RefCell;
-use std::rc::Rc;
+
+pub mod figures;
+pub mod sweep;
+
+pub use sweep::{
+    parallel_map, plan_matrix, CellId, CellOut, CellSpec, Matrix, MatrixPlan, MatrixRow,
+    RunMatrix, SweepResults,
+};
 
 /// Invariant-checkpoint stride for harness runs. Figure binaries run in
 /// release, so the self-check is explicitly enabled here: every figure
 /// is produced from a run whose counters passed the cross-checks.
-const INVARIANT_STRIDE: u64 = 1 << 16;
+pub(crate) const INVARIANT_STRIDE: u64 = 1 << 16;
 
 /// The four bars of Fig. 7: three software schemes plus the VBBI
 /// hardware predictor (which runs the *baseline* binary).
@@ -87,173 +100,14 @@ impl ArgScale {
     }
 }
 
-/// Runs one benchmark under one variant.
-///
-/// # Panics
-/// Panics on any correctness failure (checksum/dispatch mismatch) — a
-/// harness run must never silently produce numbers from a wrong
-/// execution.
-pub fn run_one(
-    base_cfg: &SimConfig,
-    vm: Vm,
-    b: &Benchmark,
-    scale: ArgScale,
-    variant: Variant,
-) -> GuestRun {
-    let cfg = variant.configure(base_cfg);
-    run_source_with(
-        cfg,
-        vm,
-        b.source,
-        &[("N", scale.arg(b))],
-        variant.scheme(),
-        GuestOptions::default(),
-        u64::MAX,
-        |m| m.enable_invariants(INVARIANT_STRIDE),
-    )
-    .unwrap_or_else(|e| panic!("{} [{} / {}]: {e}", b.name, vm.name(), variant.name()))
-}
-
-/// [`run_one`], additionally streaming the run's retirement events into
-/// a [`CycleBreakdown`] so figures can attribute cycles from real events
-/// instead of PC-range heuristics.
-///
-/// # Panics
-/// Panics on any correctness failure, like [`run_one`].
-pub fn run_one_traced(
-    base_cfg: &SimConfig,
-    vm: Vm,
-    b: &Benchmark,
-    scale: ArgScale,
-    variant: Variant,
-) -> (GuestRun, CycleBreakdown) {
-    let cfg = variant.configure(base_cfg);
-    let breakdown = Rc::new(RefCell::new(CycleBreakdown::default()));
-    let sink = Rc::clone(&breakdown);
-    let run = run_source_with(
-        cfg,
-        vm,
-        b.source,
-        &[("N", scale.arg(b))],
-        variant.scheme(),
-        GuestOptions::default(),
-        u64::MAX,
-        move |m| {
-            m.enable_invariants(INVARIANT_STRIDE);
-            m.set_trace_sink(Box::new(sink));
-        },
-    )
-    .unwrap_or_else(|e| panic!("{} [{} / {}]: {e}", b.name, vm.name(), variant.name()));
-    let bd = *breakdown.borrow();
-    (run, bd)
-}
-
-/// A complete matrix of runs for one VM and configuration.
-pub struct Matrix {
-    pub vm: Vm,
-    pub rows: Vec<MatrixRow>,
-}
-
-/// All variants of one benchmark.
-pub struct MatrixRow {
-    pub bench: &'static Benchmark,
-    pub runs: Vec<(Variant, GuestRun)>,
-    /// Event-derived cycle decompositions (empty unless the matrix was
-    /// built with [`run_matrix_traced`]).
-    pub breakdowns: Vec<(Variant, CycleBreakdown)>,
-}
-
-impl MatrixRow {
-    pub fn get(&self, v: Variant) -> &GuestRun {
-        &self.runs.iter().find(|(vv, _)| *vv == v).expect("variant present").1
-    }
-
-    /// The event-derived cycle decomposition for `v`.
-    ///
-    /// # Panics
-    /// Panics when the matrix was not built with [`run_matrix_traced`].
-    pub fn breakdown(&self, v: Variant) -> &CycleBreakdown {
-        &self
-            .breakdowns
-            .iter()
-            .find(|(vv, _)| *vv == v)
-            .expect("matrix was built with tracing")
-            .1
-    }
-
-    /// Speedup of `v` over the baseline (1.0 = no change).
-    pub fn speedup(&self, v: Variant) -> f64 {
-        self.get(Variant::Baseline).stats.cycles as f64 / self.get(v).stats.cycles as f64
-    }
-
-    /// Dynamic instruction count of `v` normalized to baseline.
-    pub fn norm_insts(&self, v: Variant) -> f64 {
-        self.get(v).stats.instructions as f64
-            / self.get(Variant::Baseline).stats.instructions as f64
-    }
-}
-
-/// Runs the full benchmark matrix for one VM.
-pub fn run_matrix(
-    base_cfg: &SimConfig,
-    vm: Vm,
-    scale: ArgScale,
-    variants: &[Variant],
-    progress: bool,
-) -> Matrix {
-    run_matrix_inner(base_cfg, vm, scale, variants, progress, false)
-}
-
-/// [`run_matrix`] with per-run event tracing, filling
-/// [`MatrixRow::breakdowns`] so the figure can decompose cycles from the
-/// same runs that produced its headline numbers.
-pub fn run_matrix_traced(
-    base_cfg: &SimConfig,
-    vm: Vm,
-    scale: ArgScale,
-    variants: &[Variant],
-    progress: bool,
-) -> Matrix {
-    run_matrix_inner(base_cfg, vm, scale, variants, progress, true)
-}
-
-fn run_matrix_inner(
-    base_cfg: &SimConfig,
-    vm: Vm,
-    scale: ArgScale,
-    variants: &[Variant],
-    progress: bool,
-    traced: bool,
-) -> Matrix {
-    let mut rows = Vec::new();
-    for b in &BENCHMARKS {
-        let mut runs = Vec::new();
-        let mut breakdowns = Vec::new();
-        for &v in variants {
-            if progress {
-                eprintln!("  running {} [{} / {}]...", b.name, vm.name(), v.name());
-            }
-            if traced {
-                let (run, bd) = run_one_traced(base_cfg, vm, b, scale, v);
-                runs.push((v, run));
-                breakdowns.push((v, bd));
-            } else {
-                runs.push((v, run_one(base_cfg, vm, b, scale, v)));
-            }
-        }
-        rows.push(MatrixRow { bench: b, runs, breakdowns });
-    }
-    Matrix { vm, rows }
-}
-
 /// Formats a per-benchmark table: one metric column per variant, with a
 /// GEOMEAN row (matching the paper's figures). Metrics that can be zero
 /// (MPKI) fall back to an arithmetic mean for the summary row.
 pub fn format_table(
     title: &str,
-    matrix: &Matrix,
+    matrix: &Matrix<'_>,
     variants: &[Variant],
-    metric: impl Fn(&MatrixRow, Variant) -> f64,
+    metric: impl Fn(&MatrixRow<'_>, Variant) -> f64,
     unit: &str,
 ) -> String {
     use std::fmt::Write as _;
@@ -276,11 +130,14 @@ pub fn format_table(
     }
     let _ = write!(out, "{:<18}", "MEAN");
     for c in &cols {
-        if c.iter().all(|&x| x > 0.0) {
-            let _ = write!(out, "{:>16.3}", geomean(c));
-        } else {
-            let mean = c.iter().sum::<f64>() / c.len() as f64;
-            let _ = write!(out, "{mean:>16.3}");
+        match geomean(c) {
+            Some(g) if c.iter().all(|&x| x > 0.0) => {
+                let _ = write!(out, "{g:>16.3}");
+            }
+            _ => {
+                let mean = c.iter().sum::<f64>() / c.len() as f64;
+                let _ = write!(out, "{mean:>16.3}");
+            }
         }
     }
     out.push('\n');
@@ -289,7 +146,7 @@ pub fn format_table(
 
 /// Sums the event-derived decompositions of one variant across every
 /// benchmark of a traced matrix.
-pub fn aggregate_breakdown(matrix: &Matrix, v: Variant) -> CycleBreakdown {
+pub fn aggregate_breakdown(matrix: &Matrix<'_>, v: Variant) -> CycleBreakdown {
     let mut agg = CycleBreakdown::default();
     for row in &matrix.rows {
         let b = row.breakdown(v);
@@ -310,7 +167,7 @@ pub fn aggregate_breakdown(matrix: &Matrix, v: Variant) -> CycleBreakdown {
 /// Formats the aggregated cycle decomposition per variant: where every
 /// simulated cycle went, attributed from the per-retirement events of
 /// the same runs that produced the headline table.
-pub fn format_breakdown(title: &str, matrix: &Matrix, variants: &[Variant]) -> String {
+pub fn format_breakdown(title: &str, matrix: &Matrix<'_>, variants: &[Variant]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{title} [{}]", matrix.vm.name());
@@ -365,9 +222,48 @@ pub fn arg_scale_from_cli(default: ArgScale) -> ArgScale {
     }
 }
 
+/// Parses `--threads N` (or `--threads=N`) from the command line;
+/// defaults to the host's available parallelism.
+pub fn threads_from_cli() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        } else if let Some(n) = a.strip_prefix("--threads=").and_then(|s| s.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Entry point shared by the per-figure binaries: plan the named
+/// report's cells, execute them in parallel, render, and emit the
+/// report. Honors `--quick` (tiny inputs) and `--threads N`.
+///
+/// # Panics
+/// Panics when `name` is not a registered report.
+pub fn run_report_cli(name: &str) {
+    let report = figures::report(name).unwrap_or_else(|| panic!("unknown report `{name}`"));
+    let scale = arg_scale_from_cli(report.default_scale);
+    let threads = threads_from_cli();
+    let mut m = RunMatrix::new();
+    let plan = (report.plan)(&mut m, scale);
+    eprintln!(
+        "{name}: {} unique cells ({} requested), {threads} thread(s)",
+        m.len(),
+        m.requested()
+    );
+    let results = m.run(threads, true);
+    emit_report(name, &plan.render(&results));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scd_guest::Vm;
 
     #[test]
     fn variant_wiring() {
@@ -381,19 +277,23 @@ mod tests {
 
     #[test]
     fn tiny_matrix_runs_and_formats() {
-        let m = run_matrix(
+        let mut m = RunMatrix::new();
+        let plan = plan_matrix(
+            &mut m,
             &SimConfig::embedded_a5(),
             Vm::Lvm,
             ArgScale::Tiny,
             &[Variant::Baseline, Variant::Scd],
             false,
         );
-        assert_eq!(m.rows.len(), 11);
-        let t = format_table("test", &m, &[Variant::Scd], |r, v| r.speedup(v), "x");
+        let r = m.run(2, false);
+        let matrix = plan.resolve(&r);
+        assert_eq!(matrix.rows.len(), 11);
+        let t = format_table("test", &matrix, &[Variant::Scd], |r, v| r.speedup(v), "x");
         assert!(t.contains("MEAN"));
         assert!(t.contains("fibo"));
         // SCD wins on geomean even at tiny scale.
-        let speedups: Vec<f64> = m.rows.iter().map(|r| r.speedup(Variant::Scd)).collect();
-        assert!(geomean(&speedups) > 1.0);
+        let speedups: Vec<f64> = matrix.rows.iter().map(|r| r.speedup(Variant::Scd)).collect();
+        assert!(geomean(&speedups).expect("positive speedups") > 1.0);
     }
 }

@@ -1,0 +1,453 @@
+//! The shared run matrix behind every figure and table.
+//!
+//! Historically each `scd-bench` binary re-ran its own slice of the
+//! evaluation matrix (benchmark × VM × scheme × `SimConfig`), so
+//! regenerating the full evaluation re-simulated heavily overlapping
+//! cell sets strictly sequentially. This module splits *planning* from
+//! *execution*:
+//!
+//! 1. every figure contributes the cells it needs to one [`RunMatrix`]
+//!    builder, which deduplicates them by their full identity
+//!    (configuration, VM, benchmark, input, scheme, build options);
+//! 2. [`RunMatrix::run`] executes the unique cells on a work-stealing
+//!    pool of plain `std::thread::scope` workers (the `Machine` stack is
+//!    `Send`, asserted at compile time in `scd-sim`), with results
+//!    written into per-cell slots so the reduction order — and therefore
+//!    every rendered byte — is deterministic regardless of thread count;
+//! 3. figures render from the shared [`SweepResults`] via stable
+//!    [`CellId`] handles.
+//!
+//! Every cell runs with the invariant checker armed at
+//! [`INVARIANT_STRIDE`](crate), exactly as the sequential binaries did,
+//! and cells that any consumer wants traced carry a
+//! [`CycleBreakdown`] sink. The trace layer is stat-invariant (PR 1's
+//! golden guarantee), so a cell shared between a traced and an untraced
+//! consumer is run once, traced, and both read identical statistics.
+
+use crate::{ArgScale, Variant, INVARIANT_STRIDE};
+use luma::scripts::{Benchmark, BENCHMARKS};
+use scd_guest::{GuestOptions, GuestRun, RunRequest, Scheme, Vm};
+use scd_sim::{CycleBreakdown, SimConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Stable handle to one cell of a [`RunMatrix`] / [`SweepResults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellId(usize);
+
+/// Everything that identifies one simulation cell of the evaluation
+/// matrix. Two cells with equal identity (everything but `traced`) are
+/// deduplicated into one run.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Simulated-core configuration (already variant-adjusted).
+    pub cfg: SimConfig,
+    /// Guest VM.
+    pub vm: Vm,
+    /// Corpus benchmark.
+    pub bench: &'static Benchmark,
+    /// Value bound to `N`.
+    pub arg: f64,
+    /// Interpreter dispatch scheme.
+    pub scheme: Scheme,
+    /// Interpreter build options.
+    pub opts: GuestOptions,
+    /// Whether any consumer needs the cycle decomposition of this cell.
+    pub traced: bool,
+}
+
+impl CellSpec {
+    /// Dedup key: the full cell identity minus `traced` (tracing is
+    /// stat-invariant, so it widens a cell rather than splitting it).
+    fn key(&self) -> String {
+        format!(
+            "{:?}|{:?}|{}|{:016x}|{:?}|{:?}",
+            self.cfg,
+            self.vm,
+            self.bench.name,
+            self.arg.to_bits(),
+            self.scheme,
+            self.opts
+        )
+    }
+}
+
+/// One executed cell: the validated run, its optional cycle
+/// decomposition, and how long it took on the host.
+pub struct CellOut {
+    /// The oracle-validated run.
+    pub run: GuestRun,
+    /// Event-derived cycle decomposition (`None` for untraced cells).
+    pub breakdown: Option<CycleBreakdown>,
+    /// Host wall-clock time this cell took to simulate.
+    pub wall: Duration,
+}
+
+/// Deduplicating builder for the evaluation run matrix.
+#[derive(Default)]
+pub struct RunMatrix {
+    cells: Vec<CellSpec>,
+    /// How many times each unique cell was requested.
+    hits: Vec<usize>,
+    index: HashMap<String, usize>,
+}
+
+impl RunMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unique cells planned so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are planned.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total cell *requests* (before deduplication); the ratio to
+    /// [`RunMatrix::len`] is the work the shared matrix saves.
+    pub fn requested(&self) -> usize {
+        self.hits.iter().sum()
+    }
+
+    /// Plans `spec`, returning the id of the (possibly pre-existing)
+    /// unique cell. A traced request upgrades an untraced cell.
+    pub fn cell(&mut self, spec: CellSpec) -> CellId {
+        let key = spec.key();
+        match self.index.get(&key) {
+            Some(&i) => {
+                self.cells[i].traced |= spec.traced;
+                self.hits[i] += 1;
+                CellId(i)
+            }
+            None => {
+                let i = self.cells.len();
+                self.index.insert(key, i);
+                self.cells.push(spec);
+                self.hits.push(1);
+                CellId(i)
+            }
+        }
+    }
+
+    /// Plans one benchmark under one Fig. 7 [`Variant`] (the variant
+    /// picks both the scheme and the hardware configuration).
+    pub fn variant(
+        &mut self,
+        base_cfg: &SimConfig,
+        vm: Vm,
+        bench: &'static Benchmark,
+        scale: ArgScale,
+        v: Variant,
+        traced: bool,
+    ) -> CellId {
+        self.cell(CellSpec {
+            cfg: v.configure(base_cfg),
+            vm,
+            bench,
+            arg: scale.arg(bench),
+            scheme: v.scheme(),
+            opts: GuestOptions::default(),
+            traced,
+        })
+    }
+
+    /// Executes every unique cell on `threads` worker threads and
+    /// returns the result set. Cell results land in planning order, so
+    /// downstream rendering is deterministic for any thread count.
+    ///
+    /// # Panics
+    /// Panics if any cell fails oracle validation — a harness run must
+    /// never silently produce numbers from a wrong execution.
+    pub fn run(self, threads: usize, progress: bool) -> SweepResults {
+        let started = Instant::now();
+        let total = self.cells.len();
+        let done = AtomicUsize::new(0);
+        let outs = parallel_map(&self.cells, threads, |spec| {
+            let out = run_cell(spec);
+            if progress {
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "  [{d}/{total}] {} [{} / {}] {:.2}s",
+                    spec.bench.name,
+                    spec.vm.name(),
+                    spec.scheme.name(),
+                    out.wall.as_secs_f64()
+                );
+            }
+            out
+        });
+        SweepResults { specs: self.cells, hits: self.hits, cells: outs, wall: started.elapsed() }
+    }
+}
+
+/// Runs one cell: oracle-validated, invariants armed, optionally traced.
+fn run_cell(spec: &CellSpec) -> CellOut {
+    let started = Instant::now();
+    let args = [("N", spec.arg)];
+    let req = RunRequest::new(spec.cfg.clone(), spec.vm, spec.bench.source)
+        .predefined(&args)
+        .scheme(spec.scheme)
+        .opts(spec.opts);
+    let mut run = req
+        .run_with(|m| {
+            m.enable_invariants(INVARIANT_STRIDE);
+            if spec.traced {
+                m.set_trace_sink(Box::new(CycleBreakdown::default()));
+            }
+        })
+        .unwrap_or_else(|e| {
+            panic!("{} [{} / {}]: {e}", spec.bench.name, spec.vm.name(), spec.scheme.name())
+        });
+    let breakdown = spec
+        .traced
+        .then(|| *run.take_sink::<CycleBreakdown>().expect("breakdown sink comes back with the run"));
+    CellOut { run, breakdown, wall: started.elapsed() }
+}
+
+/// Order-preserving parallel map over a slice using scoped threads: a
+/// shared atomic cursor hands out indices, each worker writes its result
+/// into the slot for the index it claimed, and the output order matches
+/// the input order exactly. With `threads <= 1` it degenerates to a
+/// plain sequential map (no pool, no locks).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("result slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned").expect("every slot filled"))
+        .collect()
+}
+
+/// The executed matrix: one [`CellOut`] per unique planned cell, plus
+/// the wall-clock accounting the sweep driver reports.
+pub struct SweepResults {
+    specs: Vec<CellSpec>,
+    hits: Vec<usize>,
+    cells: Vec<CellOut>,
+    /// Wall-clock time of the whole (parallel) execution.
+    pub wall: Duration,
+}
+
+impl SweepResults {
+    /// Number of executed cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the matrix was empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The validated run of `id`.
+    pub fn get(&self, id: CellId) -> &GuestRun {
+        &self.cells[id.0].run
+    }
+
+    /// The cycle decomposition of `id`.
+    ///
+    /// # Panics
+    /// Panics when the cell was planned untraced.
+    pub fn breakdown(&self, id: CellId) -> &CycleBreakdown {
+        self.cells[id.0].breakdown.as_ref().expect("cell was planned traced")
+    }
+
+    /// Sum of per-cell host runtimes: what the deduplicated matrix would
+    /// cost on one thread.
+    pub fn serial_unique(&self) -> Duration {
+        self.cells.iter().map(|c| c.wall).sum()
+    }
+
+    /// Dedup-unaware sequential estimate: per-cell runtime weighted by
+    /// how many times the cell was requested — what the old one-binary-
+    /// per-figure flow would have simulated.
+    pub fn serial_requested(&self) -> Duration {
+        self.cells
+            .iter()
+            .zip(&self.hits)
+            .map(|(c, &h)| c.wall * u32::try_from(h).unwrap_or(u32::MAX))
+            .sum()
+    }
+
+    /// Iterates `(spec, times-requested, result)` in planning order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CellSpec, usize, &CellOut)> {
+        self.specs.iter().zip(&self.hits).zip(&self.cells).map(|((s, &h), c)| (s, h, c))
+    }
+}
+
+/// The planned form of the old `run_matrix` helper: all benchmarks ×
+/// the given variants for one VM/configuration, resolvable into a
+/// [`Matrix`] view once the sweep has run.
+pub struct MatrixPlan {
+    /// The VM the matrix covers.
+    pub vm: Vm,
+    rows: Vec<(&'static Benchmark, Vec<(Variant, CellId)>)>,
+}
+
+/// Plans the full benchmark matrix for one VM.
+pub fn plan_matrix(
+    m: &mut RunMatrix,
+    base_cfg: &SimConfig,
+    vm: Vm,
+    scale: ArgScale,
+    variants: &[Variant],
+    traced: bool,
+) -> MatrixPlan {
+    let rows = BENCHMARKS
+        .iter()
+        .map(|b| {
+            let cells =
+                variants.iter().map(|&v| (v, m.variant(base_cfg, vm, b, scale, v, traced))).collect();
+            (b, cells)
+        })
+        .collect();
+    MatrixPlan { vm, rows }
+}
+
+impl MatrixPlan {
+    /// Resolves the plan against executed results into the borrowing
+    /// [`Matrix`] view the table formatters consume.
+    pub fn resolve<'r>(&self, r: &'r SweepResults) -> Matrix<'r> {
+        Matrix {
+            vm: self.vm,
+            rows: self
+                .rows
+                .iter()
+                .map(|(b, cells)| MatrixRow { bench: b, cells: cells.clone(), results: r })
+                .collect(),
+        }
+    }
+}
+
+/// A complete matrix of executed runs for one VM and configuration,
+/// borrowing from [`SweepResults`].
+pub struct Matrix<'r> {
+    /// The VM the matrix covers.
+    pub vm: Vm,
+    /// One row per benchmark.
+    pub rows: Vec<MatrixRow<'r>>,
+}
+
+/// All variants of one benchmark.
+pub struct MatrixRow<'r> {
+    /// The benchmark.
+    pub bench: &'static Benchmark,
+    cells: Vec<(Variant, CellId)>,
+    results: &'r SweepResults,
+}
+
+impl<'r> MatrixRow<'r> {
+    fn id(&self, v: Variant) -> CellId {
+        self.cells.iter().find(|(vv, _)| *vv == v).expect("variant present").1
+    }
+
+    /// The validated run of variant `v`.
+    pub fn get(&self, v: Variant) -> &'r GuestRun {
+        self.results.get(self.id(v))
+    }
+
+    /// The event-derived cycle decomposition for `v`.
+    ///
+    /// # Panics
+    /// Panics when the matrix was planned untraced.
+    pub fn breakdown(&self, v: Variant) -> &'r CycleBreakdown {
+        self.results.breakdown(self.id(v))
+    }
+
+    /// Speedup of `v` over the baseline (1.0 = no change).
+    pub fn speedup(&self, v: Variant) -> f64 {
+        self.get(Variant::Baseline).stats.cycles as f64 / self.get(v).stats.cycles as f64
+    }
+
+    /// Dynamic instruction count of `v` normalized to baseline.
+    pub fn norm_insts(&self, v: Variant) -> f64 {
+        self.get(v).stats.instructions as f64
+            / self.get(Variant::Baseline).stats.instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_collapses_identical_cells() {
+        let a5 = SimConfig::embedded_a5();
+        let mut m = RunMatrix::new();
+        let b = &BENCHMARKS[0];
+        let a = m.variant(&a5, Vm::Lvm, b, ArgScale::Tiny, Variant::Baseline, false);
+        let c = m.variant(&a5, Vm::Lvm, b, ArgScale::Tiny, Variant::Baseline, true);
+        assert_eq!(a, c, "identical cells must deduplicate");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.requested(), 2);
+        // The traced request upgraded the shared cell.
+        assert!(m.cells[0].traced);
+        // A different scheme is a different cell.
+        let d = m.variant(&a5, Vm::Lvm, b, ArgScale::Tiny, Variant::Scd, false);
+        assert_ne!(a, d);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn parallel_map_is_order_preserving() {
+        let items: Vec<u64> = (0..97).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7] {
+            assert_eq!(parallel_map(&items, threads, |x| x * x), seq);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_direct_runs_any_thread_count() {
+        let a5 = SimConfig::embedded_a5();
+        let plan_and_run = |threads: usize| {
+            let mut m = RunMatrix::new();
+            let plan = plan_matrix(
+                &mut m,
+                &a5,
+                Vm::Lvm,
+                ArgScale::Tiny,
+                &[Variant::Baseline, Variant::Scd],
+                true,
+            );
+            let r = m.run(threads, false);
+            let matrix = plan.resolve(&r);
+            let speedups: Vec<f64> =
+                matrix.rows.iter().map(|row| row.speedup(Variant::Scd)).collect();
+            let events: Vec<u64> =
+                matrix.rows.iter().map(|row| row.breakdown(Variant::Scd).events).collect();
+            (speedups, events)
+        };
+        let one = plan_and_run(1);
+        let four = plan_and_run(4);
+        assert_eq!(one, four, "thread count must not change any result");
+        // SCD wins on geomean even at tiny scale.
+        let g = scd_sim::geomean(&one.0).expect("positive speedups");
+        assert!(g > 1.0, "geomean speedup {g} <= 1");
+    }
+}

@@ -17,7 +17,7 @@
 //! 4 watchdog budget exhausted, 5 invariant or oracle violation,
 //! 70 internal error (I/O, bad checkpoint).
 
-use scd_guest::{GuestError, GuestOptions, GuestRun, Scheme, Session, Vm};
+use scd_guest::{GuestError, GuestOptions, GuestRun, RunRequest, Scheme, Session, Vm};
 use scd_sim::{FaultPlan, JsonlSink, SimConfig, SimError, Snapshot};
 use std::process::exit;
 
@@ -225,14 +225,8 @@ fn cmd_run(o: Opts) {
     let src = read_script(&path);
     let args: Vec<(&str, f64)> = o.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
 
-    let mut session = match Session::from_source(
-        o.cfg.clone(),
-        o.vm,
-        &src,
-        &args,
-        o.scheme,
-        GuestOptions::default(),
-    ) {
+    let req = RunRequest::new(o.cfg.clone(), o.vm, &src).predefined(&args).scheme(o.scheme);
+    let mut session = match req.session() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");

@@ -14,13 +14,10 @@
 //! bounded [`RingSink`] window ending at the divergence) to a JSONL file
 //! so the failure can be replayed and minimized offline.
 
-use crate::common::{GuestOptions, Scheme};
-use crate::runner::{GuestRun, Session, Vm};
-use scd_sim::{diff_architectural, FaultPlan, RingSink, SimConfig};
-use std::cell::RefCell;
+use crate::runner::{GuestRun, RunRequest};
+use scd_sim::{diff_architectural, downcast_sink, FaultPlan, Machine, RingSink};
 use std::fmt;
 use std::path::PathBuf;
-use std::rc::Rc;
 
 /// A passed differential check: both runs validated against the oracle
 /// and their architectural state is bit-identical.
@@ -103,7 +100,14 @@ fn dump_window(plan: &str, ring: &RingSink) -> Option<PathBuf> {
     Some(path)
 }
 
-/// Runs `src` clean and under `plan`, proving the faulted run
+/// Takes the ring window back out of the faulted machine (the machine
+/// owns its sink; the window is recovered, not shared) and dumps it.
+fn take_and_dump(plan: &str, machine: &mut Machine) -> Option<PathBuf> {
+    let ring = machine.take_trace_sink().and_then(downcast_sink::<RingSink>)?;
+    dump_window(plan, &ring)
+}
+
+/// Runs `req` clean and under `plan`, proving the faulted run
 /// architecturally identical.
 ///
 /// The faulted machine carries a [`RingSink`] of the last `window`
@@ -115,29 +119,20 @@ fn dump_window(plan: &str, ring: &RingSink) -> Option<PathBuf> {
 ///
 /// # Errors
 /// Returns a [`DifferentialError`] describing the first failed stage.
-#[allow(clippy::too_many_arguments)]
 pub fn differential_check(
-    cfg: SimConfig,
-    vm: Vm,
-    src: &str,
-    predefined: &[(&str, f64)],
-    scheme: Scheme,
-    opts: GuestOptions,
+    req: &RunRequest<'_>,
     plan: FaultPlan,
-    max_insts: u64,
     window: usize,
 ) -> Result<DifferentialReport, DifferentialError> {
     let plan_name = plan.name();
+    let max_insts = req.max_insts;
 
-    let mut clean = Session::from_source(cfg.clone(), vm, src, predefined, scheme, opts)
-        .map_err(DifferentialError::Setup)?;
+    let mut clean = req.session().map_err(DifferentialError::Setup)?;
     let clean_run =
         clean.run_and_validate(max_insts).map_err(|e| DifferentialError::Clean(e.to_string()))?;
 
-    let mut faulted = Session::from_source(cfg, vm, src, predefined, scheme, opts)
-        .map_err(DifferentialError::Setup)?;
-    let ring = Rc::new(RefCell::new(RingSink::new(window.max(1))));
-    faulted.machine.set_trace_sink(Box::new(Rc::clone(&ring)));
+    let mut faulted = req.session().map_err(DifferentialError::Setup)?;
+    faulted.machine.set_trace_sink(Box::new(RingSink::new(window.max(1))));
     faulted.machine.set_fault_plan(plan);
 
     let faulted_run = match faulted.machine.run(max_insts) {
@@ -147,7 +142,7 @@ pub fn differential_check(
                 return Err(DifferentialError::Faulted {
                     plan: plan_name,
                     detail: e.to_string(),
-                    dump: dump_window(plan_name, &ring.borrow()),
+                    dump: take_and_dump(plan_name, &mut faulted.machine),
                 })
             }
         },
@@ -155,7 +150,7 @@ pub fn differential_check(
             return Err(DifferentialError::Faulted {
                 plan: plan_name,
                 detail: e.to_string(),
-                dump: dump_window(plan_name, &ring.borrow()),
+                dump: take_and_dump(plan_name, &mut faulted.machine),
             })
         }
     };
@@ -164,7 +159,7 @@ pub fn differential_check(
         return Err(DifferentialError::Divergence {
             plan: plan_name,
             detail,
-            dump: dump_window(plan_name, &ring.borrow()),
+            dump: take_and_dump(plan_name, &mut faulted.machine),
         });
     }
 
@@ -175,24 +170,24 @@ pub fn differential_check(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::Scheme;
+    use crate::runner::Vm;
 
     const SRC: &str = "var s = 0; for i = 1, N { s = s + i * i % 13; } emit(s);";
+    const N: [(&str, f64); 1] = [("N", 300.0)];
+
+    fn req(vm: Vm) -> RunRequest<'static> {
+        RunRequest::new(scd_sim::SimConfig::embedded_a5(), vm, SRC)
+            .predefined(&N)
+            .scheme(Scheme::Scd)
+            .max_insts(200_000_000)
+    }
 
     #[test]
     fn guard_passes_on_clean_guest() {
         for plan in FaultPlan::standard_plans(42) {
-            let report = differential_check(
-                scd_sim::SimConfig::embedded_a5(),
-                Vm::Lvm,
-                SRC,
-                &[("N", 300.0)],
-                Scheme::Scd,
-                GuestOptions::default(),
-                plan,
-                200_000_000,
-                256,
-            )
-            .expect("fault injection must not change architectural results");
+            let report = differential_check(&req(Vm::Lvm), plan, 256)
+                .expect("fault injection must not change architectural results");
             assert!(report.injected > 0, "plan never fired; weaken the period");
             assert_eq!(report.clean.checksum, report.faulted.checksum);
         }
@@ -200,18 +195,8 @@ mod tests {
 
     #[test]
     fn faults_never_shorten_the_retired_path() {
-        let report = differential_check(
-            scd_sim::SimConfig::embedded_a5(),
-            Vm::Svm,
-            SRC,
-            &[("N", 300.0)],
-            Scheme::Scd,
-            GuestOptions::default(),
-            FaultPlan::jte_corruption(7),
-            200_000_000,
-            256,
-        )
-        .unwrap();
+        let report =
+            differential_check(&req(Vm::Svm), FaultPlan::jte_corruption(7), 256).unwrap();
         assert!(report.faulted.stats.instructions >= report.clean.stats.instructions);
     }
 }

@@ -42,6 +42,6 @@ pub use layout::{build_lvm_image, build_svm_image, Image};
 pub use lvm::build_lvm_guest;
 pub use runner::{
     run_lvm, run_lvm_with, run_source, run_source_with, run_svm, run_svm_with, GuestError,
-    GuestRun, Session, Vm,
+    GuestRun, RunRequest, Session, Vm,
 };
 pub use svm::build_svm_guest;

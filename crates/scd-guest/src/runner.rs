@@ -5,7 +5,7 @@ use crate::common::{Guest, GuestOptions, Scheme};
 use crate::layout::{self, Image};
 use luma::lvm::LvmProgram;
 use luma::svm::SvmProgram;
-use scd_sim::{Exit, Machine, SimConfig, SimError, SimStats};
+use scd_sim::{downcast_sink, Exit, Machine, SimConfig, SimError, SimStats, TraceSink};
 use std::fmt;
 
 /// Which guest VM to run.
@@ -74,7 +74,6 @@ impl From<SimError> for GuestError {
 }
 
 /// Result of a validated guest run.
-#[derive(Debug)]
 pub struct GuestRun {
     /// The `emit` checksum computed by the guest.
     pub checksum: u64,
@@ -82,6 +81,32 @@ pub struct GuestRun {
     pub dispatches: u64,
     /// Full simulator statistics.
     pub stats: SimStats,
+    /// The trace sink the setup hook installed, handed back with its
+    /// accumulated state once the machine is done with it (`None` when
+    /// no sink was installed, or when the caller still holds the
+    /// [`Session`] and can take it from the machine directly). Owned,
+    /// not shared: this is what lets traced runs execute on worker
+    /// threads.
+    pub sink: Option<Box<dyn TraceSink>>,
+}
+
+impl GuestRun {
+    /// Takes the run's sink back as its concrete type (consuming the
+    /// sink either way — see [`downcast_sink`]).
+    pub fn take_sink<T: TraceSink>(&mut self) -> Option<Box<T>> {
+        self.sink.take().and_then(downcast_sink::<T>)
+    }
+}
+
+impl fmt::Debug for GuestRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GuestRun")
+            .field("checksum", &self.checksum)
+            .field("dispatches", &self.dispatches)
+            .field("stats", &self.stats)
+            .field("sink", &self.sink.as_ref().map(|_| "<trace sink>"))
+            .finish()
+    }
 }
 
 /// Builds a machine with the guest interpreter installed and the
@@ -108,13 +133,18 @@ fn run_image(
     img: &Image,
     max_insts: u64,
     setup: impl FnOnce(&mut Machine),
-) -> Result<(u64, u64, SimStats), GuestError> {
+) -> Result<GuestRun, GuestError> {
     let mut m = build_machine(cfg, guest, img);
     setup(&mut m);
     let exit = m.run(max_insts)?;
     let dispatches =
         m.mem.read_u64(layout::VMCTL_BASE + layout::CTL_DISPATCH_COUNT as u64).expect("ctl mapped");
-    Ok((exit.code, dispatches, m.stats.clone()))
+    Ok(GuestRun {
+        checksum: exit.code,
+        dispatches,
+        stats: m.stats.clone(),
+        sink: m.take_trace_sink(),
+    })
 }
 
 /// The compiled guest program plus everything the oracle needs.
@@ -222,7 +252,9 @@ impl Session {
         if self.opts.production_weight && dispatches != oracle.steps {
             return Err(GuestError::DispatchMismatch { guest: dispatches, oracle: oracle.steps });
         }
-        Ok(GuestRun { checksum, dispatches, stats: self.machine.stats.clone() })
+        // The sink (if any) stays on the machine: the caller holds the
+        // session and takes it from there.
+        Ok(GuestRun { checksum, dispatches, stats: self.machine.stats.clone(), sink: None })
     }
 }
 
@@ -260,18 +292,18 @@ pub fn run_lvm_with(
 ) -> Result<GuestRun, GuestError> {
     let img = layout::build_lvm_image(program, global_init);
     let guest = crate::lvm::build_lvm_guest(&img, scheme, opts);
-    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts, setup)?;
+    let run = run_image(cfg, &guest, &img, max_insts, setup)?;
 
     let oracle = luma::lvm::LvmInterp::new(program, global_init)
         .run(max_insts)
         .expect("oracle agrees the program terminates");
-    if oracle.checksum != checksum {
-        return Err(GuestError::ChecksumMismatch { guest: checksum, oracle: oracle.checksum });
+    if oracle.checksum != run.checksum {
+        return Err(GuestError::ChecksumMismatch { guest: run.checksum, oracle: oracle.checksum });
     }
-    if opts.production_weight && dispatches != oracle.steps {
-        return Err(GuestError::DispatchMismatch { guest: dispatches, oracle: oracle.steps });
+    if opts.production_weight && run.dispatches != oracle.steps {
+        return Err(GuestError::DispatchMismatch { guest: run.dispatches, oracle: oracle.steps });
     }
-    Ok(GuestRun { checksum, dispatches, stats })
+    Ok(run)
 }
 
 /// Runs an SVM program on the simulated core under `scheme` and checks
@@ -307,18 +339,129 @@ pub fn run_svm_with(
 ) -> Result<GuestRun, GuestError> {
     let img = layout::build_svm_image(program, global_init);
     let guest = crate::svm::build_svm_guest(&img, scheme, opts);
-    let (checksum, dispatches, stats) = run_image(cfg, &guest, &img, max_insts, setup)?;
+    let run = run_image(cfg, &guest, &img, max_insts, setup)?;
 
     let oracle = luma::svm::SvmInterp::new(program, global_init)
         .run(max_insts)
         .expect("oracle agrees the program terminates");
-    if oracle.checksum != checksum {
-        return Err(GuestError::ChecksumMismatch { guest: checksum, oracle: oracle.checksum });
+    if oracle.checksum != run.checksum {
+        return Err(GuestError::ChecksumMismatch { guest: run.checksum, oracle: oracle.checksum });
     }
-    if opts.production_weight && dispatches != oracle.steps {
-        return Err(GuestError::DispatchMismatch { guest: dispatches, oracle: oracle.steps });
+    if opts.production_weight && run.dispatches != oracle.steps {
+        return Err(GuestError::DispatchMismatch { guest: run.dispatches, oracle: oracle.steps });
     }
-    Ok(GuestRun { checksum, dispatches, stats })
+    Ok(run)
+}
+
+/// Everything that identifies one guest run — one *cell* of the paper's
+/// run matrix: hardware configuration, VM, program, inputs, dispatch
+/// scheme, build options and instruction budget.
+///
+/// The free functions below ([`run_source`], [`run_lvm`], ...) thread
+/// these through as positional arguments, which was tolerable for two
+/// call sites and is not for a sweep driver that builds hundreds of
+/// cells. A `RunRequest` is the named bundle: build it once, then
+/// [`RunRequest::run`] it, open a [`Session`](RunRequest::session) for
+/// stepwise control, or hand it to
+/// [`differential_check`](crate::differential_check) for the fault
+/// guard.
+#[derive(Debug, Clone)]
+pub struct RunRequest<'a> {
+    /// Simulated-core configuration.
+    pub cfg: SimConfig,
+    /// Which guest VM interprets the program.
+    pub vm: Vm,
+    /// Benchmark source text.
+    pub src: &'a str,
+    /// Predefined variables (e.g. `[("N", 1000.0)]`).
+    pub predefined: &'a [(&'a str, f64)],
+    /// Dispatch scheme of the interpreter build.
+    pub scheme: Scheme,
+    /// Interpreter build options.
+    pub opts: GuestOptions,
+    /// Retired-instruction budget (`u64::MAX` = unbounded).
+    pub max_insts: u64,
+}
+
+impl<'a> RunRequest<'a> {
+    /// A request with the common defaults: no predefined variables,
+    /// baseline scheme, default build options, unbounded budget.
+    pub fn new(cfg: SimConfig, vm: Vm, src: &'a str) -> Self {
+        RunRequest {
+            cfg,
+            vm,
+            src,
+            predefined: &[],
+            scheme: Scheme::Baseline,
+            opts: GuestOptions::default(),
+            max_insts: u64::MAX,
+        }
+    }
+
+    /// Sets the predefined variables.
+    #[must_use]
+    pub fn predefined(mut self, predefined: &'a [(&'a str, f64)]) -> Self {
+        self.predefined = predefined;
+        self
+    }
+
+    /// Sets the dispatch scheme.
+    #[must_use]
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the interpreter build options.
+    #[must_use]
+    pub fn opts(mut self, opts: GuestOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the retired-instruction budget.
+    #[must_use]
+    pub fn max_insts(mut self, max_insts: u64) -> Self {
+        self.max_insts = max_insts;
+        self
+    }
+
+    /// Loads the request into a [`Session`] (machine built, not run).
+    ///
+    /// # Errors
+    /// Returns a string describing parse or compile errors.
+    pub fn session(&self) -> Result<Session, String> {
+        Session::from_source(self.cfg.clone(), self.vm, self.src, self.predefined, self.scheme, self.opts)
+    }
+
+    /// Runs the request end to end and validates against the oracle.
+    ///
+    /// # Errors
+    /// Returns a string describing parse/compile errors or a
+    /// [`GuestError`].
+    pub fn run(&self) -> Result<GuestRun, String> {
+        self.run_with(|_| {})
+    }
+
+    /// [`RunRequest::run`] with a `setup` hook run on the machine just
+    /// before execution — the place to install a trace sink or tune the
+    /// invariant checker.
+    ///
+    /// # Errors
+    /// Returns a string describing parse/compile errors or a
+    /// [`GuestError`].
+    pub fn run_with(&self, setup: impl FnOnce(&mut Machine)) -> Result<GuestRun, String> {
+        run_source_with(
+            self.cfg.clone(),
+            self.vm,
+            self.src,
+            self.predefined,
+            self.scheme,
+            self.opts,
+            self.max_insts,
+            setup,
+        )
+    }
 }
 
 /// Compiles a benchmark source for the given VM and runs it end to end.

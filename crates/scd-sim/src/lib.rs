@@ -55,7 +55,7 @@ pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{geomean, AccessCounters, BranchClass, BranchCounters, SimStats};
 pub use tlb::Tlb;
 pub use trace::{
-    diff_stats, BopEvent, BopOutcome, BranchEvent, BtbInsertEvent, CycleBreakdown, DataAccess,
-    FetchAccess, Inserts, InstClass, JsonlSink, JteFlushEvent, L2Access, RedirectCause,
+    diff_stats, downcast_sink, BopEvent, BopOutcome, BranchEvent, BtbInsertEvent, CycleBreakdown,
+    DataAccess, FetchAccess, Inserts, InstClass, JsonlSink, JteFlushEvent, L2Access, RedirectCause,
     RedirectEvent, ReplayStats, RingSink, StatInvariants, TraceEvent, TraceSink, VecSink,
 };

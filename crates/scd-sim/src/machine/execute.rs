@@ -1,0 +1,436 @@
+//! Execute stage: the issue/scoreboard timing model (dual-issue
+//! pairing, operand readiness, long-latency interlocks) and functional
+//! RV64-subset semantics for every instruction. Control-flow arms
+//! delegate prediction and redirect charging to [`super::frontend`];
+//! loads and stores charge the data side through [`super::memory`].
+
+use super::{Machine, SimError};
+use crate::btb::{BtbKey, EntryKind};
+use crate::config::ScdConfig;
+use crate::mem::MemFault;
+use crate::stats::BranchClass;
+use crate::trace::RedirectCause;
+use scd_isa::{AluOp, BranchOp, FCmpOp, FpOp, Inst, LoadOp, Reg, Rounding, StoreOp};
+
+/// What one retirement decided: where fetch goes next, and whether the
+/// guest requested a halt (applied by the run loop *after* trace
+/// emission so the final retirement is observed like any other).
+#[derive(Debug, Clone, Copy)]
+pub(super) struct StepOut {
+    pub(super) next_pc: u64,
+    pub(super) exit_code: Option<u64>,
+}
+
+impl Machine {
+    #[inline]
+    fn wx(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Advances the issue clock for one instruction, honoring dual-issue
+    /// pairing rules and operand readiness.
+    pub(super) fn issue(&mut self, inst: &Inst) {
+        let mut min_cycle = self.cycle;
+        for src in inst.use_xregs().into_iter().flatten() {
+            min_cycle = min_cycle.max(self.xready[src.index()]);
+        }
+        // FP sources.
+        match *inst {
+            Inst::FOp { rs1, rs2, .. } => {
+                min_cycle = min_cycle.max(self.fready[rs1.index()]).max(self.fready[rs2.index()]);
+            }
+            Inst::FCmp { rs1, rs2, .. } => {
+                min_cycle = min_cycle.max(self.fready[rs1.index()]).max(self.fready[rs2.index()]);
+            }
+            Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } => {
+                min_cycle = min_cycle.max(self.fready[rs1.index()]);
+            }
+            Inst::Fsd { rs2, .. } => {
+                min_cycle = min_cycle.max(self.fready[rs2.index()]);
+            }
+            _ => {}
+        }
+
+        let can_pair = self.cfg.issue_width > 1
+            && self.issued_this_cycle == 1
+            && min_cycle <= self.cycle
+            && !(self.prev_was_mem && (inst.is_load() || inst.is_store()))
+            && !inst
+                .use_xregs()
+                .into_iter()
+                .flatten()
+                .any(|s| Some(s) == self.prev_dest && !s.is_zero())
+            && match *inst {
+                Inst::FOp { rs1, rs2, .. } | Inst::FCmp { rs1, rs2, .. } => {
+                    Some(rs1) != self.prev_fdest && Some(rs2) != self.prev_fdest
+                }
+                Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } | Inst::Fsd { rs2: rs1, .. } => {
+                    Some(rs1) != self.prev_fdest
+                }
+                _ => true,
+            };
+
+        if can_pair {
+            self.issued_this_cycle = 2;
+        } else {
+            self.cycle = (self.cycle + 1).max(min_cycle);
+            self.issued_this_cycle = 1;
+        }
+        self.prev_dest = inst.def_xreg();
+        self.prev_fdest = inst.def_freg();
+        self.prev_was_mem = inst.is_load() || inst.is_store();
+    }
+
+    /// Executes one instruction functionally and charges its class-
+    /// specific timing (branch resolution, data access, long-latency
+    /// results). Returns the next PC and any pending halt.
+    ///
+    /// # Errors
+    /// [`SimError::Mem`] on a faulting access, [`SimError::Break`] on
+    /// `ebreak` or an unknown `ecall` service.
+    pub(super) fn execute_inst(
+        &mut self,
+        inst: &Inst,
+        pc: u64,
+        nbids: usize,
+        scd_cfg: &ScdConfig,
+    ) -> Result<StepOut, SimError> {
+        let mut next_pc = pc + 4;
+        let mut exit_code: Option<u64> = None;
+        let merr = |fault: MemFault| SimError::Mem { pc, fault };
+
+        match *inst {
+            Inst::Lui { rd, imm } => {
+                self.wx(rd, imm as u64);
+                self.xready[rd.index()] = self.cycle + 1;
+            }
+            Inst::Auipc { rd, imm } => {
+                self.wx(rd, pc.wrapping_add(imm as u64));
+                self.xready[rd.index()] = self.cycle + 1;
+            }
+            Inst::Jal { rd, offset } => {
+                let target = pc.wrapping_add(offset as u64);
+                self.wx(rd, pc + 4);
+                self.xready[rd.index()] = self.cycle + 1;
+                next_pc = target;
+                // Direct jumps: BTB-predicted in fetch; miss costs a
+                // decode-stage redirect.
+                let hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+                if !hit {
+                    let out = self.btb.insert(BtbKey::Pc(pc), target);
+                    self.note_insert(EntryKind::Pc, out);
+                    self.redirect(RedirectCause::JalMiss, self.cfg.jal_redirect_penalty);
+                }
+                self.note_branch(BranchClass::Direct, !hit);
+                if rd == Reg::RA {
+                    self.ras.push(pc + 4);
+                }
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.regs[rs1.index()].wrapping_add(offset as u64) & !1;
+                self.wx(rd, pc + 4);
+                self.xready[rd.index()] = self.cycle + 1;
+                next_pc = target;
+                self.account_indirect(pc, rd, rs1, target);
+            }
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let a = self.regs[rs1.index()];
+                let b = self.regs[rs2.index()];
+                let taken = match op {
+                    BranchOp::Beq => a == b,
+                    BranchOp::Bne => a != b,
+                    BranchOp::Blt => (a as i64) < (b as i64),
+                    BranchOp::Bge => (a as i64) >= (b as i64),
+                    BranchOp::Bltu => a < b,
+                    BranchOp::Bgeu => a >= b,
+                };
+                let target = pc.wrapping_add(offset as u64);
+                // Effective front-end prediction: taken only when the
+                // direction predictor says taken AND the BTB supplies
+                // the target.
+                let dir_pred = self.direction.predict(pc);
+                let btb_hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+                let pred_taken = dir_pred && btb_hit;
+                let mispredicted = pred_taken != taken;
+                self.direction.update(pc, taken);
+                if taken {
+                    next_pc = target;
+                    if !btb_hit {
+                        let out = self.btb.insert(BtbKey::Pc(pc), target);
+                        self.note_insert(EntryKind::Pc, out);
+                    }
+                }
+                self.note_branch(BranchClass::Conditional, mispredicted);
+                if mispredicted {
+                    self.redirect(RedirectCause::CondMispredict, self.cfg.branch_miss_penalty);
+                }
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                let v = self.exec_load(op, addr).map_err(merr)?;
+                self.wx(rd, v);
+                self.stats.loads += 1;
+                self.data_timing(addr, false);
+                self.xready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
+            }
+            Inst::Store { op, rs2, rs1, offset } => {
+                let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                let v = self.regs[rs2.index()];
+                self.exec_store(op, addr, v).map_err(merr)?;
+                self.stats.stores += 1;
+                self.data_timing(addr, true);
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let v = alu(op, self.regs[rs1.index()], imm as u64);
+                self.wx(rd, v);
+                self.xready[rd.index()] = self.cycle + 1;
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let v = alu(op, self.regs[rs1.index()], self.regs[rs2.index()]);
+                self.wx(rd, v);
+                let lat = if op.is_muldiv() {
+                    if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhu | AluOp::Mulw) {
+                        self.cfg.mul_latency
+                    } else {
+                        self.cfg.div_latency
+                    }
+                } else {
+                    1
+                };
+                self.xready[rd.index()] = self.cycle + lat;
+            }
+            Inst::Fld { rd, rs1, offset } => {
+                let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                let v = self.mem.read_u64(addr).map_err(merr)?;
+                self.fregs[rd.index()] = v;
+                self.stats.loads += 1;
+                self.data_timing(addr, false);
+                self.fready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
+            }
+            Inst::Fsd { rs2, rs1, offset } => {
+                let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                self.mem.write_u64(addr, self.fregs[rs2.index()]).map_err(merr)?;
+                self.stats.stores += 1;
+                self.data_timing(addr, true);
+            }
+            Inst::FOp { op, rd, rs1, rs2 } => {
+                let a = f64::from_bits(self.fregs[rs1.index()]);
+                let b = f64::from_bits(self.fregs[rs2.index()]);
+                let v = match op {
+                    FpOp::FaddD => a + b,
+                    FpOp::FsubD => a - b,
+                    FpOp::FmulD => a * b,
+                    FpOp::FdivD => a / b,
+                    FpOp::FminD => a.min(b),
+                    FpOp::FmaxD => a.max(b),
+                    FpOp::FsqrtD => a.sqrt(),
+                    FpOp::FsgnjD => {
+                        f64::from_bits((a.to_bits() & !SIGN) | (b.to_bits() & SIGN))
+                    }
+                    FpOp::FsgnjnD => {
+                        f64::from_bits((a.to_bits() & !SIGN) | (!b.to_bits() & SIGN))
+                    }
+                    FpOp::FsgnjxD => f64::from_bits(a.to_bits() ^ (b.to_bits() & SIGN)),
+                };
+                self.fregs[rd.index()] = v.to_bits();
+                let lat = match op {
+                    FpOp::FdivD | FpOp::FsqrtD => self.cfg.fdiv_latency,
+                    _ => self.cfg.fpu_latency,
+                };
+                self.fready[rd.index()] = self.cycle + lat;
+            }
+            Inst::FCmp { op, rd, rs1, rs2 } => {
+                let a = f64::from_bits(self.fregs[rs1.index()]);
+                let b = f64::from_bits(self.fregs[rs2.index()]);
+                let v = match op {
+                    FCmpOp::FeqD => a == b,
+                    FCmpOp::FltD => a < b,
+                    FCmpOp::FleD => a <= b,
+                };
+                self.wx(rd, v as u64);
+                self.xready[rd.index()] = self.cycle + self.cfg.fpu_latency;
+            }
+            Inst::FcvtLD { rd, rs1, rm } => {
+                let a = f64::from_bits(self.fregs[rs1.index()]);
+                let rounded = match rm {
+                    Rounding::Rne => a.round_ties_even(),
+                    Rounding::Rtz => a.trunc(),
+                    Rounding::Rdn => a.floor(),
+                };
+                // RISC-V fcvt semantics: NaN and +overflow saturate
+                // to i64::MAX, -overflow to i64::MIN.
+                let v = if rounded.is_nan() || rounded >= i64::MAX as f64 {
+                    i64::MAX
+                } else if rounded <= i64::MIN as f64 {
+                    i64::MIN
+                } else {
+                    rounded as i64
+                };
+                self.wx(rd, v as u64);
+                self.xready[rd.index()] = self.cycle + self.cfg.fpu_latency;
+            }
+            Inst::FcvtDL { rd, rs1 } => {
+                let v = self.regs[rs1.index()] as i64 as f64;
+                self.fregs[rd.index()] = v.to_bits();
+                self.fready[rd.index()] = self.cycle + self.cfg.fpu_latency;
+            }
+            Inst::FmvXD { rd, rs1 } => {
+                self.wx(rd, self.fregs[rs1.index()]);
+                self.xready[rd.index()] = self.cycle + 1;
+            }
+            Inst::FmvDX { rd, rs1 } => {
+                self.fregs[rd.index()] = self.regs[rs1.index()];
+                self.fready[rd.index()] = self.cycle + 1;
+            }
+            Inst::Ecall => {
+                match self.regs[Reg::A7.index()] {
+                    // Halt is deferred past trace emission so the
+                    // final retirement is observed like any other.
+                    0 => exit_code = Some(self.regs[Reg::A0.index()]),
+                    1 => self.output.push(self.regs[Reg::A0.index()] as u8),
+                    n => {
+                        // Unknown service: treat as a guest bug.
+                        let _ = n;
+                        return Err(SimError::Break { pc });
+                    }
+                }
+            }
+            Inst::Ebreak => return Err(SimError::Break { pc }),
+            Inst::Fence => {}
+
+            // ---- SCD extension ----
+            Inst::SetMask { bid, rs1 } => {
+                let bid = bid as usize % nbids.max(1);
+                self.scd[bid].rmask = self.regs[rs1.index()];
+            }
+            Inst::Bop { bid } => {
+                self.exec_bop(bid, pc, &mut next_pc, scd_cfg, nbids);
+            }
+            Inst::Jru { bid, rs1 } => {
+                next_pc = self.exec_jru(bid, rs1, pc, scd_cfg, nbids);
+            }
+            Inst::JteFlush => {
+                let flushed = self.jte_flush();
+                self.note_flush(flushed);
+            }
+            Inst::LoadOp { op, bid, rd, rs1, offset } => {
+                let bid = bid as usize % nbids.max(1);
+                let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                let v = self.exec_load(op, addr).map_err(merr)?;
+                self.wx(rd, v);
+                self.stats.loads += 1;
+                self.data_timing(addr, false);
+                let ready = self.cycle + 1 + self.cfg.load_use_penalty;
+                self.xready[rd.index()] = ready;
+                let s = &mut self.scd[bid];
+                s.rop_d = v & s.rmask;
+                s.rop_v = true;
+                s.rop_ready = ready;
+            }
+        }
+
+        Ok(StepOut { next_pc, exit_code })
+    }
+
+    fn exec_load(&self, op: LoadOp, addr: u64) -> Result<u64, MemFault> {
+        Ok(match op {
+            LoadOp::Lb => self.mem.read_u8(addr)? as i8 as i64 as u64,
+            LoadOp::Lbu => self.mem.read_u8(addr)? as u64,
+            LoadOp::Lh => self.mem.read_u16(addr)? as i16 as i64 as u64,
+            LoadOp::Lhu => self.mem.read_u16(addr)? as u64,
+            LoadOp::Lw => self.mem.read_u32(addr)? as i32 as i64 as u64,
+            LoadOp::Lwu => self.mem.read_u32(addr)? as u64,
+            LoadOp::Ld => self.mem.read_u64(addr)?,
+        })
+    }
+
+    fn exec_store(&mut self, op: StoreOp, addr: u64, v: u64) -> Result<(), MemFault> {
+        match op {
+            StoreOp::Sb => self.mem.write_u8(addr, v as u8),
+            StoreOp::Sh => self.mem.write_u16(addr, v as u16),
+            StoreOp::Sw => self.mem.write_u32(addr, v as u32),
+            StoreOp::Sd => self.mem.write_u64(addr, v),
+        }
+    }
+}
+
+const SIGN: u64 = 1 << 63;
+
+/// Integer ALU semantics shared by the register and immediate forms.
+pub(super) fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Addw => (a as i32).wrapping_add(b as i32) as i64 as u64,
+        AluOp::Subw => (a as i32).wrapping_sub(b as i32) as i64 as u64,
+        AluOp::Sllw => ((a as i32) << (b & 31)) as i64 as u64,
+        AluOp::Srlw => (((a as u32) >> (b & 31)) as i32) as i64 as u64,
+        AluOp::Sraw => ((a as i32) >> (b & 31)) as i64 as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        AluOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        AluOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+        AluOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+        AluOp::Divw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                u64::MAX
+            } else if a == i32::MIN && b == -1 {
+                a as i64 as u64
+            } else {
+                a.wrapping_div(b) as i64 as u64
+            }
+        }
+        AluOp::Remw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                a as i64 as u64
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as i64 as u64
+            }
+        }
+        AluOp::Remuw => {
+            let (a, b) = (a as u32, b as u32);
+            (if b == 0 { a } else { a % b }) as i32 as i64 as u64
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Front-end stage: instruction fetch timing and the branch predictor
+//! complex — direction predictor, BTB, RAS, and the VBBI / ITTAGE
+//! indirect predictors — plus the SCD short-circuit itself: `bop`
+//! consulting the BTB-overlaid JTEs and the `jru` slow path that
+//! trains them (Fig. 4 of the paper).
+//!
+//! Everything here decides *where fetch goes next* and charges the
+//! redirect penalties for getting it wrong; functional semantics live
+//! in [`super::execute`].
+
+use super::{Machine, VbbiHint};
+use crate::btb::{BtbKey, EntryKind, InsertOutcome};
+use crate::config::{IndirectPredictor, ScdConfig};
+use crate::stats::BranchClass;
+use crate::trace::{BopEvent, BopOutcome, FetchAccess, RedirectCause, RedirectEvent};
+use scd_isa::Reg;
+
+impl Machine {
+    /// Instruction fetch timing for the instruction at `pc`.
+    pub(super) fn fetch_timing(&mut self, pc: u64) {
+        let mut f = FetchAccess::default();
+        self.stats.itlb.accesses += 1;
+        if !self.itlb.access(pc) {
+            self.stats.itlb.misses += 1;
+            f.itlb_miss = true;
+            f.penalty += self.cfg.tlb_miss_penalty;
+            self.cycle += self.cfg.tlb_miss_penalty;
+        }
+        self.stats.icache.accesses += 1;
+        let a = self.icache.access(pc, false);
+        if !a.hit {
+            self.stats.icache.misses += 1;
+            f.icache_miss = true;
+            let (cost, l2) = self.l1_miss_cost(pc, false);
+            f.l2 = l2;
+            f.penalty += cost;
+            self.cycle += cost;
+        }
+        self.scratch.fetch = f;
+    }
+
+    /// Charges a front-end redirect penalty and closes the issue group.
+    pub(super) fn redirect(&mut self, cause: RedirectCause, penalty: u64) {
+        self.cycle += penalty;
+        self.issued_this_cycle = self.cfg.issue_width; // next inst starts a new cycle
+        debug_assert!(self.scratch.redirect.is_none(), "two redirects in one retirement");
+        self.scratch.redirect = Some(RedirectEvent { cause, penalty });
+    }
+
+    #[inline]
+    pub(super) fn in_dispatch(&self, pc: u64) -> bool {
+        let i = self.ann.dispatch_ranges.partition_point(|&(_, end)| end <= pc);
+        self.ann.dispatch_ranges.get(i).is_some_and(|&(start, _)| pc >= start)
+    }
+
+    #[inline]
+    fn is_dispatch_jump(&self, pc: u64) -> bool {
+        self.ann.dispatch_jumps.binary_search(&pc).is_ok()
+    }
+
+    fn vbbi_hint(&self, pc: u64) -> Option<VbbiHint> {
+        let i = self.ann.vbbi_hints.binary_search_by_key(&pc, |h| h.jump_pc).ok()?;
+        Some(self.ann.vbbi_hints[i])
+    }
+
+    fn branch_class(&self, pc: u64, rd: Reg, rs1: Reg) -> BranchClass {
+        if self.is_dispatch_jump(pc) {
+            BranchClass::IndirectDispatch
+        } else if rs1 == Reg::RA && rd.is_zero() {
+            BranchClass::Return
+        } else {
+            BranchClass::IndirectOther
+        }
+    }
+
+    /// Predicts and accounts an indirect jump (`jalr`/`jru`) at `pc`
+    /// resolving to `target`. Returns nothing; charges penalties.
+    pub(super) fn account_indirect(&mut self, pc: u64, rd: Reg, rs1: Reg, target: u64) {
+        let class = self.branch_class(pc, rd, rs1);
+        let mispredicted = match class {
+            BranchClass::Return => {
+                let pred = self.ras.pop();
+                pred != Some(target)
+            }
+            _ if self.cfg.indirect == IndirectPredictor::Ittage => {
+                // ITTAGE covers every indirect jump; the PC-indexed BTB
+                // is its base component.
+                let pred = self.ittage.predict(pc).or_else(|| self.btb.lookup(BtbKey::Pc(pc)));
+                let miss = pred != Some(target);
+                self.ittage.update(pc, target);
+                if miss {
+                    let out = self.btb.insert(BtbKey::Pc(pc), target);
+                    self.note_insert(EntryKind::Pc, out);
+                }
+                miss
+            }
+            _ => {
+                // VBBI applies only on registered jump PCs under the Vbbi
+                // configuration; everything else is PC-indexed.
+                let key = match (self.cfg.indirect, self.vbbi_hint(pc)) {
+                    (IndirectPredictor::Vbbi, Some(h)) => {
+                        let hint = self.regs[h.hint_reg.index()] & h.mask;
+                        let ready =
+                            self.xready[h.hint_reg.index()] + self.cfg.fetch_lead <= self.cycle;
+                        if ready {
+                            BtbKey::Vbbi(vbbi_mix(pc, hint))
+                        } else {
+                            BtbKey::Pc(pc)
+                        }
+                    }
+                    _ => BtbKey::Pc(pc),
+                };
+                let pred = self.btb.lookup(key);
+                let miss = pred != Some(target);
+                if miss {
+                    // Train with the resolved hint value (VBBI updates the
+                    // BTB with the actual key at execute).
+                    let update_key = match (self.cfg.indirect, self.vbbi_hint(pc)) {
+                        (IndirectPredictor::Vbbi, Some(h)) => {
+                            let hint = self.regs[h.hint_reg.index()] & h.mask;
+                            BtbKey::Vbbi(vbbi_mix(pc, hint))
+                        }
+                        _ => BtbKey::Pc(pc),
+                    };
+                    let out = self.btb.insert(update_key, target);
+                    self.note_insert(update_key.kind(), out);
+                }
+                miss
+            }
+        };
+        if rd == Reg::RA {
+            self.ras.push(pc + 4);
+        }
+        self.note_branch(class, mispredicted);
+        if mispredicted {
+            self.redirect(RedirectCause::IndirectMispredict, self.cfg.branch_miss_penalty);
+        }
+    }
+
+    #[inline]
+    fn jte_lookup(&mut self, bid: u8, opcode: u64) -> Option<u64> {
+        let key = BtbKey::Jte { bid, opcode };
+        match &mut self.jte_table {
+            Some(t) => t.lookup(key),
+            None => self.btb.lookup(key),
+        }
+    }
+
+    #[inline]
+    fn jte_insert(&mut self, bid: u8, opcode: u64, target: u64) -> InsertOutcome {
+        let key = BtbKey::Jte { bid, opcode };
+        match &mut self.jte_table {
+            Some(t) => t.insert(key, target),
+            None => self.btb.insert(key, target),
+        }
+    }
+
+    pub(super) fn merged_btb_stats(&self) -> crate::btb::BtbStats {
+        let mut s = self.btb.stats;
+        if let Some(t) = &self.jte_table {
+            s.jte_inserts += t.stats.jte_inserts;
+            s.jte_cap_skips += t.stats.jte_cap_skips;
+            s.btb_evicted_by_jte += t.stats.btb_evicted_by_jte;
+            s.jte_evictions += t.stats.jte_evictions;
+            s.btb_blocked_by_jte += t.stats.btb_blocked_by_jte;
+            s.jte_flushes += t.stats.jte_flushes;
+            s.jte_flushed += t.stats.jte_flushed;
+        }
+        s
+    }
+
+    pub(super) fn jte_flush(&mut self) -> u64 {
+        let flushed = match &mut self.jte_table {
+            Some(t) => t.flush_jtes(),
+            None => self.btb.flush_jtes(),
+        };
+        for s in &mut self.scd {
+            s.rop_v = false;
+        }
+        flushed
+    }
+
+    /// Executes `bop`: under the stall scheme fetch waits for Rop, then
+    /// redirects through the matching JTE; under the fall-through scheme
+    /// an unready Rop simply falls through to the slow path.
+    pub(super) fn exec_bop(
+        &mut self,
+        bid: u8,
+        pc: u64,
+        next_pc: &mut u64,
+        scd_cfg: &ScdConfig,
+        nbids: usize,
+    ) {
+        let bid = bid as usize % nbids.max(1);
+        self.stats.bop_executed += 1;
+        let s = self.scd[bid];
+        let mut stall = 0;
+        let outcome = if !scd_cfg.enabled {
+            BopOutcome::Disabled
+        } else if !s.rop_v {
+            BopOutcome::RopInvalid
+        } else if scd_cfg.stall_on_unready {
+            // Stall scheme: fetch waits until Rop is visible.
+            let need = s.rop_ready + self.cfg.fetch_lead;
+            if need > self.cycle {
+                stall = need - self.cycle;
+                self.stats.bop_stall_cycles += stall;
+                self.cycle = need;
+            }
+            if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
+                *next_pc = t;
+                self.scd[bid].rop_v = false;
+                self.redirect(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+                BopOutcome::Hit
+            } else {
+                BopOutcome::JteMiss
+            }
+        } else if s.rop_ready + self.cfg.fetch_lead > self.cycle {
+            // Fall-through scheme: only short-circuit when Rop
+            // was already available at fetch.
+            BopOutcome::NotReady
+        } else if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
+            *next_pc = t;
+            self.scd[bid].rop_v = false;
+            self.redirect(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+            BopOutcome::Hit
+        } else {
+            BopOutcome::JteMiss
+        };
+        if outcome == BopOutcome::Hit {
+            self.stats.bop_hits += 1;
+        } else {
+            self.stats.bop_misses += 1;
+        }
+        self.scratch.bop = Some(BopEvent { outcome, stall });
+        self.scd[bid].rbop_pc = pc;
+    }
+
+    /// Executes `jru`: the dispatch slow path. Trains the JTE with the
+    /// pending (opcode → target) pair when one is armed, then predicts
+    /// and accounts the jump like any other indirect. Returns the
+    /// resolved target.
+    pub(super) fn exec_jru(
+        &mut self,
+        bid: u8,
+        rs1: Reg,
+        pc: u64,
+        scd_cfg: &ScdConfig,
+        nbids: usize,
+    ) -> u64 {
+        let bid = bid as usize % nbids.max(1);
+        self.stats.jru_executed += 1;
+        let target = self.regs[rs1.index()] & !1;
+        if scd_cfg.enabled && self.scd[bid].rop_v {
+            let opcode = self.scd[bid].rop_d;
+            let out = self.jte_insert(bid as u8, opcode, target);
+            self.note_insert(EntryKind::Jte, out);
+            self.scd[bid].rop_v = false;
+        }
+        self.account_indirect(pc, Reg::ZERO, rs1, target);
+        target
+    }
+}
+
+fn vbbi_mix(pc: u64, hint: u64) -> u64 {
+    (pc >> 2) ^ hint.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_right(17)
+}

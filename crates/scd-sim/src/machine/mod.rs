@@ -1,0 +1,401 @@
+//! The simulated embedded core: functional execution of the RV64-subset
+//! ISA plus a cycle-approximate in-order timing model.
+//!
+//! Timing follows the structure of small in-order cores (MinorCPU /
+//! Rocket, Table II of the paper):
+//!
+//! * one issue slot per instruction (an optional second slot models the
+//!   dual-issue A8-like core of Section VI-C2),
+//! * per-register ready cycles model load-use and long-latency interlocks,
+//! * the front end charges redirect penalties decided by the branch
+//!   predictor complex (direction predictor + BTB + RAS, or VBBI),
+//! * I/D cache, TLB and DRAM stalls are charged at the faulting
+//!   instruction (blocking, as in-order cores do),
+//! * `bop` implements the paper's stall scheme: fetch waits until Rop is
+//!   available, then redirects through the BTB JTE with no bubble on hit.
+//!
+//! # Module map
+//!
+//! The machine is decomposed into pipeline-stage modules, one per
+//! concern, all operating on the shared [`Machine`] state defined here:
+//!
+//! * [`frontend`](self) — fetch timing, the branch predictor complex
+//!   (direction + BTB + RAS + VBBI/ITTAGE), redirects, and the SCD
+//!   `bop`/JTE short-circuit and `jru` slow path;
+//! * [`execute`](self) — functional ISA semantics, the issue/scoreboard
+//!   model (dual-issue pairing, operand readiness);
+//! * [`memory`](self) — D-cache / D-TLB / L2 / DRAM charging;
+//! * [`retire`](self) — per-retirement statistics, trace-event emission,
+//!   the stat-invariant checkpoint, and fault-injection hooks;
+//! * [`state`](self) — run/exit types, guest annotations, profiling,
+//!   and checkpoint snapshot/restore.
+//!
+//! Each retirement flows frontend → execute (→ memory for loads/stores)
+//! → retire; [`Machine::run`] is the loop that sequences the stages.
+//! The decomposition is purely structural: stage boundaries change
+//! neither cycle charging order nor statistics (enforced bit-for-bit by
+//! `tests/golden_stats.rs`).
+
+mod execute;
+mod frontend;
+mod memory;
+mod retire;
+mod state;
+#[cfg(test)]
+mod tests;
+
+pub use state::{Annotations, Exit, Profile, SimError, VbbiHint, WatchdogKind};
+
+use crate::btb::{Btb, BtbConfig};
+use crate::cache::Cache;
+use crate::config::{ScdConfig, SimConfig};
+use crate::fault::{FaultEvent, FaultPlan};
+use crate::ittage::Ittage;
+use crate::mem::Memory;
+use crate::predictor::{Direction, Ras};
+use crate::stats::SimStats;
+use crate::tlb::Tlb;
+use crate::trace::{
+    BopEvent, BranchEvent, DataAccess, FetchAccess, Inserts, JteFlushEvent, RedirectEvent,
+    SinkSlot, StatInvariants, TraceSink,
+};
+use scd_isa::{Inst, Program, Reg};
+
+/// Maximum number of SCD branch IDs supported by the model.
+pub const MAX_BRANCH_IDS: usize = 4;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ScdRegs {
+    rop_v: bool,
+    rop_d: u64,
+    rmask: u64,
+    rbop_pc: u64,
+    /// Cycle at which Rop becomes visible to the fetch stage.
+    rop_ready: u64,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SimConfig,
+    insts: Vec<Inst>,
+    text_base: u64,
+    text_end: u64,
+
+    /// Integer register file (x0 kept zero).
+    pub regs: [u64; 32],
+    /// FP register file (raw f64 bits).
+    pub fregs: [u64; 32],
+    /// Program counter.
+    pub pc: u64,
+    /// Guest memory.
+    pub mem: Memory,
+
+    icache: Cache,
+    dcache: Cache,
+    l2: Option<Cache>,
+    itlb: Tlb,
+    dtlb: Tlb,
+    direction: Direction,
+    btb: Btb,
+    /// CBT-style dedicated JTE table (Section VII comparison).
+    jte_table: Option<Btb>,
+    ras: Ras,
+    ittage: Ittage,
+    scd: [ScdRegs; MAX_BRANCH_IDS],
+
+    cycle: u64,
+    xready: [u64; 32],
+    fready: [u64; 32],
+    issued_this_cycle: usize,
+    prev_dest: Option<Reg>,
+    prev_fdest: Option<scd_isa::FReg>,
+    prev_was_mem: bool,
+
+    ann: Annotations,
+    next_flush_at: u64,
+    output: Vec<u8>,
+    profile: Option<Profile>,
+
+    tracer: SinkSlot,
+    invariants: Option<StatInvariants>,
+    scratch: Scratch,
+
+    fault_plan: Option<FaultPlan>,
+    cycle_budget: Option<u64>,
+    wall_budget: Option<std::time::Duration>,
+
+    /// Run statistics.
+    pub stats: SimStats,
+}
+
+// The machine owns every piece of its state — including the trace sink,
+// which is why `TraceSink: Send` — so whole runs can move to worker
+// threads. Compile-time proof:
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+};
+
+/// Per-retirement attribution the timing helpers fill in; drained into a
+/// [`crate::TraceEvent`] after each instruction.
+#[derive(Debug, Clone, Copy, Default)]
+struct Scratch {
+    fetch: FetchAccess,
+    data: Option<DataAccess>,
+    branch: Option<BranchEvent>,
+    redirect: Option<RedirectEvent>,
+    bop: Option<BopEvent>,
+    inserts: Inserts,
+    flush: Option<JteFlushEvent>,
+    fault: Option<FaultEvent>,
+}
+
+impl Machine {
+    /// Builds a machine for `cfg`, loading `program`'s text and rodata.
+    pub fn new(cfg: SimConfig, program: &Program) -> Self {
+        let mut mem = Memory::new();
+        let text_bytes: Vec<u8> = program.words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        mem.add_segment("text", program.text_base, text_bytes.len() as u64);
+        mem.write_bytes(program.text_base, &text_bytes);
+        if !program.rodata.is_empty() {
+            mem.add_segment("rodata", program.rodata_base, program.rodata.len() as u64);
+            mem.write_bytes(program.rodata_base, &program.rodata);
+        }
+        let flush_at = cfg.scd.flush_interval.unwrap_or(u64::MAX);
+        Machine {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            l2: cfg.l2.map(Cache::new),
+            itlb: Tlb::new(cfg.itlb_entries),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            direction: Direction::new(cfg.direction),
+            btb: Btb::new(cfg.btb),
+            jte_table: cfg.scd.dedicated_jte_table.then(|| {
+                Btb::new(BtbConfig::fully_assoc(
+                    cfg.scd.jte_table_entries,
+                    crate::cache::Replacement::Lru,
+                ))
+            }),
+            ras: Ras::new(cfg.ras_entries),
+            ittage: Ittage::new(),
+            scd: Default::default(),
+            cycle: 0,
+            xready: [0; 32],
+            fready: [0; 32],
+            issued_this_cycle: 0,
+            prev_dest: None,
+            prev_fdest: None,
+            prev_was_mem: false,
+            ann: Annotations::default(),
+            next_flush_at: flush_at,
+            output: Vec::new(),
+            profile: None,
+            tracer: SinkSlot(None),
+            // Debug builds self-check the counters by default; release
+            // builds opt in via enable_invariants().
+            invariants: cfg!(debug_assertions).then(|| StatInvariants::new(4096)),
+            scratch: Scratch::default(),
+            fault_plan: None,
+            cycle_budget: None,
+            wall_budget: None,
+            stats: SimStats::default(),
+            regs: [0; 32],
+            fregs: [0; 32],
+            pc: program.text_base,
+            mem,
+            insts: program.insts.clone(),
+            text_base: program.text_base,
+            text_end: program.text_end(),
+            cfg,
+        }
+    }
+
+    /// Maps an additional zero-filled memory segment.
+    pub fn map(&mut self, name: &'static str, base: u64, size: u64) {
+        self.mem.add_segment(name, base, size);
+    }
+
+    /// Installs guest annotations (dispatch ranges, VBBI hints).
+    pub fn set_annotations(&mut self, mut ann: Annotations) {
+        ann.normalize();
+        self.ann = ann;
+    }
+
+    /// Sets an integer register (x0 writes are ignored).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Reads an integer register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Read-only view of the BTB (for tests and diagnostics).
+    pub fn btb(&self) -> &Btb {
+        &self.btb
+    }
+
+    /// Enables per-PC profiling (retired instructions and attributed
+    /// cycles per static instruction). Costs a little simulation speed.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Profile {
+            text_base: self.text_base,
+            insts: vec![0; self.insts.len()],
+            cycles: vec![0; self.insts.len()],
+        });
+    }
+
+    /// The collected profile, if profiling was enabled.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_ref()
+    }
+
+    /// Installs a trace sink receiving one [`crate::TraceEvent`] per
+    /// retired instruction. Install before the first retirement so
+    /// sequence numbers start at 0. The machine owns the sink for the
+    /// duration of the run; recover it (and its accumulated state) with
+    /// [`Machine::take_trace_sink`] + [`crate::downcast_sink`].
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.0 = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.0.take()
+    }
+
+    /// Enables the cross-counter self-checker, asserting the stat
+    /// identities every `every` retirements (default-on in debug builds
+    /// with `every = 4096`). Must be enabled before the first retirement:
+    /// the checker replays the event stream from scratch.
+    pub fn enable_invariants(&mut self, every: u64) {
+        assert_eq!(
+            self.stats.instructions, 0,
+            "invariants must be enabled before the first retirement"
+        );
+        self.invariants = Some(StatInvariants::new(every));
+    }
+
+    /// Disables the cross-counter self-checker.
+    pub fn disable_invariants(&mut self) {
+        self.invariants = None;
+    }
+
+    /// Arms a fault-injection plan. From the next `run` on, the plan
+    /// injects micro-architectural faults at its scheduled instruction
+    /// counts; every injection is recorded on that retirement's trace
+    /// event. Faults only touch predictive state (BTB/JTE, RAS,
+    /// predictors, cache/TLB tags), so architectural results must be
+    /// unchanged — [`crate::diff_architectural`] checks exactly that.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The armed fault plan, if any (e.g. to read its injection count).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Aborts `run` with a [`SimError::Watchdog`] once the simulated
+    /// cycle counter reaches `cycles`. Detects livelocked guests:
+    /// retirement always advances the cycle counter, so a guest that
+    /// never halts exhausts any finite cycle budget.
+    pub fn set_cycle_budget(&mut self, cycles: u64) {
+        self.cycle_budget = Some(cycles);
+    }
+
+    /// Aborts `run` with a [`SimError::Watchdog`] once `budget` host
+    /// wall-clock time has elapsed (checked every 4096 retirements).
+    pub fn set_wall_budget(&mut self, budget: std::time::Duration) {
+        self.wall_budget = Some(budget);
+    }
+
+    /// Bytes the guest has written through the putchar `ecall` so far.
+    /// (A successful exit takes the buffer; this view is for comparing
+    /// partial runs.)
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Runs until the guest halts via `ecall` (a7 = 0) or a limit/error.
+    ///
+    /// One loop iteration retires exactly one instruction, sequencing
+    /// the stage modules: frontend (fetch timing), execute (issue +
+    /// functional semantics, charging data-side stalls through the
+    /// memory stage), then retire (stats, trace event, invariant
+    /// checkpoint).
+    ///
+    /// # Errors
+    /// Returns [`SimError`] on memory faults, runaway PCs, `ebreak`, or
+    /// when `max_insts` is exhausted.
+    pub fn run(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+        let scd_cfg: ScdConfig = self.cfg.scd;
+        let nbids = scd_cfg.branch_ids.min(MAX_BRANCH_IDS);
+        let wall_start = std::time::Instant::now();
+        loop {
+            if self.stats.instructions >= max_insts {
+                self.finalize_partial();
+                return Err(SimError::InstLimit { limit: max_insts });
+            }
+            if self.cycle_budget.is_some_and(|b| self.cycle >= b) {
+                self.finalize_partial();
+                return Err(SimError::Watchdog {
+                    kind: WatchdogKind::Cycles,
+                    instructions: self.stats.instructions,
+                    cycles: self.cycle,
+                });
+            }
+            if let Some(wall) = self.wall_budget {
+                if self.stats.instructions.is_multiple_of(4096) && wall_start.elapsed() >= wall {
+                    self.finalize_partial();
+                    return Err(SimError::Watchdog {
+                        kind: WatchdogKind::WallClock,
+                        instructions: self.stats.instructions,
+                        cycles: self.cycle,
+                    });
+                }
+            }
+            let pc = self.pc;
+            if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(4) {
+                return Err(SimError::PcOutOfRange { pc });
+            }
+            let inst = self.insts[((pc - self.text_base) / 4) as usize];
+            self.scratch = Scratch::default();
+
+            // ---- frontend + issue timing ----
+            let cycle_before = self.cycle;
+            self.fetch_timing(pc);
+            self.issue(&inst);
+
+            // ---- retire bookkeeping (counters, flush quantum, faults) ----
+            let dispatch = self.begin_retirement(pc, &scd_cfg);
+
+            // ---- execute (functional semantics + per-class timing) ----
+            let step = self.execute_inst(&inst, pc, nbids, &scd_cfg)?;
+
+            if let Some(prof) = &mut self.profile {
+                let idx = ((pc - self.text_base) / 4) as usize;
+                prof.insts[idx] += 1;
+                prof.cycles[idx] += self.cycle - cycle_before;
+            }
+
+            // ---- trace emission + invariant checkpoint ----
+            self.emit_retirement(&inst, pc, cycle_before, dispatch, step.exit_code.is_some());
+
+            if let Some(code) = step.exit_code {
+                self.finalize_partial();
+                return Ok(Exit { code, output: std::mem::take(&mut self.output) });
+            }
+            self.pc = step.next_pc;
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Retire stage: per-retirement statistics bookkeeping (counters, the
+//! emulated context-switch flush quantum, fault injection), trace-event
+//! emission, and the cross-counter invariant checkpoint. Also the
+//! `note_*` hooks the other stages use to record what happened on the
+//! current retirement.
+
+use super::Machine;
+use crate::btb::{EntryKind, InsertOutcome};
+use crate::config::ScdConfig;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::stats::BranchClass;
+use crate::trace::{BranchEvent, BtbInsertEvent, InstClass, JteFlushEvent, TraceEvent};
+use scd_isa::Inst;
+
+impl Machine {
+    pub(super) fn note_branch(&mut self, class: BranchClass, mispredicted: bool) {
+        self.stats.record_branch(class, mispredicted);
+        self.scratch.branch = Some(BranchEvent { class, mispredicted });
+    }
+
+    pub(super) fn note_insert(&mut self, key: EntryKind, outcome: InsertOutcome) {
+        self.scratch.inserts.push(BtbInsertEvent { key, outcome });
+    }
+
+    pub(super) fn note_flush(&mut self, flushed: u64) {
+        let f = self.scratch.flush.get_or_insert(JteFlushEvent { flushes: 0, flushed: 0 });
+        f.flushes += 1;
+        f.flushed += flushed;
+    }
+
+    /// Applies one injected fault, returning the number of JTEs it
+    /// knocked out (accounted as evictions on both the live counters and
+    /// the trace event, so the population identity stays balanced).
+    fn inject_fault(&mut self, kind: FaultKind, plan: &mut FaultPlan) -> u64 {
+        match kind {
+            FaultKind::JteInvalidate => {
+                let r = plan.rng().next();
+                match &mut self.jte_table {
+                    Some(t) => t.fault_invalidate_jte(r),
+                    None => self.btb.fault_invalidate_jte(r),
+                }
+            }
+            FaultKind::BtbFlush => {
+                let mut evicted = self.btb.fault_flush_all();
+                if let Some(t) = &mut self.jte_table {
+                    evicted += t.fault_flush_all();
+                }
+                evicted
+            }
+            FaultKind::BtbBitFlip => {
+                self.btb.fault_flip_bit(plan.rng().next());
+                0
+            }
+            FaultKind::RasFlush => {
+                self.ras.clear();
+                0
+            }
+            FaultKind::CacheInvalidate => {
+                self.icache.flush();
+                self.dcache.flush();
+                if let Some(l2) = &mut self.l2 {
+                    l2.flush();
+                }
+                0
+            }
+            FaultKind::TlbInvalidate => {
+                self.itlb.flush();
+                self.dtlb.flush();
+                0
+            }
+            FaultKind::PredictorScramble => {
+                self.direction.scramble(plan.rng());
+                self.ittage.scramble(plan.rng());
+                0
+            }
+        }
+    }
+
+    /// Finalizes statistics for a run that ends without a guest exit
+    /// (instruction limit or watchdog), leaving the machine re-runnable.
+    pub(super) fn finalize_partial(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.btb = self.merged_btb_stats();
+        if let Some(sink) = &mut self.tracer.0 {
+            sink.finish();
+        }
+    }
+
+    /// Retirement bookkeeping that precedes execution: counts the
+    /// instruction (and its dispatcher attribution), runs the emulated
+    /// context-switch flush quantum, and fires due injected faults.
+    /// Returns whether the instruction retired from dispatcher code.
+    pub(super) fn begin_retirement(&mut self, pc: u64, scd_cfg: &ScdConfig) -> bool {
+        self.stats.instructions += 1;
+        let dispatch = self.in_dispatch(pc);
+        if dispatch {
+            self.stats.dispatch_instructions += 1;
+        }
+        if self.stats.instructions >= self.next_flush_at {
+            // Emulated context switch: the OS executes jte.flush
+            // (Section IV).
+            let flushed = self.jte_flush();
+            self.note_flush(flushed);
+            self.next_flush_at += scd_cfg.flush_interval.unwrap_or(u64::MAX);
+        }
+        // Fault injection fires between retirements, before this
+        // instruction executes; the plan is taken out of `self` for
+        // the call so `inject_fault` can borrow the machine freely.
+        if let Some(mut plan) = self.fault_plan.take() {
+            if let Some(kind) = plan.due(self.stats.instructions) {
+                let evicted = self.inject_fault(kind, &mut plan);
+                self.scratch.fault = Some(FaultEvent { kind, evicted });
+            }
+            self.fault_plan = Some(plan);
+        }
+        dispatch
+    }
+
+    /// Drains the retirement's scratch attribution into one
+    /// [`TraceEvent`], feeds sink and self-checker, and runs the
+    /// invariant checkpoint when due (always on the final retirement).
+    pub(super) fn emit_retirement(
+        &mut self,
+        inst: &Inst,
+        pc: u64,
+        cycle_before: u64,
+        dispatch: bool,
+        exiting: bool,
+    ) {
+        if self.tracer.0.is_some() || self.invariants.is_some() {
+            let ev = TraceEvent {
+                seq: self.stats.instructions - 1,
+                pc,
+                class: InstClass::of(inst),
+                cycle: self.cycle,
+                cycles: self.cycle - cycle_before,
+                dispatch,
+                fetch: self.scratch.fetch,
+                data: self.scratch.data.filter(|d| !d.is_default()),
+                branch: self.scratch.branch,
+                redirect: self.scratch.redirect,
+                bop: self.scratch.bop,
+                inserts: self.scratch.inserts,
+                flush: self.scratch.flush,
+                fault: self.scratch.fault,
+            };
+            if let Some(sink) = &mut self.tracer.0 {
+                sink.event(&ev);
+            }
+            if let Some(inv) = &mut self.invariants {
+                inv.observe(&ev);
+            }
+            let checkpoint = exiting
+                || self.invariants.as_ref().is_some_and(|inv| inv.due(self.stats.instructions));
+            if checkpoint && self.invariants.is_some() {
+                let mut live = self.stats.clone();
+                live.cycles = self.cycle;
+                live.btb = self.merged_btb_stats();
+                self.btb.assert_population_invariant();
+                let mut resident = self.btb.resident_jtes() as u64;
+                if let Some(t) = &self.jte_table {
+                    t.assert_population_invariant();
+                    resident += t.resident_jtes() as u64;
+                }
+                if let Some(inv) = &self.invariants {
+                    inv.check(&live, resident);
+                }
+            }
+        }
+    }
+}

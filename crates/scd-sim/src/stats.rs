@@ -181,18 +181,27 @@ impl SimStats {
 
 /// Geometric mean helper for the paper's GEOMEAN rows.
 ///
-/// # Panics
-/// Panics if any value is non-positive.
-pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of empty slice");
-    let log_sum: f64 = values
-        .iter()
-        .map(|&v| {
-            assert!(v > 0.0, "geomean requires positive values, got {v}");
-            v.ln()
-        })
-        .sum();
-    (log_sum / values.len() as f64).exp()
+/// Total on every input: non-positive values have no logarithm, so they
+/// are skipped rather than poisoning the mean, and `None` comes back
+/// when nothing contributes (empty slice, or all values non-positive).
+/// Speedups and normalized ratios are positive by construction, so a
+/// skipped value usually means a bug upstream — worth a caller-side
+/// check — but an aggregation driver fed an empty or degenerate cell
+/// must not panic mid-sweep.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    debug_assert!(
+        values.iter().all(|v| v.is_finite()),
+        "geomean given non-finite value in {values:?}"
+    );
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for &v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    (n > 0).then(|| (log_sum / f64::from(n)).exp())
 }
 
 #[cfg(test)]
@@ -220,14 +229,17 @@ mod tests {
 
     #[test]
     fn geomean_basic() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic]
-    fn geomean_rejects_nonpositive() {
-        let _ = geomean(&[1.0, 0.0]);
+    fn geomean_is_total() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[0.0, -3.0]), None);
+        // Non-positive values are skipped, not averaged in as garbage.
+        assert!((geomean(&[0.0, 2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geomean(&[-1.0, 5.0]).unwrap() - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -402,13 +402,40 @@ pub struct TraceEvent {
 // ---------------------------------------------------------------------
 
 /// Receives the retirement event stream from a [`crate::Machine`].
-pub trait TraceSink {
+///
+/// Sinks are `Send` so a machine (which owns its sink) can run on a
+/// worker thread, and `Any` so a concrete sink handed to
+/// [`crate::Machine::set_trace_sink`] can be recovered — with its
+/// accumulated state — via [`crate::Machine::take_trace_sink`] plus
+/// [`downcast_sink`] after the run. This replaces the old
+/// `Rc<RefCell<...>>` sharing, which pinned every traced run to one
+/// thread.
+pub trait TraceSink: Send + std::any::Any {
     /// Called once per retired instruction, in retirement order.
     fn event(&mut self, ev: &TraceEvent);
 
     /// Called when the run completes (halt or instruction limit); flush
     /// buffered output here.
     fn finish(&mut self) {}
+}
+
+/// Recovers the concrete sink behind a [`Machine`](crate::Machine)'s
+/// boxed [`TraceSink`], typically straight out of
+/// [`take_trace_sink`](crate::Machine::take_trace_sink):
+///
+/// ```
+/// # use scd_sim::{downcast_sink, CycleBreakdown, TraceSink};
+/// let boxed: Box<dyn TraceSink> = Box::new(CycleBreakdown::default());
+/// let breakdown: Box<CycleBreakdown> = downcast_sink(boxed).unwrap();
+/// # let _ = breakdown;
+/// ```
+///
+/// Returns `None` when the sink is some other type (the boxed sink is
+/// consumed either way — misidentifying a sink is a caller bug, not a
+/// state to recover from).
+pub fn downcast_sink<T: TraceSink>(sink: Box<dyn TraceSink>) -> Option<Box<T>> {
+    let any: Box<dyn std::any::Any> = sink;
+    any.downcast::<T>().ok()
 }
 
 /// Buffers every event in memory; for tests and small runs.
@@ -479,18 +506,6 @@ impl TraceSink for RingSink {
     }
 }
 
-/// Forwards events into a shared aggregator, so the caller can keep a
-/// handle while the machine owns the sink.
-impl<T: TraceSink> TraceSink for std::rc::Rc<std::cell::RefCell<T>> {
-    fn event(&mut self, ev: &TraceEvent) {
-        self.borrow_mut().event(ev);
-    }
-
-    fn finish(&mut self) {
-        self.borrow_mut().finish();
-    }
-}
-
 /// Writes one JSON object per event, one per line (the `--trace` format;
 /// schema documented in `EXPERIMENTS.md`).
 #[derive(Debug)]
@@ -516,7 +531,7 @@ impl<W: std::io::Write> JsonlSink<W> {
     }
 }
 
-impl<W: std::io::Write> TraceSink for JsonlSink<W> {
+impl<W: std::io::Write + Send + 'static> TraceSink for JsonlSink<W> {
     fn event(&mut self, ev: &TraceEvent) {
         self.line.clear();
         ev.write_json(&mut self.line);

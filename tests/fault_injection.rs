@@ -2,7 +2,7 @@
 //! fault-injection differential guard on real benchmark guests, the
 //! watchdog's typed error, and bit-exact checkpoint/resume.
 
-use scd_guest::{differential_check, GuestOptions, Scheme, Session, Vm};
+use scd_guest::{differential_check, GuestOptions, RunRequest, Scheme, Session, Vm};
 use scd_sim::{FaultPlan, SimConfig, SimError, Snapshot, WatchdogKind};
 
 /// Picks two cheap corpus benchmarks (one loop-heavy, one call-heavy) so
@@ -20,19 +20,13 @@ fn differential_guard_passes_on_seed_guests_under_standard_plans() {
     let guests = seed_guests();
     assert_eq!(guests.len(), 2, "corpus benchmarks renamed?");
     for (src, arg) in guests {
+        let args = [("N", arg)];
         for plan in FaultPlan::standard_plans(0xFA117) {
-            let report = differential_check(
-                SimConfig::embedded_a5(),
-                Vm::Lvm,
-                src,
-                &[("N", arg)],
-                Scheme::Scd,
-                GuestOptions::default(),
-                plan,
-                u64::MAX,
-                128,
-            )
-            .expect("faults must never change architectural results");
+            let req = RunRequest::new(SimConfig::embedded_a5(), Vm::Lvm, src)
+                .predefined(&args)
+                .scheme(Scheme::Scd);
+            let report = differential_check(&req, plan, 128)
+                .expect("faults must never change architectural results");
             assert_eq!(report.clean.checksum, report.faulted.checksum);
             assert!(
                 report.faulted.stats.instructions >= report.clean.stats.instructions,

@@ -1,0 +1,102 @@
+//! Refactor-equivalence golden: a pinned subset of the run matrix
+//! (3 benchmarks × 2 VMs × Baseline/SCD × embedded-a5/fpga-rocket, tiny
+//! inputs) must produce `SimStats`, the event-derived `CycleBreakdown`
+//! and the snapshot config fingerprint **bit-identical** to the
+//! committed golden file. Any change to the simulator's timing — however
+//! it is reorganized internally — trips this test.
+//!
+//! Regenerate after an *intentional* timing change with:
+//!
+//! ```text
+//! SCD_BLESS=1 cargo test -q --test golden_stats
+//! ```
+
+use luma::scripts::BENCHMARKS;
+use scd_guest::{GuestOptions, Scheme, Session, Vm};
+use scd_sim::{CycleBreakdown, SimConfig};
+use std::fmt::Write as _;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/golden_stats.json");
+const BENCHES: [&str; 3] = ["fibo", "random", "spectral-norm"];
+
+fn configs() -> [SimConfig; 2] {
+    [SimConfig::embedded_a5(), SimConfig::fpga_rocket()]
+}
+
+/// Runs the pinned matrix and renders every record into the canonical
+/// golden-file text. The `Debug` formatting of `SimStats` and
+/// `CycleBreakdown` spells out every counter, so string equality is
+/// field-for-field bit equality.
+fn render_current() -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for cfg in configs() {
+        for vm in Vm::ALL {
+            for name in BENCHES {
+                let b = BENCHMARKS.iter().find(|b| b.name == name).expect("pinned benchmark");
+                for scheme in [Scheme::Baseline, Scheme::Scd] {
+                    let key = format!("{}/{}/{}/{}", cfg.name, vm.name(), name, scheme.name());
+                    let mut session = Session::from_source(
+                        cfg.clone(),
+                        vm,
+                        b.source,
+                        &[("N", b.tiny_arg)],
+                        scheme,
+                        GuestOptions::default(),
+                    )
+                    .unwrap_or_else(|e| panic!("{key}: {e}"));
+                    let fingerprint = session.machine.snapshot().fingerprint();
+                    session.machine.set_trace_sink(Box::new(CycleBreakdown::default()));
+                    let run = session
+                        .run_and_validate(u64::MAX)
+                        .unwrap_or_else(|e| panic!("{key}: {e}"));
+                    let breakdown = session
+                        .machine
+                        .take_trace_sink()
+                        .and_then(scd_sim::downcast_sink::<CycleBreakdown>)
+                        .expect("breakdown sink comes back out");
+                    if !first {
+                        out.push_str(",\n");
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "  {{\n    \"key\": \"{key}\",\n    \"fingerprint\": \
+                         \"{fingerprint:#018x}\",\n    \"stats\": \"{:?}\",\n    \
+                         \"breakdown\": \"{:?}\"\n  }}",
+                        run.stats, breakdown,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[test]
+fn pinned_matrix_matches_golden() {
+    let current = render_current();
+    if std::env::var_os("SCD_BLESS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN).parent().unwrap())
+            .expect("golden dir");
+        std::fs::write(GOLDEN, &current).expect("write golden");
+        eprintln!("blessed {GOLDEN}");
+        return;
+    }
+    let committed = std::fs::read_to_string(GOLDEN)
+        .expect("golden file committed (regenerate with SCD_BLESS=1)");
+    if current != committed {
+        for (i, (c, g)) in current.lines().zip(committed.lines()).enumerate() {
+            if c != g {
+                panic!(
+                    "golden stats diverge at line {} —\n  current:  {c}\n  golden:   {g}\n\
+                     If this timing change is intentional, regenerate with \
+                     SCD_BLESS=1 cargo test -q --test golden_stats",
+                    i + 1
+                );
+            }
+        }
+        panic!("golden stats diverge in record count (current vs committed golden)");
+    }
+}

@@ -54,11 +54,10 @@ fn jsonl_trace_replays_to_exact_stats() {
 #[test]
 fn vec_sink_matches_jsonl_sink() {
     // The in-memory sink sees the identical event stream the JSONL file
-    // encodes (sanity for tests that skip the filesystem).
-    let path = trace_file("vec-cmp");
-    let shared = std::rc::Rc::new(std::cell::RefCell::new(VecSink::default()));
-    let sink = std::rc::Rc::clone(&shared);
-    run_source_with(
+    // encodes (sanity for tests that skip the filesystem). The machine
+    // owns the sink for the duration of the run and hands it back with
+    // the `GuestRun` — no sharing.
+    let mut run = run_source_with(
         scd_sim::SimConfig::embedded_a5(),
         Vm::Lvm,
         SRC,
@@ -66,15 +65,14 @@ fn vec_sink_matches_jsonl_sink() {
         Scheme::Scd,
         GuestOptions::default(),
         u64::MAX,
-        move |m| {
-            m.set_trace_sink(Box::new(sink));
+        |m| {
+            m.set_trace_sink(Box::new(VecSink::default()));
         },
     )
     .expect("program runs");
-    let _ = std::fs::remove_file(&path);
-    let events = &shared.borrow().events;
+    let events = run.take_sink::<VecSink>().expect("sink comes back with the run").events;
     assert!(!events.is_empty());
-    for ev in events {
+    for ev in &events {
         let back = TraceEvent::from_json(&ev.to_json()).expect("roundtrip");
         assert_eq!(&back, ev);
     }
