@@ -21,10 +21,15 @@
 //! `tests/golden/sweep_smoke/`; any drift exits non-zero. This is the
 //! CI gate that catches unintended changes to simulator timing or
 //! table formatting. `--bless` re-pins the goldens after an intended
-//! change.
+//! change. The smoke gate also co-simulates one benchmark against the
+//! `scd-ref` architectural oracle (both VMs x both schemes) so a
+//! timing-model change that silently corrupts architectural state
+//! cannot slip through on a day the formatted numbers happen to match.
 
 use scd_bench::figures::{self, Render, Report, REPORTS};
 use scd_bench::{emit_report, threads_from_cli, ArgScale, RunMatrix, SweepResults};
+use scd_guest::{lockstep_check, RunRequest, Scheme, Vm};
+use scd_sim::SimConfig;
 use std::fmt::Write as _;
 use std::process::exit;
 
@@ -108,10 +113,50 @@ fn main() {
             results.serial_requested().as_secs_f64(),
         );
     }
+    if smoke && !lockstep_smoke() {
+        exit(1);
+    }
     if drifted > 0 {
         eprintln!("sweep --smoke: {drifted} report(s) drifted from pinned goldens");
         exit(1);
     }
+}
+
+/// The `--smoke` oracle gate: one benchmark on tiny inputs, both VMs x
+/// both dispatch schemes, lockstep-checked against the reference ISS.
+/// Returns false (and reports) on any divergence.
+fn lockstep_smoke() -> bool {
+    let bench = luma::scripts::BENCHMARKS
+        .iter()
+        .find(|b| b.name == "binary-trees")
+        .expect("seed benchmark went missing");
+    let args = [("N", ArgScale::Tiny.arg(bench))];
+    let mut ok = true;
+    let mut checked = 0u64;
+    for vm in [Vm::Lvm, Vm::Svm] {
+        for scheme in [Scheme::Baseline, Scheme::Scd] {
+            let req = RunRequest::new(SimConfig::embedded_a5(), vm, bench.source)
+                .predefined(&args)
+                .scheme(scheme)
+                .max_insts(100_000_000);
+            match lockstep_check(&req) {
+                Ok(r) => checked += r.checked,
+                Err(e) => {
+                    eprintln!(
+                        "sweep --smoke: lockstep {}/{}/{}: {e}",
+                        bench.name,
+                        vm.name(),
+                        scheme.name()
+                    );
+                    ok = false;
+                }
+            }
+        }
+    }
+    if ok {
+        eprintln!("sweep --smoke: lockstep oracle clean ({checked} instructions checked)");
+    }
+    ok
 }
 
 /// Parses `--only a,b` / `--only=a,b` into a name list.

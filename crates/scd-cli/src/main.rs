@@ -21,6 +21,8 @@ use scd_guest::{GuestError, GuestOptions, GuestRun, RunRequest, Scheme, Session,
 use scd_sim::{FaultPlan, JsonlSink, SimConfig, SimError, Snapshot};
 use std::process::exit;
 
+mod fuzz;
+
 /// The guest trapped or the simulator faulted.
 const EXIT_GUEST_TRAP: i32 = 3;
 /// A cycle or wall-clock watchdog budget was exhausted.
@@ -41,6 +43,8 @@ fn usage() -> ! {
          \x20 scd listing [--scheme baseline|threaded|scd] [--vm lvm|svm]\n\
          \x20 scd bench list\n\
          \x20 scd model [--config a5|rocket|a8]\n\
+         \x20 scd fuzz [--seed N] [--count N] [--threads N] [--max-insts N]\n\
+         \x20         [--save-failing DIR] [--save-corpus DIR] [--repro FILE]\n\
          exit codes: 0 ok, 2 usage, 3 guest trap, 4 watchdog, 5 invariant, 70 internal"
     );
     exit(2);
@@ -387,6 +391,7 @@ fn main() {
             _ => usage(),
         },
         Some("model") => cmd_model(parse_opts(argv)),
+        Some("fuzz") => fuzz::cmd_fuzz(argv),
         _ => usage(),
     }
 }

@@ -15,7 +15,8 @@
 //! so the failure can be replayed and minimized offline.
 
 use crate::runner::{GuestRun, RunRequest};
-use scd_sim::{diff_architectural, downcast_sink, FaultPlan, Machine, RingSink};
+use scd_sim::report::take_and_dump;
+use scd_sim::{diff_architectural, FaultPlan, LockstepSink, RingSink};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -88,25 +89,6 @@ impl fmt::Display for DifferentialError {
 
 impl std::error::Error for DifferentialError {}
 
-/// Dumps the ring window to a JSONL file in the system temp directory;
-/// returns `None` when the buffer is empty or the write fails (the
-/// check's verdict never depends on the dump succeeding).
-fn dump_window(plan: &str, ring: &RingSink) -> Option<PathBuf> {
-    if ring.is_empty() {
-        return None;
-    }
-    let path = std::env::temp_dir().join(format!("scd-divergence-{plan}.jsonl"));
-    std::fs::write(&path, ring.to_jsonl()).ok()?;
-    Some(path)
-}
-
-/// Takes the ring window back out of the faulted machine (the machine
-/// owns its sink; the window is recovered, not shared) and dumps it.
-fn take_and_dump(plan: &str, machine: &mut Machine) -> Option<PathBuf> {
-    let ring = machine.take_trace_sink().and_then(downcast_sink::<RingSink>)?;
-    dump_window(plan, &ring)
-}
-
 /// Runs `req` clean and under `plan`, proving the faulted run
 /// architecturally identical.
 ///
@@ -127,9 +109,27 @@ pub fn differential_check(
     let plan_name = plan.name();
     let max_insts = req.max_insts;
 
+    // The clean run carries the architectural oracle: a lockstep
+    // divergence here means the cycle model itself is wrong, which would
+    // make the clean-vs-faulted comparison below meaningless.
     let mut clean = req.session().map_err(DifferentialError::Setup)?;
+    clean.machine.set_trace_sink(Box::new(LockstepSink::new(&clean.machine)));
     let clean_run =
         clean.run_and_validate(max_insts).map_err(|e| DifferentialError::Clean(e.to_string()))?;
+    if let Some(sink) = clean
+        .machine
+        .take_trace_sink()
+        .and_then(scd_sim::downcast_sink::<LockstepSink>)
+    {
+        if let Some(d) = sink.divergence() {
+            let dump = sink.dump("clean-lockstep");
+            let mut detail = format!("clean run diverged from the oracle: {d}");
+            if let Some(p) = &dump {
+                detail.push_str(&format!(" (trace window: {})", p.display()));
+            }
+            return Err(DifferentialError::Clean(detail));
+        }
+    }
 
     let mut faulted = req.session().map_err(DifferentialError::Setup)?;
     faulted.machine.set_trace_sink(Box::new(RingSink::new(window.max(1))));

@@ -33,6 +33,7 @@ pub mod common;
 pub mod differential;
 pub mod layout;
 pub mod lvm;
+pub mod oracle;
 pub mod runner;
 pub mod svm;
 
@@ -40,6 +41,7 @@ pub use common::{Guest, GuestOptions, Scheme};
 pub use differential::{differential_check, DifferentialError, DifferentialReport};
 pub use layout::{build_lvm_image, build_svm_image, Image};
 pub use lvm::build_lvm_guest;
+pub use oracle::{lockstep_check, LockstepReport};
 pub use runner::{
     run_lvm, run_lvm_with, run_source, run_source_with, run_svm, run_svm_with, GuestError,
     GuestRun, RunRequest, Session, Vm,

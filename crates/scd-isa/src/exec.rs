@@ -1,0 +1,277 @@
+//! The `ExecSemantics` table: value-level execution semantics of the
+//! RV64 subset plus the SCD extension, written once and shared by every
+//! executor in the workspace.
+//!
+//! Two machines interpret this ISA — the cycle model
+//! (`scd-sim::Machine`) and the timing-free reference ISS (`scd-ref`) —
+//! and their architectural results must agree bit for bit. The only way
+//! to make that a structural property rather than a testing aspiration
+//! is to write the data computation *once*: every function here is pure
+//! (no state, no I/O, no timing), takes operand values, and returns the
+//! result value. The executors own register files, memory, control flow
+//! and timing; they call into this table for every data result.
+//!
+//! Anything semantically subtle lives here on purpose: RISC-V
+//! division-by-zero and overflow fixups, shift-amount masking, `W`-form
+//! sign extension, `fcvt.l.d` NaN/overflow saturation, and the
+//! sign-injection bit games.
+
+use crate::inst::{AluOp, BranchOp, FCmpOp, FpOp, LoadOp, Rounding, StoreOp};
+
+const SIGN: u64 = 1 << 63;
+
+/// Integer ALU semantics shared by the register and immediate forms.
+#[inline]
+pub fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Addw => (a as i32).wrapping_add(b as i32) as i64 as u64,
+        AluOp::Subw => (a as i32).wrapping_sub(b as i32) as i64 as u64,
+        AluOp::Sllw => ((a as i32) << (b & 31)) as i64 as u64,
+        AluOp::Srlw => (((a as u32) >> (b & 31)) as i32) as i64 as u64,
+        AluOp::Sraw => ((a as i32) >> (b & 31)) as i64 as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        AluOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        AluOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                a.wrapping_div(b) as u64
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+        AluOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        AluOp::Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+        AluOp::Divw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                u64::MAX
+            } else if a == i32::MIN && b == -1 {
+                a as i64 as u64
+            } else {
+                a.wrapping_div(b) as i64 as u64
+            }
+        }
+        AluOp::Remw => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                a as i64 as u64
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                a.wrapping_rem(b) as i64 as u64
+            }
+        }
+        AluOp::Remuw => {
+            let (a, b) = (a as u32, b as u32);
+            (if b == 0 { a } else { a % b }) as i32 as i64 as u64
+        }
+    }
+}
+
+/// Conditional-branch comparison.
+#[inline]
+pub fn branch_taken(op: BranchOp, a: u64, b: u64) -> bool {
+    match op {
+        BranchOp::Beq => a == b,
+        BranchOp::Bne => a != b,
+        BranchOp::Blt => (a as i64) < (b as i64),
+        BranchOp::Bge => (a as i64) >= (b as i64),
+        BranchOp::Bltu => a < b,
+        BranchOp::Bgeu => a >= b,
+    }
+}
+
+/// Double-precision FP arithmetic on raw bit patterns (NaN payloads and
+/// signed zeros round-trip untouched through `from_bits`/`to_bits`).
+#[inline]
+pub fn fp_op(op: FpOp, a_bits: u64, b_bits: u64) -> u64 {
+    let a = f64::from_bits(a_bits);
+    let b = f64::from_bits(b_bits);
+    match op {
+        FpOp::FaddD => (a + b).to_bits(),
+        FpOp::FsubD => (a - b).to_bits(),
+        FpOp::FmulD => (a * b).to_bits(),
+        FpOp::FdivD => (a / b).to_bits(),
+        FpOp::FminD => a.min(b).to_bits(),
+        FpOp::FmaxD => a.max(b).to_bits(),
+        FpOp::FsqrtD => a.sqrt().to_bits(),
+        FpOp::FsgnjD => (a_bits & !SIGN) | (b_bits & SIGN),
+        FpOp::FsgnjnD => (a_bits & !SIGN) | (!b_bits & SIGN),
+        FpOp::FsgnjxD => a_bits ^ (b_bits & SIGN),
+    }
+}
+
+/// Double-precision FP comparison on raw bit patterns.
+#[inline]
+pub fn fcmp(op: FCmpOp, a_bits: u64, b_bits: u64) -> bool {
+    let a = f64::from_bits(a_bits);
+    let b = f64::from_bits(b_bits);
+    match op {
+        FCmpOp::FeqD => a == b,
+        FCmpOp::FltD => a < b,
+        FCmpOp::FleD => a <= b,
+    }
+}
+
+/// `fcvt.l.d`: double (raw bits) to signed 64-bit integer with RISC-V
+/// saturation — NaN and +overflow go to `i64::MAX`, -overflow to
+/// `i64::MIN`.
+#[inline]
+pub fn fcvt_l_d(a_bits: u64, rm: Rounding) -> u64 {
+    let a = f64::from_bits(a_bits);
+    let rounded = match rm {
+        Rounding::Rne => a.round_ties_even(),
+        Rounding::Rtz => a.trunc(),
+        Rounding::Rdn => a.floor(),
+    };
+    let v = if rounded.is_nan() || rounded >= i64::MAX as f64 {
+        i64::MAX
+    } else if rounded <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        rounded as i64
+    };
+    v as u64
+}
+
+/// `fcvt.d.l`: signed 64-bit integer to double, returned as raw bits.
+#[inline]
+pub fn fcvt_d_l(v: u64) -> u64 {
+    (v as i64 as f64).to_bits()
+}
+
+/// Access width of a load, in bytes.
+#[inline]
+pub fn load_width(op: LoadOp) -> u64 {
+    match op {
+        LoadOp::Lb | LoadOp::Lbu => 1,
+        LoadOp::Lh | LoadOp::Lhu => 2,
+        LoadOp::Lw | LoadOp::Lwu => 4,
+        LoadOp::Ld => 8,
+    }
+}
+
+/// Extends the raw (zero-extended) memory value of a load to the full
+/// 64-bit register value.
+#[inline]
+pub fn load_extend(op: LoadOp, raw: u64) -> u64 {
+    match op {
+        LoadOp::Lb => raw as u8 as i8 as i64 as u64,
+        LoadOp::Lbu => raw as u8 as u64,
+        LoadOp::Lh => raw as u16 as i16 as i64 as u64,
+        LoadOp::Lhu => raw as u16 as u64,
+        LoadOp::Lw => raw as u32 as i32 as i64 as u64,
+        LoadOp::Lwu => raw as u32 as u64,
+        LoadOp::Ld => raw,
+    }
+}
+
+/// Access width of a store, in bytes.
+#[inline]
+pub fn store_width(op: StoreOp) -> u64 {
+    match op {
+        StoreOp::Sb => 1,
+        StoreOp::Sh => 2,
+        StoreOp::Sw => 4,
+        StoreOp::Sd => 8,
+    }
+}
+
+/// Truncates a register value to the store's access width (the value
+/// the memory system actually receives).
+#[inline]
+pub fn store_truncate(op: StoreOp, v: u64) -> u64 {
+    match op {
+        StoreOp::Sb => v as u8 as u64,
+        StoreOp::Sh => v as u16 as u64,
+        StoreOp::Sw => v as u32 as u64,
+        StoreOp::Sd => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn division_fixups() {
+        assert_eq!(alu(AluOp::Div, 7, 0), u64::MAX);
+        assert_eq!(alu(AluOp::Div, i64::MIN as u64, -1i64 as u64), i64::MIN as u64);
+        assert_eq!(alu(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu(AluOp::Rem, i64::MIN as u64, -1i64 as u64), 0);
+        assert_eq!(alu(AluOp::Divu, 7, 0), u64::MAX);
+        assert_eq!(alu(AluOp::Remu, 7, 0), 7);
+        assert_eq!(alu(AluOp::Divw, 7, 0), u64::MAX);
+        assert_eq!(alu(AluOp::Divw, i32::MIN as i64 as u64, -1i64 as u64), i32::MIN as i64 as u64);
+        assert_eq!(alu(AluOp::Remw, 7, 0), 7);
+        assert_eq!(alu(AluOp::Remuw, u32::MAX as u64, 0), u32::MAX as i32 as i64 as u64);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(alu(AluOp::Sll, 1, 64), 1);
+        assert_eq!(alu(AluOp::Srl, 2, 65), 1);
+        assert_eq!(alu(AluOp::Sllw, 1, 32), 1);
+        assert_eq!(alu(AluOp::Sraw, 0x8000_0000, 31), u64::MAX);
+    }
+
+    #[test]
+    fn fcvt_saturates() {
+        assert_eq!(fcvt_l_d(f64::NAN.to_bits(), Rounding::Rtz), i64::MAX as u64);
+        assert_eq!(fcvt_l_d(1e300f64.to_bits(), Rounding::Rtz), i64::MAX as u64);
+        assert_eq!(fcvt_l_d((-1e300f64).to_bits(), Rounding::Rtz), i64::MIN as u64);
+        assert_eq!(fcvt_l_d(2.5f64.to_bits(), Rounding::Rne), 2);
+        assert_eq!(fcvt_l_d(2.5f64.to_bits(), Rounding::Rdn), 2);
+        assert_eq!(fcvt_l_d((-2.5f64).to_bits(), Rounding::Rdn), 0u64.wrapping_sub(3));
+    }
+
+    #[test]
+    fn sign_injection_preserves_nan_payloads() {
+        let nan = 0x7FF8_0000_0000_1234u64;
+        assert_eq!(fp_op(FpOp::FsgnjD, nan, SIGN), nan | SIGN);
+        assert_eq!(fp_op(FpOp::FsgnjnD, nan, SIGN), nan);
+        assert_eq!(fp_op(FpOp::FsgnjxD, nan | SIGN, SIGN), nan);
+    }
+
+    #[test]
+    fn load_extension_and_store_truncation() {
+        assert_eq!(load_extend(LoadOp::Lb, 0x80), 0xFFFF_FFFF_FFFF_FF80);
+        assert_eq!(load_extend(LoadOp::Lbu, 0x80), 0x80);
+        assert_eq!(load_extend(LoadOp::Lw, 0x8000_0000), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(load_extend(LoadOp::Lwu, 0x8000_0000), 0x8000_0000);
+        assert_eq!(store_truncate(StoreOp::Sb, 0x1FF), 0xFF);
+        assert_eq!(store_truncate(StoreOp::Sw, u64::MAX), 0xFFFF_FFFF);
+        assert_eq!(load_width(LoadOp::Lhu), 2);
+        assert_eq!(store_width(StoreOp::Sd), 8);
+    }
+}

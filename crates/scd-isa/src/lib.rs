@@ -25,6 +25,7 @@
 
 pub mod asm;
 pub mod code;
+pub mod exec;
 pub mod inst;
 pub mod reg;
 

@@ -33,9 +33,11 @@ pub mod cache;
 pub mod config;
 pub mod fault;
 pub mod ittage;
+pub mod lockstep;
 pub mod machine;
 pub mod mem;
 pub mod predictor;
+pub mod report;
 pub mod snapshot;
 pub mod stats;
 pub mod tlb;
@@ -46,6 +48,7 @@ pub use cache::{Cache, CacheAccess, CacheConfig, Replacement};
 pub use config::{IndirectPredictor, ScdConfig, SimConfig};
 pub use fault::{diff_architectural, FaultEvent, FaultKind, FaultPlan};
 pub use ittage::Ittage;
+pub use lockstep::{LockstepDivergence, LockstepSink};
 pub use machine::{
     Annotations, Exit, Machine, Profile, SimError, VbbiHint, WatchdogKind, MAX_BRANCH_IDS,
 };
@@ -55,7 +58,8 @@ pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{geomean, AccessCounters, BranchClass, BranchCounters, SimStats};
 pub use tlb::Tlb;
 pub use trace::{
-    diff_stats, downcast_sink, BopEvent, BopOutcome, BranchEvent, BtbInsertEvent, CycleBreakdown,
-    DataAccess, FetchAccess, Inserts, InstClass, JsonlSink, JteFlushEvent, L2Access, RedirectCause,
-    RedirectEvent, ReplayStats, RingSink, StatInvariants, TraceEvent, TraceSink, VecSink,
+    diff_stats, downcast_sink, ArchInfo, BopEvent, BopOutcome, BranchEvent, BtbInsertEvent,
+    CycleBreakdown, DataAccess, FetchAccess, Inserts, InstClass, JsonlSink, JteFlushEvent,
+    L2Access, RedirectCause, RedirectEvent, ReplayStats, RingSink, StatInvariants, TraceEvent,
+    TraceSink, VecSink,
 };

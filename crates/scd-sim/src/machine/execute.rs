@@ -1,8 +1,11 @@
 //! Execute stage: the issue/scoreboard timing model (dual-issue
-//! pairing, operand readiness, long-latency interlocks) and functional
-//! RV64-subset semantics for every instruction. Control-flow arms
-//! delegate prediction and redirect charging to [`super::frontend`];
-//! loads and stores charge the data side through [`super::memory`].
+//! pairing, operand readiness, long-latency interlocks) and the
+//! per-instruction walk of the RV64 subset. Every *data* result is
+//! computed by the shared [`scd_isa::exec`] semantics table (also used
+//! by the `scd-ref` reference ISS), so this file only owns register
+//! file / memory plumbing and timing. Control-flow arms delegate
+//! prediction and redirect charging to [`super::frontend`]; loads and
+//! stores charge the data side through [`super::memory`].
 
 use super::{Machine, SimError};
 use crate::btb::{BtbKey, EntryKind};
@@ -10,7 +13,7 @@ use crate::config::ScdConfig;
 use crate::mem::MemFault;
 use crate::stats::BranchClass;
 use crate::trace::RedirectCause;
-use scd_isa::{AluOp, BranchOp, FCmpOp, FpOp, Inst, LoadOp, Reg, Rounding, StoreOp};
+use scd_isa::{exec, AluOp, FpOp, Inst, LoadOp, Reg, StoreOp};
 
 /// What one retirement decided: where fetch goes next, and whether the
 /// guest requested a halt (applied by the run loop *after* trace
@@ -138,14 +141,7 @@ impl Machine {
             Inst::Branch { op, rs1, rs2, offset } => {
                 let a = self.regs[rs1.index()];
                 let b = self.regs[rs2.index()];
-                let taken = match op {
-                    BranchOp::Beq => a == b,
-                    BranchOp::Bne => a != b,
-                    BranchOp::Blt => (a as i64) < (b as i64),
-                    BranchOp::Bge => (a as i64) >= (b as i64),
-                    BranchOp::Bltu => a < b,
-                    BranchOp::Bgeu => a >= b,
-                };
+                let taken = exec::branch_taken(op, a, b);
                 let target = pc.wrapping_add(offset as u64);
                 // Effective front-end prediction: taken only when the
                 // direction predictor says taken AND the BTB supplies
@@ -169,6 +165,7 @@ impl Machine {
             }
             Inst::Load { op, rd, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                self.scratch.ea = Some(addr);
                 let v = self.exec_load(op, addr).map_err(merr)?;
                 self.wx(rd, v);
                 self.stats.loads += 1;
@@ -178,6 +175,8 @@ impl Machine {
             Inst::Store { op, rs2, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 let v = self.regs[rs2.index()];
+                self.scratch.ea = Some(addr);
+                self.scratch.store = Some(exec::store_truncate(op, v));
                 self.exec_store(op, addr, v).map_err(merr)?;
                 self.stats.stores += 1;
                 self.data_timing(addr, true);
@@ -203,6 +202,7 @@ impl Machine {
             }
             Inst::Fld { rd, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                self.scratch.ea = Some(addr);
                 let v = self.mem.read_u64(addr).map_err(merr)?;
                 self.fregs[rd.index()] = v;
                 self.stats.loads += 1;
@@ -211,30 +211,15 @@ impl Machine {
             }
             Inst::Fsd { rs2, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                self.scratch.ea = Some(addr);
+                self.scratch.store = Some(self.fregs[rs2.index()]);
                 self.mem.write_u64(addr, self.fregs[rs2.index()]).map_err(merr)?;
                 self.stats.stores += 1;
                 self.data_timing(addr, true);
             }
             Inst::FOp { op, rd, rs1, rs2 } => {
-                let a = f64::from_bits(self.fregs[rs1.index()]);
-                let b = f64::from_bits(self.fregs[rs2.index()]);
-                let v = match op {
-                    FpOp::FaddD => a + b,
-                    FpOp::FsubD => a - b,
-                    FpOp::FmulD => a * b,
-                    FpOp::FdivD => a / b,
-                    FpOp::FminD => a.min(b),
-                    FpOp::FmaxD => a.max(b),
-                    FpOp::FsqrtD => a.sqrt(),
-                    FpOp::FsgnjD => {
-                        f64::from_bits((a.to_bits() & !SIGN) | (b.to_bits() & SIGN))
-                    }
-                    FpOp::FsgnjnD => {
-                        f64::from_bits((a.to_bits() & !SIGN) | (!b.to_bits() & SIGN))
-                    }
-                    FpOp::FsgnjxD => f64::from_bits(a.to_bits() ^ (b.to_bits() & SIGN)),
-                };
-                self.fregs[rd.index()] = v.to_bits();
+                self.fregs[rd.index()] =
+                    exec::fp_op(op, self.fregs[rs1.index()], self.fregs[rs2.index()]);
                 let lat = match op {
                     FpOp::FdivD | FpOp::FsqrtD => self.cfg.fdiv_latency,
                     _ => self.cfg.fpu_latency,
@@ -242,38 +227,16 @@ impl Machine {
                 self.fready[rd.index()] = self.cycle + lat;
             }
             Inst::FCmp { op, rd, rs1, rs2 } => {
-                let a = f64::from_bits(self.fregs[rs1.index()]);
-                let b = f64::from_bits(self.fregs[rs2.index()]);
-                let v = match op {
-                    FCmpOp::FeqD => a == b,
-                    FCmpOp::FltD => a < b,
-                    FCmpOp::FleD => a <= b,
-                };
+                let v = exec::fcmp(op, self.fregs[rs1.index()], self.fregs[rs2.index()]);
                 self.wx(rd, v as u64);
                 self.xready[rd.index()] = self.cycle + self.cfg.fpu_latency;
             }
             Inst::FcvtLD { rd, rs1, rm } => {
-                let a = f64::from_bits(self.fregs[rs1.index()]);
-                let rounded = match rm {
-                    Rounding::Rne => a.round_ties_even(),
-                    Rounding::Rtz => a.trunc(),
-                    Rounding::Rdn => a.floor(),
-                };
-                // RISC-V fcvt semantics: NaN and +overflow saturate
-                // to i64::MAX, -overflow to i64::MIN.
-                let v = if rounded.is_nan() || rounded >= i64::MAX as f64 {
-                    i64::MAX
-                } else if rounded <= i64::MIN as f64 {
-                    i64::MIN
-                } else {
-                    rounded as i64
-                };
-                self.wx(rd, v as u64);
+                self.wx(rd, exec::fcvt_l_d(self.fregs[rs1.index()], rm));
                 self.xready[rd.index()] = self.cycle + self.cfg.fpu_latency;
             }
             Inst::FcvtDL { rd, rs1 } => {
-                let v = self.regs[rs1.index()] as i64 as f64;
-                self.fregs[rd.index()] = v.to_bits();
+                self.fregs[rd.index()] = exec::fcvt_d_l(self.regs[rs1.index()]);
                 self.fready[rd.index()] = self.cycle + self.cfg.fpu_latency;
             }
             Inst::FmvXD { rd, rs1 } => {
@@ -318,6 +281,7 @@ impl Machine {
             Inst::LoadOp { op, bid, rd, rs1, offset } => {
                 let bid = bid as usize % nbids.max(1);
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
+                self.scratch.ea = Some(addr);
                 let v = self.exec_load(op, addr).map_err(merr)?;
                 self.wx(rd, v);
                 self.stats.loads += 1;
@@ -335,102 +299,26 @@ impl Machine {
     }
 
     fn exec_load(&self, op: LoadOp, addr: u64) -> Result<u64, MemFault> {
-        Ok(match op {
-            LoadOp::Lb => self.mem.read_u8(addr)? as i8 as i64 as u64,
-            LoadOp::Lbu => self.mem.read_u8(addr)? as u64,
-            LoadOp::Lh => self.mem.read_u16(addr)? as i16 as i64 as u64,
-            LoadOp::Lhu => self.mem.read_u16(addr)? as u64,
-            LoadOp::Lw => self.mem.read_u32(addr)? as i32 as i64 as u64,
-            LoadOp::Lwu => self.mem.read_u32(addr)? as u64,
-            LoadOp::Ld => self.mem.read_u64(addr)?,
-        })
+        let raw = match exec::load_width(op) {
+            1 => self.mem.read_u8(addr)? as u64,
+            2 => self.mem.read_u16(addr)? as u64,
+            4 => self.mem.read_u32(addr)? as u64,
+            _ => self.mem.read_u64(addr)?,
+        };
+        Ok(exec::load_extend(op, raw))
     }
 
     fn exec_store(&mut self, op: StoreOp, addr: u64, v: u64) -> Result<(), MemFault> {
-        match op {
-            StoreOp::Sb => self.mem.write_u8(addr, v as u8),
-            StoreOp::Sh => self.mem.write_u16(addr, v as u16),
-            StoreOp::Sw => self.mem.write_u32(addr, v as u32),
-            StoreOp::Sd => self.mem.write_u64(addr, v),
+        let v = exec::store_truncate(op, v);
+        match exec::store_width(op) {
+            1 => self.mem.write_u8(addr, v as u8),
+            2 => self.mem.write_u16(addr, v as u16),
+            4 => self.mem.write_u32(addr, v as u32),
+            _ => self.mem.write_u64(addr, v),
         }
     }
 }
 
-const SIGN: u64 = 1 << 63;
-
-/// Integer ALU semantics shared by the register and immediate forms.
-pub(super) fn alu(op: AluOp, a: u64, b: u64) -> u64 {
-    match op {
-        AluOp::Add => a.wrapping_add(b),
-        AluOp::Sub => a.wrapping_sub(b),
-        AluOp::Sll => a << (b & 63),
-        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
-        AluOp::Sltu => (a < b) as u64,
-        AluOp::Xor => a ^ b,
-        AluOp::Srl => a >> (b & 63),
-        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
-        AluOp::Or => a | b,
-        AluOp::And => a & b,
-        AluOp::Addw => (a as i32).wrapping_add(b as i32) as i64 as u64,
-        AluOp::Subw => (a as i32).wrapping_sub(b as i32) as i64 as u64,
-        AluOp::Sllw => ((a as i32) << (b & 31)) as i64 as u64,
-        AluOp::Srlw => (((a as u32) >> (b & 31)) as i32) as i64 as u64,
-        AluOp::Sraw => ((a as i32) >> (b & 31)) as i64 as u64,
-        AluOp::Mul => a.wrapping_mul(b),
-        AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
-        AluOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
-        AluOp::Div => {
-            let (a, b) = (a as i64, b as i64);
-            if b == 0 {
-                u64::MAX
-            } else if a == i64::MIN && b == -1 {
-                a as u64
-            } else {
-                a.wrapping_div(b) as u64
-            }
-        }
-        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
-        AluOp::Rem => {
-            let (a, b) = (a as i64, b as i64);
-            if b == 0 {
-                a as u64
-            } else if a == i64::MIN && b == -1 {
-                0
-            } else {
-                a.wrapping_rem(b) as u64
-            }
-        }
-        AluOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
-        AluOp::Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,
-        AluOp::Divw => {
-            let (a, b) = (a as i32, b as i32);
-            if b == 0 {
-                u64::MAX
-            } else if a == i32::MIN && b == -1 {
-                a as i64 as u64
-            } else {
-                a.wrapping_div(b) as i64 as u64
-            }
-        }
-        AluOp::Remw => {
-            let (a, b) = (a as i32, b as i32);
-            if b == 0 {
-                a as i64 as u64
-            } else if a == i32::MIN && b == -1 {
-                0
-            } else {
-                a.wrapping_rem(b) as i64 as u64
-            }
-        }
-        AluOp::Remuw => {
-            let (a, b) = (a as u32, b as u32);
-            (if b == 0 { a } else { a % b }) as i32 as i64 as u64
-        }
-    }
-}
+// The integer ALU semantics live in the shared table; re-exported so the
+// machine tests keep exercising exactly what the execute stage calls.
+pub(super) use scd_isa::exec::alu;

@@ -149,6 +149,12 @@ struct Scratch {
     inserts: Inserts,
     flush: Option<JteFlushEvent>,
     fault: Option<FaultEvent>,
+    /// Effective address of this retirement's load/store, captured at
+    /// execute (the base register may be overwritten by the writeback,
+    /// so it cannot be recomputed afterwards).
+    ea: Option<u64>,
+    /// Store data, truncated to the access width.
+    store: Option<u64>,
 }
 
 impl Machine {
@@ -389,7 +395,14 @@ impl Machine {
             }
 
             // ---- trace emission + invariant checkpoint ----
-            self.emit_retirement(&inst, pc, cycle_before, dispatch, step.exit_code.is_some());
+            self.emit_retirement(
+                &inst,
+                pc,
+                cycle_before,
+                dispatch,
+                step.next_pc,
+                step.exit_code.is_some(),
+            );
 
             if let Some(code) = step.exit_code {
                 self.finalize_partial();

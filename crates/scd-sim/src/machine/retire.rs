@@ -9,7 +9,7 @@ use crate::btb::{EntryKind, InsertOutcome};
 use crate::config::ScdConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::stats::BranchClass;
-use crate::trace::{BranchEvent, BtbInsertEvent, InstClass, JteFlushEvent, TraceEvent};
+use crate::trace::{ArchInfo, BranchEvent, BtbInsertEvent, InstClass, JteFlushEvent, TraceEvent};
 use scd_isa::Inst;
 
 impl Machine {
@@ -125,9 +125,17 @@ impl Machine {
         pc: u64,
         cycle_before: u64,
         dispatch: bool,
+        next_pc: u64,
         exiting: bool,
     ) {
         if self.tracer.0.is_some() || self.invariants.is_some() {
+            let arch = ArchInfo {
+                wx: inst.def_xreg().map(|r| (r.index() as u8, self.regs[r.index()])),
+                wf: inst.def_freg().map(|r| (r.index() as u8, self.fregs[r.index()])),
+                ea: self.scratch.ea,
+                store: self.scratch.store,
+                next_pc,
+            };
             let ev = TraceEvent {
                 seq: self.stats.instructions - 1,
                 pc,
@@ -143,6 +151,7 @@ impl Machine {
                 inserts: self.scratch.inserts,
                 flush: self.scratch.flush,
                 fault: self.scratch.fault,
+                arch: Some(arch),
             };
             if let Some(sink) = &mut self.tracer.0 {
                 sink.event(&ev);

@@ -360,6 +360,28 @@ pub struct JteFlushEvent {
     pub flushed: u64,
 }
 
+/// The architectural side of one retirement: what the instruction
+/// *computed*, as opposed to what it *cost*. This is the per-instruction
+/// contract the lockstep oracle (`scd-sim::lockstep`, backed by the
+/// `scd-ref` reference ISS) checks against the shared
+/// [`scd_isa::exec`] semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchInfo {
+    /// Integer writeback: (register index, value after execute). Present
+    /// for any class that defines an x-register; writes to `x0` report
+    /// value 0.
+    pub wx: Option<(u8, u64)>,
+    /// FP writeback: (register index, raw bits after execute).
+    pub wf: Option<(u8, u64)>,
+    /// Effective address of a load, store or `<load>.op`.
+    pub ea: Option<u64>,
+    /// Store data, truncated to the access width.
+    pub store: Option<u64>,
+    /// Where fetch goes next after this retirement (for the final,
+    /// halting retirement: the fall-through PC).
+    pub next_pc: u64,
+}
+
 /// Everything the timing model charged for one retired instruction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
@@ -395,6 +417,10 @@ pub struct TraceEvent {
     /// [`crate::FaultPlan`]). Carries the number of JTEs it evicted so
     /// replayed statistics stay balanced.
     pub fault: Option<FaultEvent>,
+    /// Architectural retirement record (always captured by the machine;
+    /// `None` only in hand-built or legacy events). Ignored by the
+    /// statistics replay — no counter derives from it.
+    pub arch: Option<ArchInfo>,
 }
 
 // ---------------------------------------------------------------------
@@ -682,6 +708,24 @@ impl TraceEvent {
             }
             out.push('}');
         }
+        if let Some(a) = &self.arch {
+            // Values here can legitimately be 0, so presence is encoded
+            // by the key, never elided like the flag helpers do.
+            let _ = write!(out, ",\"arch\":{{\"next_pc\":{}", a.next_pc);
+            if let Some((r, v)) = a.wx {
+                let _ = write!(out, ",\"wx_r\":{r},\"wx_v\":{v}");
+            }
+            if let Some((r, v)) = a.wf {
+                let _ = write!(out, ",\"wf_r\":{r},\"wf_v\":{v}");
+            }
+            if let Some(ea) = a.ea {
+                let _ = write!(out, ",\"ea\":{ea}");
+            }
+            if let Some(st) = a.store {
+                let _ = write!(out, ",\"store\":{st}");
+            }
+            out.push('}');
+        }
         out.push('}');
     }
 
@@ -717,6 +761,7 @@ impl TraceEvent {
             inserts: Inserts::default(),
             flush: None,
             fault: None,
+            arch: None,
         };
         if let Some(f) = get(obj, "fetch") {
             let f = f.as_obj().ok_or("fetch must be an object")?;
@@ -808,6 +853,26 @@ impl TraceEvent {
                 evicted: get_num_or_zero(ft, "evicted")?,
             });
         }
+        if let Some(a) = get(obj, "arch") {
+            let a = a.as_obj().ok_or("arch must be an object")?;
+            let pair = |rk: &str, vk: &str| -> Result<Option<(u8, u64)>, String> {
+                match get_opt_num(a, rk)? {
+                    None => Ok(None),
+                    Some(r) => {
+                        let r = u8::try_from(r)
+                            .map_err(|_| format!("field {rk:?} out of register range"))?;
+                        Ok(Some((r, get_num(a, vk)?)))
+                    }
+                }
+            };
+            ev.arch = Some(ArchInfo {
+                wx: pair("wx_r", "wx_v")?,
+                wf: pair("wf_r", "wf_v")?,
+                ea: get_opt_num(a, "ea")?,
+                store: get_opt_num(a, "store")?,
+                next_pc: get_num(a, "next_pc")?,
+            });
+        }
         Ok(ev)
     }
 }
@@ -866,6 +931,15 @@ fn get_num_or_zero(obj: &Obj, name: &str) -> Result<u64, String> {
     match get(obj, name) {
         None => Ok(0),
         Some(v) => v.as_num().ok_or_else(|| format!("field {name:?} must be a number")),
+    }
+}
+
+fn get_opt_num(obj: &Obj, name: &str) -> Result<Option<u64>, String> {
+    match get(obj, name) {
+        None => Ok(None),
+        Some(v) => {
+            v.as_num().map(Some).ok_or_else(|| format!("field {name:?} must be a number"))
+        }
     }
 }
 
@@ -1453,6 +1527,7 @@ mod tests {
             inserts: Inserts::default(),
             flush: None,
             fault: None,
+            arch: None,
         };
         let mut load = TraceEvent {
             seq: 1,
@@ -1475,6 +1550,13 @@ mod tests {
             writeback: true,
             l2: Some(L2Access { miss: false, writeback: true }),
             penalty: 8,
+        });
+        load.arch = Some(ArchInfo {
+            wx: Some((10, 0xDEAD_BEEF)),
+            wf: None,
+            ea: Some(0x2_0008),
+            store: None,
+            next_pc: 0x1_0008,
         });
         let mut bop = TraceEvent {
             seq: 2,
@@ -1504,6 +1586,15 @@ mod tests {
             },
         });
         jru.inserts.push(BtbInsertEvent { key: EntryKind::Pc, outcome: InsertOutcome::Blocked });
+        // Zero values must survive the roundtrip (presence is keyed, not
+        // value-elided like the flag helpers).
+        jru.arch = Some(ArchInfo {
+            wx: Some((0, 0)),
+            wf: Some((3, 0)),
+            ea: None,
+            store: Some(0),
+            next_pc: 0x1_0040,
+        });
         let mut flush = TraceEvent {
             seq: 4,
             pc: 0x1_0010,

@@ -1,0 +1,201 @@
+//! Property tests for the BTB (with its JTE overlay rules) and the
+//! ITTAGE indirect predictor: random insert/lookup/update streams
+//! checked against reference models and the population invariant.
+
+use proptest::prelude::*;
+use scd_sim::{Btb, BtbConfig, BtbKey, InsertOutcome, Ittage, Replacement};
+
+/// Decodes a compact op stream: each `u64` drives one BTB operation so
+/// the generated `Vec<u64>` shrink-prints small.
+fn key_from(word: u64) -> BtbKey {
+    // A deliberately tiny key universe (3 kinds x 16 raws) so streams
+    // collide constantly — aliasing bugs need collisions to show up.
+    let raw = (word >> 8) & 0xF;
+    match word % 3 {
+        0 => BtbKey::Pc(raw << 2),
+        1 => BtbKey::Jte { bid: ((word >> 4) & 0x3) as u8, opcode: raw },
+        _ => BtbKey::Vbbi(raw),
+    }
+}
+
+proptest! {
+    /// Immediately after a successful insert, the same key must hit and
+    /// return the just-written target — for every kind, geometry, and
+    /// interleaving.
+    #[test]
+    fn lookup_after_insert_hits(
+        ops in prop::collection::vec(any::<u64>(), 1..200),
+        fully_assoc in any::<bool>(),
+        cap in 0usize..8,
+    ) {
+        let cfg = if fully_assoc {
+            BtbConfig::fully_assoc(16, Replacement::Lru)
+        } else {
+            BtbConfig::set_assoc(16, 2, Replacement::RoundRobin)
+        };
+        let mut btb = Btb::new(BtbConfig { jte_cap: (cap < 4).then_some(cap), ..cfg });
+        for (i, &w) in ops.iter().enumerate() {
+            let key = key_from(w);
+            let target = 0x4000 + (i as u64) * 4;
+            match btb.insert(key, target) {
+                InsertOutcome::CapSkipped | InsertOutcome::Blocked => {
+                    prop_assert!(btb.lookup(key).is_none(), "dropped insert must not hit");
+                }
+                _ => prop_assert_eq!(
+                    btb.lookup(key),
+                    Some(target),
+                    "insert #{} of {:?} did not land",
+                    i,
+                    key
+                ),
+            }
+            btb.assert_population_invariant();
+        }
+    }
+
+    /// A fully-associative LRU BTB fed only PC keys is exactly an LRU
+    /// cache: compare hit/miss and eviction order against a brute-force
+    /// recency-list model over a colliding key universe.
+    #[test]
+    fn fully_assoc_lru_matches_reference_model(
+        ops in prop::collection::vec((any::<bool>(), 0u64..24), 1..300),
+    ) {
+        const ENTRIES: usize = 8;
+        let mut btb = Btb::new(BtbConfig::fully_assoc(ENTRIES, Replacement::Lru));
+        // Model: (key, target) in recency order, most recent last.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for (i, &(is_insert, k)) in ops.iter().enumerate() {
+            let target = 0x1000 + k * 8 + (i as u64 % 2);
+            let pos = model.iter().position(|&(mk, _)| mk == k);
+            if is_insert {
+                match pos {
+                    Some(p) => {
+                        model.remove(p);
+                        model.push((k, target));
+                    }
+                    None => {
+                        if model.len() == ENTRIES {
+                            model.remove(0); // evict least recent
+                        }
+                        model.push((k, target));
+                    }
+                }
+                btb.insert(BtbKey::Pc(k << 2), target);
+            } else {
+                let expect = pos.map(|p| {
+                    let e = model.remove(p);
+                    model.push(e);
+                    e.1
+                });
+                prop_assert_eq!(
+                    btb.lookup(BtbKey::Pc(k << 2)),
+                    expect,
+                    "op #{} lookup of key {} disagrees with the LRU model",
+                    i,
+                    k
+                );
+            }
+        }
+    }
+
+    /// Raw-value collisions across key spaces are inert: a `Pc`, a `Jte`
+    /// and a `Vbbi` key sharing the same raw bits coexist and never
+    /// return each other's targets.
+    #[test]
+    fn key_spaces_never_alias(raw in 0u64..1024, bid in 0u8..4) {
+        let keys = [
+            // BtbKey::Pc stores pc >> 2, so pc = raw << 2 collides with
+            // a Vbbi hash of `raw` and a bid-0 Jte opcode of `raw`.
+            (BtbKey::Pc(raw << 2), 0xA000u64),
+            (BtbKey::Jte { bid, opcode: raw }, 0xB000u64),
+            (BtbKey::Vbbi(raw), 0xC000u64),
+        ];
+        let mut btb = Btb::new(BtbConfig::fully_assoc(16, Replacement::Lru));
+        for &(k, t) in &keys {
+            btb.insert(k, t);
+        }
+        for &(k, t) in &keys {
+            prop_assert_eq!(btb.lookup(k), Some(t), "{:?} lost or cross-matched", k);
+        }
+        btb.assert_population_invariant();
+    }
+
+    /// The JTE cap bounds the resident-JTE population through any
+    /// stream of inserts, lookups and flushes, and the population
+    /// identity holds after every operation.
+    #[test]
+    fn jte_cap_is_never_exceeded(
+        ops in prop::collection::vec(any::<u64>(), 1..300),
+        cap in 0usize..6,
+    ) {
+        let cfg = BtbConfig {
+            jte_cap: Some(cap),
+            ..BtbConfig::set_assoc(16, 2, Replacement::Lru)
+        };
+        let mut btb = Btb::new(cfg);
+        for &w in &ops {
+            match w % 5 {
+                4 => {
+                    btb.flush_jtes();
+                }
+                3 => {
+                    btb.lookup(key_from(w));
+                }
+                _ => {
+                    btb.insert(key_from(w), 0x8000 + (w & 0xFFF));
+                }
+            }
+            prop_assert!(
+                btb.resident_jtes() <= cap,
+                "{} resident JTEs with cap {}",
+                btb.resident_jtes(),
+                cap
+            );
+            btb.assert_population_invariant();
+        }
+    }
+
+    /// ITTAGE under an arbitrary update/predict stream: never panics,
+    /// and its confidence counters saturate rather than wrap — hammering
+    /// one mapping thousands of times, then reversing it, stays sound
+    /// and eventually relearns the new target.
+    #[test]
+    fn ittage_streams_never_panic_and_counters_saturate(
+        ops in prop::collection::vec((0u64..64, 0u64..8), 1..200),
+    ) {
+        let mut p = Ittage::new();
+        for &(pc_sel, t_sel) in &ops {
+            let pc = 0x1_0000 + pc_sel * 4;
+            p.predict(pc);
+            p.update(pc, 0x2_0000 + t_sel * 4);
+        }
+        // Saturation: one stable mapping, far past any counter range.
+        let pc = 0x1_0000;
+        for _ in 0..5_000 {
+            p.update(pc, 0xAAAA_0000);
+        }
+        // Flipping the target must decay-and-replace, not wrap or panic.
+        let mut relearned = false;
+        for _ in 0..5_000 {
+            p.update(pc, 0xBBBB_0000);
+            relearned |= p.predict(pc) == Some(0xBBBB_0000);
+        }
+        prop_assert!(relearned, "ITTAGE never relearned a flipped target");
+    }
+
+    /// ITTAGE is a pure function of its update stream: two instances fed
+    /// the same stream make identical predictions throughout.
+    #[test]
+    fn ittage_is_deterministic(
+        ops in prop::collection::vec((0u64..256, 0u64..16), 1..200),
+    ) {
+        let mut a = Ittage::new();
+        let mut b = Ittage::new();
+        for &(pc_sel, t_sel) in &ops {
+            let pc = 0x4_0000 + pc_sel * 4;
+            prop_assert_eq!(a.predict(pc), b.predict(pc));
+            a.update(pc, 0x8_0000 + t_sel * 4);
+            b.update(pc, 0x8_0000 + t_sel * 4);
+        }
+    }
+}
