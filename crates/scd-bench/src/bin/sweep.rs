@@ -105,12 +105,20 @@ fn main() {
         let json = bench_json(&results, threads, &report_names, quick);
         std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
         let wall = results.wall.as_secs_f64();
+        let total_insts: u64 =
+            results.iter().map(|(_, _, out)| out.run.stats.instructions).sum();
+        let unique_s = results.serial_unique().as_secs_f64();
         eprintln!(
             "sweep: {} cells in {wall:.1}s wall ({:.1}s summed cell time, {:.1}s dedup-unaware \
              sequential estimate) -> BENCH_sweep.json",
             results.len(),
-            results.serial_unique().as_secs_f64(),
+            unique_s,
             results.serial_requested().as_secs_f64(),
+        );
+        eprintln!(
+            "sweep: simulated {:.1}M guest instructions at {:.2} Minst/s aggregate",
+            total_insts as f64 / 1e6,
+            total_insts as f64 / 1e6 / unique_s.max(1e-9),
         );
     }
     if smoke && !lockstep_smoke() {
@@ -228,9 +236,15 @@ fn bench_json(r: &SweepResults, threads: usize, reports: &[&str], quick: bool) -
     let wall_ms = r.wall.as_secs_f64() * 1e3;
     let unique_ms = r.serial_unique().as_secs_f64() * 1e3;
     let requested_ms = r.serial_requested().as_secs_f64() * 1e3;
+    // Aggregate simulator throughput: total guest instructions retired
+    // per second of summed per-cell wall time. The per-cell `mips`
+    // fields below give the same ratio cell by cell, so simulator-perf
+    // regressions can be localized to a preset/VM/scheme corner.
+    let total_insts: u64 = r.iter().map(|(_, _, out)| out.run.stats.instructions).sum();
+    let aggregate_mips = total_insts as f64 / 1e6 / (unique_ms / 1e3).max(1e-9);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"scd-sweep-bench-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"scd-sweep-bench-v2\",");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(
@@ -250,6 +264,8 @@ fn bench_json(r: &SweepResults, threads: usize, reports: &[&str], quick: bool) -
         "  \"speedup_vs_sequential_bins\": {:.3},",
         requested_ms / wall_ms.max(1e-9)
     );
+    let _ = writeln!(s, "  \"total_instructions\": {total_insts},");
+    let _ = writeln!(s, "  \"aggregate_mips\": {aggregate_mips:.2},");
     s.push_str("  \"per_cell\": [\n");
     let n = r.len();
     for (i, (spec, hits, out)) in r.iter().enumerate() {
@@ -258,7 +274,7 @@ fn bench_json(r: &SweepResults, threads: usize, reports: &[&str], quick: bool) -
             s,
             "    {{\"bench\": \"{}\", \"vm\": \"{}\", \"scheme\": \"{}\", \"arg\": {}, \
              \"traced\": {}, \"hits\": {hits}, \"wall_ms\": {:.3}, \"cycles\": {}, \
-             \"instructions\": {}, \"ipc\": {:.4}}}",
+             \"instructions\": {}, \"ipc\": {:.4}, \"mips\": {:.2}}}",
             spec.bench.name,
             spec.vm.name(),
             spec.scheme.name(),
@@ -268,6 +284,7 @@ fn bench_json(r: &SweepResults, threads: usize, reports: &[&str], quick: bool) -
             stats.cycles,
             stats.instructions,
             stats.ipc(),
+            stats.instructions as f64 / 1e6 / out.wall.as_secs_f64().max(1e-9),
         );
         s.push_str(if i + 1 == n { "\n" } else { ",\n" });
     }

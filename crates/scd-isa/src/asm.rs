@@ -80,7 +80,9 @@ pub struct Program {
     /// Encoded instruction words.
     pub words: Vec<u32>,
     /// The same instructions in decoded form (index = (pc-text_base)/4).
-    pub insts: Vec<Inst>,
+    /// Reference-counted so every machine built from this program shares
+    /// one decoded copy instead of cloning it per simulation cell.
+    pub insts: std::sync::Arc<[Inst]>,
     /// Base address of the read-only data section.
     pub rodata_base: u64,
     /// Read-only data bytes (jump tables etc.).
@@ -686,7 +688,7 @@ impl Asm {
             rodata.extend_from_slice(&w.to_le_bytes());
         }
 
-        Ok(Program { text_base, words, insts, rodata_base, rodata, symbols })
+        Ok(Program { text_base, words, insts: insts.into(), rodata_base, rodata, symbols })
     }
 }
 

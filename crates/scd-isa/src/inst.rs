@@ -609,6 +609,16 @@ impl Inst {
             _ => [None, None],
         }
     }
+
+    /// Source FP registers (up to two).
+    pub fn use_fregs(&self) -> [Option<FReg>; 2] {
+        match *self {
+            Inst::FOp { rs1, rs2, .. } | Inst::FCmp { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } => [Some(rs1), None],
+            Inst::Fsd { rs2, .. } => [Some(rs2), None],
+            _ => [None, None],
+        }
+    }
 }
 
 impl fmt::Display for Inst {

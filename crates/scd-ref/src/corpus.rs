@@ -148,7 +148,7 @@ pub fn load(text: &str) -> Result<Repro, String> {
         program: Program {
             text_base,
             words,
-            insts,
+            insts: insts.into(),
             rodata_base: rodata_base.ok_or("missing rodata_base")?,
             rodata,
             symbols: Default::default(),

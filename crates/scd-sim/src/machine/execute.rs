@@ -7,7 +7,7 @@
 //! prediction and redirect charging to [`super::frontend`]; loads and
 //! stores charge the data side through [`super::memory`].
 
-use super::{Machine, SimError};
+use super::{Machine, SimError, StaticInfo};
 use crate::btb::{BtbKey, EntryKind};
 use crate::config::ScdConfig;
 use crate::mem::MemFault;
@@ -33,47 +33,28 @@ impl Machine {
     }
 
     /// Advances the issue clock for one instruction, honoring dual-issue
-    /// pairing rules and operand readiness.
-    pub(super) fn issue(&mut self, inst: &Inst) {
+    /// pairing rules and operand readiness. Source/destination registers
+    /// come pre-resolved from the [`StaticInfo`] side-table, so no
+    /// per-retirement instruction decode happens here.
+    pub(super) fn issue(&mut self, si: &StaticInfo) {
         let mut min_cycle = self.cycle;
-        for src in inst.use_xregs().into_iter().flatten() {
+        for src in si.use_x.into_iter().flatten() {
             min_cycle = min_cycle.max(self.xready[src.index()]);
         }
-        // FP sources.
-        match *inst {
-            Inst::FOp { rs1, rs2, .. } => {
-                min_cycle = min_cycle.max(self.fready[rs1.index()]).max(self.fready[rs2.index()]);
-            }
-            Inst::FCmp { rs1, rs2, .. } => {
-                min_cycle = min_cycle.max(self.fready[rs1.index()]).max(self.fready[rs2.index()]);
-            }
-            Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } => {
-                min_cycle = min_cycle.max(self.fready[rs1.index()]);
-            }
-            Inst::Fsd { rs2, .. } => {
-                min_cycle = min_cycle.max(self.fready[rs2.index()]);
-            }
-            _ => {}
+        for src in si.use_f.into_iter().flatten() {
+            min_cycle = min_cycle.max(self.fready[src.index()]);
         }
 
         let can_pair = self.cfg.issue_width > 1
             && self.issued_this_cycle == 1
             && min_cycle <= self.cycle
-            && !(self.prev_was_mem && (inst.is_load() || inst.is_store()))
-            && !inst
-                .use_xregs()
+            && !(self.prev_was_mem && si.is_mem)
+            && !si
+                .use_x
                 .into_iter()
                 .flatten()
                 .any(|s| Some(s) == self.prev_dest && !s.is_zero())
-            && match *inst {
-                Inst::FOp { rs1, rs2, .. } | Inst::FCmp { rs1, rs2, .. } => {
-                    Some(rs1) != self.prev_fdest && Some(rs2) != self.prev_fdest
-                }
-                Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } | Inst::Fsd { rs2: rs1, .. } => {
-                    Some(rs1) != self.prev_fdest
-                }
-                _ => true,
-            };
+            && !si.use_f.into_iter().flatten().any(|s| Some(s) == self.prev_fdest);
 
         if can_pair {
             self.issued_this_cycle = 2;
@@ -81,9 +62,9 @@ impl Machine {
             self.cycle = (self.cycle + 1).max(min_cycle);
             self.issued_this_cycle = 1;
         }
-        self.prev_dest = inst.def_xreg();
-        self.prev_fdest = inst.def_freg();
-        self.prev_was_mem = inst.is_load() || inst.is_store();
+        self.prev_dest = si.def_x;
+        self.prev_fdest = si.def_f;
+        self.prev_was_mem = si.is_mem;
     }
 
     /// Executes one instruction functionally and charges its class-
@@ -93,7 +74,7 @@ impl Machine {
     /// # Errors
     /// [`SimError::Mem`] on a faulting access, [`SimError::Break`] on
     /// `ebreak` or an unknown `ecall` service.
-    pub(super) fn execute_inst(
+    pub(super) fn execute_inst<const OBSERVED: bool>(
         &mut self,
         inst: &Inst,
         pc: u64,
@@ -123,10 +104,13 @@ impl Machine {
                 let hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
                 if !hit {
                     let out = self.btb.insert(BtbKey::Pc(pc), target);
-                    self.note_insert(EntryKind::Pc, out);
-                    self.redirect(RedirectCause::JalMiss, self.cfg.jal_redirect_penalty);
+                    self.note_insert::<OBSERVED>(EntryKind::Pc, out);
+                    self.redirect::<OBSERVED>(
+                        RedirectCause::JalMiss,
+                        self.cfg.jal_redirect_penalty,
+                    );
                 }
-                self.note_branch(BranchClass::Direct, !hit);
+                self.note_branch::<OBSERVED>(BranchClass::Direct, !hit);
                 if rd == Reg::RA {
                     self.ras.push(pc + 4);
                 }
@@ -136,7 +120,7 @@ impl Machine {
                 self.wx(rd, pc + 4);
                 self.xready[rd.index()] = self.cycle + 1;
                 next_pc = target;
-                self.account_indirect(pc, rd, rs1, target);
+                self.account_indirect::<OBSERVED>(pc, rd, rs1, target);
             }
             Inst::Branch { op, rs1, rs2, offset } => {
                 let a = self.regs[rs1.index()];
@@ -155,31 +139,38 @@ impl Machine {
                     next_pc = target;
                     if !btb_hit {
                         let out = self.btb.insert(BtbKey::Pc(pc), target);
-                        self.note_insert(EntryKind::Pc, out);
+                        self.note_insert::<OBSERVED>(EntryKind::Pc, out);
                     }
                 }
-                self.note_branch(BranchClass::Conditional, mispredicted);
+                self.note_branch::<OBSERVED>(BranchClass::Conditional, mispredicted);
                 if mispredicted {
-                    self.redirect(RedirectCause::CondMispredict, self.cfg.branch_miss_penalty);
+                    self.redirect::<OBSERVED>(
+                        RedirectCause::CondMispredict,
+                        self.cfg.branch_miss_penalty,
+                    );
                 }
             }
             Inst::Load { op, rd, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
-                self.scratch.ea = Some(addr);
+                if OBSERVED {
+                    self.scratch.ea = Some(addr);
+                }
                 let v = self.exec_load(op, addr).map_err(merr)?;
                 self.wx(rd, v);
                 self.stats.loads += 1;
-                self.data_timing(addr, false);
+                self.data_timing::<OBSERVED>(addr, false);
                 self.xready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
             Inst::Store { op, rs2, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 let v = self.regs[rs2.index()];
-                self.scratch.ea = Some(addr);
-                self.scratch.store = Some(exec::store_truncate(op, v));
+                if OBSERVED {
+                    self.scratch.ea = Some(addr);
+                    self.scratch.store = Some(exec::store_truncate(op, v));
+                }
                 self.exec_store(op, addr, v).map_err(merr)?;
                 self.stats.stores += 1;
-                self.data_timing(addr, true);
+                self.data_timing::<OBSERVED>(addr, true);
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 let v = alu(op, self.regs[rs1.index()], imm as u64);
@@ -202,20 +193,24 @@ impl Machine {
             }
             Inst::Fld { rd, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
-                self.scratch.ea = Some(addr);
+                if OBSERVED {
+                    self.scratch.ea = Some(addr);
+                }
                 let v = self.mem.read_u64(addr).map_err(merr)?;
                 self.fregs[rd.index()] = v;
                 self.stats.loads += 1;
-                self.data_timing(addr, false);
+                self.data_timing::<OBSERVED>(addr, false);
                 self.fready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
             Inst::Fsd { rs2, rs1, offset } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
-                self.scratch.ea = Some(addr);
-                self.scratch.store = Some(self.fregs[rs2.index()]);
+                if OBSERVED {
+                    self.scratch.ea = Some(addr);
+                    self.scratch.store = Some(self.fregs[rs2.index()]);
+                }
                 self.mem.write_u64(addr, self.fregs[rs2.index()]).map_err(merr)?;
                 self.stats.stores += 1;
-                self.data_timing(addr, true);
+                self.data_timing::<OBSERVED>(addr, true);
             }
             Inst::FOp { op, rd, rs1, rs2 } => {
                 self.fregs[rd.index()] =
@@ -269,23 +264,25 @@ impl Machine {
                 self.scd[bid].rmask = self.regs[rs1.index()];
             }
             Inst::Bop { bid } => {
-                self.exec_bop(bid, pc, &mut next_pc, scd_cfg, nbids);
+                self.exec_bop::<OBSERVED>(bid, pc, &mut next_pc, scd_cfg, nbids);
             }
             Inst::Jru { bid, rs1 } => {
-                next_pc = self.exec_jru(bid, rs1, pc, scd_cfg, nbids);
+                next_pc = self.exec_jru::<OBSERVED>(bid, rs1, pc, scd_cfg, nbids);
             }
             Inst::JteFlush => {
                 let flushed = self.jte_flush();
-                self.note_flush(flushed);
+                self.note_flush::<OBSERVED>(flushed);
             }
             Inst::LoadOp { op, bid, rd, rs1, offset } => {
                 let bid = bid as usize % nbids.max(1);
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
-                self.scratch.ea = Some(addr);
+                if OBSERVED {
+                    self.scratch.ea = Some(addr);
+                }
                 let v = self.exec_load(op, addr).map_err(merr)?;
                 self.wx(rd, v);
                 self.stats.loads += 1;
-                self.data_timing(addr, false);
+                self.data_timing::<OBSERVED>(addr, false);
                 let ready = self.cycle + 1 + self.cfg.load_use_penalty;
                 self.xready[rd.index()] = ready;
                 let s = &mut self.scd[bid];

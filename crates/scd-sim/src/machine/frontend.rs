@@ -8,7 +8,7 @@
 //! redirect penalties for getting it wrong; functional semantics live
 //! in [`super::execute`].
 
-use super::{Machine, VbbiHint};
+use super::Machine;
 use crate::btb::{BtbKey, EntryKind, InsertOutcome};
 use crate::config::{IndirectPredictor, ScdConfig};
 use crate::stats::BranchClass;
@@ -17,7 +17,7 @@ use scd_isa::Reg;
 
 impl Machine {
     /// Instruction fetch timing for the instruction at `pc`.
-    pub(super) fn fetch_timing(&mut self, pc: u64) {
+    pub(super) fn fetch_timing<const OBSERVED: bool>(&mut self, pc: u64) {
         let mut f = FetchAccess::default();
         self.stats.itlb.accesses += 1;
         if !self.itlb.access(pc) {
@@ -36,35 +36,23 @@ impl Machine {
             f.penalty += cost;
             self.cycle += cost;
         }
-        self.scratch.fetch = f;
+        if OBSERVED {
+            self.scratch.fetch = f;
+        }
     }
 
     /// Charges a front-end redirect penalty and closes the issue group.
-    pub(super) fn redirect(&mut self, cause: RedirectCause, penalty: u64) {
+    pub(super) fn redirect<const OBSERVED: bool>(&mut self, cause: RedirectCause, penalty: u64) {
         self.cycle += penalty;
         self.issued_this_cycle = self.cfg.issue_width; // next inst starts a new cycle
-        debug_assert!(self.scratch.redirect.is_none(), "two redirects in one retirement");
-        self.scratch.redirect = Some(RedirectEvent { cause, penalty });
-    }
-
-    #[inline]
-    pub(super) fn in_dispatch(&self, pc: u64) -> bool {
-        let i = self.ann.dispatch_ranges.partition_point(|&(_, end)| end <= pc);
-        self.ann.dispatch_ranges.get(i).is_some_and(|&(start, _)| pc >= start)
-    }
-
-    #[inline]
-    fn is_dispatch_jump(&self, pc: u64) -> bool {
-        self.ann.dispatch_jumps.binary_search(&pc).is_ok()
-    }
-
-    fn vbbi_hint(&self, pc: u64) -> Option<VbbiHint> {
-        let i = self.ann.vbbi_hints.binary_search_by_key(&pc, |h| h.jump_pc).ok()?;
-        Some(self.ann.vbbi_hints[i])
+        if OBSERVED {
+            debug_assert!(self.scratch.redirect.is_none(), "two redirects in one retirement");
+            self.scratch.redirect = Some(RedirectEvent { cause, penalty });
+        }
     }
 
     fn branch_class(&self, pc: u64, rd: Reg, rs1: Reg) -> BranchClass {
-        if self.is_dispatch_jump(pc) {
+        if self.sinfo(pc).dispatch_jump {
             BranchClass::IndirectDispatch
         } else if rs1 == Reg::RA && rd.is_zero() {
             BranchClass::Return
@@ -75,7 +63,13 @@ impl Machine {
 
     /// Predicts and accounts an indirect jump (`jalr`/`jru`) at `pc`
     /// resolving to `target`. Returns nothing; charges penalties.
-    pub(super) fn account_indirect(&mut self, pc: u64, rd: Reg, rs1: Reg, target: u64) {
+    pub(super) fn account_indirect<const OBSERVED: bool>(
+        &mut self,
+        pc: u64,
+        rd: Reg,
+        rs1: Reg,
+        target: u64,
+    ) {
         let class = self.branch_class(pc, rd, rs1);
         let mispredicted = match class {
             BranchClass::Return => {
@@ -90,14 +84,15 @@ impl Machine {
                 self.ittage.update(pc, target);
                 if miss {
                     let out = self.btb.insert(BtbKey::Pc(pc), target);
-                    self.note_insert(EntryKind::Pc, out);
+                    self.note_insert::<OBSERVED>(EntryKind::Pc, out);
                 }
                 miss
             }
             _ => {
                 // VBBI applies only on registered jump PCs under the Vbbi
                 // configuration; everything else is PC-indexed.
-                let key = match (self.cfg.indirect, self.vbbi_hint(pc)) {
+                let vbbi = self.sinfo(pc).vbbi;
+                let key = match (self.cfg.indirect, vbbi) {
                     (IndirectPredictor::Vbbi, Some(h)) => {
                         let hint = self.regs[h.hint_reg.index()] & h.mask;
                         let ready =
@@ -115,7 +110,7 @@ impl Machine {
                 if miss {
                     // Train with the resolved hint value (VBBI updates the
                     // BTB with the actual key at execute).
-                    let update_key = match (self.cfg.indirect, self.vbbi_hint(pc)) {
+                    let update_key = match (self.cfg.indirect, vbbi) {
                         (IndirectPredictor::Vbbi, Some(h)) => {
                             let hint = self.regs[h.hint_reg.index()] & h.mask;
                             BtbKey::Vbbi(vbbi_mix(pc, hint))
@@ -123,7 +118,7 @@ impl Machine {
                         _ => BtbKey::Pc(pc),
                     };
                     let out = self.btb.insert(update_key, target);
-                    self.note_insert(update_key.kind(), out);
+                    self.note_insert::<OBSERVED>(update_key.kind(), out);
                 }
                 miss
             }
@@ -131,9 +126,12 @@ impl Machine {
         if rd == Reg::RA {
             self.ras.push(pc + 4);
         }
-        self.note_branch(class, mispredicted);
+        self.note_branch::<OBSERVED>(class, mispredicted);
         if mispredicted {
-            self.redirect(RedirectCause::IndirectMispredict, self.cfg.branch_miss_penalty);
+            self.redirect::<OBSERVED>(
+                RedirectCause::IndirectMispredict,
+                self.cfg.branch_miss_penalty,
+            );
         }
     }
 
@@ -183,7 +181,7 @@ impl Machine {
     /// Executes `bop`: under the stall scheme fetch waits for Rop, then
     /// redirects through the matching JTE; under the fall-through scheme
     /// an unready Rop simply falls through to the slow path.
-    pub(super) fn exec_bop(
+    pub(super) fn exec_bop<const OBSERVED: bool>(
         &mut self,
         bid: u8,
         pc: u64,
@@ -210,7 +208,7 @@ impl Machine {
             if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
                 *next_pc = t;
                 self.scd[bid].rop_v = false;
-                self.redirect(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+                self.redirect::<OBSERVED>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
                 BopOutcome::Hit
             } else {
                 BopOutcome::JteMiss
@@ -222,7 +220,7 @@ impl Machine {
         } else if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
             *next_pc = t;
             self.scd[bid].rop_v = false;
-            self.redirect(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+            self.redirect::<OBSERVED>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
             BopOutcome::Hit
         } else {
             BopOutcome::JteMiss
@@ -232,7 +230,9 @@ impl Machine {
         } else {
             self.stats.bop_misses += 1;
         }
-        self.scratch.bop = Some(BopEvent { outcome, stall });
+        if OBSERVED {
+            self.scratch.bop = Some(BopEvent { outcome, stall });
+        }
         self.scd[bid].rbop_pc = pc;
     }
 
@@ -240,7 +240,7 @@ impl Machine {
     /// pending (opcode → target) pair when one is armed, then predicts
     /// and accounts the jump like any other indirect. Returns the
     /// resolved target.
-    pub(super) fn exec_jru(
+    pub(super) fn exec_jru<const OBSERVED: bool>(
         &mut self,
         bid: u8,
         rs1: Reg,
@@ -254,10 +254,10 @@ impl Machine {
         if scd_cfg.enabled && self.scd[bid].rop_v {
             let opcode = self.scd[bid].rop_d;
             let out = self.jte_insert(bid as u8, opcode, target);
-            self.note_insert(EntryKind::Jte, out);
+            self.note_insert::<OBSERVED>(EntryKind::Jte, out);
             self.scd[bid].rop_v = false;
         }
-        self.account_indirect(pc, Reg::ZERO, rs1, target);
+        self.account_indirect::<OBSERVED>(pc, Reg::ZERO, rs1, target);
         target
     }
 }

@@ -31,7 +31,7 @@ impl Machine {
     }
 
     /// Data access timing; charges miss cycles and records attribution.
-    pub(super) fn data_timing(&mut self, addr: u64, write: bool) {
+    pub(super) fn data_timing<const OBSERVED: bool>(&mut self, addr: u64, write: bool) {
         let mut d = DataAccess::default();
         self.stats.dtlb.accesses += 1;
         if !self.dtlb.access(addr) {
@@ -54,6 +54,8 @@ impl Machine {
             d.penalty += cost;
             self.cycle += cost;
         }
-        self.scratch.data = Some(d);
+        if OBSERVED {
+            self.scratch.data = Some(d);
+        }
     }
 }

@@ -56,10 +56,11 @@ use crate::predictor::{Direction, Ras};
 use crate::stats::SimStats;
 use crate::tlb::Tlb;
 use crate::trace::{
-    BopEvent, BranchEvent, DataAccess, FetchAccess, Inserts, JteFlushEvent, RedirectEvent,
-    SinkSlot, StatInvariants, TraceSink,
+    BopEvent, BranchEvent, DataAccess, FetchAccess, Inserts, InstClass, JteFlushEvent,
+    RedirectEvent, SinkSlot, StatInvariants, TraceSink,
 };
-use scd_isa::{Inst, Program, Reg};
+use scd_isa::{FReg, Inst, Program, Reg};
+use std::sync::Arc;
 
 /// Maximum number of SCD branch IDs supported by the model.
 pub const MAX_BRANCH_IDS: usize = 4;
@@ -78,7 +79,12 @@ struct ScdRegs {
 #[derive(Debug)]
 pub struct Machine {
     cfg: SimConfig,
-    insts: Vec<Inst>,
+    /// Decoded text, shared with the [`Program`] (and every other
+    /// machine built from it) — the sweep never re-clones a program.
+    insts: Arc<[Inst]>,
+    /// Per-instruction static metadata, parallel to `insts`; rebuilt by
+    /// [`Machine::set_annotations`]. See [`StaticInfo`].
+    static_info: Vec<StaticInfo>,
     text_base: u64,
     text_end: u64,
 
@@ -157,19 +163,68 @@ struct Scratch {
     store: Option<u64>,
 }
 
+/// Static per-instruction metadata, precomputed once per (program,
+/// annotations) pair so the per-retirement hot path replaces every
+/// annotation-table search (`partition_point`/`binary_search` over
+/// dispatch ranges, dispatch jumps and VBBI hints) and every decode-fact
+/// recomputation (`InstClass::of`, `def_xreg`, `use_xregs`, ...) with
+/// one indexed load. Purely derived state: it never appears in
+/// snapshots and cannot alter timing or statistics.
+#[derive(Debug, Clone, Copy)]
+struct StaticInfo {
+    /// Trace classification ([`InstClass::of`]).
+    class: InstClass,
+    /// The instruction's PC lies inside a dispatcher range.
+    in_dispatch: bool,
+    /// The instruction's PC is a registered dispatch jump.
+    dispatch_jump: bool,
+    /// Load or store (the dual-issue memory-port pairing hazard).
+    is_mem: bool,
+    /// Source integer registers.
+    use_x: [Option<Reg>; 2],
+    /// Source FP registers.
+    use_f: [Option<FReg>; 2],
+    /// Destination integer register.
+    def_x: Option<Reg>,
+    /// Destination FP register.
+    def_f: Option<FReg>,
+    /// VBBI hint registered on this (jump) PC.
+    vbbi: Option<VbbiHint>,
+}
+
+impl StaticInfo {
+    /// The annotation-independent part; [`Machine::rebuild_static_info`]
+    /// fills in the PC-dependent fields.
+    fn of(inst: &Inst) -> Self {
+        StaticInfo {
+            class: InstClass::of(inst),
+            in_dispatch: false,
+            dispatch_jump: false,
+            is_mem: inst.is_load() || inst.is_store(),
+            use_x: inst.use_xregs(),
+            use_f: inst.use_fregs(),
+            def_x: inst.def_xreg(),
+            def_f: inst.def_freg(),
+            vbbi: None,
+        }
+    }
+}
+
 impl Machine {
     /// Builds a machine for `cfg`, loading `program`'s text and rodata.
+    /// The decoded text is shared with `program` (no per-machine clone).
     pub fn new(cfg: SimConfig, program: &Program) -> Self {
         let mut mem = Memory::new();
-        let text_bytes: Vec<u8> = program.words.iter().flat_map(|w| w.to_le_bytes()).collect();
-        mem.add_segment("text", program.text_base, text_bytes.len() as u64);
-        mem.write_bytes(program.text_base, &text_bytes);
+        mem.add_segment("text", program.text_base, 4 * program.words.len() as u64);
+        for (i, w) in program.words.iter().enumerate() {
+            mem.write_bytes(program.text_base + 4 * i as u64, &w.to_le_bytes());
+        }
         if !program.rodata.is_empty() {
             mem.add_segment("rodata", program.rodata_base, program.rodata.len() as u64);
             mem.write_bytes(program.rodata_base, &program.rodata);
         }
         let flush_at = cfg.scd.flush_interval.unwrap_or(u64::MAX);
-        Machine {
+        let mut m = Machine {
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),
             l2: cfg.l2.map(Cache::new),
@@ -210,11 +265,14 @@ impl Machine {
             fregs: [0; 32],
             pc: program.text_base,
             mem,
-            insts: program.insts.clone(),
+            insts: Arc::clone(&program.insts),
+            static_info: Vec::new(),
             text_base: program.text_base,
             text_end: program.text_end(),
             cfg,
-        }
+        };
+        m.rebuild_static_info();
+        m
     }
 
     /// Maps an additional zero-filled memory segment.
@@ -226,6 +284,39 @@ impl Machine {
     pub fn set_annotations(&mut self, mut ann: Annotations) {
         ann.normalize();
         self.ann = ann;
+        self.rebuild_static_info();
+    }
+
+    /// Recomputes the [`StaticInfo`] side-table from the decoded text and
+    /// the current annotations.
+    fn rebuild_static_info(&mut self) {
+        let info: Vec<StaticInfo> = self
+            .insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let pc = self.text_base + 4 * i as u64;
+                let mut si = StaticInfo::of(inst);
+                si.in_dispatch = self.ann.contains_dispatch(pc);
+                si.dispatch_jump = self.ann.dispatch_jumps.binary_search(&pc).is_ok();
+                si.vbbi = self
+                    .ann
+                    .vbbi_hints
+                    .binary_search_by_key(&pc, |h| h.jump_pc)
+                    .ok()
+                    .map(|j| self.ann.vbbi_hints[j]);
+                si
+            })
+            .collect();
+        self.static_info = info;
+    }
+
+    /// The static side-table entry for the instruction at `pc`, which
+    /// must lie inside the text section (the run loop bounds-checks
+    /// before every retirement).
+    #[inline]
+    fn sinfo(&self, pc: u64) -> &StaticInfo {
+        &self.static_info[((pc - self.text_base) / 4) as usize]
     }
 
     /// Sets an integer register (x0 writes are ignored).
@@ -340,19 +431,40 @@ impl Machine {
     /// memory stage), then retire (stats, trace event, invariant
     /// checkpoint).
     ///
+    /// Dispatches once per call onto one of two monomorphized loops: the
+    /// *observed* loop (a tracer, the invariant checker, profiling or a
+    /// fault plan is attached) carries full per-retirement attribution,
+    /// while the fast loop skips every observer-only write. Both charge
+    /// identical cycles and statistics — `tests/golden_stats.rs` holds
+    /// the paths to bit-identical [`SimStats`](crate::SimStats).
+    ///
     /// # Errors
     /// Returns [`SimError`] on memory faults, runaway PCs, `ebreak`, or
     /// when `max_insts` is exhausted.
     pub fn run(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+        let observed = self.tracer.0.is_some()
+            || self.invariants.is_some()
+            || self.profile.is_some()
+            || self.fault_plan.is_some();
+        if observed {
+            self.run_impl::<true>(max_insts)
+        } else {
+            self.run_impl::<false>(max_insts)
+        }
+    }
+
+    fn run_impl<const OBSERVED: bool>(&mut self, max_insts: u64) -> Result<Exit, SimError> {
         let scd_cfg: ScdConfig = self.cfg.scd;
         let nbids = scd_cfg.branch_ids.min(MAX_BRANCH_IDS);
+        let cycle_budget = self.cycle_budget;
+        let wall_budget = self.wall_budget;
         let wall_start = std::time::Instant::now();
         loop {
             if self.stats.instructions >= max_insts {
                 self.finalize_partial();
                 return Err(SimError::InstLimit { limit: max_insts });
             }
-            if self.cycle_budget.is_some_and(|b| self.cycle >= b) {
+            if cycle_budget.is_some_and(|b| self.cycle >= b) {
                 self.finalize_partial();
                 return Err(SimError::Watchdog {
                     kind: WatchdogKind::Cycles,
@@ -360,7 +472,7 @@ impl Machine {
                     cycles: self.cycle,
                 });
             }
-            if let Some(wall) = self.wall_budget {
+            if let Some(wall) = wall_budget {
                 if self.stats.instructions.is_multiple_of(4096) && wall_start.elapsed() >= wall {
                     self.finalize_partial();
                     return Err(SimError::Watchdog {
@@ -374,35 +486,39 @@ impl Machine {
             if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(4) {
                 return Err(SimError::PcOutOfRange { pc });
             }
-            let inst = self.insts[((pc - self.text_base) / 4) as usize];
-            self.scratch = Scratch::default();
+            let idx = ((pc - self.text_base) / 4) as usize;
+            let inst = self.insts[idx];
+            let si = self.static_info[idx];
+            if OBSERVED {
+                self.scratch = Scratch::default();
+            }
 
             // ---- frontend + issue timing ----
             let cycle_before = self.cycle;
-            self.fetch_timing(pc);
-            self.issue(&inst);
+            self.fetch_timing::<OBSERVED>(pc);
+            self.issue(&si);
 
             // ---- retire bookkeeping (counters, flush quantum, faults) ----
-            let dispatch = self.begin_retirement(pc, &scd_cfg);
+            self.begin_retirement::<OBSERVED>(si.in_dispatch, &scd_cfg);
 
             // ---- execute (functional semantics + per-class timing) ----
-            let step = self.execute_inst(&inst, pc, nbids, &scd_cfg)?;
+            let step = self.execute_inst::<OBSERVED>(&inst, pc, nbids, &scd_cfg)?;
 
-            if let Some(prof) = &mut self.profile {
-                let idx = ((pc - self.text_base) / 4) as usize;
-                prof.insts[idx] += 1;
-                prof.cycles[idx] += self.cycle - cycle_before;
+            if OBSERVED {
+                if let Some(prof) = &mut self.profile {
+                    prof.insts[idx] += 1;
+                    prof.cycles[idx] += self.cycle - cycle_before;
+                }
+
+                // ---- trace emission + invariant checkpoint ----
+                self.emit_retirement(
+                    &si,
+                    pc,
+                    cycle_before,
+                    step.next_pc,
+                    step.exit_code.is_some(),
+                );
             }
-
-            // ---- trace emission + invariant checkpoint ----
-            self.emit_retirement(
-                &inst,
-                pc,
-                cycle_before,
-                dispatch,
-                step.next_pc,
-                step.exit_code.is_some(),
-            );
 
             if let Some(code) = step.exit_code {
                 self.finalize_partial();

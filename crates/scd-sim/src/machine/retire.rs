@@ -4,28 +4,37 @@
 //! `note_*` hooks the other stages use to record what happened on the
 //! current retirement.
 
-use super::Machine;
+use super::{Machine, StaticInfo};
 use crate::btb::{EntryKind, InsertOutcome};
 use crate::config::ScdConfig;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::stats::BranchClass;
-use crate::trace::{ArchInfo, BranchEvent, BtbInsertEvent, InstClass, JteFlushEvent, TraceEvent};
-use scd_isa::Inst;
+use crate::trace::{ArchInfo, BranchEvent, BtbInsertEvent, JteFlushEvent, TraceEvent};
 
 impl Machine {
-    pub(super) fn note_branch(&mut self, class: BranchClass, mispredicted: bool) {
+    pub(super) fn note_branch<const OBSERVED: bool>(
+        &mut self,
+        class: BranchClass,
+        mispredicted: bool,
+    ) {
         self.stats.record_branch(class, mispredicted);
-        self.scratch.branch = Some(BranchEvent { class, mispredicted });
+        if OBSERVED {
+            self.scratch.branch = Some(BranchEvent { class, mispredicted });
+        }
     }
 
-    pub(super) fn note_insert(&mut self, key: EntryKind, outcome: InsertOutcome) {
-        self.scratch.inserts.push(BtbInsertEvent { key, outcome });
+    pub(super) fn note_insert<const OBSERVED: bool>(&mut self, key: EntryKind, outcome: InsertOutcome) {
+        if OBSERVED {
+            self.scratch.inserts.push(BtbInsertEvent { key, outcome });
+        }
     }
 
-    pub(super) fn note_flush(&mut self, flushed: u64) {
-        let f = self.scratch.flush.get_or_insert(JteFlushEvent { flushes: 0, flushed: 0 });
-        f.flushes += 1;
-        f.flushed += flushed;
+    pub(super) fn note_flush<const OBSERVED: bool>(&mut self, flushed: u64) {
+        if OBSERVED {
+            let f = self.scratch.flush.get_or_insert(JteFlushEvent { flushes: 0, flushed: 0 });
+            f.flushes += 1;
+            f.flushed += flushed;
+        }
     }
 
     /// Applies one injected fault, returning the number of JTEs it
@@ -87,12 +96,17 @@ impl Machine {
     }
 
     /// Retirement bookkeeping that precedes execution: counts the
-    /// instruction (and its dispatcher attribution), runs the emulated
-    /// context-switch flush quantum, and fires due injected faults.
-    /// Returns whether the instruction retired from dispatcher code.
-    pub(super) fn begin_retirement(&mut self, pc: u64, scd_cfg: &ScdConfig) -> bool {
+    /// instruction (and its dispatcher attribution, precomputed in the
+    /// static side-table), runs the emulated context-switch flush
+    /// quantum, and fires due injected faults. A machine with an armed
+    /// fault plan always runs the observed loop, so fault injection is
+    /// compiled out of the fast path.
+    pub(super) fn begin_retirement<const OBSERVED: bool>(
+        &mut self,
+        dispatch: bool,
+        scd_cfg: &ScdConfig,
+    ) {
         self.stats.instructions += 1;
-        let dispatch = self.in_dispatch(pc);
         if dispatch {
             self.stats.dispatch_instructions += 1;
         }
@@ -100,38 +114,41 @@ impl Machine {
             // Emulated context switch: the OS executes jte.flush
             // (Section IV).
             let flushed = self.jte_flush();
-            self.note_flush(flushed);
+            self.note_flush::<OBSERVED>(flushed);
             self.next_flush_at += scd_cfg.flush_interval.unwrap_or(u64::MAX);
         }
         // Fault injection fires between retirements, before this
         // instruction executes; the plan is taken out of `self` for
         // the call so `inject_fault` can borrow the machine freely.
-        if let Some(mut plan) = self.fault_plan.take() {
-            if let Some(kind) = plan.due(self.stats.instructions) {
-                let evicted = self.inject_fault(kind, &mut plan);
-                self.scratch.fault = Some(FaultEvent { kind, evicted });
+        if OBSERVED {
+            if let Some(mut plan) = self.fault_plan.take() {
+                if let Some(kind) = plan.due(self.stats.instructions) {
+                    let evicted = self.inject_fault(kind, &mut plan);
+                    self.scratch.fault = Some(FaultEvent { kind, evicted });
+                }
+                self.fault_plan = Some(plan);
             }
-            self.fault_plan = Some(plan);
         }
-        dispatch
     }
 
     /// Drains the retirement's scratch attribution into one
     /// [`TraceEvent`], feeds sink and self-checker, and runs the
     /// invariant checkpoint when due (always on the final retirement).
+    /// Only called from the observed run loop; decode facts (class,
+    /// def-regs, dispatcher attribution) come from the static
+    /// side-table.
     pub(super) fn emit_retirement(
         &mut self,
-        inst: &Inst,
+        si: &StaticInfo,
         pc: u64,
         cycle_before: u64,
-        dispatch: bool,
         next_pc: u64,
         exiting: bool,
     ) {
         if self.tracer.0.is_some() || self.invariants.is_some() {
             let arch = ArchInfo {
-                wx: inst.def_xreg().map(|r| (r.index() as u8, self.regs[r.index()])),
-                wf: inst.def_freg().map(|r| (r.index() as u8, self.fregs[r.index()])),
+                wx: si.def_x.map(|r| (r.index() as u8, self.regs[r.index()])),
+                wf: si.def_f.map(|r| (r.index() as u8, self.fregs[r.index()])),
                 ea: self.scratch.ea,
                 store: self.scratch.store,
                 next_pc,
@@ -139,10 +156,10 @@ impl Machine {
             let ev = TraceEvent {
                 seq: self.stats.instructions - 1,
                 pc,
-                class: InstClass::of(inst),
+                class: si.class,
                 cycle: self.cycle,
                 cycles: self.cycle - cycle_before,
-                dispatch,
+                dispatch: si.in_dispatch,
                 fetch: self.scratch.fetch,
                 data: self.scratch.data.filter(|d| !d.is_default()),
                 branch: self.scratch.branch,

@@ -27,6 +27,14 @@ impl Annotations {
         self.dispatch_jumps.sort_unstable();
         self.vbbi_hints.sort_unstable_by_key(|h| h.jump_pc);
     }
+
+    /// Whether `pc` lies inside any (normalized) dispatcher range. Only
+    /// consulted when the static side-table is (re)built; the hot path
+    /// reads the precomputed per-instruction bit instead.
+    pub fn contains_dispatch(&self, pc: u64) -> bool {
+        let i = self.dispatch_ranges.partition_point(|&(_, end)| end <= pc);
+        self.dispatch_ranges.get(i).is_some_and(|&(start, _)| pc >= start)
+    }
 }
 
 /// One VBBI hint registration (Section II-A / reference \[9\] in the paper).
@@ -120,7 +128,7 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Successful run result.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Exit {
     /// Value of `a0` at the halting `ecall`.
     pub code: u64,

@@ -354,29 +354,29 @@ fn dual_issue_fp_source_hazard_blocks_pairing() {
 
     // An FOp with independent sources rides in the second slot.
     let mut m = issue_fixture();
-    m.issue(&fmv(1));
+    m.issue(&StaticInfo::of(&fmv(1)));
     assert_eq!(m.issued_this_cycle, 1);
     let c = m.cycle;
-    m.issue(&fadd(3));
+    m.issue(&StaticInfo::of(&fadd(3)));
     assert_eq!((m.issued_this_cycle, m.cycle), (2, c), "independent FP op should pair");
 
     // Reading the FP register the previous instruction wrote must
     // push the consumer to the next cycle.
     let mut m = issue_fixture();
-    m.issue(&fmv(1));
+    m.issue(&StaticInfo::of(&fmv(1)));
     let c = m.cycle;
-    m.issue(&fadd(1));
+    m.issue(&StaticInfo::of(&fadd(1)));
     assert_eq!(m.issued_this_cycle, 1, "FP source hazard must block pairing");
     assert_eq!(m.cycle, c + 1);
 
     // The single-source arm (fmv.x.d) honors the same rule.
     let mut m = issue_fixture();
-    m.issue(&fmv(1));
-    m.issue(&Inst::FmvXD { rd: Reg::T1, rs1: FReg::new(1) });
+    m.issue(&StaticInfo::of(&fmv(1)));
+    m.issue(&StaticInfo::of(&Inst::FmvXD { rd: Reg::T1, rs1: FReg::new(1) }));
     assert_eq!(m.issued_this_cycle, 1, "fmv.x.d reading prev FP dest must not pair");
     let mut m = issue_fixture();
-    m.issue(&fmv(1));
-    m.issue(&Inst::FmvXD { rd: Reg::T1, rs1: FReg::new(3) });
+    m.issue(&StaticInfo::of(&fmv(1)));
+    m.issue(&StaticInfo::of(&Inst::FmvXD { rd: Reg::T1, rs1: FReg::new(3) }));
     assert_eq!(m.issued_this_cycle, 2, "fmv.x.d with an unrelated source pairs");
 }
 
@@ -384,11 +384,11 @@ fn dual_issue_fp_source_hazard_blocks_pairing() {
 fn dual_issue_width_caps_group_at_two() {
     let addi = |rd: Reg| Inst::OpImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: 1 };
     let mut m = issue_fixture();
-    m.issue(&addi(Reg::T0));
-    m.issue(&addi(Reg::T1));
+    m.issue(&StaticInfo::of(&addi(Reg::T0)));
+    m.issue(&StaticInfo::of(&addi(Reg::T1)));
     assert_eq!(m.issued_this_cycle, 2);
     let c = m.cycle;
-    m.issue(&addi(Reg::T2));
+    m.issue(&StaticInfo::of(&addi(Reg::T2)));
     assert_eq!((m.issued_this_cycle, m.cycle), (1, c + 1), "third op starts a new group");
 }
 

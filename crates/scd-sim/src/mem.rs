@@ -42,12 +42,18 @@ struct Segment {
 #[derive(Debug, Default)]
 pub struct Memory {
     segments: Vec<Segment>,
+    /// Index of the segment the last access resolved to. Guest accesses
+    /// are strongly local (the hot interpreter state lives in one or two
+    /// segments), so checking it first skips the linear segment scan on
+    /// nearly every access. Pure lookup cache: segments are disjoint, so
+    /// the resolved segment is independent of probe order.
+    last_seg: std::cell::Cell<usize>,
 }
 
 impl Memory {
     /// Creates an empty memory with no segments.
     pub fn new() -> Self {
-        Memory { segments: Vec::new() }
+        Memory::default()
     }
 
     /// Adds a zero-filled segment.
@@ -85,8 +91,15 @@ impl Memory {
 
     #[inline]
     fn locate(&self, addr: u64, size: u64) -> Option<(usize, usize)> {
+        let hint = self.last_seg.get();
+        if let Some(s) = self.segments.get(hint) {
+            if addr >= s.base && addr + size <= s.base + s.data.len() as u64 {
+                return Some((hint, (addr - s.base) as usize));
+            }
+        }
         for (i, s) in self.segments.iter().enumerate() {
             if addr >= s.base && addr + size <= s.base + s.data.len() as u64 {
+                self.last_seg.set(i);
                 return Some((i, (addr - s.base) as usize));
             }
         }

@@ -32,17 +32,30 @@ impl Tlb {
 
     /// Looks up the page containing `addr`, filling on miss.
     /// Returns `true` on hit.
+    ///
+    /// The hit scan does nothing but compare tags, so the (vastly more
+    /// common) hit path stays branch-light; victim selection is deferred
+    /// to a second pass taken only on a miss. Both passes observe the
+    /// same entry state, so replacement decisions are unchanged.
     #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let vpn = addr >> PAGE_SHIFT;
-        let mut victim = 0;
-        let mut best = u64::MAX;
-        for (i, e) in self.entries.iter_mut().enumerate() {
+        for e in self.entries.iter_mut() {
             if e.valid && e.vpn == vpn {
                 e.lru = self.tick;
                 return true;
             }
+        }
+        self.fill(vpn)
+    }
+
+    /// Miss path: picks the LRU (or first invalid) victim and fills it.
+    #[cold]
+    fn fill(&mut self, vpn: u64) -> bool {
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for (i, e) in self.entries.iter().enumerate() {
             let score = if e.valid { e.lru } else { 0 };
             if score < best {
                 best = score;

@@ -74,6 +74,55 @@ fn render_current() -> String {
     out
 }
 
+/// The monomorphized fast run loop (no tracer, no invariants, no
+/// profile, no fault plan) must be *statistically invisible*: every
+/// `SimStats` counter it produces is bit-identical to the fully
+/// observed loop's. This is the contract that lets the sweep run
+/// untraced for speed while the goldens are pinned through the traced
+/// path.
+#[test]
+fn fast_and_observed_loops_agree_bit_for_bit() {
+    for cfg in configs() {
+        for scheme in Scheme::ALL {
+            let b = BENCHMARKS.iter().find(|b| b.name == "fibo").expect("pinned benchmark");
+            let key = format!("{}/{}", cfg.name, scheme.name());
+            let build = || {
+                Session::from_source(
+                    cfg.clone(),
+                    Vm::ALL[0],
+                    b.source,
+                    &[("N", b.tiny_arg)],
+                    scheme,
+                    GuestOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("{key}: {e}"))
+            };
+
+            // Fast path: strip every observer (debug builds auto-arm
+            // the invariant checker, so drop it explicitly).
+            let mut fast = build();
+            fast.machine.disable_invariants();
+            let fast_run =
+                fast.machine.run(u64::MAX).unwrap_or_else(|e| panic!("{key} fast: {e}"));
+            let fast_stats = fast.machine.stats.clone();
+
+            // Observed path: tracer + invariant checkpoints armed.
+            let mut obs = build();
+            obs.machine.enable_invariants(4096);
+            obs.machine.set_trace_sink(Box::new(CycleBreakdown::default()));
+            let obs_run = obs.machine.run(u64::MAX).unwrap_or_else(|e| panic!("{key} obs: {e}"));
+            let obs_stats = obs.machine.stats.clone();
+
+            assert_eq!(fast_run, obs_run, "{key}: exit state diverged");
+            assert_eq!(
+                format!("{fast_stats:?}"),
+                format!("{obs_stats:?}"),
+                "{key}: fast-loop SimStats diverged from observed loop"
+            );
+        }
+    }
+}
+
 #[test]
 fn pinned_matrix_matches_golden() {
     let current = render_current();
