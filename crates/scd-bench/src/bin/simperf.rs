@@ -8,15 +8,18 @@
 //! cargo run --release -p scd-bench --bin simperf -- --quick         # CI-sized
 //! cargo run --release -p scd-bench --bin simperf -- --ref old.json  # embed speedups
 //! cargo run --release -p scd-bench --bin simperf -- --quick --check BENCH_simperf.json
+//! cargo run --release -p scd-bench --bin simperf -- --interleaved   # reference loop
 //! ```
 //!
 //! The matrix is the golden-stats trio (fibo / random / spectral-norm)
 //! x both VMs x all three dispatch schemes x {embedded-a5, fpga-rocket}
 //! — 36 cells. Each cell loads a fresh session, disables the invariant
-//! checker and runs *untraced* (the machine's monomorphized fast path)
-//! under a fixed retired-instruction budget, so host wall time is the
-//! only free variable. Output goes to `BENCH_simperf.json` (hand-rolled
-//! JSON, schema in EXPERIMENTS.md).
+//! checker and runs *untraced* under a fixed retired-instruction budget,
+//! so host wall time is the only free variable. Untraced runs take the
+//! execute-ahead replay loop by default; `--interleaved` pins the
+//! interleaved reference loop instead (the pre-replay measurement mode,
+//! kept for apples-to-apples comparisons). Output goes to
+//! `BENCH_simperf.json` (hand-rolled JSON, schema in EXPERIMENTS.md).
 //!
 //! `--ref FILE` copies per-cell `mips` from an earlier record into the
 //! output as `ref_mips` plus a per-cell and geomean `speedup` — the
@@ -69,33 +72,55 @@ fn main() {
         argv.iter().position(|a| a == f).and_then(|i| argv.get(i + 1)).cloned()
     };
     let quick = has("--quick");
+    let interleaved = has("--interleaved");
     let budget = if quick { QUICK_BUDGET } else { FULL_BUDGET };
     let reference = arg_of("--ref").map(|p| load_record(&p));
     let check = arg_of("--check").map(|p| load_record(&p));
 
     let configs = [SimConfig::embedded_a5(), SimConfig::fpga_rocket()];
     let mut cells = Vec::new();
-    eprintln!("simperf: {} cells, {budget} insts each", configs.len() * 2 * 3 * BENCHES.len());
+    // A broken cell must not torpedo the cells already measured: record
+    // the failure, finish the matrix so the full picture is reported,
+    // then exit non-zero.
+    let mut failures: Vec<String> = Vec::new();
+    eprintln!(
+        "simperf: {} cells, {budget} insts each{}",
+        configs.len() * 2 * 3 * BENCHES.len(),
+        if interleaved { " (interleaved reference loop)" } else { "" }
+    );
     for cfg in &configs {
         for vm in Vm::ALL {
             for name in BENCHES {
                 let b = BENCHMARKS.iter().find(|b| b.name == name).expect("pinned benchmark");
                 for scheme in Scheme::ALL {
-                    let mut session = Session::from_source(
+                    let key =
+                        format!("{}/{}/{name}/{}", cfg.name, vm.name(), scheme.name());
+                    let mut session = match Session::from_source(
                         cfg.clone(),
                         vm,
                         b.source,
                         &[("N", b.sim_arg)],
                         scheme,
                         GuestOptions::default(),
-                    )
-                    .unwrap_or_else(|e| panic!("{}/{}/{name}: {e}", cfg.name, vm.name()));
+                    ) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("  {key}: FAILED to load: {e}");
+                            failures.push(format!("{key}: {e}"));
+                            continue;
+                        }
+                    };
                     // Untraced, uninstrumented: the release fast path.
                     session.machine.disable_invariants();
+                    session.machine.set_replay(!interleaved);
                     let started = Instant::now();
                     match session.machine.run(budget) {
                         Ok(_) | Err(SimError::InstLimit { .. }) => {}
-                        Err(e) => panic!("{}/{}/{name}/{}: {e}", cfg.name, vm.name(), scheme.name()),
+                        Err(e) => {
+                            eprintln!("  {key}: FAILED: {e}");
+                            failures.push(format!("{key}: {e}"));
+                            continue;
+                        }
                     }
                     let cell = Cell {
                         preset: cfg.name,
@@ -112,8 +137,19 @@ fn main() {
         }
     }
 
+    if !failures.is_empty() {
+        eprintln!("simperf: {} cell(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        exit(1);
+    }
+
     let mips: Vec<f64> = cells.iter().map(Cell::mips).collect();
-    let g = geomean(&mips).expect("positive throughputs");
+    let g = geomean(&mips).unwrap_or_else(|| {
+        eprintln!("simperf: no valid throughput measurements — cannot compute geomean");
+        exit(1);
+    });
     eprintln!("simperf: geomean {g:.2} Minst/s over {} cells", cells.len());
 
     if let Some(baseline) = check {
@@ -164,7 +200,13 @@ fn render_json(cells: &[Cell], quick: bool, budget: u64, reference: Option<&[(St
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"budget_insts\": {budget},");
     let mips: Vec<f64> = cells.iter().map(Cell::mips).collect();
-    let _ = writeln!(s, "  \"geomean_mips\": {:.3},", geomean(&mips).unwrap_or(0.0));
+    // A record with a zero geomean would make a later `--check` or
+    // `--ref` comparison pass or fail spuriously: refuse to write one.
+    let g = geomean(&mips).unwrap_or_else(|| {
+        eprintln!("simperf: empty cell set — refusing to write a record with no geomean");
+        exit(1);
+    });
+    let _ = writeln!(s, "  \"geomean_mips\": {g:.3},");
     let mut speedups = Vec::new();
     if let Some(r) = reference {
         for c in cells {
@@ -172,11 +214,14 @@ fn render_json(cells: &[Cell], quick: bool, budget: u64, reference: Option<&[(St
                 speedups.push(c.mips() / m.max(1e-12));
             }
         }
-        let _ = writeln!(
-            s,
-            "  \"geomean_speedup_vs_ref\": {:.3},",
-            geomean(&speedups).unwrap_or(0.0)
-        );
+        let gs = geomean(&speedups).unwrap_or_else(|| {
+            eprintln!(
+                "simperf: --ref record shares no cell keys with this run — \
+                 speedup would be meaningless"
+            );
+            exit(1);
+        });
+        let _ = writeln!(s, "  \"geomean_speedup_vs_ref\": {gs:.3},");
     }
     s.push_str("  \"cells\": [\n");
     let n = cells.len();
@@ -210,6 +255,11 @@ fn render_json(cells: &[Cell], quick: bool, budget: u64, reference: Option<&[(St
 /// `(key, mips)` pairs out of the `"cells"` array, one cell per line.
 /// Not a JSON parser — it only needs to round-trip what
 /// [`render_json`] writes (the workspace is serde-free by design).
+///
+/// Strict where it matters: a line that names a cell (`"key"` present)
+/// must carry a well-formed, finite, positive `mips` number. Silently
+/// skipping such a line would shrink the baseline and let a regressed
+/// cell dodge the `--check` gate.
 fn load_record(path: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read reference record {path}: {e}"));
@@ -217,11 +267,21 @@ fn load_record(path: &str) -> Vec<(String, f64)> {
     for line in text.lines() {
         let Some(key) = field_str(line, "key") else { continue };
         // `mips` must be the cell's own measurement, not `ref_mips`.
-        let Some(mips) = field_num(line, "mips") else { continue };
+        let mips = match field_num(line, "mips") {
+            Some(m) if m.is_finite() && m > 0.0 => m,
+            _ => {
+                eprintln!(
+                    "simperf: reference record {path} is malformed: cell \"{key}\" \
+                     has a missing or invalid \"mips\" field:\n  {line}"
+                );
+                exit(1);
+            }
+        };
         out.push((key, mips));
     }
     if out.is_empty() {
-        panic!("reference record {path} contains no cells");
+        eprintln!("simperf: reference record {path} contains no cells");
+        exit(1);
     }
     out
 }
@@ -233,10 +293,20 @@ fn field_str(line: &str, name: &str) -> Option<String> {
     Some(line[start..start + end].to_string())
 }
 
+/// Scans the number following `"name": `. Accepts only the shapes
+/// [`render_json`] emits — an optional minus, digits, an optional
+/// fractional part — and rejects empty or trailing-garbage matches
+/// (`parse` refuses forms like `1.2.3` or `-`), returning `None` so the
+/// caller can treat the record as malformed rather than reading 0.0.
 fn field_num(line: &str, name: &str) -> Option<f64> {
     let pat = format!("\"{name}\": ");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
-    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok().filter(|v: &f64| v.is_finite())
 }

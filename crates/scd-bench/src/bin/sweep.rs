@@ -9,7 +9,13 @@
 //! cargo run --release -p scd-bench --bin sweep -- --quick         # tiny inputs
 //! cargo run --release -p scd-bench --bin sweep -- --smoke         # CI drift gate
 //! cargo run --release -p scd-bench --bin sweep -- --smoke --bless # re-pin goldens
+//! cargo run --release -p scd-bench --bin sweep -- --interleaved   # reference loop
 //! ```
+//!
+//! Untraced cells run on the execute-ahead replay loop by default;
+//! `--interleaved` pins every cell to the interleaved reference loop
+//! with the invariant checker armed (the pre-replay behavior). Stats
+//! are bit-identical either way.
 //!
 //! Without `--smoke`, every selected report is rendered to stdout and
 //! `results/<name>.txt` (exactly the bytes the per-figure binaries
@@ -72,6 +78,7 @@ fn main() {
     };
 
     let mut m = RunMatrix::new();
+    m.set_interleaved(has("--interleaved"));
     let plans: Vec<(&Report, Box<dyn Render>)> = selected
         .iter()
         .map(|rep| {

@@ -17,12 +17,17 @@
 //! 3. figures render from the shared [`SweepResults`] via stable
 //!    [`CellId`] handles.
 //!
-//! Every cell runs with the invariant checker armed at
-//! [`INVARIANT_STRIDE`](crate), exactly as the sequential binaries did,
-//! and cells that any consumer wants traced carry a
-//! [`CycleBreakdown`] sink. The trace layer is stat-invariant (PR 1's
-//! golden guarantee), so a cell shared between a traced and an untraced
-//! consumer is run once, traced, and both read identical statistics.
+//! Untraced cells run uninstrumented on the execute-ahead replay loop
+//! (bit-identical stats, PR 6's golden guarantee; oracle checksum
+//! validation still gates every cell). Traced cells carry a
+//! [`CycleBreakdown`] sink and the invariant checker armed at
+//! [`INVARIANT_STRIDE`](crate), exactly as the sequential binaries did —
+//! observers force the interleaved loop. The trace layer is
+//! stat-invariant (PR 1's golden guarantee), so a cell shared between a
+//! traced and an untraced consumer is run once, traced, and both read
+//! identical statistics. [`RunMatrix::set_interleaved`] pins *every*
+//! cell to the interleaved loop with invariants armed (the pre-replay
+//! behavior), for apples-to-apples timing or debugging.
 
 use crate::{ArgScale, Variant, INVARIANT_STRIDE};
 use luma::scripts::{Benchmark, BENCHMARKS};
@@ -92,6 +97,8 @@ pub struct RunMatrix {
     /// How many times each unique cell was requested.
     hits: Vec<usize>,
     index: HashMap<String, usize>,
+    /// Pin every cell to the interleaved loop with invariants armed.
+    interleaved: bool,
 }
 
 impl RunMatrix {
@@ -114,6 +121,15 @@ impl RunMatrix {
     /// [`RunMatrix::len`] is the work the shared matrix saves.
     pub fn requested(&self) -> usize {
         self.hits.iter().sum()
+    }
+
+    /// Pins every cell — traced or not — to the interleaved reference
+    /// loop with the invariant checker armed, instead of letting
+    /// untraced cells take the execute-ahead replay loop. Stats are
+    /// identical either way; this trades speed for continuous invariant
+    /// checking.
+    pub fn set_interleaved(&mut self, interleaved: bool) {
+        self.interleaved = interleaved;
     }
 
     /// Plans `spec`, returning the id of the (possibly pre-existing)
@@ -169,8 +185,9 @@ impl RunMatrix {
         let started = Instant::now();
         let total = self.cells.len();
         let done = AtomicUsize::new(0);
+        let interleaved = self.interleaved;
         let outs = parallel_map(&self.cells, threads, |spec| {
-            let out = run_cell(spec);
+            let out = run_cell(spec, interleaved);
             if progress {
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
@@ -187,8 +204,10 @@ impl RunMatrix {
     }
 }
 
-/// Runs one cell: oracle-validated, invariants armed, optionally traced.
-fn run_cell(spec: &CellSpec) -> CellOut {
+/// Runs one cell, oracle-validated. Traced (or `interleaved`) cells run
+/// the interleaved loop with invariants armed; untraced cells run
+/// uninstrumented on the replay fast path.
+fn run_cell(spec: &CellSpec, interleaved: bool) -> CellOut {
     let started = Instant::now();
     let args = [("N", spec.arg)];
     let req = RunRequest::new(spec.cfg.clone(), spec.vm, spec.bench.source)
@@ -197,7 +216,13 @@ fn run_cell(spec: &CellSpec) -> CellOut {
         .opts(spec.opts);
     let mut run = req
         .run_with(|m| {
-            m.enable_invariants(INVARIANT_STRIDE);
+            if spec.traced || interleaved {
+                m.enable_invariants(INVARIANT_STRIDE);
+            } else {
+                // Let the execute-ahead replay loop engage (debug builds
+                // otherwise auto-arm the invariant observer).
+                m.disable_invariants();
+            }
             if spec.traced {
                 m.set_trace_sink(Box::new(CycleBreakdown::default()));
             }

@@ -5,7 +5,7 @@
 //! scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]
 //!         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...
 //!         [--trace out.jsonl] [--fault-plan NAME[@SEED]]
-//!         [--cycle-budget N] [--wall-budget SECS]
+//!         [--cycle-budget N] [--wall-budget SECS] [--interleaved]
 //!         [--checkpoint-every N] [--checkpoint-file F] [--resume F]
 //! scd disasm <script.luma> [--vm lvm|svm]
 //! scd listing [--scheme baseline|threaded|scd]     # guest interpreter asm
@@ -37,7 +37,7 @@ fn usage() -> ! {
         "usage:\n  scd run <script.luma> [--vm lvm|svm] [--scheme baseline|threaded|scd]\n\
          \x20         [--config a5|rocket|a8] [--vbbi|--ittage] [--arg NAME=VALUE]...\n\
          \x20         [--trace out.jsonl] [--fault-plan jte-corruption|btb-flush-storm|memory-system[@SEED]]\n\
-         \x20         [--cycle-budget N] [--wall-budget SECS]\n\
+         \x20         [--cycle-budget N] [--wall-budget SECS] [--interleaved]\n\
          \x20         [--checkpoint-every N] [--checkpoint-file F] [--resume F]\n\
          \x20 scd disasm <script.luma> [--vm lvm|svm]\n\
          \x20 scd listing [--scheme baseline|threaded|scd] [--vm lvm|svm]\n\
@@ -63,6 +63,7 @@ struct Opts {
     checkpoint_every: Option<u64>,
     checkpoint_file: String,
     resume: Option<String>,
+    interleaved: bool,
 }
 
 fn parse_fault_plan(spec: &str) -> Option<FaultPlan> {
@@ -92,6 +93,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         checkpoint_every: None,
         checkpoint_file: "scd.ckpt".to_string(),
         resume: None,
+        interleaved: false,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -149,6 +151,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
                 o.checkpoint_file = argv.next().unwrap_or_else(|| usage());
             }
             "--resume" => o.resume = Some(argv.next().unwrap_or_else(|| usage())),
+            "--interleaved" => o.interleaved = true,
             "--arg" => {
                 let kv = argv.next().unwrap_or_else(|| usage());
                 let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
@@ -247,6 +250,9 @@ fn cmd_run(o: Opts) {
     if let Some(plan) = o.fault_plan.clone() {
         eprintln!("fault plan: {}", plan.name());
         session.machine.set_fault_plan(plan);
+    }
+    if o.interleaved {
+        session.machine.set_replay(false);
     }
     if let Some(c) = o.cycle_budget {
         session.machine.set_cycle_budget(c);

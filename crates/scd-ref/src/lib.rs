@@ -191,6 +191,13 @@ pub enum BopHint {
     Hit,
     /// The DUT observed a miss (or fall-through); the oracle falls through.
     Miss,
+    /// The DUT observed a JTE hit and resolved this target; the oracle
+    /// follows it without consulting its own JTE map. Used by the
+    /// execute-ahead replay driver, whose core may have been seeded from
+    /// a mid-run checkpoint where the architectural map trained before
+    /// the snapshot is unavailable (the cycle model's BTB-resident JTEs
+    /// are a lossy cache of it, so it cannot be reconstructed).
+    Target(u64),
 }
 
 /// The timing-free reference core.
@@ -303,6 +310,76 @@ impl RefCore {
         }
     }
 
+    /// Builds a core around pre-decoded instructions and *moved-in*
+    /// segments (the text segment included). The execute-ahead replay
+    /// producer uses this to take ownership of the DUT's guest memory
+    /// for the duration of a run — a 200 MB heap must not be cloned per
+    /// run — and hands it back via [`RefCore::into_segments`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_owned_state(
+        text_base: u64,
+        text_end: u64,
+        insts: Vec<Option<Inst>>,
+        segments: Vec<Segment>,
+        regs: [u64; 32],
+        fregs: [u64; 32],
+        pc: u64,
+        scd_enabled: bool,
+        nbids: usize,
+    ) -> Self {
+        RefCore {
+            regs,
+            fregs,
+            pc,
+            output: Vec::new(),
+            instructions: 0,
+            text_base,
+            text_end,
+            insts,
+            segs: segments,
+            last_seg: 0,
+            scd: [ScdReg::default(); 4],
+            jte_map: JteMap::default(),
+            scd_enabled,
+            nbids: nbids.clamp(1, 4),
+        }
+    }
+
+    /// Consumes the core and returns its segments in construction order.
+    /// The counterpart of [`RefCore::from_owned_state`]: the replay
+    /// driver moves the guest memory back into the DUT when the run ends.
+    pub fn into_segments(self) -> Vec<Segment> {
+        self.segs
+    }
+
+    /// What a [`BopHint::Auto`] `bop` on `bid` would resolve to right
+    /// now: `Some(target)` for a hit, `None` for a fall-through. The
+    /// replay producer uses this to *speculate* past `bop`s (recording
+    /// the predicted outcome for the timing model to verify) instead of
+    /// stopping at every one.
+    pub fn bop_auto_target(&self, bid: u8) -> Option<u64> {
+        let bid = bid as usize % self.nbids;
+        if self.scd_enabled && self.scd[bid].rop_v {
+            self.jte_map.get(&(bid as u8, self.scd[bid].rop_d)).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Reads `size` bytes little-endian at `addr`, or `None` when the
+    /// range is unmapped. The replay producer snapshots the old bytes of
+    /// every store (an undo log) so a mis-speculated or interrupted
+    /// batch can be rolled back to the consumer's exact point.
+    pub fn read_mem(&mut self, addr: u64, size: u64) -> Option<u64> {
+        self.read(addr, size, 0).ok()
+    }
+
+    /// Writes `size` bytes little-endian at `addr`; panics if unmapped
+    /// (undo entries are pre-validated by construction).
+    pub fn write_mem(&mut self, addr: u64, size: u64, v: u64) {
+        self.write(addr, size, v, 0).expect("undo entry targets mapped memory");
+    }
+
     /// Maps an additional zero-filled segment (stacks, heap, fuzz data).
     pub fn map(&mut self, name: &str, base: u64, size: u64) {
         self.segs.push(Segment {
@@ -318,6 +395,27 @@ impl RefCore {
             return None;
         }
         self.insts[((pc - self.text_base) / 4) as usize]
+    }
+
+    /// Seeds one SCD register set from externally captured architectural
+    /// state. [`RefCore::from_state`] zeroes the SCD registers, which is
+    /// only correct when the snapshot was taken before the first
+    /// retirement; a driver resuming from a mid-run checkpoint (the
+    /// execute-ahead replay path) must carry `Rop`/`Rmask` over or its
+    /// `load_op` results and `jru` training would diverge from the DUT.
+    pub fn seed_scd(&mut self, bid: usize, rop_v: bool, rop_d: u64, rmask: u64) {
+        let s = &mut self.scd[bid % self.nbids.max(1)];
+        s.rop_v = rop_v;
+        s.rop_d = rop_d;
+        s.rmask = rmask;
+    }
+
+    /// The masked opcode value `Rop[bid].d` (already `& Rmask[bid]`).
+    /// The replay producer records it after each `load_op` because the
+    /// register-file writeback alone loses the loaded value when the
+    /// destination is `x0`.
+    pub fn rop_d(&self, bid: usize) -> u64 {
+        self.scd[bid % self.nbids.max(1)].rop_d
     }
 
     /// Clears every `Rop[bid].v` — the architectural effect of
@@ -383,6 +481,7 @@ impl RefCore {
     ///
     /// # Errors
     /// Any [`RefError`]; the core state is unspecified after an error.
+    #[inline]
     pub fn step(&mut self, hint: BopHint) -> Result<StepArch, RefError> {
         let mut out = StepArch::default();
         self.step_impl::<true>(hint, &mut out)?;
@@ -512,6 +611,7 @@ impl RefCore {
                         )?)
                     }
                     BopHint::Miss => None,
+                    BopHint::Target(t) => Some(t),
                 };
                 if let Some(t) = target {
                     next_pc = t;

@@ -514,37 +514,45 @@ impl Btb {
         ]);
     }
 
-    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
-        let n = c.next() as usize;
-        assert_eq!(n, self.entries.len(), "snapshot BTB geometry mismatch");
+    pub(crate) fn restore_words(
+        &mut self,
+        c: &mut crate::snapshot::Cursor,
+    ) -> Result<(), crate::SnapshotError> {
+        let n = c.next()? as usize;
+        crate::snapshot::check(n == self.entries.len(), "snapshot BTB geometry mismatch")?;
         for e in &mut self.entries {
-            let flags = c.next();
+            let flags = c.next()?;
             e.valid = flags & 1 != 0;
             e.kind = match flags >> 1 {
                 0 => EntryKind::Pc,
                 1 => EntryKind::Jte,
                 2 => EntryKind::Vbbi,
-                k => panic!("snapshot holds unknown BTB entry kind {k}"),
+                _ => {
+                    return Err(crate::SnapshotError::Format(
+                        "snapshot holds unknown BTB entry kind".into(),
+                    ))
+                }
             };
-            e.key = c.next();
-            e.target = c.next();
-            e.lru = c.next();
+            e.key = c.next()?;
+            e.target = c.next()?;
+            e.lru = c.next()?;
         }
-        let nrr = c.next() as usize;
-        assert_eq!(nrr, self.rr_next.len(), "snapshot BTB set-count mismatch");
+        let nrr = c.next()? as usize;
+        crate::snapshot::check(nrr == self.rr_next.len(), "snapshot BTB set-count mismatch")?;
         for v in &mut self.rr_next {
-            *v = c.next() as usize;
+            *v = c.next()? as usize;
         }
-        self.tick = c.next();
-        self.jte_count = c.next() as usize;
+        self.tick = c.next()?;
+        self.jte_count = c.next()? as usize;
         let s = &mut self.stats;
-        s.jte_inserts = c.next();
-        s.jte_cap_skips = c.next();
-        s.btb_evicted_by_jte = c.next();
-        s.jte_evictions = c.next();
-        s.btb_blocked_by_jte = c.next();
-        s.jte_flushes = c.next();
-        s.jte_flushed = c.next();
+        s.jte_inserts = c.next()?;
+        s.jte_cap_skips = c.next()?;
+        s.btb_evicted_by_jte = c.next()?;
+        s.jte_evictions = c.next()?;
+        s.btb_blocked_by_jte = c.next()?;
+        s.jte_flushes = c.next()?;
+        s.jte_flushed = c.next()?;
+        Ok(())
     }
 }
 
@@ -794,7 +802,7 @@ mod tests {
         b.snapshot_words(&mut w);
         let mut b2 = btb(8, 2);
         let mut c = crate::snapshot::Cursor::new(&w);
-        b2.restore_words(&mut c);
+        b2.restore_words(&mut c).expect("roundtrip restore succeeds");
         assert_eq!(c.remaining(), 0);
         assert_eq!(b2.stats, b.stats);
         assert_eq!(b2.resident_jtes(), b.resident_jtes());

@@ -61,6 +61,16 @@ pub struct Cache {
     rr_next: Vec<usize>,
     tick: u64,
     line_shift: u32,
+    /// MRU memo: block address and absolute line index of the most
+    /// recent access. Accesses are strongly streaky (16 sequential
+    /// fetches share an I-line; interpreter data reuses a few D-lines),
+    /// so a repeat of the last block skips the set scan. Pure fast path:
+    /// `tick`, `lru` and `dirty` update exactly as the scan would, and
+    /// the memoized line cannot have been evicted because every access
+    /// (the only thing that replaces lines) refreshes the memo.
+    /// Invalidated by [`Cache::flush`] and snapshot restore.
+    last_blk: u64,
+    last_idx: usize,
 }
 
 impl Cache {
@@ -82,6 +92,8 @@ impl Cache {
             rr_next: vec![0; sets],
             tick: 0,
             line_shift: cfg.line.trailing_zeros(),
+            last_blk: u64::MAX,
+            last_idx: 0,
         }
     }
 
@@ -100,13 +112,26 @@ impl Cache {
     #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
         self.tick += 1;
+        let blk = addr >> self.line_shift;
+        if blk == self.last_blk {
+            let line = &mut self.lines[self.last_idx];
+            line.lru = self.tick;
+            line.dirty |= write;
+            return CacheAccess { hit: true, writeback: false };
+        }
+        self.access_slow(addr, blk, write)
+    }
+
+    fn access_slow(&mut self, addr: u64, blk: u64, write: bool) -> CacheAccess {
         let (set, tag) = self.index_tag(addr);
         let base = set * self.cfg.ways;
         let ways = &mut self.lines[base..base + self.cfg.ways];
-        for line in ways.iter_mut() {
+        for (i, line) in ways.iter_mut().enumerate() {
             if line.valid && line.tag == tag {
                 line.lru = self.tick;
                 line.dirty |= write;
+                self.last_blk = blk;
+                self.last_idx = base + i;
                 return CacheAccess { hit: true, writeback: false };
             }
         }
@@ -135,7 +160,28 @@ impl Cache {
         };
         let writeback = ways[victim].valid && ways[victim].dirty;
         ways[victim] = Line { valid: true, dirty: write, tag, lru: self.tick };
+        self.last_blk = blk;
+        self.last_idx = base + victim;
         CacheAccess { hit: false, writeback }
+    }
+
+    /// Block number of `addr` (the memo key used by [`Cache::access`]).
+    #[inline]
+    pub(crate) fn block_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Applies `k` deferred same-block touches to the memo-resident
+    /// line in one step: `tick` advances by `k` and the line becomes
+    /// MRU at the final tick — bit-identical to `k` [`Cache::access`]
+    /// calls on the memoized block (each of which would hit and only
+    /// re-stamp the same line's `lru`). The machine's fetch-streak fast
+    /// path batches consecutive same-line fetches through this.
+    #[inline]
+    pub(crate) fn bump_mru(&mut self, k: u64) {
+        debug_assert_ne!(self.last_blk, u64::MAX, "bump_mru without an armed memo");
+        self.tick += k;
+        self.lines[self.last_idx].lru = self.tick;
     }
 
     /// Invalidates every line (used by tests, context-switch modeling
@@ -144,6 +190,7 @@ impl Cache {
         for l in &mut self.lines {
             *l = Line::default();
         }
+        self.last_blk = u64::MAX;
     }
 
     // ---- checkpoint codec (crate::snapshot) ----
@@ -160,22 +207,27 @@ impl Cache {
         out.push(self.tick);
     }
 
-    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
-        let n = c.next() as usize;
-        assert_eq!(n, self.lines.len(), "snapshot cache geometry mismatch");
+    pub(crate) fn restore_words(
+        &mut self,
+        c: &mut crate::snapshot::Cursor,
+    ) -> Result<(), crate::SnapshotError> {
+        let n = c.next()? as usize;
+        crate::snapshot::check(n == self.lines.len(), "snapshot cache geometry mismatch")?;
         for l in &mut self.lines {
-            let flags = c.next();
+            let flags = c.next()?;
             l.valid = flags & 1 != 0;
             l.dirty = flags & 2 != 0;
-            l.tag = c.next();
-            l.lru = c.next();
+            l.tag = c.next()?;
+            l.lru = c.next()?;
         }
-        let nrr = c.next() as usize;
-        assert_eq!(nrr, self.rr_next.len(), "snapshot cache set-count mismatch");
+        let nrr = c.next()? as usize;
+        crate::snapshot::check(nrr == self.rr_next.len(), "snapshot cache set-count mismatch")?;
         for v in &mut self.rr_next {
-            *v = c.next() as usize;
+            *v = c.next()? as usize;
         }
-        self.tick = c.next();
+        self.tick = c.next()?;
+        self.last_blk = u64::MAX;
+        Ok(())
     }
 }
 

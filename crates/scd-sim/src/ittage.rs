@@ -197,24 +197,28 @@ impl Ittage {
         out.push(self.clock);
     }
 
-    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
-        let nt = c.next() as usize;
-        assert_eq!(nt, self.tables.len(), "snapshot ITTAGE table count mismatch");
+    pub(crate) fn restore_words(
+        &mut self,
+        c: &mut crate::snapshot::Cursor,
+    ) -> Result<(), crate::SnapshotError> {
+        let nt = c.next()? as usize;
+        crate::snapshot::check(nt == self.tables.len(), "snapshot ITTAGE table count mismatch")?;
         for t in &mut self.tables {
-            let n = c.next() as usize;
-            assert_eq!(n, t.entries.len(), "snapshot ITTAGE table size mismatch");
+            let n = c.next()? as usize;
+            crate::snapshot::check(n == t.entries.len(), "snapshot ITTAGE table size mismatch")?;
             for e in &mut t.entries {
-                let flags = c.next();
+                let flags = c.next()?;
                 e.valid = flags & 1 != 0;
                 e.useful = flags & 2 != 0;
                 e.conf = Counter2::from_raw((flags >> 2) as u8);
-                e.tag = c.next() as u16;
-                e.target = c.next();
+                e.tag = c.next()? as u16;
+                e.target = c.next()?;
             }
         }
-        let hi = c.next() as u128;
-        self.history = (hi << 64) | c.next() as u128;
-        self.clock = c.next();
+        let hi = c.next()? as u128;
+        self.history = (hi << 64) | c.next()? as u128;
+        self.clock = c.next()?;
+        Ok(())
     }
 }
 

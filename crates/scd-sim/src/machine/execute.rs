@@ -26,7 +26,7 @@ pub(super) struct StepOut {
 
 impl Machine {
     #[inline]
-    fn wx(&mut self, r: Reg, v: u64) {
+    pub(super) fn wx(&mut self, r: Reg, v: u64) {
         if !r.is_zero() {
             self.regs[r.index()] = v;
         }
@@ -37,24 +37,21 @@ impl Machine {
     /// come pre-resolved from the [`StaticInfo`] side-table, so no
     /// per-retirement instruction decode happens here.
     pub(super) fn issue(&mut self, si: &StaticInfo) {
-        let mut min_cycle = self.cycle;
-        for src in si.use_x.into_iter().flatten() {
-            min_cycle = min_cycle.max(self.xready[src.index()]);
-        }
-        for src in si.use_f.into_iter().flatten() {
-            min_cycle = min_cycle.max(self.fready[src.index()]);
-        }
+        // Absent source slots index the always-zero sentinel (entry 32),
+        // so operand readiness is four unconditional loads + max.
+        let min_cycle = self
+            .cycle
+            .max(self.xready[si.xsrc[0] as usize])
+            .max(self.xready[si.xsrc[1] as usize])
+            .max(self.fready[si.fsrc[0] as usize])
+            .max(self.fready[si.fsrc[1] as usize]);
 
         let can_pair = self.cfg.issue_width > 1
             && self.issued_this_cycle == 1
             && min_cycle <= self.cycle
             && !(self.prev_was_mem && si.is_mem)
-            && !si
-                .use_x
-                .into_iter()
-                .flatten()
-                .any(|s| Some(s) == self.prev_dest && !s.is_zero())
-            && !si.use_f.into_iter().flatten().any(|s| Some(s) == self.prev_fdest);
+            && (si.src_x_mask & self.prev_def_mask) == 0
+            && (si.src_f_mask & self.prev_fdef_mask) == 0;
 
         if can_pair {
             self.issued_this_cycle = 2;
@@ -62,8 +59,8 @@ impl Machine {
             self.cycle = (self.cycle + 1).max(min_cycle);
             self.issued_this_cycle = 1;
         }
-        self.prev_dest = si.def_x;
-        self.prev_fdest = si.def_f;
+        self.prev_def_mask = si.def_x_mask;
+        self.prev_fdef_mask = si.def_f_mask;
         self.prev_was_mem = si.is_mem;
     }
 

@@ -41,6 +41,41 @@ impl Machine {
         }
     }
 
+    /// Fetch timing for the untraced loops: consecutive fetches from
+    /// the same I-cache line (which also means the same I-TLB page —
+    /// a line never spans a page) are all hits charging zero cycles,
+    /// so they collapse into a deferred counter instead of touching
+    /// the cache/TLB models per retirement. Any other fetch first
+    /// materializes the pending streak — preserving the exact
+    /// access-ordering the interleaved loop would have produced — and
+    /// takes the full [`Machine::fetch_timing`] path.
+    #[inline]
+    pub(super) fn fetch_fast(&mut self, pc: u64) {
+        if self.icache.block_of(pc) == self.fetch_blk {
+            self.fetch_streak += 1;
+        } else {
+            self.flush_fetch_streak();
+            self.fetch_timing::<false>(pc);
+            self.fetch_blk = self.icache.block_of(pc);
+        }
+    }
+
+    /// Materializes a pending fetch streak: `k` deferred same-line
+    /// fetches become `k` I-TLB and I-cache accesses (all hits) and one
+    /// collapsed MRU re-stamp on each structure's memo-resident entry.
+    /// Called before any non-streak I-side access and at every run-loop
+    /// exit, so callers never observe deferred state.
+    pub(super) fn flush_fetch_streak(&mut self) {
+        if self.fetch_streak > 0 {
+            self.stats.itlb.accesses += self.fetch_streak;
+            self.stats.icache.accesses += self.fetch_streak;
+            self.itlb.bump_mru(self.fetch_streak);
+            self.icache.bump_mru(self.fetch_streak);
+            self.fetch_streak = 0;
+        }
+        self.fetch_blk = u64::MAX;
+    }
+
     /// Charges a front-end redirect penalty and closes the issue group.
     pub(super) fn redirect<const OBSERVED: bool>(&mut self, cause: RedirectCause, penalty: u64) {
         self.cycle += penalty;

@@ -39,6 +39,7 @@
 mod execute;
 mod frontend;
 mod memory;
+mod replay;
 mod retire;
 mod state;
 #[cfg(test)]
@@ -64,6 +65,33 @@ use std::sync::Arc;
 
 /// Maximum number of SCD branch IDs supported by the model.
 pub const MAX_BRANCH_IDS: usize = 4;
+
+/// Which run loop untraced machines take (observed machines always run
+/// interleaved — their per-retirement hooks need functional execution
+/// in-line with timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplayMode {
+    /// Pin the interleaved reference loop.
+    Off,
+    /// Execute-ahead replay when the host has ≥ 2 hardware threads,
+    /// interleaved otherwise. The decoupled engine buys its speed from
+    /// overlapping the functional producer with the timing consumer; on
+    /// a single-hardware-thread host the two serialize into fill +
+    /// drain — strictly more work than the fused loop — so falling back
+    /// is the faster choice. Either loop yields bit-identical
+    /// [`SimStats`](crate::SimStats).
+    Auto,
+    /// Execute-ahead replay unconditionally (the bit-identity tests use
+    /// this so the real engine is exercised even on one-CPU hosts).
+    Force,
+}
+
+/// Whether the host can actually overlap the replay producer and
+/// consumer threads (cached: the answer cannot change mid-process).
+fn host_can_pipeline() -> bool {
+    static CAN: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CAN.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2))
+}
 
 #[derive(Debug, Clone, Copy, Default)]
 struct ScdRegs {
@@ -111,11 +139,18 @@ pub struct Machine {
     scd: [ScdRegs; MAX_BRANCH_IDS],
 
     cycle: u64,
-    xready: [u64; 32],
-    fready: [u64; 32],
+    /// Cycle each architectural register's value becomes available.
+    /// Entry 32 is a scoreboard sentinel that stays 0 forever: absent
+    /// source-operand slots in [`StaticInfo`] point at it so
+    /// [`Machine::issue`] reads readiness branch-free.
+    xready: [u64; 33],
+    fready: [u64; 33],
     issued_this_cycle: usize,
-    prev_dest: Option<Reg>,
-    prev_fdest: Option<scd_isa::FReg>,
+    /// Bit of the previous instruction's integer destination (0 when it
+    /// had none, or wrote x0) — the dual-issue RAW pairing hazard as a
+    /// mask test.
+    prev_def_mask: u32,
+    prev_fdef_mask: u32,
     prev_was_mem: bool,
 
     ann: Annotations,
@@ -130,6 +165,20 @@ pub struct Machine {
     fault_plan: Option<FaultPlan>,
     cycle_budget: Option<u64>,
     wall_budget: Option<std::time::Duration>,
+    /// Untraced runs take the execute-ahead replay loop (see
+    /// [`replay`](self)) when the host can pipeline it; see
+    /// [`Machine::set_replay`] / [`Machine::force_replay`].
+    replay: ReplayMode,
+
+    /// Fetch-streak fast path (untraced loops only): the I-cache block
+    /// of the most recent fetch, and how many subsequent same-block
+    /// fetches have been deferred — not yet applied to the I-cache /
+    /// I-TLB MRU state and access counters. A streak of same-line
+    /// fetches is all hits charging zero cycles, so deferring is
+    /// state-exact once [`Machine::flush_fetch_streak`] materializes it
+    /// (at every run-loop exit and before any non-streak fetch).
+    fetch_blk: u64,
+    fetch_streak: u64,
 
     /// Run statistics.
     pub stats: SimStats,
@@ -180,32 +229,63 @@ struct StaticInfo {
     dispatch_jump: bool,
     /// Load or store (the dual-issue memory-port pairing hazard).
     is_mem: bool,
-    /// Source integer registers.
-    use_x: [Option<Reg>; 2],
-    /// Source FP registers.
-    use_f: [Option<FReg>; 2],
     /// Destination integer register.
     def_x: Option<Reg>,
     /// Destination FP register.
     def_f: Option<FReg>,
     /// VBBI hint registered on this (jump) PC.
     vbbi: Option<VbbiHint>,
+    /// Source slots as indices into the 33-entry ready arrays (32 = the
+    /// always-ready sentinel for absent slots), so the scoreboard reads
+    /// readiness without unpacking `Option`s.
+    xsrc: [u8; 2],
+    fsrc: [u8; 2],
+    /// Source register bitmasks (x0 excluded — it never carries a RAW
+    /// hazard) for the dual-issue pairing test.
+    src_x_mask: u32,
+    src_f_mask: u32,
+    /// Destination bitmasks (0 for none or x0), matched against the next
+    /// instruction's source masks.
+    def_x_mask: u32,
+    def_f_mask: u32,
 }
 
 impl StaticInfo {
     /// The annotation-independent part; [`Machine::rebuild_static_info`]
     /// fills in the PC-dependent fields.
     fn of(inst: &Inst) -> Self {
+        let use_x = inst.use_xregs();
+        let use_f = inst.use_fregs();
+        let def_x = inst.def_xreg();
+        let def_f = inst.def_freg();
+        let mut xsrc = [32u8; 2];
+        let mut src_x_mask = 0u32;
+        for (slot, r) in use_x.into_iter().flatten().enumerate() {
+            xsrc[slot] = r.index() as u8;
+            if !r.is_zero() {
+                src_x_mask |= 1 << r.index();
+            }
+        }
+        let mut fsrc = [32u8; 2];
+        let mut src_f_mask = 0u32;
+        for (slot, r) in use_f.into_iter().flatten().enumerate() {
+            fsrc[slot] = r.index() as u8;
+            src_f_mask |= 1 << r.index();
+        }
         StaticInfo {
             class: InstClass::of(inst),
             in_dispatch: false,
             dispatch_jump: false,
             is_mem: inst.is_load() || inst.is_store(),
-            use_x: inst.use_xregs(),
-            use_f: inst.use_fregs(),
-            def_x: inst.def_xreg(),
-            def_f: inst.def_freg(),
+            def_x,
+            def_f,
             vbbi: None,
+            xsrc,
+            fsrc,
+            src_x_mask,
+            src_f_mask,
+            def_x_mask: def_x.map_or(0, |r| if r.is_zero() { 0 } else { 1 << r.index() }),
+            def_f_mask: def_f.map_or(0, |r| 1 << r.index()),
         }
     }
 }
@@ -242,11 +322,11 @@ impl Machine {
             ittage: Ittage::new(),
             scd: Default::default(),
             cycle: 0,
-            xready: [0; 32],
-            fready: [0; 32],
+            xready: [0; 33],
+            fready: [0; 33],
             issued_this_cycle: 0,
-            prev_dest: None,
-            prev_fdest: None,
+            prev_def_mask: 0,
+            prev_fdef_mask: 0,
             prev_was_mem: false,
             ann: Annotations::default(),
             next_flush_at: flush_at,
@@ -260,6 +340,9 @@ impl Machine {
             fault_plan: None,
             cycle_budget: None,
             wall_budget: None,
+            replay: ReplayMode::Auto,
+            fetch_blk: u64::MAX,
+            fetch_streak: 0,
             stats: SimStats::default(),
             regs: [0; 32],
             fregs: [0; 32],
@@ -416,6 +499,28 @@ impl Machine {
         self.wall_budget = Some(budget);
     }
 
+    /// Selects the run loop for untraced machines: `true` (the default)
+    /// takes the execute-ahead replay path on hosts with at least two
+    /// hardware threads (on a single-CPU host the producer/consumer
+    /// pair cannot overlap, so the interleaved loop — bit-identical by
+    /// construction — is the faster engine and is substituted
+    /// silently); `false` pins the interleaved reference loop.
+    /// Irrelevant once any observer (tracer, invariants, profiling,
+    /// fault plan) is attached — observers always run interleaved,
+    /// since their per-retirement hooks need functional execution
+    /// in-line with timing.
+    pub fn set_replay(&mut self, replay: bool) {
+        self.replay = if replay { ReplayMode::Auto } else { ReplayMode::Off };
+    }
+
+    /// Like [`Machine::set_replay`]`(true)`, minus the single-CPU
+    /// fallback: the threaded execute-ahead engine runs even when the
+    /// host cannot overlap the two threads. The bit-identity tests use
+    /// this so the real engine is exercised on any host.
+    pub fn force_replay(&mut self) {
+        self.replay = ReplayMode::Force;
+    }
+
     /// Bytes the guest has written through the putchar `ecall` so far.
     /// (A successful exit takes the buffer; this view is for comparing
     /// partial runs.)
@@ -448,12 +553,27 @@ impl Machine {
             || self.fault_plan.is_some();
         if observed {
             self.run_impl::<true>(max_insts)
+        } else if match self.replay {
+            ReplayMode::Off => false,
+            ReplayMode::Auto => host_can_pipeline(),
+            ReplayMode::Force => true,
+        } {
+            self.run_replay(max_insts)
         } else {
             self.run_impl::<false>(max_insts)
         }
     }
 
     fn run_impl<const OBSERVED: bool>(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+        // Every exit (exit ecall, limit, watchdog, PC/memory error)
+        // funnels through here so a pending fetch streak is always
+        // materialized before the caller can observe stats or state.
+        let r = self.run_loop::<OBSERVED>(max_insts);
+        self.flush_fetch_streak();
+        r
+    }
+
+    fn run_loop<const OBSERVED: bool>(&mut self, max_insts: u64) -> Result<Exit, SimError> {
         let scd_cfg: ScdConfig = self.cfg.scd;
         let nbids = scd_cfg.branch_ids.min(MAX_BRANCH_IDS);
         let cycle_budget = self.cycle_budget;
@@ -495,7 +615,11 @@ impl Machine {
 
             // ---- frontend + issue timing ----
             let cycle_before = self.cycle;
-            self.fetch_timing::<OBSERVED>(pc);
+            if OBSERVED {
+                self.fetch_timing::<OBSERVED>(pc);
+            } else {
+                self.fetch_fast(pc);
+            }
             self.issue(&si);
 
             // ---- retire bookkeeping (counters, flush quantum, faults) ----

@@ -208,11 +208,13 @@ impl Machine {
         w.extend_from_slice(&self.fregs);
         w.push(self.pc);
         w.push(self.cycle);
-        w.extend_from_slice(&self.xready);
-        w.extend_from_slice(&self.fready);
+        // Entry 32 of the ready arrays is the constant-zero scoreboard
+        // sentinel — derived state, not snapshotted.
+        w.extend_from_slice(&self.xready[..32]);
+        w.extend_from_slice(&self.fready[..32]);
         w.push(self.issued_this_cycle as u64);
-        w.push(self.prev_dest.map_or(u64::MAX, |r| r.index() as u64));
-        w.push(self.prev_fdest.map_or(u64::MAX, |r| r.index() as u64));
+        w.push(self.prev_def_mask as u64);
+        w.push(self.prev_fdef_mask as u64);
         w.push(self.prev_was_mem as u64);
         for s in &self.scd {
             w.push(s.rop_v as u64);
@@ -272,58 +274,52 @@ impl Machine {
         self.mem.restore_segments(&snap.segments).map_err(SnapshotError::Format)?;
         let mut c = Cursor::new(&snap.words);
         for r in &mut self.regs {
-            *r = c.next();
+            *r = c.next()?;
         }
         for r in &mut self.fregs {
-            *r = c.next();
+            *r = c.next()?;
         }
-        self.pc = c.next();
-        self.cycle = c.next();
-        for r in &mut self.xready {
-            *r = c.next();
+        self.pc = c.next()?;
+        self.cycle = c.next()?;
+        for r in &mut self.xready[..32] {
+            *r = c.next()?;
         }
-        for r in &mut self.fready {
-            *r = c.next();
+        for r in &mut self.fready[..32] {
+            *r = c.next()?;
         }
-        self.issued_this_cycle = c.next() as usize;
-        self.prev_dest = match c.next() {
-            u64::MAX => None,
-            n => Some(Reg::new(n as u8)),
-        };
-        self.prev_fdest = match c.next() {
-            u64::MAX => None,
-            n => Some(scd_isa::FReg::new(n as u8)),
-        };
-        self.prev_was_mem = c.next() != 0;
+        self.issued_this_cycle = c.next()? as usize;
+        self.prev_def_mask = c.next()? as u32;
+        self.prev_fdef_mask = c.next()? as u32;
+        self.prev_was_mem = c.next()? != 0;
         for s in &mut self.scd {
-            s.rop_v = c.next() != 0;
-            s.rop_d = c.next();
-            s.rmask = c.next();
-            s.rbop_pc = c.next();
-            s.rop_ready = c.next();
+            s.rop_v = c.next()? != 0;
+            s.rop_d = c.next()?;
+            s.rmask = c.next()?;
+            s.rbop_pc = c.next()?;
+            s.rop_ready = c.next()?;
         }
-        self.next_flush_at = c.next();
-        self.stats = snapshot::stats_from_words(&mut c);
-        self.icache.restore_words(&mut c);
-        self.dcache.restore_words(&mut c);
-        let have_l2 = c.next() != 0;
+        self.next_flush_at = c.next()?;
+        self.stats = snapshot::stats_from_words(&mut c)?;
+        self.icache.restore_words(&mut c)?;
+        self.dcache.restore_words(&mut c)?;
+        let have_l2 = c.next()? != 0;
         match (&mut self.l2, have_l2) {
-            (Some(l2), true) => l2.restore_words(&mut c),
+            (Some(l2), true) => l2.restore_words(&mut c)?,
             (None, false) => {}
             _ => return Err(SnapshotError::Format("L2 presence mismatch".into())),
         }
-        self.itlb.restore_words(&mut c);
-        self.dtlb.restore_words(&mut c);
-        self.direction.restore_words(&mut c);
-        self.btb.restore_words(&mut c);
-        let have_jt = c.next() != 0;
+        self.itlb.restore_words(&mut c)?;
+        self.dtlb.restore_words(&mut c)?;
+        self.direction.restore_words(&mut c)?;
+        self.btb.restore_words(&mut c)?;
+        let have_jt = c.next()? != 0;
         match (&mut self.jte_table, have_jt) {
-            (Some(t), true) => t.restore_words(&mut c),
+            (Some(t), true) => t.restore_words(&mut c)?,
             (None, false) => {}
             _ => return Err(SnapshotError::Format("JTE-table presence mismatch".into())),
         }
-        self.ras.restore_words(&mut c);
-        self.ittage.restore_words(&mut c);
+        self.ras.restore_words(&mut c)?;
+        self.ittage.restore_words(&mut c)?;
         if c.remaining() != 0 {
             return Err(SnapshotError::Format(format!(
                 "{} unconsumed snapshot words",

@@ -471,6 +471,72 @@ fn checkpoint_resume_reproduces_run_exactly() {
     assert_eq!(whole.stats, m.stats);
 }
 
+/// A checkpoint taken mid-run in replay mode, at an instruction count
+/// that is *not* a multiple of [`replay::REPLAY_BATCH`], must restore
+/// and continue to the same exit and bit-identical `SimStats` as the
+/// uninterrupted run. The stop point lands just past a batch boundary,
+/// so the producer is abandoned mid-batch and rebuilt from the restored
+/// architectural state — the contract that makes snapshots compose with
+/// execute-ahead.
+#[test]
+fn checkpoint_across_replay_batch_boundary() {
+    let mut a = Asm::new(0x1_0000);
+    build_dispatcher(&mut a);
+    let p = a.finish().expect("assemble");
+
+    let replay_machine = |p| {
+        let mut m = dispatcher_machine(p);
+        m.disable_invariants();
+        m.force_replay();
+        m
+    };
+
+    // Reference: the uninterrupted replay run.
+    let mut whole = replay_machine(&p);
+    let exit_whole = whole.run(1_000_000).expect("run");
+
+    // Interrupted: stop just past the first replay-batch boundary
+    // (1024 records), snapshot through the byte codec, restore into a
+    // fresh machine, finish.
+    let stop = replay::REPLAY_BATCH as u64 + 50;
+    let mut m = replay_machine(&p);
+    match m.run(stop) {
+        Err(SimError::InstLimit { .. }) => {}
+        other => panic!("the dispatcher must outlive the stop point, got {other:?}"),
+    }
+    assert_eq!(m.stats.instructions, stop);
+    let bytes = m.snapshot().to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("decode");
+    let mut resumed = replay_machine(&p);
+    resumed.restore(&snap).expect("restore");
+    let exit_resumed = resumed.run(1_000_000).expect("resumed run");
+
+    assert_eq!(exit_whole.code, exit_resumed.code);
+    assert_eq!(exit_whole.output, exit_resumed.output);
+    assert_eq!(whole.stats, resumed.stats);
+}
+
+/// Regression: a checkpoint whose *byte framing* is intact but whose
+/// word stream is short (truncated words, passing fingerprint) used to
+/// panic inside `Cursor::next` during restore. It must surface as the
+/// documented [`SnapshotError::Format`] instead.
+#[test]
+fn restore_rejects_truncated_word_stream() {
+    let mut a = Asm::new(0x1_0000);
+    build_dispatcher(&mut a);
+    let p = a.finish().expect("assemble");
+    let mut m = dispatcher_machine(&p);
+    assert!(matches!(m.run(500), Err(SimError::InstLimit { .. })));
+
+    let mut snap = m.snapshot();
+    snap.words.truncate(snap.words.len() / 2);
+    // Round-trip through the byte codec: the file is well-formed and the
+    // fingerprint (config + program only) still matches.
+    let snap = Snapshot::from_bytes(&snap.to_bytes()).expect("framing is intact");
+    let mut fresh = dispatcher_machine(&p);
+    assert!(matches!(fresh.restore(&snap), Err(SnapshotError::Format(_))));
+}
+
 #[test]
 fn restore_rejects_wrong_program() {
     let mut a = Asm::new(0x1_0000);

@@ -175,6 +175,33 @@ impl Memory {
         self.segments.iter().map(|s| (s.name, s.base, s.data.as_slice()))
     }
 
+    // ---- execute-ahead replay (crate::machine::replay) ----
+
+    /// Moves the backing bytes of every segment out (leaving empty
+    /// vectors behind), for the replay producer to own during a run.
+    /// The machine's memory is unusable until [`Memory::put_back_data`]
+    /// restores it — the replay consumer never touches memory (loads
+    /// come from the record stream, stores were already applied by the
+    /// producer), so nothing observes the gap.
+    pub(crate) fn take_all_data(&mut self) -> Vec<(&'static str, u64, Vec<u8>)> {
+        self.segments
+            .iter_mut()
+            .map(|s| (s.name, s.base, std::mem::take(&mut s.data)))
+            .collect()
+    }
+
+    /// Restores segment data moved out by [`Memory::take_all_data`], in
+    /// the same order.
+    pub(crate) fn put_back_data(&mut self, data: impl Iterator<Item = Vec<u8>>) {
+        let mut n = 0;
+        for (s, d) in self.segments.iter_mut().zip(data) {
+            debug_assert!(s.data.is_empty(), "segment {} was not taken", s.name);
+            s.data = d;
+            n += 1;
+        }
+        assert_eq!(n, self.segments.len(), "replay returned a different segment count");
+    }
+
     // ---- checkpoint codec (crate::snapshot) ----
 
     pub(crate) fn snapshot_segments(&self) -> Vec<(String, u64, Vec<u8>)> {

@@ -187,29 +187,37 @@ impl Direction {
         }
     }
 
-    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
-        let restore_table = |t: &mut Vec<Counter2>, c: &mut crate::snapshot::Cursor| {
-            let n = c.next() as usize;
-            assert_eq!(n, t.len(), "snapshot predictor table size mismatch");
-            for slot in t.iter_mut() {
-                *slot = Counter2::from_raw(c.next() as u8);
-            }
-        };
-        let tag = c.next();
+    pub(crate) fn restore_words(
+        &mut self,
+        c: &mut crate::snapshot::Cursor,
+    ) -> Result<(), crate::SnapshotError> {
+        let restore_table =
+            |t: &mut Vec<Counter2>,
+             c: &mut crate::snapshot::Cursor|
+             -> Result<(), crate::SnapshotError> {
+                let n = c.next()? as usize;
+                crate::snapshot::check(n == t.len(), "snapshot predictor table size mismatch")?;
+                for slot in t.iter_mut() {
+                    *slot = Counter2::from_raw(c.next()? as u8);
+                }
+                Ok(())
+            };
+        let tag = c.next()?;
         match self {
             Direction::Tournament { global, local, chooser, ghr } => {
-                assert_eq!(tag, 0, "snapshot predictor variant mismatch");
-                restore_table(global, c);
-                restore_table(local, c);
-                restore_table(chooser, c);
-                *ghr = c.next();
+                crate::snapshot::check(tag == 0, "snapshot predictor variant mismatch")?;
+                restore_table(global, c)?;
+                restore_table(local, c)?;
+                restore_table(chooser, c)?;
+                *ghr = c.next()?;
             }
             Direction::Gshare { table, ghr } => {
-                assert_eq!(tag, 1, "snapshot predictor variant mismatch");
-                restore_table(table, c);
-                *ghr = c.next();
+                crate::snapshot::check(tag == 1, "snapshot predictor variant mismatch")?;
+                restore_table(table, c)?;
+                *ghr = c.next()?;
             }
         }
+        Ok(())
     }
 }
 
@@ -268,14 +276,18 @@ impl Ras {
         out.push(self.depth as u64);
     }
 
-    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
-        let n = c.next() as usize;
-        assert_eq!(n, self.stack.len(), "snapshot RAS size mismatch");
+    pub(crate) fn restore_words(
+        &mut self,
+        c: &mut crate::snapshot::Cursor,
+    ) -> Result<(), crate::SnapshotError> {
+        let n = c.next()? as usize;
+        crate::snapshot::check(n == self.stack.len(), "snapshot RAS size mismatch")?;
         for v in &mut self.stack {
-            *v = c.next();
+            *v = c.next()?;
         }
-        self.top = c.next() as usize;
-        self.depth = c.next() as usize;
+        self.top = c.next()? as usize;
+        self.depth = c.next()? as usize;
+        Ok(())
     }
 }
 

@@ -174,10 +174,12 @@ impl<'a> Reader<'a> {
 /// Read cursor over a snapshot's word stream, handed to each component's
 /// `restore_words`.
 ///
-/// Exhausting the stream or failing a geometry assertion panics: both
-/// mean the snapshot passed the fingerprint check yet disagrees with the
-/// machine's shape, which is an internal inconsistency, not a user
-/// error.
+/// Exhausting the stream or failing a geometry check returns
+/// [`SnapshotError::Format`]: the fingerprint covers only the (config,
+/// program) pair, so a truncated or bit-flipped checkpoint file can pass
+/// it while the word stream disagrees with the machine's shape. That is
+/// a bad input, not an internal bug — callers surface it as the
+/// documented checkpoint error instead of panicking.
 pub(crate) struct Cursor<'a> {
     words: &'a [u64],
     pos: usize,
@@ -188,14 +190,27 @@ impl<'a> Cursor<'a> {
         Cursor { words, pos: 0 }
     }
 
-    pub(crate) fn next(&mut self) -> u64 {
-        let w = *self.words.get(self.pos).expect("snapshot word stream exhausted");
+    pub(crate) fn next(&mut self) -> Result<u64, SnapshotError> {
+        let w = *self
+            .words
+            .get(self.pos)
+            .ok_or_else(|| SnapshotError::Format("snapshot word stream exhausted".into()))?;
         self.pos += 1;
-        w
+        Ok(w)
     }
 
     pub(crate) fn remaining(&self) -> usize {
         self.words.len() - self.pos
+    }
+}
+
+/// Geometry / consistency check during restore; `false` means the word
+/// stream disagrees with the machine's shape.
+pub(crate) fn check(ok: bool, what: &str) -> Result<(), SnapshotError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(SnapshotError::Format(what.into()))
     }
 }
 
@@ -242,38 +257,38 @@ pub(crate) fn stats_to_words(s: &SimStats, out: &mut Vec<u64>) {
 
 /// Inverse of [`stats_to_words`].
 #[allow(clippy::field_reassign_with_default)]
-pub(crate) fn stats_from_words(c: &mut Cursor) -> SimStats {
+pub(crate) fn stats_from_words(c: &mut Cursor) -> Result<SimStats, SnapshotError> {
     let mut s = SimStats::default();
-    s.cycles = c.next();
-    s.instructions = c.next();
-    s.dispatch_instructions = c.next();
-    s.loads = c.next();
-    s.stores = c.next();
+    s.cycles = c.next()?;
+    s.instructions = c.next()?;
+    s.dispatch_instructions = c.next()?;
+    s.loads = c.next()?;
+    s.stores = c.next()?;
     for b in
         [&mut s.cond, &mut s.direct, &mut s.ret, &mut s.indirect_dispatch, &mut s.indirect_other]
     {
-        b.executed = c.next();
-        b.mispredicted = c.next();
+        b.executed = c.next()?;
+        b.mispredicted = c.next()?;
     }
-    s.bop_executed = c.next();
-    s.bop_hits = c.next();
-    s.bop_misses = c.next();
-    s.bop_stall_cycles = c.next();
-    s.jru_executed = c.next();
+    s.bop_executed = c.next()?;
+    s.bop_hits = c.next()?;
+    s.bop_misses = c.next()?;
+    s.bop_stall_cycles = c.next()?;
+    s.jru_executed = c.next()?;
     for a in [&mut s.icache, &mut s.dcache, &mut s.l2, &mut s.itlb, &mut s.dtlb] {
-        a.accesses = c.next();
-        a.misses = c.next();
-        a.writebacks = c.next();
+        a.accesses = c.next()?;
+        a.misses = c.next()?;
+        a.writebacks = c.next()?;
     }
     let b = &mut s.btb;
-    b.jte_inserts = c.next();
-    b.jte_cap_skips = c.next();
-    b.btb_evicted_by_jte = c.next();
-    b.jte_evictions = c.next();
-    b.btb_blocked_by_jte = c.next();
-    b.jte_flushes = c.next();
-    b.jte_flushed = c.next();
-    s
+    b.jte_inserts = c.next()?;
+    b.jte_cap_skips = c.next()?;
+    b.btb_evicted_by_jte = c.next()?;
+    b.jte_evictions = c.next()?;
+    b.btb_blocked_by_jte = c.next()?;
+    b.jte_flushes = c.next()?;
+    b.jte_flushed = c.next()?;
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -324,8 +339,21 @@ mod tests {
         let mut w = Vec::new();
         stats_to_words(&s, &mut w);
         let mut c = Cursor::new(&w);
-        let back = stats_from_words(&mut c);
+        let back = stats_from_words(&mut c).unwrap();
         assert_eq!(back, s);
         assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn exhausted_word_stream_is_a_typed_error() {
+        let w = vec![1u64, 2];
+        let mut c = Cursor::new(&w);
+        assert_eq!(c.next(), Ok(1));
+        assert_eq!(c.next(), Ok(2));
+        assert!(matches!(c.next(), Err(SnapshotError::Format(_))));
+        // A truncated word stream must fail the full stats decode the
+        // same way, not panic.
+        let mut c = Cursor::new(&w);
+        assert!(matches!(stats_from_words(&mut c), Err(SnapshotError::Format(_))));
     }
 }

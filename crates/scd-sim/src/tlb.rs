@@ -18,6 +18,14 @@ struct TlbEntry {
 pub struct Tlb {
     entries: Vec<TlbEntry>,
     tick: u64,
+    /// MRU memo: page and entry index of the most recent access, so the
+    /// (overwhelmingly common) same-page streak skips the associative
+    /// scan. State-faithful: `tick` and `lru` update exactly as the scan
+    /// would, and the memoized entry cannot have been replaced because
+    /// every access refreshes the memo. Invalidated by [`Tlb::flush`]
+    /// and snapshot restore.
+    last_vpn: u64,
+    last_idx: usize,
 }
 
 impl Tlb {
@@ -27,7 +35,7 @@ impl Tlb {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "TLB needs at least one entry");
-        Tlb { entries: vec![TlbEntry::default(); entries], tick: 0 }
+        Tlb { entries: vec![TlbEntry::default(); entries], tick: 0, last_vpn: u64::MAX, last_idx: 0 }
     }
 
     /// Looks up the page containing `addr`, filling on miss.
@@ -41,9 +49,15 @@ impl Tlb {
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
         let vpn = addr >> PAGE_SHIFT;
-        for e in self.entries.iter_mut() {
+        if vpn == self.last_vpn {
+            self.entries[self.last_idx].lru = self.tick;
+            return true;
+        }
+        for (i, e) in self.entries.iter_mut().enumerate() {
             if e.valid && e.vpn == vpn {
                 e.lru = self.tick;
+                self.last_vpn = vpn;
+                self.last_idx = i;
                 return true;
             }
         }
@@ -63,7 +77,22 @@ impl Tlb {
             }
         }
         self.entries[victim] = TlbEntry { valid: true, vpn, lru: self.tick };
+        self.last_vpn = vpn;
+        self.last_idx = victim;
         false
+    }
+
+    /// Applies `k` deferred same-page touches to the memo-resident
+    /// entry in one step — bit-identical to `k` [`Tlb::access`] calls
+    /// on the memoized page (each a hit re-stamping the same entry's
+    /// `lru`). Companion to [`crate::cache::Cache::bump_mru`]: an
+    /// I-cache line never spans a page, so the machine's fetch streak
+    /// covers both structures.
+    #[inline]
+    pub(crate) fn bump_mru(&mut self, k: u64) {
+        debug_assert_ne!(self.last_vpn, u64::MAX, "bump_mru without an armed memo");
+        self.tick += k;
+        self.entries[self.last_idx].lru = self.tick;
     }
 
     /// Invalidates all entries.
@@ -71,6 +100,7 @@ impl Tlb {
         for e in &mut self.entries {
             e.valid = false;
         }
+        self.last_vpn = u64::MAX;
     }
 
     // ---- checkpoint codec (crate::snapshot) ----
@@ -85,15 +115,20 @@ impl Tlb {
         out.push(self.tick);
     }
 
-    pub(crate) fn restore_words(&mut self, c: &mut crate::snapshot::Cursor) {
-        let n = c.next() as usize;
-        assert_eq!(n, self.entries.len(), "snapshot TLB geometry mismatch");
+    pub(crate) fn restore_words(
+        &mut self,
+        c: &mut crate::snapshot::Cursor,
+    ) -> Result<(), crate::SnapshotError> {
+        let n = c.next()? as usize;
+        crate::snapshot::check(n == self.entries.len(), "snapshot TLB geometry mismatch")?;
         for e in &mut self.entries {
-            e.valid = c.next() != 0;
-            e.vpn = c.next();
-            e.lru = c.next();
+            e.valid = c.next()? != 0;
+            e.vpn = c.next()?;
+            e.lru = c.next()?;
         }
-        self.tick = c.next();
+        self.tick = c.next()?;
+        self.last_vpn = u64::MAX;
+        Ok(())
     }
 }
 

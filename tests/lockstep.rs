@@ -16,8 +16,7 @@ fn variant_configs() -> [(&'static str, SimConfig); 3] {
     [("scd-stall", stall), ("scd-fallthrough", fallthrough), ("scd-off", off)]
 }
 
-#[test]
-fn pinned_corpus_replays_lockstep_clean() {
+fn corpus_paths() -> Vec<std::path::PathBuf> {
     let dir = std::path::Path::new("tests/golden/lockstep");
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .expect("corpus dir exists")
@@ -26,6 +25,12 @@ fn pinned_corpus_replays_lockstep_clean() {
         .collect();
     paths.sort();
     assert!(!paths.is_empty(), "the pinned corpus must not be empty");
+    paths
+}
+
+#[test]
+fn pinned_corpus_replays_lockstep_clean() {
+    let paths = corpus_paths();
 
     for path in &paths {
         let text = std::fs::read_to_string(path).expect("readable reproducer");
@@ -49,6 +54,52 @@ fn pinned_corpus_replays_lockstep_clean() {
                 "{} [{variant}]: only {} instructions checked",
                 path.display(),
                 sink.checked()
+            );
+        }
+    }
+}
+
+/// Revalidates the whole reproducer corpus through the execute-ahead
+/// replay loop: every program that once exposed a simulator/oracle
+/// divergence must finish with the same outcome and bit-identical
+/// `SimStats` on the replay path as on the interleaved reference loop.
+/// The corpus is exactly the set of programs that historically found
+/// edge cases, which makes it the sharpest input set for the replay
+/// split too (bop barriers, faults, watchdog limits).
+#[test]
+fn pinned_corpus_replay_matches_interleaved() {
+    for path in &corpus_paths() {
+        let text = std::fs::read_to_string(path).expect("readable reproducer");
+        let repro =
+            corpus::load(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        for (variant, cfg) in variant_configs() {
+            let run_mode = |replay: bool| {
+                let mut m = Machine::new(cfg.clone(), &repro.program);
+                m.map("fuzzdata", repro.data_base, repro.data_size);
+                m.disable_invariants();
+                // Forced, so the threaded engine is exercised even on
+                // one-CPU hosts where Auto falls back to interleaved.
+                if replay {
+                    m.force_replay();
+                } else {
+                    m.set_replay(false);
+                }
+                let run = m.run(2_000_000);
+                (format!("{run:?}"), format!("{:?}", m.stats))
+            };
+            let (rep_run, rep_stats) = run_mode(true);
+            let (ilv_run, ilv_stats) = run_mode(false);
+            assert_eq!(
+                rep_run,
+                ilv_run,
+                "{} [{variant}]: replay outcome diverged from interleaved",
+                path.display()
+            );
+            assert_eq!(
+                rep_stats,
+                ilv_stats,
+                "{} [{variant}]: replay SimStats diverged from interleaved",
+                path.display()
             );
         }
     }
