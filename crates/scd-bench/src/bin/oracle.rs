@@ -167,7 +167,7 @@ fn main() {
         .map(|(_, _, _, m, _, r)| r / m)
         .fold(f64::INFINITY, f64::min);
     let json = bench_json(&rows, &work, &speed, min_speedup, scale);
-    std::fs::write("BENCH_oracle.json", &json).expect("write BENCH_oracle.json");
+    scd_bench::write_artifact("BENCH_oracle.json", &json);
     eprintln!("oracle: min ref-vs-machine speedup {min_speedup:.1}x -> BENCH_oracle.json");
 
     if failures > 0 {

@@ -157,7 +157,7 @@ fn main() {
     }
 
     let json = render_json(&cells, quick, budget, reference.as_deref());
-    std::fs::write(OUT, &json).expect("write BENCH_simperf.json");
+    scd_bench::write_artifact(OUT, &json);
     eprintln!("simperf: wrote {OUT}");
 }
 
@@ -261,8 +261,10 @@ fn render_json(cells: &[Cell], quick: bool, budget: u64, reference: Option<&[(St
 /// skipping such a line would shrink the baseline and let a regressed
 /// cell dodge the `--check` gate.
 fn load_record(path: &str) -> Vec<(String, f64)> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read reference record {path}: {e}"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("simperf: cannot read reference record {path}: {e}");
+        exit(70);
+    });
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(key) = field_str(line, "key") else { continue };

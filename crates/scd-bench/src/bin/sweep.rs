@@ -10,7 +10,15 @@
 //! cargo run --release -p scd-bench --bin sweep -- --smoke         # CI drift gate
 //! cargo run --release -p scd-bench --bin sweep -- --smoke --bless # re-pin goldens
 //! cargo run --release -p scd-bench --bin sweep -- --interleaved   # reference loop
+//! cargo run --release -p scd-bench --bin sweep -- --cache DIR     # persistent results
 //! ```
+//!
+//! With `--cache DIR`, every cell first consults the content-addressed
+//! on-disk cache shared with `scd serve` (see `scd-serve`), and a
+//! SIGINT drains in-flight cells — committing their entries — before
+//! exiting 130, so a rerun resumes as cache hits. `--expect-warm`
+//! additionally fails the run (exit 1) when fewer than 95% of cells
+//! hit: the CI cache-roundtrip gate.
 //!
 //! Untraced cells run on the execute-ahead replay loop by default;
 //! `--interleaved` pins every cell to the interleaved reference loop
@@ -33,11 +41,15 @@
 //! cannot slip through on a day the formatted numbers happen to match.
 
 use scd_bench::figures::{self, Render, Report, REPORTS};
-use scd_bench::{emit_report, threads_from_cli, ArgScale, RunMatrix, SweepResults};
+use scd_bench::{
+    emit_report, threads_from_cli, write_artifact, ArgScale, RunMatrix, SweepError, SweepResults,
+};
 use scd_guest::{lockstep_check, RunRequest, Scheme, Vm};
+use scd_serve::{install_sigint_flag, Cache, EXIT_SIGINT};
 use scd_sim::SimConfig;
 use std::fmt::Write as _;
 use std::process::exit;
+use std::sync::atomic::Ordering;
 
 /// Reports the `--smoke` gate runs: cheap, structurally diverse (a
 /// hand-rolled table, an arithmetic-mean table, and the full
@@ -95,7 +107,51 @@ fn main() {
         m.requested() as f64 / m.len().max(1) as f64
     );
 
-    let results = m.run(threads, true);
+    let expect_warm = has("--expect-warm");
+    let cache_dir = parse_cache(&argv);
+    if expect_warm && cache_dir.is_none() {
+        eprintln!("--expect-warm requires --cache DIR");
+        exit(2);
+    }
+    let cache = cache_dir.map(|dir| {
+        Cache::open(&dir).unwrap_or_else(|e| {
+            eprintln!("sweep: cannot open cache {dir}: {e}");
+            exit(70);
+        })
+    });
+
+    let results = match &cache {
+        None => m.run(threads, true),
+        Some(c) => {
+            // SIGINT becomes a drain: in-flight cells finish and commit
+            // their cache entries, then the sweep exits 130 and a rerun
+            // resumes as hits. Only armed when a cache makes the drain
+            // worth something; without one, Ctrl-C keeps its default
+            // kill semantics.
+            let interrupt = install_sigint_flag();
+            match m.run_cached(threads, true, Some(c), Some(interrupt)) {
+                Ok(r) => {
+                    c.flush();
+                    report_cache(c, expect_warm);
+                    r
+                }
+                Err(SweepError::Interrupted) => {
+                    c.flush();
+                    eprintln!(
+                        "sweep: interrupted; {} cell(s) served from cache, {} newly \
+                         cached — rerun with the same --cache to resume",
+                        c.stats.hits.load(Ordering::SeqCst),
+                        c.stats.stores.load(Ordering::SeqCst),
+                    );
+                    exit(EXIT_SIGINT);
+                }
+                Err(e) => {
+                    eprintln!("sweep: {e}");
+                    exit(70);
+                }
+            }
+        }
+    };
 
     let mut drifted = 0u32;
     for (rep, plan) in &plans {
@@ -110,7 +166,7 @@ fn main() {
     if !smoke {
         let report_names: Vec<&str> = plans.iter().map(|(r, _)| r.name).collect();
         let json = bench_json(&results, threads, &report_names, quick);
-        std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+        write_artifact("BENCH_sweep.json", &json);
         let wall = results.wall.as_secs_f64();
         let total_insts: u64 =
             results.iter().map(|(_, _, out)| out.run.stats.instructions).sum();
@@ -174,6 +230,54 @@ fn lockstep_smoke() -> bool {
     ok
 }
 
+/// Parses `--cache DIR` / `--cache=DIR`. Exits 2 when the flag is
+/// present but the directory is missing.
+fn parse_cache(argv: &[String]) -> Option<String> {
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        if a == "--cache" {
+            return match it.next() {
+                Some(dir) => Some(dir.clone()),
+                None => {
+                    eprintln!("--cache requires a directory argument");
+                    exit(2);
+                }
+            };
+        }
+        if let Some(dir) = a.strip_prefix("--cache=") {
+            return Some(dir.to_string());
+        }
+    }
+    None
+}
+
+/// Reports cache effectiveness and enforces `--expect-warm` (≥95% of
+/// cells served from the cache, the CI roundtrip gate).
+fn report_cache(c: &Cache, expect_warm: bool) {
+    let stat = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::SeqCst);
+    let (hits, misses) = (stat(&c.stats.hits), stat(&c.stats.misses));
+    let mut line = format!(
+        "sweep: cache {hits} hit(s), {misses} miss(es), {} store(s)",
+        stat(&c.stats.stores)
+    );
+    if let Some(rate) = c.stats.hit_rate() {
+        let _ = write!(line, " ({:.1}% hit rate)", 100.0 * rate);
+    }
+    let quarantined = stat(&c.stats.quarantined);
+    if quarantined > 0 {
+        let _ = write!(line, "; {quarantined} corrupt entr(y/ies) quarantined and recomputed");
+    }
+    let recovered = stat(&c.stats.recovered_tmp);
+    if recovered > 0 {
+        let _ = write!(line, "; {recovered} stale temp file(s) swept");
+    }
+    eprintln!("{line}");
+    if expect_warm && !c.stats.hit_rate().is_some_and(|r| r >= 0.95) {
+        eprintln!("sweep: --expect-warm: hit rate below 95% — cache keys drifted or cold");
+        exit(1);
+    }
+}
+
 /// Parses `--only a,b` / `--only=a,b` into a name list.
 fn parse_only(argv: &[String]) -> Option<Vec<String>> {
     let mut sel = None;
@@ -196,8 +300,7 @@ fn parse_only(argv: &[String]) -> Option<Vec<String>> {
 fn check_smoke(name: &str, body: &str, bless: bool) -> bool {
     let path = std::path::Path::new(SMOKE_GOLDEN_DIR).join(format!("{name}.txt"));
     if bless {
-        std::fs::create_dir_all(SMOKE_GOLDEN_DIR).expect("create golden dir");
-        std::fs::write(&path, body).expect("write golden");
+        write_artifact(&path, body);
         eprintln!("  blessed {}", path.display());
         return true;
     }

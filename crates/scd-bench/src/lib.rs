@@ -28,8 +28,8 @@ pub mod figures;
 pub mod sweep;
 
 pub use sweep::{
-    parallel_map, plan_matrix, CellId, CellOut, CellSpec, Matrix, MatrixPlan, MatrixRow,
-    RunMatrix, SweepResults,
+    parallel_map, plan_matrix, try_parallel_map, CellId, CellOut, CellSpec, MapOutcome, Matrix,
+    MatrixPlan, MatrixRow, RunMatrix, SweepError, SweepResults,
 };
 
 /// Invariant-checkpoint stride for harness runs. Figure binaries run in
@@ -204,13 +204,31 @@ pub fn format_breakdown(title: &str, matrix: &Matrix<'_>, variants: &[Variant]) 
     out
 }
 
-/// Prints a report to stdout and also writes it to `results/<name>.txt`.
+/// Writes a harness artifact (report, bench record, golden), failing
+/// loudly: a run must not exit 0 while silently dropping the file it
+/// was asked to produce. Creates parent directories as needed; any I/O
+/// failure is reported and exits 70 (the harness-internal-error code
+/// shared with the `scd` CLI).
+pub fn write_artifact(path: impl AsRef<std::path::Path>, contents: &str) {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(70);
+        }
+    }
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(70);
+    }
+}
+
+/// Prints a report to stdout and also writes it to `results/<name>.txt`
+/// (exits 70 if the file cannot be written — historically the write
+/// error was silently swallowed and a figure could vanish).
 pub fn emit_report(name: &str, body: &str) {
     println!("{body}");
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let _ = std::fs::write(dir.join(format!("{name}.txt")), body);
-    }
+    write_artifact(std::path::Path::new("results").join(format!("{name}.txt")), body);
 }
 
 /// Parses a `--quick` flag from the command line (tiny inputs, for CI).

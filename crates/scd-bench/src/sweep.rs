@@ -32,9 +32,11 @@
 use crate::{ArgScale, Variant, INVARIANT_STRIDE};
 use luma::scripts::{Benchmark, BENCHMARKS};
 use scd_guest::{GuestOptions, GuestRun, RunRequest, Scheme, Vm};
+use scd_serve::{manifest_for, panic_message, payload, Cache, CachedRun};
 use scd_sim::{CycleBreakdown, SimConfig};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -182,38 +184,129 @@ impl RunMatrix {
     /// Panics if any cell fails oracle validation — a harness run must
     /// never silently produce numbers from a wrong execution.
     pub fn run(self, threads: usize, progress: bool) -> SweepResults {
+        match self.run_cached(threads, progress, None, None) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`RunMatrix::run`] with the robustness knobs exposed: an optional
+    /// persistent result [`Cache`] (entries are keyed through
+    /// [`manifest_for`], so they interoperate with `scd serve`) and an
+    /// optional interrupt flag. When the flag becomes true, in-flight
+    /// cells finish — and commit their cache entries — but no new cell
+    /// is claimed, and the sweep returns [`SweepError::Interrupted`]; a
+    /// rerun against the same cache resumes as hits.
+    ///
+    /// # Errors
+    /// [`SweepError::Cell`] on the first cell that fails to compile,
+    /// validate or persist (including a worker panic, which no longer
+    /// takes the rest of the matrix down with it);
+    /// [`SweepError::Interrupted`] when cut short.
+    pub fn run_cached(
+        self,
+        threads: usize,
+        progress: bool,
+        cache: Option<&Cache>,
+        interrupt: Option<&AtomicBool>,
+    ) -> Result<SweepResults, SweepError> {
         let started = Instant::now();
         let total = self.cells.len();
         let done = AtomicUsize::new(0);
         let interleaved = self.interleaved;
-        let outs = parallel_map(&self.cells, threads, |spec| {
-            let out = run_cell(spec, interleaved);
+        let outs = try_parallel_map(&self.cells, threads, interrupt, |spec| {
+            let out = run_cell(spec, interleaved, cache);
             if progress {
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let status = match &out {
+                    Ok(cell) => format!("{:.2}s", cell.wall.as_secs_f64()),
+                    Err(_) => "FAILED".to_string(),
+                };
                 eprintln!(
-                    "  [{d}/{total}] {} [{} / {}] {:.2}s",
+                    "  [{d}/{total}] {} [{} / {}] {status}",
                     spec.bench.name,
                     spec.vm.name(),
                     spec.scheme.name(),
-                    out.wall.as_secs_f64()
                 );
             }
             out
         });
-        SweepResults { specs: self.cells, hits: self.hits, cells: outs, wall: started.elapsed() }
+        let mut cells = Vec::with_capacity(outs.len());
+        for (i, out) in outs.into_iter().enumerate() {
+            let spec = &self.cells[i];
+            let label =
+                format!("{} [{} / {}]", spec.bench.name, spec.vm.name(), spec.scheme.name());
+            match out {
+                MapOutcome::Done(Ok(cell)) => cells.push(cell),
+                MapOutcome::Done(Err(msg)) => return Err(SweepError::Cell(msg)),
+                MapOutcome::Panicked(msg) => {
+                    return Err(SweepError::Cell(format!("{label}: worker panicked: {msg}")))
+                }
+                MapOutcome::Cancelled => return Err(SweepError::Interrupted),
+            }
+        }
+        Ok(SweepResults { specs: self.cells, hits: self.hits, cells, wall: started.elapsed() })
     }
 }
 
-/// Runs one cell, oracle-validated. Traced (or `interleaved`) cells run
-/// the interleaved loop with invariants armed; untraced cells run
-/// uninstrumented on the replay fast path.
-fn run_cell(spec: &CellSpec, interleaved: bool) -> CellOut {
+/// Why a [`RunMatrix::run_cached`] sweep did not produce results.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A cell failed to compile, validate, or persist its cache entry
+    /// (message includes the cell label), or its worker panicked.
+    Cell(String),
+    /// The interrupt flag was raised before every cell ran; completed
+    /// cells have already committed their cache entries.
+    Interrupted,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Cell(msg) => f.write_str(msg),
+            SweepError::Interrupted => f.write_str("sweep interrupted before completion"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Runs one cell, oracle-validated, through the optional persistent
+/// cache. Traced (or `interleaved`) cells run the interleaved loop with
+/// invariants armed; untraced cells run uninstrumented on the replay
+/// fast path.
+fn run_cell(spec: &CellSpec, interleaved: bool, cache: Option<&Cache>) -> Result<CellOut, String> {
     let started = Instant::now();
+    let label = format!("{} [{} / {}]", spec.bench.name, spec.vm.name(), spec.scheme.name());
     let args = [("N", spec.arg)];
     let req = RunRequest::new(spec.cfg.clone(), spec.vm, spec.bench.source)
         .predefined(&args)
         .scheme(spec.scheme)
         .opts(spec.opts);
+    // `interleaved` is deliberately absent from the key: it pins the
+    // reference loop, but stats are bit-identical either way (PR 6's
+    // golden guarantee), so both modes share one cache entry.
+    let key = cache.map(|_| Cache::key(&manifest_for(&req, spec.traced)));
+    if let (Some(c), Some(key)) = (cache, key.as_deref()) {
+        if let Some(bytes) = c.load(key) {
+            // Checksum passed but the payload may predate a format
+            // change (or lack the breakdown this consumer needs); any
+            // such mismatch degrades to recompute, never a failure.
+            let decoded = std::str::from_utf8(&bytes)
+                .map_err(|e| e.to_string())
+                .and_then(payload::decode);
+            if let Ok(cached) = decoded {
+                if !spec.traced || cached.breakdown.is_some() {
+                    let breakdown = cached.breakdown;
+                    return Ok(CellOut {
+                        run: cached.to_run(),
+                        breakdown,
+                        wall: started.elapsed(),
+                    });
+                }
+            }
+        }
+    }
     let mut run = req
         .run_with(|m| {
             if spec.traced || interleaved {
@@ -227,13 +320,32 @@ fn run_cell(spec: &CellSpec, interleaved: bool) -> CellOut {
                 m.set_trace_sink(Box::new(CycleBreakdown::default()));
             }
         })
-        .unwrap_or_else(|e| {
-            panic!("{} [{} / {}]: {e}", spec.bench.name, spec.vm.name(), spec.scheme.name())
-        });
-    let breakdown = spec
-        .traced
-        .then(|| *run.take_sink::<CycleBreakdown>().expect("breakdown sink comes back with the run"));
-    CellOut { run, breakdown, wall: started.elapsed() }
+        .map_err(|e| format!("{label}: {e}"))?;
+    let breakdown = match spec.traced {
+        true => Some(
+            *run.take_sink::<CycleBreakdown>()
+                .ok_or_else(|| format!("{label}: breakdown sink did not come back"))?,
+        ),
+        false => None,
+    };
+    if let (Some(c), Some(key)) = (cache, key.as_deref()) {
+        let text = payload::encode(&CachedRun::from_run(&run, breakdown.as_ref()));
+        c.store(key, text.as_bytes())
+            .map_err(|e| format!("{label}: cache store under {}: {e}", c.root().display()))?;
+    }
+    Ok(CellOut { run, breakdown, wall: started.elapsed() })
+}
+
+/// What happened to one item of a [`try_parallel_map`].
+#[derive(Debug)]
+pub enum MapOutcome<U> {
+    /// The worker completed and produced a value.
+    Done(U),
+    /// The worker panicked on this item; the panic message is preserved
+    /// and the rest of the map kept running.
+    Panicked(String),
+    /// The item was never claimed because `cancel` became true first.
+    Cancelled,
 }
 
 /// Order-preserving parallel map over a slice using scoped threads: a
@@ -241,31 +353,99 @@ fn run_cell(spec: &CellSpec, interleaved: bool) -> CellOut {
 /// into the slot for the index it claimed, and the output order matches
 /// the input order exactly. With `threads <= 1` it degenerates to a
 /// plain sequential map (no pool, no locks).
+///
+/// Each item is computed under `catch_unwind` *before* its slot mutex
+/// is taken, so a panicking worker yields [`MapOutcome::Panicked`] for
+/// that one item instead of poisoning the slot and aborting the whole
+/// map — the historical failure mode where one bad cell cost the rest
+/// of an hours-long matrix. When `cancel` flips to true, workers stop
+/// claiming and the unclaimed tail comes back [`MapOutcome::Cancelled`];
+/// claims are monotonic, so cancelled items always form a suffix of the
+/// per-worker claim order (with one thread, of the whole output).
+pub fn try_parallel_map<T, U, F>(
+    items: &[T],
+    threads: usize,
+    cancel: Option<&AtomicBool>,
+    f: F,
+) -> Vec<MapOutcome<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::SeqCst));
+    let run_one = |item: &T| match catch_unwind(AssertUnwindSafe(|| f(item))) {
+        Ok(v) => MapOutcome::Done(v),
+        Err(payload) => MapOutcome::Panicked(panic_message(payload)),
+    };
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items
+            .iter()
+            .map(|item| if cancelled() { MapOutcome::Cancelled } else { run_one(item) })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<MapOutcome<U>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if cancelled() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = run_one(item);
+                match slots[i].lock() {
+                    Ok(mut slot) => *slot = Some(out),
+                    // Unreachable now that nothing panics while holding
+                    // the lock, but if that ever regresses the result
+                    // still lands instead of cascading the poison.
+                    Err(poisoned) => *poisoned.into_inner() = Some(out),
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or(MapOutcome::Cancelled)
+        })
+        .collect()
+}
+
+/// Infallible wrapper over [`try_parallel_map`]: returns the mapped
+/// values in input order.
+///
+/// # Panics
+/// Re-raises the first worker panic — but only after every other item
+/// has completed, so one bad item no longer discards the rest of the
+/// computation mid-flight.
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                *slots[i].lock().expect("result slot poisoned") = Some(f(item));
-            });
-        }
-    });
-    slots
+    let mut first_panic = None;
+    let results: Vec<U> = try_parallel_map(items, threads, None, f)
         .into_iter()
-        .map(|m| m.into_inner().expect("result slot poisoned").expect("every slot filled"))
-        .collect()
+        .filter_map(|o| match o {
+            MapOutcome::Done(v) => Some(v),
+            MapOutcome::Panicked(msg) => {
+                first_panic.get_or_insert(msg);
+                None
+            }
+            MapOutcome::Cancelled => unreachable!("no cancel flag was passed"),
+        })
+        .collect();
+    match first_panic {
+        None => results,
+        Some(msg) => panic!("parallel_map worker panicked: {msg}"),
+    }
 }
 
 /// The executed matrix: one [`CellOut`] per unique planned cell, plus
@@ -445,6 +625,152 @@ mod tests {
         for threads in [1, 2, 7] {
             assert_eq!(parallel_map(&items, threads, |x| x * x), seq);
         }
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_worker_panics() {
+        let items: Vec<u64> = (0..16).collect();
+        for threads in [1, 4] {
+            let outs = try_parallel_map(&items, threads, None, |&x| {
+                if x == 7 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(outs.len(), items.len());
+            for (i, o) in outs.iter().enumerate() {
+                match o {
+                    MapOutcome::Done(v) => {
+                        assert_ne!(i, 7, "threads={threads}: item 7 must not succeed");
+                        assert_eq!(*v, items[i] * 2);
+                    }
+                    MapOutcome::Panicked(msg) => {
+                        assert_eq!(i, 7, "threads={threads}: only item 7 panics");
+                        assert!(msg.contains("boom at 7"), "payload preserved: {msg}");
+                    }
+                    MapOutcome::Cancelled => panic!("nothing was cancelled"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_finishes_other_items_before_reraising() {
+        let items: Vec<u64> = (0..8).collect();
+        let completed = AtomicUsize::new(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 3 {
+                    panic!("injected cell failure");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }))
+        .expect_err("the worker panic must surface");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected cell failure"), "message preserved: {msg}");
+        assert_eq!(completed.load(Ordering::SeqCst), 7, "the other items still ran");
+    }
+
+    #[test]
+    fn cancel_flag_stops_claiming_new_items() {
+        let items: Vec<u64> = (0..6).collect();
+        let cancel = AtomicBool::new(false);
+        let outs = try_parallel_map(&items, 1, Some(&cancel), |&x| {
+            if x == 1 {
+                cancel.store(true, Ordering::SeqCst);
+            }
+            x
+        });
+        assert!(matches!(outs[0], MapOutcome::Done(0)));
+        assert!(matches!(outs[1], MapOutcome::Done(1)), "the in-flight item finishes");
+        for (i, o) in outs.iter().enumerate().skip(2) {
+            assert!(matches!(o, MapOutcome::Cancelled), "item {i} must be cancelled");
+        }
+    }
+
+    /// End-to-end for the persistent cache: a cold sweep populates it, a
+    /// warm sweep reproduces every number from it without simulating,
+    /// and a corrupted entry quarantines and recomputes to the same
+    /// values — the satellite guarantee that cache damage costs time,
+    /// never correctness.
+    #[test]
+    fn warm_cache_reproduces_cold_results_and_survives_corruption() {
+        let dir = std::env::temp_dir()
+            .join(format!("scd-sweep-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a5 = SimConfig::embedded_a5();
+        type Snapshot = Vec<(u64, u64, scd_sim::SimStats, CycleBreakdown)>;
+        let sweep = |cache: &Cache| -> Snapshot {
+            let mut m = RunMatrix::new();
+            let plan = plan_matrix(
+                &mut m,
+                &a5,
+                Vm::Lvm,
+                ArgScale::Tiny,
+                &[Variant::Baseline, Variant::Scd],
+                true,
+            );
+            let r = m.run_cached(2, false, Some(cache), None).expect("sweep clean");
+            let matrix = plan.resolve(&r);
+            let mut snap = Vec::new();
+            for row in &matrix.rows {
+                for v in [Variant::Baseline, Variant::Scd] {
+                    let run = row.get(v);
+                    snap.push((
+                        run.checksum,
+                        run.dispatches,
+                        run.stats.clone(),
+                        *row.breakdown(v),
+                    ));
+                }
+            }
+            snap
+        };
+        let stat = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::SeqCst);
+
+        let cold_cache = Cache::open(&dir).expect("open cache");
+        let cold = sweep(&cold_cache);
+        let cells = stat(&cold_cache.stats.stores);
+        assert!(cells > 0, "cold sweep must populate the cache");
+        assert_eq!(stat(&cold_cache.stats.hits), 0);
+
+        let warm_cache = Cache::open(&dir).expect("reopen cache");
+        let warm = sweep(&warm_cache);
+        assert_eq!(cold, warm, "warm results must be bit-identical to cold");
+        assert_eq!(stat(&warm_cache.stats.hits), cells, "every cell must hit");
+        assert_eq!(stat(&warm_cache.stats.misses), 0);
+
+        // Truncate one committed entry mid-payload: quarantined, that
+        // one cell recomputes, and the numbers still match.
+        let victim = first_object(&dir);
+        let bytes = std::fs::read(&victim).expect("read entry");
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate entry");
+        let hurt_cache = Cache::open(&dir).expect("reopen cache");
+        let healed = sweep(&hurt_cache);
+        assert_eq!(cold, healed, "recomputed results must be bit-identical");
+        assert_eq!(stat(&hurt_cache.stats.quarantined), 1);
+        assert_eq!(stat(&hurt_cache.stats.misses), 0, "quarantines are counted apart");
+        assert_eq!(stat(&hurt_cache.stats.hits), cells - 1);
+        assert_eq!(stat(&hurt_cache.stats.stores), 1, "the healed entry is re-committed");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// First committed entry file under `<dir>/objects/<fan-out>/`.
+    fn first_object(dir: &std::path::Path) -> std::path::PathBuf {
+        let objects = dir.join("objects");
+        for sub in std::fs::read_dir(&objects).expect("objects dir") {
+            let sub = sub.expect("dir entry").path();
+            if !sub.is_dir() {
+                continue;
+            }
+            if let Some(f) = std::fs::read_dir(&sub).expect("fan-out dir").next() {
+                return f.expect("dir entry").path();
+            }
+        }
+        panic!("no committed cache entries under {}", objects.display());
     }
 
     #[test]

@@ -11,17 +11,20 @@
 //! scd listing [--scheme baseline|threaded|scd]     # guest interpreter asm
 //! scd bench list                                    # benchmark corpus
 //! scd model [--config a5|rocket|a8]                 # Table V area/power
+//! scd serve --jobs batch.jsonl [--cache DIR] [--threads N] [--timeout SECS]
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage, 3 guest trap / simulator fault,
 //! 4 watchdog budget exhausted, 5 invariant or oracle violation,
-//! 70 internal error (I/O, bad checkpoint).
+//! 70 internal error (I/O, bad checkpoint), 130 interrupted batch
+//! (`scd serve` additionally exits 1 when some jobs failed).
 
 use scd_guest::{GuestError, GuestOptions, GuestRun, RunRequest, Scheme, Session, Vm};
 use scd_sim::{FaultPlan, JsonlSink, SimConfig, SimError, Snapshot};
 use std::process::exit;
 
 mod fuzz;
+mod serve;
 
 /// The guest trapped or the simulator faulted.
 const EXIT_GUEST_TRAP: i32 = 3;
@@ -45,7 +48,9 @@ fn usage() -> ! {
          \x20 scd model [--config a5|rocket|a8]\n\
          \x20 scd fuzz [--seed N] [--count N] [--threads N] [--max-insts N]\n\
          \x20         [--save-failing DIR] [--save-corpus DIR] [--repro FILE]\n\
-         exit codes: 0 ok, 2 usage, 3 guest trap, 4 watchdog, 5 invariant, 70 internal"
+         \x20 scd serve --jobs batch.jsonl [--cache DIR] [--threads N] [--timeout SECS]\n\
+         exit codes: 0 ok, 2 usage, 3 guest trap, 4 watchdog, 5 invariant, 70 internal,\n\
+         \x20            130 interrupted batch"
     );
     exit(2);
 }
@@ -398,6 +403,7 @@ fn main() {
         },
         Some("model") => cmd_model(parse_opts(argv)),
         Some("fuzz") => fuzz::cmd_fuzz(argv),
+        Some("serve") => serve::cmd_serve(argv),
         _ => usage(),
     }
 }

@@ -426,6 +426,35 @@ impl<'a> RunRequest<'a> {
         self
     }
 
+    /// The canonical identity manifest for content-addressed result
+    /// caching: a versioned, deterministic text rendering of everything
+    /// that can change the simulated outcome — the full [`SimConfig`]
+    /// (its `Debug` form, the same canonicalization the snapshot
+    /// fingerprint relies on), VM, dispatch scheme, build options,
+    /// instruction budget, the predefined variables (f64s by bit
+    /// pattern, so `-0.0` and NaN payloads stay distinct) and the
+    /// program source itself. Cache layers hash this text to derive the
+    /// entry key; the leading version line must be bumped whenever the
+    /// simulator's timing model changes meaning without any field here
+    /// changing, which invalidates every stale entry at once.
+    pub fn cache_manifest(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("scd-run-request-v1\n");
+        let _ = writeln!(s, "cfg {:?}", self.cfg);
+        let _ = writeln!(s, "vm {}", self.vm.name());
+        let _ = writeln!(s, "scheme {}", self.scheme.name());
+        let _ = writeln!(s, "opts {:?}", self.opts);
+        let _ = writeln!(s, "max_insts {}", self.max_insts);
+        let _ = writeln!(s, "predefined {}", self.predefined.len());
+        for (k, v) in self.predefined {
+            let _ = writeln!(s, "  {} {:#018x}", k, v.to_bits());
+        }
+        let _ = writeln!(s, "src {}", self.src.len());
+        s.push_str(self.src);
+        s
+    }
+
     /// Loads the request into a [`Session`] (machine built, not run).
     ///
     /// # Errors

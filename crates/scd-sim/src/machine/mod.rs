@@ -169,6 +169,9 @@ pub struct Machine {
     /// [`replay`](self)) when the host can pipeline it; see
     /// [`Machine::set_replay`] / [`Machine::force_replay`].
     replay: ReplayMode,
+    /// Test hook: make the replay producer thread panic mid-fill, so the
+    /// panic-containment path (`SimError::ProducerPanic`) is testable.
+    test_producer_panic: bool,
 
     /// Fetch-streak fast path (untraced loops only): the I-cache block
     /// of the most recent fetch, and how many subsequent same-block
@@ -341,6 +344,7 @@ impl Machine {
             cycle_budget: None,
             wall_budget: None,
             replay: ReplayMode::Auto,
+            test_producer_panic: false,
             fetch_blk: u64::MAX,
             fetch_streak: 0,
             stats: SimStats::default(),
@@ -519,6 +523,15 @@ impl Machine {
     /// this so the real engine is exercised on any host.
     pub fn force_replay(&mut self) {
         self.replay = ReplayMode::Force;
+    }
+
+    /// Makes the next execute-ahead replay producer thread panic while
+    /// filling its first batch. Exists solely so tests can prove the
+    /// containment contract of [`SimError::ProducerPanic`](crate::SimError);
+    /// it has no effect on the interleaved loop.
+    #[doc(hidden)]
+    pub fn inject_replay_producer_panic(&mut self) {
+        self.test_producer_panic = true;
     }
 
     /// Bytes the guest has written through the putchar `ecall` so far.

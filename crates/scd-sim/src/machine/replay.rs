@@ -215,6 +215,9 @@ struct Producer {
     gen: u32,
     nbids: usize,
     undo: VecDeque<UndoEnt>,
+    /// Test hook mirrored from [`Machine::inject_replay_producer_panic`]:
+    /// panic while filling the first batch.
+    test_panic: bool,
 }
 
 impl Producer {
@@ -276,6 +279,9 @@ impl Producer {
     /// the halting `ecall`, the instruction budget, or a guest fault.
     /// `bop`s are speculated through, not stopped at.
     fn fill(&mut self, b: &mut Batch) -> Stop {
+        if self.test_panic {
+            panic!("test-injected replay producer panic");
+        }
         b.len = 0;
         loop {
             if self.n >= self.max_insts {
@@ -348,6 +354,16 @@ impl Producer {
             }
         }
     }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `String` or `&'static str` in practice; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// The producer thread body: fill batches, ship them, obey control
@@ -457,6 +473,7 @@ impl Machine {
             gen: 0,
             nbids,
             undo: VecDeque::new(),
+            test_panic: self.test_producer_panic,
         };
         let (work_tx, work_rx) = mpsc::sync_channel::<Box<Batch>>(CHANNEL_DEPTH);
         let (down_tx, down_rx) = mpsc::channel::<Down>();
@@ -551,7 +568,19 @@ impl Machine {
         self.flush_fetch_streak();
         let _ = down_tx.send(Down::Stop(self.stats.instructions));
         while work_rx.recv().is_ok() {}
-        let core = thread.join().expect("replay producer thread panicked");
+        let core = match thread.join() {
+            Ok(core) => core,
+            Err(payload) => {
+                // The producer thread panicked. Contain it: its panic
+                // becomes a typed error, never a re-panic — one bad cell
+                // must not abort a whole batch driver. The producer owned
+                // the guest memory, so the machine's contents are gone;
+                // `SimError::ProducerPanic` documents that the machine
+                // must be discarded.
+                self.finalize_partial();
+                return Err(SimError::ProducerPanic { message: panic_message(&*payload) });
+            }
+        };
         self.mem.put_back_data(core.into_segments().into_iter().map(|s| s.data));
         match result {
             Some(r) => r,

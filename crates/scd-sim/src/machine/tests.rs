@@ -516,6 +516,34 @@ fn checkpoint_across_replay_batch_boundary() {
     assert_eq!(whole.stats, resumed.stats);
 }
 
+/// Regression: a panic on the execute-ahead producer thread used to
+/// re-panic in the consumer's `thread.join().expect(..)`, crossing the
+/// API boundary as an unwind. It must surface as the typed
+/// [`SimError::ProducerPanic`] instead, with the payload preserved, and
+/// the partial stats finalized.
+#[test]
+fn replay_producer_panic_is_a_typed_error() {
+    let mut a = Asm::new(0x1_0000);
+    build_dispatcher(&mut a);
+    let p = a.finish().expect("assemble");
+    let mut m = dispatcher_machine(&p);
+    m.disable_invariants();
+    m.force_replay();
+    m.inject_replay_producer_panic();
+    match m.run(1_000_000) {
+        Err(SimError::ProducerPanic { message }) => {
+            assert!(
+                message.contains("test-injected"),
+                "panic payload should survive the join: {message}"
+            );
+        }
+        other => panic!("expected ProducerPanic, got {other:?}"),
+    }
+    // The error path finalized the partial run instead of leaving the
+    // stats mid-flight; a dead producer means nothing retired.
+    assert_eq!(m.stats.instructions, 0);
+}
+
 /// Regression: a checkpoint whose *byte framing* is intact but whose
 /// word stream is short (truncated words, passing fingerprint) used to
 /// panic inside `Cursor::next` during restore. It must surface as the

@@ -1451,7 +1451,7 @@ impl std::fmt::Debug for SinkSlot {
 /// vs. fetch/data stalls vs. Rop waits), attributed from the *actual
 /// charged penalties* of each retirement rather than from PC-range
 /// profile heuristics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleBreakdown {
     /// Total cycles observed.
     pub total: u64,
