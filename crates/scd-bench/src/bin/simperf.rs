@@ -57,7 +57,13 @@ struct Cell {
 
 impl Cell {
     fn key(&self) -> String {
-        format!("{}/{}/{}/{}", self.preset, self.vm.name(), self.bench, self.scheme.name())
+        format!(
+            "{}/{}/{}/{}",
+            self.preset,
+            self.vm.name(),
+            self.bench,
+            self.scheme.name()
+        )
     }
 
     fn mips(&self) -> f64 {
@@ -69,7 +75,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let has = |f: &str| argv.iter().any(|a| a == f);
     let arg_of = |f: &str| {
-        argv.iter().position(|a| a == f).and_then(|i| argv.get(i + 1)).cloned()
+        argv.iter()
+            .position(|a| a == f)
+            .and_then(|i| argv.get(i + 1))
+            .cloned()
     };
     let quick = has("--quick");
     let interleaved = has("--interleaved");
@@ -79,6 +88,10 @@ fn main() {
 
     let configs = [SimConfig::embedded_a5(), SimConfig::fpga_rocket()];
     let mut cells = Vec::new();
+    // Which engine the untraced fast path actually resolves to on this
+    // host (ReplayMode::Auto consults host parallelism), recorded so a
+    // throughput record names the loop that produced it.
+    let mut replay_mode = "unknown";
     // A broken cell must not torpedo the cells already measured: record
     // the failure, finish the matrix so the full picture is reported,
     // then exit non-zero.
@@ -86,15 +99,21 @@ fn main() {
     eprintln!(
         "simperf: {} cells, {budget} insts each{}",
         configs.len() * 2 * 3 * BENCHES.len(),
-        if interleaved { " (interleaved reference loop)" } else { "" }
+        if interleaved {
+            " (interleaved reference loop)"
+        } else {
+            ""
+        }
     );
     for cfg in &configs {
         for vm in Vm::ALL {
             for name in BENCHES {
-                let b = BENCHMARKS.iter().find(|b| b.name == name).expect("pinned benchmark");
+                let b = BENCHMARKS
+                    .iter()
+                    .find(|b| b.name == name)
+                    .expect("pinned benchmark");
                 for scheme in Scheme::ALL {
-                    let key =
-                        format!("{}/{}/{name}/{}", cfg.name, vm.name(), scheme.name());
+                    let key = format!("{}/{}/{name}/{}", cfg.name, vm.name(), scheme.name());
                     let mut session = match Session::from_source(
                         cfg.clone(),
                         vm,
@@ -113,6 +132,7 @@ fn main() {
                     // Untraced, uninstrumented: the release fast path.
                     session.machine.disable_invariants();
                     session.machine.set_replay(!interleaved);
+                    replay_mode = session.machine.replay_engine();
                     let started = Instant::now();
                     match session.machine.run(budget) {
                         Ok(_) | Err(SimError::InstLimit { .. }) => {}
@@ -156,7 +176,7 @@ fn main() {
         exit(run_check(&cells, &baseline));
     }
 
-    let json = render_json(&cells, quick, budget, reference.as_deref());
+    let json = render_json(&cells, quick, budget, replay_mode, reference.as_deref());
     scd_bench::write_artifact(OUT, &json);
     eprintln!("simperf: wrote {OUT}");
 }
@@ -193,12 +213,24 @@ fn run_check(cells: &[Cell], baseline: &[(String, f64)]) -> i32 {
     }
 }
 
-fn render_json(cells: &[Cell], quick: bool, budget: u64, reference: Option<&[(String, f64)]>) -> String {
+fn render_json(
+    cells: &[Cell],
+    quick: bool,
+    budget: u64,
+    replay_mode: &str,
+    reference: Option<&[(String, f64)]>,
+) -> String {
+    // v2 added "host_cpus" and "replay_mode": throughput numbers are
+    // meaningless without knowing how parallel the host was and which
+    // run loop (replay vs interleaved) produced them.
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"scd-simperf-v1\",");
+    let _ = writeln!(s, "  \"schema\": \"scd-simperf-v2\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"budget_insts\": {budget},");
+    let _ = writeln!(s, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(s, "  \"replay_mode\": \"{replay_mode}\",");
     let mips: Vec<f64> = cells.iter().map(Cell::mips).collect();
     // A record with a zero geomean would make a later `--check` or
     // `--ref` comparison pass or fail spuriously: refuse to write one.
@@ -241,7 +273,12 @@ fn render_json(cells: &[Cell], quick: bool, budget: u64, reference: Option<&[(St
         );
         if let Some(r) = reference {
             if let Some((_, m)) = r.iter().find(|(k, _)| *k == c.key()) {
-                let _ = write!(s, ", \"ref_mips\": {:.3}, \"speedup\": {:.3}", m, c.mips() / m.max(1e-12));
+                let _ = write!(
+                    s,
+                    ", \"ref_mips\": {:.3}, \"speedup\": {:.3}",
+                    m,
+                    c.mips() / m.max(1e-12)
+                );
             }
         }
         s.push('}');
@@ -267,7 +304,9 @@ fn load_record(path: &str) -> Vec<(String, f64)> {
     });
     let mut out = Vec::new();
     for line in text.lines() {
-        let Some(key) = field_str(line, "key") else { continue };
+        let Some(key) = field_str(line, "key") else {
+            continue;
+        };
         // `mips` must be the cell's own measurement, not `ref_mips`.
         let mips = match field_num(line, "mips") {
             Some(m) if m.is_finite() && m > 0.0 => m,

@@ -11,6 +11,8 @@
 //! cargo run --release -p scd-bench --bin sweep -- --smoke --bless # re-pin goldens
 //! cargo run --release -p scd-bench --bin sweep -- --interleaved   # reference loop
 //! cargo run --release -p scd-bench --bin sweep -- --cache DIR     # persistent results
+//! cargo run --release -p scd-bench --bin sweep -- --sample 1M:100k:50k  # interval sampling
+//! cargo run --release -p scd-bench --bin sweep -- --sample-gate   # sampled-vs-full gate
 //! ```
 //!
 //! With `--cache DIR`, every cell first consults the content-addressed
@@ -18,7 +20,22 @@
 //! SIGINT drains in-flight cells — committing their entries — before
 //! exiting 130, so a rerun resumes as cache hits. `--expect-warm`
 //! additionally fails the run (exit 1) when fewer than 95% of cells
-//! hit: the CI cache-roundtrip gate.
+//! hit: the CI cache-roundtrip gate. `--cache-stats` prints the cache's
+//! end-of-run counter summary (hits/misses/stores/quarantined/
+//! recovered) to stderr.
+//!
+//! With `--sample PERIOD:WARMUP:MEASURE`, every untraced cell runs
+//! under interval sampling with functional warming (see EXPERIMENTS.md):
+//! cycle counts become statistical estimates, so the rendered tables are
+//! fast previews, not the committed artifacts. Sampled cells cache under
+//! distinct keys, and `--sample` is rejected alongside `--smoke` (the
+//! golden gate pins full-detail bytes) and `--interleaved`.
+//!
+//! `--sample-gate` is the CI accuracy gate for the sampling machinery:
+//! it runs the Table IV/V headline matrix twice — full detail and
+//! sampled — and fails (exit 1) when any headline geomean ratio drifts
+//! by more than 1% relative, reporting the measured simulation speedup
+//! alongside.
 //!
 //! Untraced cells run on the execute-ahead replay loop by default;
 //! `--interleaved` pins every cell to the interleaved reference loop
@@ -42,11 +59,12 @@
 
 use scd_bench::figures::{self, Render, Report, REPORTS};
 use scd_bench::{
-    emit_report, threads_from_cli, write_artifact, ArgScale, RunMatrix, SweepError, SweepResults,
+    emit_report, threads_from_cli, write_artifact, ArgScale, EdpHeadline, RunMatrix, SweepError,
+    SweepResults, Table4Headline, Variant,
 };
 use scd_guest::{lockstep_check, RunRequest, Scheme, Vm};
 use scd_serve::{install_sigint_flag, Cache, EXIT_SIGINT};
-use scd_sim::SimConfig;
+use scd_sim::{SamplingPlan, SimConfig};
 use std::fmt::Write as _;
 use std::process::exit;
 use std::sync::atomic::Ordering;
@@ -71,6 +89,20 @@ fn main() {
     let quick = has("--quick") || smoke;
     let bless = has("--bless");
     let threads = threads_from_cli();
+    let sample = parse_sample(&argv);
+
+    if has("--sample-gate") {
+        sample_gate(threads, quick, sample);
+        return;
+    }
+    if sample.is_some() && smoke {
+        eprintln!("--sample is incompatible with --smoke (goldens pin full-detail bytes)");
+        exit(2);
+    }
+    if sample.is_some() && has("--interleaved") {
+        eprintln!("--sample is incompatible with --interleaved");
+        exit(2);
+    }
 
     let only = parse_only(&argv);
     let selected: Vec<&Report> = match &only {
@@ -83,18 +115,30 @@ fn main() {
                 })
             })
             .collect(),
-        None if smoke => {
-            SMOKE_REPORTS.iter().map(|n| figures::report(n).expect("smoke report")).collect()
-        }
+        None if smoke => SMOKE_REPORTS
+            .iter()
+            .map(|n| figures::report(n).expect("smoke report"))
+            .collect(),
         None => REPORTS.iter().collect(),
     };
 
     let mut m = RunMatrix::new();
     m.set_interleaved(has("--interleaved"));
+    m.set_sample(sample.clone());
+    if let Some(p) = &sample {
+        eprintln!(
+            "sweep: interval sampling (plan {p}) — cycle counts are estimates; \
+             rendered tables are previews, not committed artifacts"
+        );
+    }
     let plans: Vec<(&Report, Box<dyn Render>)> = selected
         .iter()
         .map(|rep| {
-            let scale = if quick { ArgScale::Tiny } else { rep.default_scale };
+            let scale = if quick {
+                ArgScale::Tiny
+            } else {
+                rep.default_scale
+            };
             (*rep, (rep.plan)(&mut m, scale))
         })
         .collect();
@@ -132,7 +176,7 @@ fn main() {
             match m.run_cached(threads, true, Some(c), Some(interrupt)) {
                 Ok(r) => {
                     c.flush();
-                    report_cache(c, expect_warm);
+                    report_cache(c, expect_warm, has("--cache-stats"));
                     r
                 }
                 Err(SweepError::Interrupted) => {
@@ -165,11 +209,13 @@ fn main() {
 
     if !smoke {
         let report_names: Vec<&str> = plans.iter().map(|(r, _)| r.name).collect();
-        let json = bench_json(&results, threads, &report_names, quick);
+        let json = bench_json(&results, threads, &report_names, quick, sample.as_ref());
         write_artifact("BENCH_sweep.json", &json);
         let wall = results.wall.as_secs_f64();
-        let total_insts: u64 =
-            results.iter().map(|(_, _, out)| out.run.stats.instructions).sum();
+        let total_insts: u64 = results
+            .iter()
+            .map(|(_, _, out)| out.run.stats.instructions)
+            .sum();
         let unique_s = results.serial_unique().as_secs_f64();
         eprintln!(
             "sweep: {} cells in {wall:.1}s wall ({:.1}s summed cell time, {:.1}s dedup-unaware \
@@ -251,30 +297,155 @@ fn parse_cache(argv: &[String]) -> Option<String> {
     None
 }
 
-/// Reports cache effectiveness and enforces `--expect-warm` (≥95% of
-/// cells served from the cache, the CI roundtrip gate).
-fn report_cache(c: &Cache, expect_warm: bool) {
-    let stat = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::SeqCst);
-    let (hits, misses) = (stat(&c.stats.hits), stat(&c.stats.misses));
-    let mut line = format!(
-        "sweep: cache {hits} hit(s), {misses} miss(es), {} store(s)",
-        stat(&c.stats.stores)
-    );
-    if let Some(rate) = c.stats.hit_rate() {
-        let _ = write!(line, " ({:.1}% hit rate)", 100.0 * rate);
+/// Reports cache effectiveness (`--cache-stats`, the shared
+/// [`scd_serve::CacheStats::summary`] formatter) and enforces
+/// `--expect-warm` (≥95% of cells served from the cache, the CI
+/// roundtrip gate — enforced whether or not the summary prints).
+fn report_cache(c: &Cache, expect_warm: bool, cache_stats: bool) {
+    if cache_stats {
+        let mut line = format!("sweep: cache {}", c.stats.summary());
+        if let Some(rate) = c.stats.hit_rate() {
+            let _ = write!(line, " ({:.1}% hit rate)", 100.0 * rate);
+        }
+        eprintln!("{line}");
     }
-    let quarantined = stat(&c.stats.quarantined);
-    if quarantined > 0 {
-        let _ = write!(line, "; {quarantined} corrupt entr(y/ies) quarantined and recomputed");
-    }
-    let recovered = stat(&c.stats.recovered_tmp);
-    if recovered > 0 {
-        let _ = write!(line, "; {recovered} stale temp file(s) swept");
-    }
-    eprintln!("{line}");
     if expect_warm && !c.stats.hit_rate().is_some_and(|r| r >= 0.95) {
         eprintln!("sweep: --expect-warm: hit rate below 95% — cache keys drifted or cold");
         exit(1);
+    }
+}
+
+/// Parses `--sample PLAN` / `--sample=PLAN`. Exits 2 on a malformed
+/// plan.
+fn parse_sample(argv: &[String]) -> Option<SamplingPlan> {
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let plan = if a == "--sample" {
+            match it.next() {
+                Some(p) => p.clone(),
+                None => {
+                    eprintln!("--sample requires a PERIOD:WARMUP:MEASURE argument");
+                    exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--sample=") {
+            p.to_string()
+        } else {
+            continue;
+        };
+        return match SamplingPlan::parse(&plan) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("--sample {plan}: {e}");
+                exit(2);
+            }
+        };
+    }
+    None
+}
+
+/// Default gate plans: scaled to the guest lengths of each input scale
+/// so the measured fraction stays small enough to demonstrate a real
+/// speedup while keeping enough intervals for tight estimates. Warm +
+/// measure legs run on the interleaved loop (~3x slower per
+/// instruction than the replay engine full detail uses), so the duty
+/// cycle must stay well under ~16% for the sampled pass to win at all.
+fn default_gate_plan(quick: bool) -> SamplingPlan {
+    let spec = if quick { "250k:20k:10k" } else { "1M:50k:20k" };
+    SamplingPlan::parse(spec).expect("builtin plan")
+}
+
+/// The `--sample-gate` accuracy gate: runs the Table IV/V headline
+/// matrix (all benchmarks × baseline/jump-threading/SCD on the Rocket
+/// configuration) full-detail and sampled, then compares the six
+/// headline geomean ratios the tables print. Any relative drift above
+/// 1% fails the gate — the bound under which every percentage in the
+/// committed tables is reproduced to the displayed precision.
+fn sample_gate(threads: usize, quick: bool, plan: Option<SamplingPlan>) {
+    let plan = plan.unwrap_or_else(|| default_gate_plan(quick));
+    let scale = if quick { ArgScale::Tiny } else { ArgScale::Sim };
+    eprintln!(
+        "sweep: sample gate — Table IV/V headline matrix, full detail vs plan {plan} \
+         ({scale:?} inputs, {threads} thread(s))"
+    );
+    let full = gate_headlines(threads, scale, None);
+    let sampled = gate_headlines(threads, scale, Some(plan));
+
+    let pairs = || {
+        full.table4.named().into_iter().chain(full.edp.named()).zip(
+            sampled
+                .table4
+                .named()
+                .into_iter()
+                .chain(sampled.edp.named()),
+        )
+    };
+    let mut drifted = 0u32;
+    let mut worst = 0.0f64;
+    for ((name, f), (_, s)) in pairs() {
+        let drift = (s - f).abs() / f.abs().max(1e-12);
+        worst = worst.max(drift);
+        let ok = drift <= 0.01;
+        drifted += u32::from(!ok);
+        eprintln!(
+            "  {name:<34} full {f:.6}  sampled {s:.6}  drift {:>6.3}%{}",
+            100.0 * drift,
+            if ok { "" } else { "  EXCEEDS 1%" }
+        );
+    }
+    let full_s = full.serial.max(1e-9);
+    let sampled_s = sampled.serial.max(1e-9);
+    eprintln!(
+        "sweep: sample gate: {:.1}s full vs {:.1}s sampled summed cell time \
+         ({:.2}x speedup), worst headline drift {:.3}%",
+        full_s,
+        sampled_s,
+        full_s / sampled_s,
+        100.0 * worst
+    );
+    if drifted > 0 {
+        eprintln!("sweep: sample gate: {drifted} headline ratio(s) drifted beyond 1%");
+        exit(1);
+    }
+    eprintln!("sweep: sample gate clean");
+}
+
+/// Headline numbers of one gate pass (full detail or sampled), plus the
+/// summed per-cell host time the pass cost.
+struct GateHeadlines {
+    table4: Table4Headline,
+    edp: EdpHeadline,
+    serial: f64,
+}
+
+fn gate_headlines(threads: usize, scale: ArgScale, sample: Option<SamplingPlan>) -> GateHeadlines {
+    let cfg = SimConfig::fpga_rocket();
+    let mut m = RunMatrix::new();
+    m.set_sample(sample);
+    let rows: Vec<_> = luma::scripts::BENCHMARKS
+        .iter()
+        .map(|b| {
+            (
+                m.variant(&cfg, Vm::Lvm, b, scale, Variant::Baseline, false),
+                m.variant(&cfg, Vm::Lvm, b, scale, Variant::JumpThreading, false),
+                m.variant(&cfg, Vm::Lvm, b, scale, Variant::Scd, false),
+            )
+        })
+        .collect();
+    let r = m.run(threads, true);
+    let table4 = Table4Headline::compute(
+        rows.iter()
+            .map(|&(b, j, s)| (&r.get(b).stats, &r.get(j).stats, &r.get(s).stats)),
+    );
+    let edp = EdpHeadline::compute(
+        rows.iter()
+            .map(|&(b, _, s)| (&r.get(b).stats, &r.get(s).stats)),
+        scd_model::table_v(&cfg).power_increase,
+    );
+    GateHeadlines {
+        table4,
+        edp,
+        serial: r.serial_unique().as_secs_f64(),
     }
 }
 
@@ -289,7 +460,12 @@ fn parse_only(argv: &[String]) -> Option<Vec<String>> {
             a.strip_prefix("--only=").map(str::to_string)
         };
         if let Some(list) = list {
-            sel = Some(list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect());
+            sel = Some(
+                list.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+            );
         }
     }
     sel
@@ -342,7 +518,13 @@ fn print_first_diff(golden: &str, got: &str) {
 /// wall-clock milliseconds; `serial_requested_ms` is the dedup-unaware
 /// estimate (each cell's runtime weighted by how many reports asked for
 /// it) — the cost of the old one-binary-per-figure flow on one thread.
-fn bench_json(r: &SweepResults, threads: usize, reports: &[&str], quick: bool) -> String {
+fn bench_json(
+    r: &SweepResults,
+    threads: usize,
+    reports: &[&str],
+    quick: bool,
+    sample: Option<&SamplingPlan>,
+) -> String {
     let wall_ms = r.wall.as_secs_f64() * 1e3;
     let unique_ms = r.serial_unique().as_secs_f64() * 1e3;
     let requested_ms = r.serial_requested().as_secs_f64() * 1e3;
@@ -357,18 +539,40 @@ fn bench_json(r: &SweepResults, threads: usize, reports: &[&str], quick: bool) -
     let _ = writeln!(s, "  \"schema\": \"scd-sweep-bench-v2\",");
     let _ = writeln!(s, "  \"threads\": {threads},");
     let _ = writeln!(s, "  \"quick\": {quick},");
+    if let Some(p) = sample {
+        // Only sampled records carry the plan: an absent key marks the
+        // cycle counts below as exact, and full-detail records stay
+        // byte-identical to pre-sampling ones.
+        let _ = writeln!(s, "  \"sample\": \"{p}\",");
+    }
     let _ = writeln!(
         s,
         "  \"reports\": [{}],",
-        reports.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ")
+        reports
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(s, "  \"cells\": {},", r.len());
-    let _ = writeln!(s, "  \"cells_requested\": {},", r.iter().map(|(_, h, _)| h).sum::<usize>());
+    let _ = writeln!(
+        s,
+        "  \"cells_requested\": {},",
+        r.iter().map(|(_, h, _)| h).sum::<usize>()
+    );
     let _ = writeln!(s, "  \"wall_ms\": {wall_ms:.3},");
     let _ = writeln!(s, "  \"serial_unique_ms\": {unique_ms:.3},");
     let _ = writeln!(s, "  \"serial_requested_ms\": {requested_ms:.3},");
-    let _ = writeln!(s, "  \"parallel_speedup\": {:.3},", unique_ms / wall_ms.max(1e-9));
-    let _ = writeln!(s, "  \"dedup_speedup\": {:.3},", requested_ms / unique_ms.max(1e-9));
+    let _ = writeln!(
+        s,
+        "  \"parallel_speedup\": {:.3},",
+        unique_ms / wall_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        s,
+        "  \"dedup_speedup\": {:.3},",
+        requested_ms / unique_ms.max(1e-9)
+    );
     let _ = writeln!(
         s,
         "  \"speedup_vs_sequential_bins\": {:.3},",

@@ -6,10 +6,10 @@
 
 use super::Render;
 use crate::sweep::{CellId, RunMatrix, SweepResults};
-use crate::{ArgScale, Variant};
+use crate::{ArgScale, Table4Headline, Variant};
 use luma::scripts::BENCHMARKS;
 use scd_guest::{GuestRun, Vm};
-use scd_sim::{geomean, SimConfig};
+use scd_sim::SimConfig;
 use std::fmt::Write as _;
 
 /// Plans the table's cells and returns its renderer.
@@ -43,23 +43,25 @@ impl Render for Plan {
         let _ = writeln!(
             out,
             "{:<18}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}{:>11}{:>11}{:>11}{:>11}",
-            "benchmark", "base-inst", "base-cyc", "jt-inst", "jt-cyc", "scd-inst", "scd-cyc",
-            "jt-isave", "jt-spdup", "scd-isave", "scd-spdup"
+            "benchmark",
+            "base-inst",
+            "base-cyc",
+            "jt-inst",
+            "jt-cyc",
+            "scd-inst",
+            "scd-cyc",
+            "jt-isave",
+            "jt-spdup",
+            "scd-isave",
+            "scd-spdup"
         );
-        let (mut jts, mut jtc, mut scds, mut scdc) = (vec![], vec![], vec![], vec![]);
         for (b, &(base_id, jt_id, scd_id)) in BENCHMARKS.iter().zip(&self.rows) {
             let base = r.get(base_id);
             let jt = r.get(jt_id);
             let scd = r.get(scd_id);
-            let isave = |x: &GuestRun| {
-                1.0 - x.stats.instructions as f64 / base.stats.instructions as f64
-            };
-            let spdup =
-                |x: &GuestRun| base.stats.cycles as f64 / x.stats.cycles as f64 - 1.0;
-            jts.push(1.0 - isave(jt));
-            jtc.push(1.0 + spdup(jt));
-            scds.push(1.0 - isave(scd));
-            scdc.push(1.0 + spdup(scd));
+            let isave =
+                |x: &GuestRun| 1.0 - x.stats.instructions as f64 / base.stats.instructions as f64;
+            let spdup = |x: &GuestRun| base.stats.cycles as f64 / x.stats.cycles as f64 - 1.0;
             let _ = writeln!(
                 out,
                 "{:<18}{:>14}{:>14}{:>14}{:>14}{:>14}{:>14}{:>10.2}%{:>10.2}%{:>10.2}%{:>10.2}%",
@@ -76,17 +78,23 @@ impl Render for Plan {
                 100.0 * spdup(scd),
             );
         }
-        let gm = |v: &[f64]| geomean(v).expect("positive ratios");
+        let h = Table4Headline::compute(self.rows.iter().map(|&(base_id, jt_id, scd_id)| {
+            (
+                &r.get(base_id).stats,
+                &r.get(jt_id).stats,
+                &r.get(scd_id).stats,
+            )
+        }));
         let _ = writeln!(
             out,
             "{:<18}{:>56}{:>42}{:>10.2}%{:>10.2}%{:>10.2}%{:>10.2}%",
             "GEOMEAN",
             "",
             "",
-            100.0 * (1.0 - gm(&jts)),
-            100.0 * (gm(&jtc) - 1.0),
-            100.0 * (1.0 - gm(&scds)),
-            100.0 * (gm(&scdc) - 1.0),
+            100.0 * (1.0 - h.jt_inst),
+            100.0 * (h.jt_speedup - 1.0),
+            100.0 * (1.0 - h.scd_inst),
+            100.0 * (h.scd_speedup - 1.0),
         );
         out
     }

@@ -25,8 +25,10 @@ use scd_guest::Scheme;
 use scd_sim::{geomean, CycleBreakdown, SimConfig};
 
 pub mod figures;
+pub mod headline;
 pub mod sweep;
 
+pub use headline::{EdpHeadline, Table4Headline};
 pub use sweep::{
     parallel_map, plan_matrix, try_parallel_map, CellId, CellOut, CellSpec, MapOutcome, Matrix,
     MatrixPlan, MatrixRow, RunMatrix, SweepError, SweepResults,
@@ -48,8 +50,12 @@ pub enum Variant {
 }
 
 impl Variant {
-    pub const ALL: [Variant; 4] =
-        [Variant::Baseline, Variant::JumpThreading, Variant::Vbbi, Variant::Scd];
+    pub const ALL: [Variant; 4] = [
+        Variant::Baseline,
+        Variant::JumpThreading,
+        Variant::Vbbi,
+        Variant::Scd,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -228,7 +234,10 @@ pub fn write_artifact(path: impl AsRef<std::path::Path>, contents: &str) {
 /// error was silently swallowed and a figure could vanish).
 pub fn emit_report(name: &str, body: &str) {
     println!("{body}");
-    write_artifact(std::path::Path::new("results").join(format!("{name}.txt")), body);
+    write_artifact(
+        std::path::Path::new("results").join(format!("{name}.txt")),
+        body,
+    );
 }
 
 /// Parses a `--quick` flag from the command line (tiny inputs, for CI).
@@ -249,7 +258,9 @@ pub fn threads_from_cli() -> usize {
             if let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()) {
                 return n.max(1);
             }
-        } else if let Some(n) = a.strip_prefix("--threads=").and_then(|s| s.parse::<usize>().ok())
+        } else if let Some(n) = a
+            .strip_prefix("--threads=")
+            .and_then(|s| s.parse::<usize>().ok())
         {
             return n.max(1);
         }
@@ -312,7 +323,11 @@ mod tests {
         assert!(t.contains("MEAN"));
         assert!(t.contains("fibo"));
         // SCD wins on geomean even at tiny scale.
-        let speedups: Vec<f64> = matrix.rows.iter().map(|r| r.speedup(Variant::Scd)).collect();
+        let speedups: Vec<f64> = matrix
+            .rows
+            .iter()
+            .map(|r| r.speedup(Variant::Scd))
+            .collect();
         assert!(geomean(&speedups).expect("positive speedups") > 1.0);
     }
 }

@@ -33,7 +33,7 @@ use crate::{ArgScale, Variant, INVARIANT_STRIDE};
 use luma::scripts::{Benchmark, BENCHMARKS};
 use scd_guest::{GuestOptions, GuestRun, RunRequest, Scheme, Vm};
 use scd_serve::{manifest_for, panic_message, payload, Cache, CachedRun};
-use scd_sim::{CycleBreakdown, SimConfig};
+use scd_sim::{CycleBreakdown, SamplingPlan, SimConfig};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -101,6 +101,8 @@ pub struct RunMatrix {
     index: HashMap<String, usize>,
     /// Pin every cell to the interleaved loop with invariants armed.
     interleaved: bool,
+    /// Run every *untraced* cell under interval sampling with this plan.
+    sample: Option<SamplingPlan>,
 }
 
 impl RunMatrix {
@@ -132,6 +134,18 @@ impl RunMatrix {
     /// checking.
     pub fn set_interleaved(&mut self, interleaved: bool) {
         self.interleaved = interleaved;
+    }
+
+    /// Runs every *untraced* cell under interval sampling with `plan`:
+    /// fast-forward / functionally warm / measure, with cycle counts
+    /// statistically estimated instead of fully simulated (architectural
+    /// results stay exact and oracle-validated). Traced cells always run
+    /// full detail — a cycle decomposition sampled from a fraction of
+    /// the run would be a fragment, not an estimate. The plan joins each
+    /// sampled cell's cache manifest, so sampled and full-detail entries
+    /// never collide in a shared `--cache` directory.
+    pub fn set_sample(&mut self, plan: Option<SamplingPlan>) {
+        self.sample = plan;
     }
 
     /// Plans `spec`, returning the id of the (possibly pre-existing)
@@ -214,8 +228,9 @@ impl RunMatrix {
         let total = self.cells.len();
         let done = AtomicUsize::new(0);
         let interleaved = self.interleaved;
+        let sample = self.sample.clone();
         let outs = try_parallel_map(&self.cells, threads, interrupt, |spec| {
-            let out = run_cell(spec, interleaved, cache);
+            let out = run_cell(spec, interleaved, sample.as_ref(), cache);
             if progress {
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let status = match &out {
@@ -234,8 +249,12 @@ impl RunMatrix {
         let mut cells = Vec::with_capacity(outs.len());
         for (i, out) in outs.into_iter().enumerate() {
             let spec = &self.cells[i];
-            let label =
-                format!("{} [{} / {}]", spec.bench.name, spec.vm.name(), spec.scheme.name());
+            let label = format!(
+                "{} [{} / {}]",
+                spec.bench.name,
+                spec.vm.name(),
+                spec.scheme.name()
+            );
             match out {
                 MapOutcome::Done(Ok(cell)) => cells.push(cell),
                 MapOutcome::Done(Err(msg)) => return Err(SweepError::Cell(msg)),
@@ -245,7 +264,12 @@ impl RunMatrix {
                 MapOutcome::Cancelled => return Err(SweepError::Interrupted),
             }
         }
-        Ok(SweepResults { specs: self.cells, hits: self.hits, cells, wall: started.elapsed() })
+        Ok(SweepResults {
+            specs: self.cells,
+            hits: self.hits,
+            cells,
+            wall: started.elapsed(),
+        })
     }
 }
 
@@ -274,18 +298,34 @@ impl std::error::Error for SweepError {}
 /// Runs one cell, oracle-validated, through the optional persistent
 /// cache. Traced (or `interleaved`) cells run the interleaved loop with
 /// invariants armed; untraced cells run uninstrumented on the replay
-/// fast path.
-fn run_cell(spec: &CellSpec, interleaved: bool, cache: Option<&Cache>) -> Result<CellOut, String> {
+/// fast path, or under interval sampling when the matrix has a plan.
+fn run_cell(
+    spec: &CellSpec,
+    interleaved: bool,
+    sample: Option<&SamplingPlan>,
+    cache: Option<&Cache>,
+) -> Result<CellOut, String> {
     let started = Instant::now();
-    let label = format!("{} [{} / {}]", spec.bench.name, spec.vm.name(), spec.scheme.name());
+    let label = format!(
+        "{} [{} / {}]",
+        spec.bench.name,
+        spec.vm.name(),
+        spec.scheme.name()
+    );
     let args = [("N", spec.arg)];
+    // Traced cells ignore the matrix sampling plan: the cycle breakdown
+    // is a per-retirement observation, meaningless over a sampled run.
+    let sample = if spec.traced { None } else { sample };
     let req = RunRequest::new(spec.cfg.clone(), spec.vm, spec.bench.source)
         .predefined(&args)
         .scheme(spec.scheme)
-        .opts(spec.opts);
+        .opts(spec.opts)
+        .sample(sample.cloned());
     // `interleaved` is deliberately absent from the key: it pins the
     // reference loop, but stats are bit-identical either way (PR 6's
-    // golden guarantee), so both modes share one cache entry.
+    // golden guarantee), so both modes share one cache entry. The
+    // sampling plan *is* in the key (via the request manifest): sampled
+    // cycle counts are estimates and must never masquerade as exact.
     let key = cache.map(|_| Cache::key(&manifest_for(&req, spec.traced)));
     if let (Some(c), Some(key)) = (cache, key.as_deref()) {
         if let Some(bytes) = c.load(key) {
@@ -296,7 +336,9 @@ fn run_cell(spec: &CellSpec, interleaved: bool, cache: Option<&Cache>) -> Result
                 .map_err(|e| e.to_string())
                 .and_then(payload::decode);
             if let Ok(cached) = decoded {
-                if !spec.traced || cached.breakdown.is_some() {
+                if (!spec.traced || cached.breakdown.is_some())
+                    && sample.is_some() == cached.sample.is_some()
+                {
                     let breakdown = cached.breakdown;
                     return Ok(CellOut {
                         run: cached.to_run(),
@@ -333,7 +375,11 @@ fn run_cell(spec: &CellSpec, interleaved: bool, cache: Option<&Cache>) -> Result
         c.store(key, text.as_bytes())
             .map_err(|e| format!("{label}: cache store under {}: {e}", c.root().display()))?;
     }
-    Ok(CellOut { run, breakdown, wall: started.elapsed() })
+    Ok(CellOut {
+        run,
+        breakdown,
+        wall: started.elapsed(),
+    })
 }
 
 /// What happened to one item of a [`try_parallel_map`].
@@ -382,12 +428,17 @@ where
     if threads == 1 {
         return items
             .iter()
-            .map(|item| if cancelled() { MapOutcome::Cancelled } else { run_one(item) })
+            .map(|item| {
+                if cancelled() {
+                    MapOutcome::Cancelled
+                } else {
+                    run_one(item)
+                }
+            })
             .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<MapOutcome<U>>>> =
-        items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<MapOutcome<U>>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -479,7 +530,10 @@ impl SweepResults {
     /// # Panics
     /// Panics when the cell was planned untraced.
     pub fn breakdown(&self, id: CellId) -> &CycleBreakdown {
-        self.cells[id.0].breakdown.as_ref().expect("cell was planned traced")
+        self.cells[id.0]
+            .breakdown
+            .as_ref()
+            .expect("cell was planned traced")
     }
 
     /// Sum of per-cell host runtimes: what the deduplicated matrix would
@@ -501,7 +555,11 @@ impl SweepResults {
 
     /// Iterates `(spec, times-requested, result)` in planning order.
     pub fn iter(&self) -> impl Iterator<Item = (&CellSpec, usize, &CellOut)> {
-        self.specs.iter().zip(&self.hits).zip(&self.cells).map(|((s, &h), c)| (s, h, c))
+        self.specs
+            .iter()
+            .zip(&self.hits)
+            .zip(&self.cells)
+            .map(|((s, &h), c)| (s, h, c))
     }
 }
 
@@ -526,8 +584,10 @@ pub fn plan_matrix(
     let rows = BENCHMARKS
         .iter()
         .map(|b| {
-            let cells =
-                variants.iter().map(|&v| (v, m.variant(base_cfg, vm, b, scale, v, traced))).collect();
+            let cells = variants
+                .iter()
+                .map(|&v| (v, m.variant(base_cfg, vm, b, scale, v, traced)))
+                .collect();
             (b, cells)
         })
         .collect();
@@ -543,7 +603,11 @@ impl MatrixPlan {
             rows: self
                 .rows
                 .iter()
-                .map(|(b, cells)| MatrixRow { bench: b, cells: cells.clone(), results: r })
+                .map(|(b, cells)| MatrixRow {
+                    bench: b,
+                    cells: cells.clone(),
+                    results: r,
+                })
                 .collect(),
         }
     }
@@ -568,7 +632,11 @@ pub struct MatrixRow<'r> {
 
 impl<'r> MatrixRow<'r> {
     fn id(&self, v: Variant) -> CellId {
-        self.cells.iter().find(|(vv, _)| *vv == v).expect("variant present").1
+        self.cells
+            .iter()
+            .find(|(vv, _)| *vv == v)
+            .expect("variant present")
+            .1
     }
 
     /// The validated run of variant `v`.
@@ -669,8 +737,15 @@ mod tests {
         }))
         .expect_err("the worker panic must surface");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("injected cell failure"), "message preserved: {msg}");
-        assert_eq!(completed.load(Ordering::SeqCst), 7, "the other items still ran");
+        assert!(
+            msg.contains("injected cell failure"),
+            "message preserved: {msg}"
+        );
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            7,
+            "the other items still ran"
+        );
     }
 
     #[test]
@@ -684,9 +759,15 @@ mod tests {
             x
         });
         assert!(matches!(outs[0], MapOutcome::Done(0)));
-        assert!(matches!(outs[1], MapOutcome::Done(1)), "the in-flight item finishes");
+        assert!(
+            matches!(outs[1], MapOutcome::Done(1)),
+            "the in-flight item finishes"
+        );
         for (i, o) in outs.iter().enumerate().skip(2) {
-            assert!(matches!(o, MapOutcome::Cancelled), "item {i} must be cancelled");
+            assert!(
+                matches!(o, MapOutcome::Cancelled),
+                "item {i} must be cancelled"
+            );
         }
     }
 
@@ -697,8 +778,7 @@ mod tests {
     /// never correctness.
     #[test]
     fn warm_cache_reproduces_cold_results_and_survives_corruption() {
-        let dir = std::env::temp_dir()
-            .join(format!("scd-sweep-cache-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("scd-sweep-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let a5 = SimConfig::embedded_a5();
         type Snapshot = Vec<(u64, u64, scd_sim::SimStats, CycleBreakdown)>;
@@ -712,7 +792,9 @@ mod tests {
                 &[Variant::Baseline, Variant::Scd],
                 true,
             );
-            let r = m.run_cached(2, false, Some(cache), None).expect("sweep clean");
+            let r = m
+                .run_cached(2, false, Some(cache), None)
+                .expect("sweep clean");
             let matrix = plan.resolve(&r);
             let mut snap = Vec::new();
             for row in &matrix.rows {
@@ -751,9 +833,92 @@ mod tests {
         let healed = sweep(&hurt_cache);
         assert_eq!(cold, healed, "recomputed results must be bit-identical");
         assert_eq!(stat(&hurt_cache.stats.quarantined), 1);
-        assert_eq!(stat(&hurt_cache.stats.misses), 0, "quarantines are counted apart");
+        assert_eq!(
+            stat(&hurt_cache.stats.misses),
+            0,
+            "quarantines are counted apart"
+        );
         assert_eq!(stat(&hurt_cache.stats.hits), cells - 1);
-        assert_eq!(stat(&hurt_cache.stats.stores), 1, "the healed entry is re-committed");
+        assert_eq!(
+            stat(&hurt_cache.stats.stores),
+            1,
+            "the healed entry is re-committed"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A sampled matrix validates every cell against the oracle, caches
+    /// under keys disjoint from full-detail entries, and resumes warm
+    /// with the sample report intact — the sweep-layer guarantees of the
+    /// sampling tentpole.
+    #[test]
+    fn sampled_matrix_validates_and_caches_separately() {
+        let dir = std::env::temp_dir().join(format!(
+            "scd-sweep-sample-cache-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a5 = SimConfig::embedded_a5();
+        let plan = SamplingPlan::parse("60k:10k:6k").expect("valid plan");
+        let sweep = |sample: Option<SamplingPlan>, cache: &Cache| {
+            let mut m = RunMatrix::new();
+            m.set_sample(sample);
+            let p = plan_matrix(
+                &mut m,
+                &a5,
+                Vm::Lvm,
+                ArgScale::Tiny,
+                &[Variant::Baseline, Variant::Scd],
+                false,
+            );
+            let r = m
+                .run_cached(2, false, Some(cache), None)
+                .expect("sweep clean");
+            let matrix = p.resolve(&r);
+            let mut snap = Vec::new();
+            for row in &matrix.rows {
+                for v in [Variant::Baseline, Variant::Scd] {
+                    let run = row.get(v);
+                    snap.push((run.checksum, run.dispatches, run.sample.is_some()));
+                }
+            }
+            snap
+        };
+        let stat = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::SeqCst);
+
+        let det_cache = Cache::open(&dir).expect("open cache");
+        let det = sweep(None, &det_cache);
+        let cells = stat(&det_cache.stats.stores);
+        assert!(cells > 0);
+        assert!(det.iter().all(|&(_, _, sampled)| !sampled));
+
+        // The sampled sweep shares the cache directory but must not see
+        // a single full-detail entry as a hit (the plan splits the key).
+        let smp_cache = Cache::open(&dir).expect("reopen cache");
+        let smp = sweep(Some(plan.clone()), &smp_cache);
+        assert_eq!(
+            stat(&smp_cache.stats.hits),
+            0,
+            "plans must split cache keys"
+        );
+        assert_eq!(stat(&smp_cache.stats.stores), cells);
+        assert!(smp.iter().all(|&(_, _, sampled)| sampled));
+        // Architectural results are exact under sampling: checksums and
+        // dispatch counts match the full-detail run bit for bit.
+        let arch = |s: &[(u64, u64, bool)]| s.iter().map(|&(c, d, _)| (c, d)).collect::<Vec<_>>();
+        assert_eq!(arch(&det), arch(&smp));
+
+        // Warm rerun of the sampled matrix: every cell hits, with the
+        // sample report still attached.
+        let warm_cache = Cache::open(&dir).expect("reopen cache");
+        let warm = sweep(Some(plan), &warm_cache);
+        assert_eq!(
+            stat(&warm_cache.stats.hits),
+            cells,
+            "every sampled cell must hit"
+        );
+        assert_eq!(smp, warm);
 
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -788,10 +953,16 @@ mod tests {
             );
             let r = m.run(threads, false);
             let matrix = plan.resolve(&r);
-            let speedups: Vec<f64> =
-                matrix.rows.iter().map(|row| row.speedup(Variant::Scd)).collect();
-            let events: Vec<u64> =
-                matrix.rows.iter().map(|row| row.breakdown(Variant::Scd).events).collect();
+            let speedups: Vec<f64> = matrix
+                .rows
+                .iter()
+                .map(|row| row.speedup(Variant::Scd))
+                .collect();
+            let events: Vec<u64> = matrix
+                .rows
+                .iter()
+                .map(|row| row.breakdown(Variant::Scd).events)
+                .collect();
             (speedups, events)
         };
         let one = plan_and_run(1);

@@ -7,11 +7,13 @@
 //!         [--trace out.jsonl] [--fault-plan NAME[@SEED]]
 //!         [--cycle-budget N] [--wall-budget SECS] [--interleaved]
 //!         [--checkpoint-every N] [--checkpoint-file F] [--resume F]
+//!         [--sample PERIOD:WARMUP:MEASURE]
 //! scd disasm <script.luma> [--vm lvm|svm]
 //! scd listing [--scheme baseline|threaded|scd]     # guest interpreter asm
 //! scd bench list                                    # benchmark corpus
 //! scd model [--config a5|rocket|a8]                 # Table V area/power
-//! scd serve --jobs batch.jsonl [--cache DIR] [--threads N] [--timeout SECS]
+//! scd serve --jobs batch.jsonl [--cache DIR] [--cache-stats] [--threads N]
+//!           [--timeout SECS]
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage, 3 guest trap / simulator fault,
@@ -20,7 +22,7 @@
 //! (`scd serve` additionally exits 1 when some jobs failed).
 
 use scd_guest::{GuestError, GuestOptions, GuestRun, RunRequest, Scheme, Session, Vm};
-use scd_sim::{FaultPlan, JsonlSink, SimConfig, SimError, Snapshot};
+use scd_sim::{FaultPlan, JsonlSink, SamplingPlan, SimConfig, SimError, Snapshot};
 use std::process::exit;
 
 mod fuzz;
@@ -42,13 +44,15 @@ fn usage() -> ! {
          \x20         [--trace out.jsonl] [--fault-plan jte-corruption|btb-flush-storm|memory-system[@SEED]]\n\
          \x20         [--cycle-budget N] [--wall-budget SECS] [--interleaved]\n\
          \x20         [--checkpoint-every N] [--checkpoint-file F] [--resume F]\n\
+         \x20         [--sample PERIOD:WARMUP:MEASURE   e.g. --sample 1M:50k:20k]\n\
          \x20 scd disasm <script.luma> [--vm lvm|svm]\n\
          \x20 scd listing [--scheme baseline|threaded|scd] [--vm lvm|svm]\n\
          \x20 scd bench list\n\
          \x20 scd model [--config a5|rocket|a8]\n\
          \x20 scd fuzz [--seed N] [--count N] [--threads N] [--max-insts N]\n\
          \x20         [--save-failing DIR] [--save-corpus DIR] [--repro FILE]\n\
-         \x20 scd serve --jobs batch.jsonl [--cache DIR] [--threads N] [--timeout SECS]\n\
+         \x20 scd serve --jobs batch.jsonl [--cache DIR] [--cache-stats] [--threads N]\n\
+         \x20          [--timeout SECS]\n\
          exit codes: 0 ok, 2 usage, 3 guest trap, 4 watchdog, 5 invariant, 70 internal,\n\
          \x20            130 interrupted batch"
     );
@@ -69,6 +73,7 @@ struct Opts {
     checkpoint_file: String,
     resume: Option<String>,
     interleaved: bool,
+    sample: Option<SamplingPlan>,
 }
 
 fn parse_fault_plan(spec: &str) -> Option<FaultPlan> {
@@ -99,6 +104,7 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
         checkpoint_file: "scd.ckpt".to_string(),
         resume: None,
         interleaved: false,
+        sample: None,
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -157,6 +163,13 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
             }
             "--resume" => o.resume = Some(argv.next().unwrap_or_else(|| usage())),
             "--interleaved" => o.interleaved = true,
+            "--sample" => {
+                let spec = argv.next().unwrap_or_else(|| usage());
+                o.sample = Some(SamplingPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    exit(2);
+                }));
+            }
             "--arg" => {
                 let kv = argv.next().unwrap_or_else(|| usage());
                 let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
@@ -196,8 +209,9 @@ fn run_with_checkpoints(
     file: &str,
 ) -> Result<GuestRun, RunFailure> {
     loop {
-        let limit =
-            every.map_or(u64::MAX, |n| session.machine.stats.instructions.saturating_add(n));
+        let limit = every.map_or(u64::MAX, |n| {
+            session.machine.stats.instructions.saturating_add(n)
+        });
         match session.machine.run(limit) {
             Ok(exit) => return session.validate(&exit).map_err(RunFailure::Guest),
             Err(SimError::InstLimit { .. }) if every.is_some() => {
@@ -234,10 +248,27 @@ fn print_stats(o: &Opts, stats: &scd_sim::SimStats) {
 
 fn cmd_run(o: Opts) {
     let path = o.path.clone().unwrap_or_else(|| usage());
+    if o.sample.is_some()
+        && (o.trace.is_some()
+            || o.fault_plan.is_some()
+            || o.checkpoint_every.is_some()
+            || o.resume.is_some()
+            || o.interleaved)
+    {
+        // Sampled runs forbid per-retirement observers, and the mode
+        // seams make mid-run checkpoints meaningless to a resumer.
+        eprintln!(
+            "--sample is incompatible with --trace, --fault-plan, --checkpoint-every, \
+             --resume and --interleaved"
+        );
+        exit(2);
+    }
     let src = read_script(&path);
     let args: Vec<(&str, f64)> = o.args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
 
-    let req = RunRequest::new(o.cfg.clone(), o.vm, &src).predefined(&args).scheme(o.scheme);
+    let req = RunRequest::new(o.cfg.clone(), o.vm, &src)
+        .predefined(&args)
+        .scheme(o.scheme);
     let mut session = match req.session() {
         Ok(s) => s,
         Err(e) => {
@@ -263,7 +294,45 @@ fn cmd_run(o: Opts) {
         session.machine.set_cycle_budget(c);
     }
     if let Some(s) = o.wall_budget {
-        session.machine.set_wall_budget(std::time::Duration::from_secs_f64(s));
+        session
+            .machine
+            .set_wall_budget(std::time::Duration::from_secs_f64(s));
+    }
+    if let Some(plan) = &o.sample {
+        session.machine.disable_invariants();
+        match session.run_sampled_and_validate(u64::MAX, plan) {
+            Ok(run) => {
+                let r = run.sample.as_ref().expect("sampled run carries a report");
+                print_header(&o);
+                println!("checksum      : {:#018x} (oracle-validated)", run.checksum);
+                println!("bytecodes     : {}", run.dispatches);
+                print_stats(&o, &run.stats);
+                if r.exact_fallback {
+                    println!("sampling      : exact fallback (guest too short for plan {plan})");
+                } else {
+                    println!(
+                        "sampling      : {} interval(s) under plan {plan}",
+                        r.intervals
+                    );
+                    println!(
+                        "cycles (est)  : {} ± {} (95% CI)",
+                        r.cycles_est, r.cycles_ci95
+                    );
+                    println!("CPI (est)     : {:.4} ± {:.4}", r.cpi_mean, r.cpi_ci95);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(match &e {
+                    GuestError::Sim(SimError::Watchdog { .. }) => EXIT_WATCHDOG,
+                    GuestError::Sim(_) => EXIT_GUEST_TRAP,
+                    GuestError::ChecksumMismatch { .. } | GuestError::DispatchMismatch { .. } => {
+                        EXIT_INVARIANT
+                    }
+                });
+            }
+        }
+        return;
     }
     if let Some(rp) = &o.resume {
         let bytes = std::fs::read(rp).unwrap_or_else(|e| {
@@ -278,7 +347,10 @@ fn cmd_run(o: Opts) {
             eprintln!("cannot resume from {rp}: {e}");
             exit(EXIT_INTERNAL);
         }
-        eprintln!("resumed {rp} at instruction {}", session.machine.stats.instructions);
+        eprintln!(
+            "resumed {rp} at instruction {}",
+            session.machine.stats.instructions
+        );
     }
 
     // StatInvariants failures surface as panics deep in the simulator;
@@ -375,7 +447,10 @@ fn cmd_listing(o: Opts) {
 }
 
 fn cmd_bench_list() {
-    println!("{:<18} {:>8} {:>9} {:>7}  description", "name", "sim-N", "fpga-N", "tiny-N");
+    println!(
+        "{:<18} {:>8} {:>9} {:>7}  description",
+        "name", "sim-N", "fpga-N", "tiny-N"
+    );
     for b in &luma::scripts::BENCHMARKS {
         println!(
             "{:<18} {:>8} {:>9} {:>7}  {}",

@@ -6,7 +6,9 @@
 //! order** as results become available. With `--cache DIR` every job
 //! first consults the content-addressed on-disk result cache (shared
 //! with `sweep --cache`); completed jobs commit their entries even when
-//! the batch is later interrupted.
+//! the batch is later interrupted. `--cache-stats` prints the cache's
+//! end-of-run counter summary (hits/misses/stores/quarantined/
+//! recovered) to stderr.
 //!
 //! A first SIGINT drains in-flight jobs — their result lines still
 //! stream out and their cache entries commit — marks the unclaimed tail
@@ -24,7 +26,6 @@ use scd_serve::{
 };
 use std::io::Write as _;
 use std::process::exit;
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Some jobs failed; their result lines carry the error details.
@@ -33,6 +34,7 @@ const EXIT_JOBS_FAILED: i32 = 1;
 struct ServeOpts {
     jobs: String,
     cache: Option<String>,
+    cache_stats: bool,
     threads: usize,
     timeout: Option<Duration>,
 }
@@ -40,15 +42,21 @@ struct ServeOpts {
 fn parse_serve_opts(mut argv: impl Iterator<Item = String>) -> ServeOpts {
     let mut jobs = None;
     let mut cache = None;
+    let mut cache_stats = false;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut timeout = None;
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--jobs" => jobs = Some(argv.next().unwrap_or_else(|| usage())),
             "--cache" => cache = Some(argv.next().unwrap_or_else(|| usage())),
+            "--cache-stats" => cache_stats = true,
             "--threads" => {
                 let v = argv.next().unwrap_or_else(|| usage());
-                threads = v.parse::<usize>().ok().filter(|&n| n > 0).unwrap_or_else(|| usage());
+                threads = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
             }
             "--timeout" => {
                 let v = argv.next().unwrap_or_else(|| usage());
@@ -61,7 +69,13 @@ fn parse_serve_opts(mut argv: impl Iterator<Item = String>) -> ServeOpts {
             _ => usage(),
         }
     }
-    ServeOpts { jobs: jobs.unwrap_or_else(|| usage()), cache, threads, timeout }
+    ServeOpts {
+        jobs: jobs.unwrap_or_else(|| usage()),
+        cache,
+        cache_stats,
+        threads,
+        timeout,
+    }
 }
 
 pub(crate) fn cmd_serve(argv: impl Iterator<Item = String>) {
@@ -91,8 +105,13 @@ pub(crate) fn cmd_serve(argv: impl Iterator<Item = String>) {
         "serve: {} job(s), {} thread(s){}{}",
         jobs.len(),
         o.threads,
-        o.timeout.map(|t| format!(", {:.0}s/job timeout", t.as_secs_f64())).unwrap_or_default(),
-        o.cache.as_ref().map(|d| format!(", cache {d}")).unwrap_or_default(),
+        o.timeout
+            .map(|t| format!(", {:.0}s/job timeout", t.as_secs_f64()))
+            .unwrap_or_default(),
+        o.cache
+            .as_ref()
+            .map(|d| format!(", cache {d}"))
+            .unwrap_or_default(),
     );
 
     let stdout = std::io::stdout();
@@ -111,21 +130,21 @@ pub(crate) fn cmd_serve(argv: impl Iterator<Item = String>) {
                 exit(EXIT_INTERNAL);
             }
             if let JobOutcome::Failed { error, .. } = outcome {
-                eprintln!("serve: job {} failed ({}): {}", job.id, error.kind(), error.message());
+                eprintln!(
+                    "serve: job {} failed ({}): {}",
+                    job.id,
+                    error.kind(),
+                    error.message()
+                );
             }
         },
     );
 
     if let Some(c) = &cache {
         c.flush();
-        let stat = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::SeqCst);
-        eprintln!(
-            "serve: cache {} hit(s), {} miss(es), {} store(s), {} quarantined",
-            stat(&c.stats.hits),
-            stat(&c.stats.misses),
-            stat(&c.stats.stores),
-            stat(&c.stats.quarantined),
-        );
+        if o.cache_stats {
+            eprintln!("serve: cache {}", c.stats.summary());
+        }
     }
     eprintln!(
         "serve: {} ok, {} failed, {} cancelled in {:.1}s",

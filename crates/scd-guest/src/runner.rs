@@ -5,7 +5,10 @@ use crate::common::{Guest, GuestOptions, Scheme};
 use crate::layout::{self, Image};
 use luma::lvm::LvmProgram;
 use luma::svm::SvmProgram;
-use scd_sim::{downcast_sink, Exit, Machine, SimConfig, SimError, SimStats, TraceSink};
+use scd_sim::{
+    downcast_sink, Exit, Machine, SampleReport, SamplingPlan, SimConfig, SimError, SimStats,
+    TraceSink,
+};
 use std::fmt;
 
 /// Which guest VM to run.
@@ -88,6 +91,10 @@ pub struct GuestRun {
     /// not shared: this is what lets traced runs execute on worker
     /// threads.
     pub sink: Option<Box<dyn TraceSink>>,
+    /// Sampling metadata when the run executed in sampled mode (`stats`
+    /// then holds the scaled estimate; checksum and dispatch count stay
+    /// exact either way).
+    pub sample: Option<SampleReport>,
 }
 
 impl GuestRun {
@@ -115,13 +122,23 @@ impl fmt::Debug for GuestRun {
 fn build_machine(cfg: SimConfig, guest: &Guest, img: &Image) -> Machine {
     let mut m = Machine::new(cfg, &guest.program);
     m.set_annotations(guest.annotations.clone());
-    m.map("image", layout::IMAGE_BASE, (img.bytes.len() as u64 + 4095) & !4095);
+    m.map(
+        "image",
+        layout::IMAGE_BASE,
+        (img.bytes.len() as u64 + 4095) & !4095,
+    );
     m.mem.write_bytes(layout::IMAGE_BASE, &img.bytes);
     m.map("globals", layout::GLOBALS_BASE, 1 << 20);
     for (i, g) in img.global_init.iter().enumerate() {
-        m.mem.write_u64(layout::GLOBALS_BASE + 8 * i as u64, *g).expect("globals segment mapped");
+        m.mem
+            .write_u64(layout::GLOBALS_BASE + 8 * i as u64, *g)
+            .expect("globals segment mapped");
     }
-    m.map("vstack+ctl", layout::VSTACK_BASE, layout::VSTACK_SIZE + layout::VMCTL_SIZE);
+    m.map(
+        "vstack+ctl",
+        layout::VSTACK_BASE,
+        layout::VSTACK_SIZE + layout::VMCTL_SIZE,
+    );
     m.map("frames", layout::FRAME_BASE, layout::FRAME_SIZE);
     m.map("heap", layout::HEAP_BASE, layout::HEAP_SIZE);
     m
@@ -137,13 +154,16 @@ fn run_image(
     let mut m = build_machine(cfg, guest, img);
     setup(&mut m);
     let exit = m.run(max_insts)?;
-    let dispatches =
-        m.mem.read_u64(layout::VMCTL_BASE + layout::CTL_DISPATCH_COUNT as u64).expect("ctl mapped");
+    let dispatches = m
+        .mem
+        .read_u64(layout::VMCTL_BASE + layout::CTL_DISPATCH_COUNT as u64)
+        .expect("ctl mapped");
     Ok(GuestRun {
         checksum: exit.code,
         dispatches,
         stats: m.stats.clone(),
         sink: m.take_trace_sink(),
+        sample: None,
     })
 }
 
@@ -210,7 +230,11 @@ impl Session {
                 (Compiled::Svm { program: p, init }, img, guest)
             }
         };
-        Ok(Session { machine: build_machine(cfg, &guest, &img), compiled, opts })
+        Ok(Session {
+            machine: build_machine(cfg, &guest, &img),
+            compiled,
+            opts,
+        })
     }
 
     /// Runs the machine to completion and validates the result; the
@@ -247,14 +271,46 @@ impl Session {
                 .expect("oracle agrees the program terminates"),
         };
         if oracle.checksum != checksum {
-            return Err(GuestError::ChecksumMismatch { guest: checksum, oracle: oracle.checksum });
+            return Err(GuestError::ChecksumMismatch {
+                guest: checksum,
+                oracle: oracle.checksum,
+            });
         }
         if self.opts.production_weight && dispatches != oracle.steps {
-            return Err(GuestError::DispatchMismatch { guest: dispatches, oracle: oracle.steps });
+            return Err(GuestError::DispatchMismatch {
+                guest: dispatches,
+                oracle: oracle.steps,
+            });
         }
         // The sink (if any) stays on the machine: the caller holds the
         // session and takes it from there.
-        Ok(GuestRun { checksum, dispatches, stats: self.machine.stats.clone(), sink: None })
+        Ok(GuestRun {
+            checksum,
+            dispatches,
+            stats: self.machine.stats.clone(),
+            sink: None,
+            sample: None,
+        })
+    }
+
+    /// Runs the machine in sampled mode (fast-forward → warm → measure
+    /// under `plan`) and validates the architectural results against the
+    /// oracle exactly as [`Session::run_and_validate`] does — checksum
+    /// and dispatch counts are exact in every execution mode, only the
+    /// timing counters are estimates. The returned run carries the
+    /// [`SampleReport`] and its `stats` hold the scaled estimate.
+    ///
+    /// # Errors
+    /// Returns [`GuestError`] on simulator faults or oracle mismatches.
+    pub fn run_sampled_and_validate(
+        &mut self,
+        max_insts: u64,
+        plan: &SamplingPlan,
+    ) -> Result<GuestRun, GuestError> {
+        let (exit, report) = self.machine.run_sampled(max_insts, plan)?;
+        let mut run = self.validate(&exit)?;
+        run.sample = Some(report);
+        Ok(run)
     }
 }
 
@@ -298,10 +354,16 @@ pub fn run_lvm_with(
         .run(max_insts)
         .expect("oracle agrees the program terminates");
     if oracle.checksum != run.checksum {
-        return Err(GuestError::ChecksumMismatch { guest: run.checksum, oracle: oracle.checksum });
+        return Err(GuestError::ChecksumMismatch {
+            guest: run.checksum,
+            oracle: oracle.checksum,
+        });
     }
     if opts.production_weight && run.dispatches != oracle.steps {
-        return Err(GuestError::DispatchMismatch { guest: run.dispatches, oracle: oracle.steps });
+        return Err(GuestError::DispatchMismatch {
+            guest: run.dispatches,
+            oracle: oracle.steps,
+        });
     }
     Ok(run)
 }
@@ -345,10 +407,16 @@ pub fn run_svm_with(
         .run(max_insts)
         .expect("oracle agrees the program terminates");
     if oracle.checksum != run.checksum {
-        return Err(GuestError::ChecksumMismatch { guest: run.checksum, oracle: oracle.checksum });
+        return Err(GuestError::ChecksumMismatch {
+            guest: run.checksum,
+            oracle: oracle.checksum,
+        });
     }
     if opts.production_weight && run.dispatches != oracle.steps {
-        return Err(GuestError::DispatchMismatch { guest: run.dispatches, oracle: oracle.steps });
+        return Err(GuestError::DispatchMismatch {
+            guest: run.dispatches,
+            oracle: oracle.steps,
+        });
     }
     Ok(run)
 }
@@ -381,6 +449,8 @@ pub struct RunRequest<'a> {
     pub opts: GuestOptions,
     /// Retired-instruction budget (`u64::MAX` = unbounded).
     pub max_insts: u64,
+    /// Run in sampled mode under this plan instead of full detail.
+    pub sample: Option<SamplingPlan>,
 }
 
 impl<'a> RunRequest<'a> {
@@ -395,6 +465,7 @@ impl<'a> RunRequest<'a> {
             scheme: Scheme::Baseline,
             opts: GuestOptions::default(),
             max_insts: u64::MAX,
+            sample: None,
         }
     }
 
@@ -426,6 +497,13 @@ impl<'a> RunRequest<'a> {
         self
     }
 
+    /// Selects sampled execution under `plan` (`None` = full detail).
+    #[must_use]
+    pub fn sample(mut self, plan: Option<SamplingPlan>) -> Self {
+        self.sample = plan;
+        self
+    }
+
     /// The canonical identity manifest for content-addressed result
     /// caching: a versioned, deterministic text rendering of everything
     /// that can change the simulated outcome — the full [`SimConfig`]
@@ -446,6 +524,12 @@ impl<'a> RunRequest<'a> {
         let _ = writeln!(s, "scheme {}", self.scheme.name());
         let _ = writeln!(s, "opts {:?}", self.opts);
         let _ = writeln!(s, "max_insts {}", self.max_insts);
+        // Only present for sampled runs, so every full-detail manifest
+        // (and thus every existing cache entry) is byte-identical to
+        // what it was before sampling existed.
+        if let Some(plan) = &self.sample {
+            let _ = writeln!(s, "{}", plan.manifest());
+        }
         let _ = writeln!(s, "predefined {}", self.predefined.len());
         for (k, v) in self.predefined {
             let _ = writeln!(s, "  {} {:#018x}", k, v.to_bits());
@@ -460,7 +544,14 @@ impl<'a> RunRequest<'a> {
     /// # Errors
     /// Returns a string describing parse or compile errors.
     pub fn session(&self) -> Result<Session, String> {
-        Session::from_source(self.cfg.clone(), self.vm, self.src, self.predefined, self.scheme, self.opts)
+        Session::from_source(
+            self.cfg.clone(),
+            self.vm,
+            self.src,
+            self.predefined,
+            self.scheme,
+            self.opts,
+        )
     }
 
     /// Runs the request end to end and validates against the oracle.
@@ -480,6 +571,13 @@ impl<'a> RunRequest<'a> {
     /// Returns a string describing parse/compile errors or a
     /// [`GuestError`].
     pub fn run_with(&self, setup: impl FnOnce(&mut Machine)) -> Result<GuestRun, String> {
+        if let Some(plan) = &self.sample {
+            let mut session = self.session()?;
+            setup(&mut session.machine);
+            return session
+                .run_sampled_and_validate(self.max_insts, plan)
+                .map_err(|e| e.to_string());
+        }
         run_source_with(
             self.cfg.clone(),
             self.vm,

@@ -225,6 +225,11 @@ pub struct RefCore {
     segs: Vec<Segment>,
     /// Index of the segment the last access landed in (locality cache).
     last_seg: usize,
+    /// Per-segment high-water mark of writes *made by this core* (bytes
+    /// from the segment base). Owners of moved-in memory read it back
+    /// via [`RefCore::seg_high_waters`] to keep snapshot scans bounded
+    /// by written memory.
+    seg_hw: Vec<usize>,
     scd: [ScdReg; 4],
     jte_map: JteMap,
     scd_enabled: bool,
@@ -248,6 +253,7 @@ impl RefCore {
                 data: program.rodata.clone(),
             });
         }
+        let nseg = segs.len();
         RefCore {
             regs: [0; 32],
             fregs: [0; 32],
@@ -259,6 +265,7 @@ impl RefCore {
             insts: program.insts.iter().copied().map(Some).collect(),
             segs,
             last_seg: 0,
+            seg_hw: vec![0; nseg],
             scd: [ScdReg::default(); 4],
             jte_map: JteMap::default(),
             scd_enabled,
@@ -292,6 +299,7 @@ impl RefCore {
             data: text.to_vec(),
         }];
         segs.extend(segments.into_iter().filter(|s| s.base != text_base));
+        let nseg = segs.len();
         RefCore {
             regs,
             fregs,
@@ -303,6 +311,7 @@ impl RefCore {
             insts,
             segs,
             last_seg: 0,
+            seg_hw: vec![0; nseg],
             scd: [ScdReg::default(); 4],
             jte_map: JteMap::default(),
             scd_enabled,
@@ -327,6 +336,7 @@ impl RefCore {
         scd_enabled: bool,
         nbids: usize,
     ) -> Self {
+        let nseg = segments.len();
         RefCore {
             regs,
             fregs,
@@ -338,6 +348,7 @@ impl RefCore {
             insts,
             segs: segments,
             last_seg: 0,
+            seg_hw: vec![0; nseg],
             scd: [ScdReg::default(); 4],
             jte_map: JteMap::default(),
             scd_enabled,
@@ -345,11 +356,28 @@ impl RefCore {
         }
     }
 
+    /// Per-segment high-water marks of the writes this core has made
+    /// (bytes from each segment base), in segment order. An owner moving
+    /// memory back out via [`RefCore::into_segments`] merges these into
+    /// its own marks so snapshot scans stay bounded by written memory.
+    pub fn seg_high_waters(&self) -> &[usize] {
+        &self.seg_hw
+    }
+
     /// Consumes the core and returns its segments in construction order.
     /// The counterpart of [`RefCore::from_owned_state`]: the replay
     /// driver moves the guest memory back into the DUT when the run ends.
     pub fn into_segments(self) -> Vec<Segment> {
         self.segs
+    }
+
+    /// Like [`RefCore::into_segments`], but also hands back the decoded
+    /// text vector. The sampled fast-forward builds a fresh core per
+    /// interval leg; recycling the decode (megabytes for a real
+    /// interpreter) keeps the per-leg cost at the state sync, not an
+    /// allocation.
+    pub fn into_insts_and_segments(self) -> (Vec<Option<Inst>>, Vec<Segment>) {
+        (self.insts, self.segs)
     }
 
     /// What a [`BopHint::Auto`] `bop` on `bid` would resolve to right
@@ -377,7 +405,8 @@ impl RefCore {
     /// Writes `size` bytes little-endian at `addr`; panics if unmapped
     /// (undo entries are pre-validated by construction).
     pub fn write_mem(&mut self, addr: u64, size: u64, v: u64) {
-        self.write(addr, size, v, 0).expect("undo entry targets mapped memory");
+        self.write(addr, size, v, 0)
+            .expect("undo entry targets mapped memory");
     }
 
     /// Maps an additional zero-filled segment (stacks, heap, fuzz data).
@@ -387,6 +416,7 @@ impl RefCore {
             base,
             data: vec![0; size as usize],
         });
+        self.seg_hw.push(0);
     }
 
     /// The decoded instruction at `pc`, if `pc` is in text and decodable.
@@ -418,6 +448,15 @@ impl RefCore {
         self.scd[bid % self.nbids.max(1)].rop_d
     }
 
+    /// The full architectural SCD register view `(rop_v, rop_d, rmask)`
+    /// for `bid`. The sampled simulator's fast-forward leg syncs these
+    /// back into the cycle model when the reference core hands control
+    /// (and the guest memory) back.
+    pub fn scd_state(&self, bid: usize) -> (bool, u64, u64) {
+        let s = &self.scd[bid % self.nbids.max(1)];
+        (s.rop_v, s.rop_d, s.rmask)
+    }
+
     /// Clears every `Rop[bid].v` — the architectural effect of
     /// `jte.flush` and of the cycle model's emulated context-switch flush.
     /// The JTE *map* is untouched: it is architectural ground truth, not a
@@ -436,9 +475,8 @@ impl RefCore {
     }
 
     fn find_seg(&mut self, addr: u64, size: u64) -> Option<usize> {
-        let fits = |s: &Segment| {
-            addr >= s.base && addr.wrapping_add(size) <= s.base + s.data.len() as u64
-        };
+        let fits =
+            |s: &Segment| addr >= s.base && addr.wrapping_add(size) <= s.base + s.data.len() as u64;
         if let Some(s) = self.segs.get(self.last_seg) {
             if fits(s) {
                 return Some(self.last_seg);
@@ -451,9 +489,11 @@ impl RefCore {
 
     #[inline]
     fn read(&mut self, addr: u64, size: u64, pc: u64) -> Result<u64, RefError> {
-        let i = self
-            .find_seg(addr, size)
-            .ok_or(RefError::Mem { pc, addr, write: false })?;
+        let i = self.find_seg(addr, size).ok_or(RefError::Mem {
+            pc,
+            addr,
+            write: false,
+        })?;
         let s = &self.segs[i];
         let off = (addr - s.base) as usize;
         let d = &s.data[off..off + size as usize];
@@ -467,12 +507,18 @@ impl RefCore {
 
     #[inline]
     fn write(&mut self, addr: u64, size: u64, v: u64, pc: u64) -> Result<(), RefError> {
-        let i = self
-            .find_seg(addr, size)
-            .ok_or(RefError::Mem { pc, addr, write: true })?;
+        let i = self.find_seg(addr, size).ok_or(RefError::Mem {
+            pc,
+            addr,
+            write: true,
+        })?;
         let s = &mut self.segs[i];
         let off = (addr - s.base) as usize;
         s.data[off..off + size as usize].copy_from_slice(&v.to_le_bytes()[..size as usize]);
+        let end = off + size as usize;
+        if end > self.seg_hw[i] {
+            self.seg_hw[i] = end;
+        }
         Ok(())
     }
 
@@ -503,8 +549,8 @@ impl RefCore {
         if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(4) {
             return Err(RefError::PcOutOfRange { pc });
         }
-        let inst = self.insts[((pc - self.text_base) / 4) as usize]
-            .ok_or(RefError::BadInst { pc })?;
+        let inst =
+            self.insts[((pc - self.text_base) / 4) as usize].ok_or(RefError::BadInst { pc })?;
 
         let mut next_pc = pc + 4;
         let mut ea = None;
@@ -524,18 +570,33 @@ impl RefCore {
                 next_pc = self.regs[rs1.index()].wrapping_add(offset as u64) & !1;
                 self.wx(rd, pc + 4);
             }
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if exec::branch_taken(op, self.regs[rs1.index()], self.regs[rs2.index()]) {
                     next_pc = pc.wrapping_add(offset as u64);
                 }
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 ea = Some(addr);
                 let raw = self.read(addr, exec::load_width(op), pc)?;
                 self.wx(rd, exec::load_extend(op, raw));
             }
-            Inst::Store { op, rs2, rs1, offset } => {
+            Inst::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 ea = Some(addr);
                 let v = exec::store_truncate(op, self.regs[rs2.index()]);
@@ -606,9 +667,16 @@ impl RefCore {
                         if !self.scd[bid].rop_v {
                             return Err(RefError::BopNotValid { pc, bid: bid as u8 });
                         }
-                        Some(self.jte_map.get(&key).copied().ok_or(
-                            RefError::BopUntrained { pc, bid: bid as u8, rop_d: key.1 },
-                        )?)
+                        Some(
+                            self.jte_map
+                                .get(&key)
+                                .copied()
+                                .ok_or(RefError::BopUntrained {
+                                    pc,
+                                    bid: bid as u8,
+                                    rop_d: key.1,
+                                })?,
+                        )
                     }
                     BopHint::Miss => None,
                     BopHint::Target(t) => Some(t),
@@ -624,13 +692,20 @@ impl RefCore {
                 if self.scd_enabled && self.scd[bid].rop_v {
                     // Last write wins, exactly like the cycle model's
                     // update-in-place JTE insert.
-                    self.jte_map.insert((bid as u8, self.scd[bid].rop_d), target);
+                    self.jte_map
+                        .insert((bid as u8, self.scd[bid].rop_d), target);
                     self.scd[bid].rop_v = false;
                 }
                 next_pc = target;
             }
             Inst::JteFlush => self.flush_rop(),
-            Inst::LoadOp { op, bid, rd, rs1, offset } => {
+            Inst::LoadOp {
+                op,
+                bid,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let bid = bid as usize % self.nbids;
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 ea = Some(addr);
@@ -650,8 +725,12 @@ impl RefCore {
             *out = StepArch {
                 pc,
                 next_pc,
-                wx: inst.def_xreg().map(|r| (r.index() as u8, self.regs[r.index()])),
-                wf: inst.def_freg().map(|r| (r.index() as u8, self.fregs[r.index()])),
+                wx: inst
+                    .def_xreg()
+                    .map(|r| (r.index() as u8, self.regs[r.index()])),
+                wf: inst
+                    .def_freg()
+                    .map(|r| (r.index() as u8, self.fregs[r.index()])),
                 ea,
                 store,
                 exited,
@@ -779,7 +858,10 @@ mod tests {
         let mut c = RefCore::from_program(&p, true, 4);
         assert_eq!(
             c.step(BopHint::Hit),
-            Err(RefError::BopNotValid { pc: 0x1_0000, bid: 0 })
+            Err(RefError::BopNotValid {
+                pc: 0x1_0000,
+                bid: 0
+            })
         );
     }
 

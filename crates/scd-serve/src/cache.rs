@@ -90,9 +90,24 @@ impl CacheStats {
     /// Hit rate over all lookups, in `[0, 1]`; `None` before any lookup.
     pub fn hit_rate(&self) -> Option<f64> {
         let hits = self.hits.load(Ordering::Relaxed);
-        let total = hits + self.misses.load(Ordering::Relaxed)
-            + self.quarantined.load(Ordering::Relaxed);
+        let total =
+            hits + self.misses.load(Ordering::Relaxed) + self.quarantined.load(Ordering::Relaxed);
         (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// One-line end-of-run summary of every counter — the canonical
+    /// form both `scd serve` and `sweep --cache` print behind their
+    /// `--cache-stats` flags.
+    pub fn summary(&self) -> String {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            "{} hit(s), {} miss(es), {} store(s), {} quarantined, {} tmp recovered",
+            get(&self.hits),
+            get(&self.misses),
+            get(&self.stores),
+            get(&self.quarantined),
+            get(&self.recovered_tmp),
+        )
     }
 }
 
@@ -117,7 +132,11 @@ impl Cache {
         fs::create_dir_all(root.join("objects"))?;
         fs::create_dir_all(root.join("tmp"))?;
         fs::create_dir_all(root.join("quarantine"))?;
-        let cache = Cache { root, seq: AtomicU64::new(0), stats: CacheStats::default() };
+        let cache = Cache {
+            root,
+            seq: AtomicU64::new(0),
+            stats: CacheStats::default(),
+        };
         for entry in fs::read_dir(cache.root.join("tmp"))? {
             let entry = entry?;
             if fs::remove_file(entry.path()).is_ok() {
@@ -202,7 +221,10 @@ impl Cache {
         entry.extend_from_slice(payload);
 
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
-        let tmp = self.root.join("tmp").join(format!("{key}.{}.{n}", std::process::id()));
+        let tmp = self
+            .root
+            .join("tmp")
+            .join(format!("{key}.{}.{n}", std::process::id()));
         let publish = (|| -> io::Result<()> {
             let mut f = File::create(&tmp)?;
             f.write_all(&entry)?;
@@ -256,7 +278,10 @@ fn verify(bytes: &[u8]) -> Result<&[u8], String> {
     let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
     let payload = &bytes[HEADER..];
     if payload.len() as u64 != len {
-        return Err(format!("length mismatch: header {len}, file {}", payload.len()));
+        return Err(format!(
+            "length mismatch: header {len}, file {}",
+            payload.len()
+        ));
     }
     let want = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
     let got = fnv1a(payload);
@@ -277,10 +302,8 @@ mod tests {
         fn new(tag: &str) -> TempDir {
             static SEQ: AtomicU64 = AtomicU64::new(0);
             let n = SEQ.fetch_add(1, Ordering::Relaxed);
-            let dir = std::env::temp_dir().join(format!(
-                "scd-serve-test-{tag}-{}-{n}",
-                std::process::id()
-            ));
+            let dir = std::env::temp_dir()
+                .join(format!("scd-serve-test-{tag}-{}-{n}", std::process::id()));
             fs::create_dir_all(&dir).expect("create temp dir");
             TempDir(dir)
         }
@@ -333,14 +356,23 @@ mod tests {
         let dir = TempDir::new("truncate");
         let cache = Cache::open(dir.path()).expect("open");
         let key = Cache::key("truncate-me");
-        cache.store(&key, b"some payload that will be cut short").expect("store");
+        cache
+            .store(&key, b"some payload that will be cut short")
+            .expect("store");
         let path = cache.object_path(&key);
         let full = fs::read(&path).expect("read entry");
         fs::write(&path, &full[..full.len() / 2]).expect("truncate");
 
-        assert_eq!(cache.load(&key), None, "truncated entry must read as a miss");
+        assert_eq!(
+            cache.load(&key),
+            None,
+            "truncated entry must read as a miss"
+        );
         assert_eq!(stat(&cache.stats.quarantined), 1);
-        assert!(!path.exists(), "corrupt entry must be moved out of objects/");
+        assert!(
+            !path.exists(),
+            "corrupt entry must be moved out of objects/"
+        );
         let quarantined = fs::read_dir(dir.path().join("quarantine"))
             .expect("quarantine dir")
             .count();
@@ -363,7 +395,11 @@ mod tests {
         bytes[last] ^= 0x40;
         fs::write(&path, &bytes).expect("write corrupted");
 
-        assert_eq!(cache.load(&key), None, "bit-flipped entry must read as a miss");
+        assert_eq!(
+            cache.load(&key),
+            None,
+            "bit-flipped entry must read as a miss"
+        );
         assert_eq!(stat(&cache.stats.quarantined), 1);
     }
 
@@ -405,9 +441,15 @@ mod tests {
             drop(cache);
         }
         let cache = Cache::open(dir.path()).expect("reopen");
-        assert_eq!(stat(&cache.stats.recovered_tmp), 1, "stale tmp must be swept");
         assert_eq!(
-            fs::read_dir(dir.path().join("tmp")).expect("tmp dir").count(),
+            stat(&cache.stats.recovered_tmp),
+            1,
+            "stale tmp must be swept"
+        );
+        assert_eq!(
+            fs::read_dir(dir.path().join("tmp"))
+                .expect("tmp dir")
+                .count(),
             0,
             "tmp/ must be empty after recovery"
         );
@@ -426,7 +468,9 @@ mod tests {
         fs::write(&shard, b"not a directory").expect("block shard");
         assert!(cache.store(&key, b"payload").is_err());
         assert_eq!(
-            fs::read_dir(dir.path().join("tmp")).expect("tmp dir").count(),
+            fs::read_dir(dir.path().join("tmp"))
+                .expect("tmp dir")
+                .count(),
             0,
             "failed store must not leak its temp file"
         );

@@ -42,7 +42,10 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        DriverConfig { threads: 1, job_timeout: None }
+        DriverConfig {
+            threads: 1,
+            job_timeout: None,
+        }
     }
 }
 
@@ -203,16 +206,25 @@ pub fn simulate_job(
     timeout: Option<Duration>,
 ) -> Result<JobDone, JobError> {
     let started = Instant::now();
-    let key = cache.map(|_| Cache::key(&job.cache_manifest())).unwrap_or_default();
+    let key = cache
+        .map(|_| Cache::key(&job.cache_manifest()))
+        .unwrap_or_default();
     if let Some(c) = cache {
         if let Some(bytes) = c.load(&key) {
             // The checksum passed but the payload may still predate a
             // format change; a decode failure (or a breakdown missing
             // where the job needs one) degrades to recompute.
-            if let Ok(run) = std::str::from_utf8(&bytes).map_err(|e| e.to_string())
+            if let Ok(run) = std::str::from_utf8(&bytes)
+                .map_err(|e| e.to_string())
                 .and_then(payload::decode)
             {
-                if !job.traced || run.breakdown.is_some() {
+                // A traced job needs a breakdown; a sampled job needs a
+                // sample report (and a detailed job must not get one) —
+                // the manifests already keep these apart, so this only
+                // guards against entries that predate a format change.
+                if (!job.traced || run.breakdown.is_some())
+                    && (job.sample.is_some() == run.sample.is_some())
+                {
                     return Ok(JobDone {
                         key,
                         cached: true,
@@ -228,11 +240,16 @@ pub fn simulate_job(
     let run = compute_job(job, timeout)?;
     if let Some(c) = cache {
         let text = payload::encode(&run);
-        c.store(&key, text.as_bytes()).map_err(|e| {
-            JobError::Io(format!("cache store {}: {e}", c.root().display()))
-        })?;
+        c.store(&key, text.as_bytes())
+            .map_err(|e| JobError::Io(format!("cache store {}: {e}", c.root().display())))?;
     }
-    Ok(JobDone { key, cached: false, attempts: 1, run, wall: started.elapsed() })
+    Ok(JobDone {
+        key,
+        cached: false,
+        attempts: 1,
+        run,
+        wall: started.elapsed(),
+    })
 }
 
 /// Simulates and oracle-validates one job (no cache involvement).
@@ -240,6 +257,23 @@ fn compute_job(job: &JobSpec, timeout: Option<Duration>) -> Result<CachedRun, Jo
     job.with_request(|req| {
         let mut session = req.session().map_err(JobError::Compile)?;
         let m = &mut session.machine;
+        if let Some(plan) = &job.sample {
+            // Sampled path: the scheduler forbids per-retirement
+            // observers, so this is always the uninstrumented loop.
+            m.disable_invariants();
+            if let Some(t) = timeout {
+                m.set_wall_budget(t);
+            }
+            let run = match session.run_sampled_and_validate(job.max_insts, plan) {
+                Ok(run) => run,
+                Err(scd_guest::GuestError::Sim(SimError::Watchdog {
+                    kind: WatchdogKind::WallClock,
+                    ..
+                })) => return Err(JobError::Timeout(timeout.unwrap_or_default())),
+                Err(e) => return Err(JobError::Guest(e.to_string())),
+            };
+            return Ok(CachedRun::from_run(&run, None));
+        }
         if job.traced {
             m.enable_invariants(INVARIANT_STRIDE);
             m.set_trace_sink(Box::new(CycleBreakdown::default()));
@@ -252,12 +286,17 @@ fn compute_job(job: &JobSpec, timeout: Option<Duration>) -> Result<CachedRun, Jo
         }
         let exit = match m.run(job.max_insts) {
             Ok(exit) => exit,
-            Err(SimError::Watchdog { kind: WatchdogKind::WallClock, .. }) => {
+            Err(SimError::Watchdog {
+                kind: WatchdogKind::WallClock,
+                ..
+            }) => {
                 return Err(JobError::Timeout(timeout.unwrap_or_default()));
             }
             Err(e) => return Err(JobError::Guest(format!("simulation error: {e}"))),
         };
-        let run = session.validate(&exit).map_err(|e| JobError::Guest(e.to_string()))?;
+        let run = session
+            .validate(&exit)
+            .map_err(|e| JobError::Guest(e.to_string()))?;
         let breakdown = if job.traced {
             let sink = session
                 .machine
@@ -293,6 +332,7 @@ mod tests {
             max_insts: u64::MAX,
             opts: GuestOptions::default(),
             traced: false,
+            sample: None,
         }
     }
 
@@ -306,6 +346,7 @@ mod tests {
                 dispatches: 0,
                 stats: SimStats::default(),
                 breakdown: None,
+                sample: None,
             },
             wall: Duration::ZERO,
         }
@@ -318,8 +359,9 @@ mod tests {
         runner: impl Fn(&JobSpec) -> Result<JobDone, JobError> + Sync,
     ) -> (BatchSummary, Vec<(usize, JobOutcome)>) {
         let mut seen = Vec::new();
-        let summary =
-            run_batch(jobs, threads, interrupt, runner, |i, _, o| seen.push((i, o.clone())));
+        let summary = run_batch(jobs, threads, interrupt, runner, |i, _, o| {
+            seen.push((i, o.clone()))
+        });
         (summary, seen)
     }
 
@@ -333,11 +375,25 @@ mod tests {
                 }
                 Ok(done())
             });
-            assert_eq!(summary, BatchSummary { ok: 3, failed: 1, cancelled: 0 });
+            assert_eq!(
+                summary,
+                BatchSummary {
+                    ok: 3,
+                    failed: 1,
+                    cancelled: 0
+                }
+            );
             let order: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
-            assert_eq!(order, vec![0, 1, 2, 3], "threads={threads}: order must be input order");
+            assert_eq!(
+                order,
+                vec![0, 1, 2, 3],
+                "threads={threads}: order must be input order"
+            );
             match &seen[1].1 {
-                JobOutcome::Failed { error: JobError::Panic(msg), attempts: 2 } => {
+                JobOutcome::Failed {
+                    error: JobError::Panic(msg),
+                    attempts: 2,
+                } => {
                     assert!(msg.contains("injected worker panic"), "payload kept: {msg}");
                 }
                 other => panic!("want Panic after one retry, got {other:?}"),
@@ -371,11 +427,18 @@ mod tests {
             calls.fetch_add(1, Ordering::SeqCst);
             Err(JobError::Guest("checksum mismatch".to_string()))
         });
-        assert_eq!(calls.load(Ordering::SeqCst), 1, "guest errors repeat; don't retry them");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "guest errors repeat; don't retry them"
+        );
         assert_eq!(summary.failed, 1);
         assert!(matches!(
             &seen[0].1,
-            JobOutcome::Failed { error: JobError::Guest(_), attempts: 1 }
+            JobOutcome::Failed {
+                error: JobError::Guest(_),
+                attempts: 1
+            }
         ));
     }
 
@@ -387,10 +450,17 @@ mod tests {
             calls.fetch_add(1, Ordering::SeqCst);
             Err(JobError::Io("disk full".to_string()))
         });
-        assert_eq!(calls.load(Ordering::SeqCst), 2, "I/O errors are transient: one retry");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "I/O errors are transient: one retry"
+        );
         assert!(matches!(
             &seen[0].1,
-            JobOutcome::Failed { error: JobError::Io(_), attempts: 2 }
+            JobOutcome::Failed {
+                error: JobError::Io(_),
+                attempts: 2
+            }
         ));
     }
 
@@ -407,11 +477,25 @@ mod tests {
             }
             Ok(done())
         });
-        assert_eq!(summary, BatchSummary { ok: 2, failed: 0, cancelled: 4 });
+        assert_eq!(
+            summary,
+            BatchSummary {
+                ok: 2,
+                failed: 0,
+                cancelled: 4
+            }
+        );
         assert!(summary.interrupted());
-        assert_eq!(*started.lock().unwrap(), vec!["j0", "j1"], "in-flight jobs finish");
+        assert_eq!(
+            *started.lock().unwrap(),
+            vec!["j0", "j1"],
+            "in-flight jobs finish"
+        );
         for (i, o) in &seen[2..] {
-            assert!(matches!(o, JobOutcome::Cancelled), "job {i} must be cancelled");
+            assert!(
+                matches!(o, JobOutcome::Cancelled),
+                "job {i} must be cancelled"
+            );
         }
     }
 
@@ -440,7 +524,10 @@ mod tests {
             .position(|(_, o)| matches!(o, JobOutcome::Cancelled))
             .expect("some job cancelled");
         for (i, o) in &seen[first_cancelled..] {
-            assert!(matches!(o, JobOutcome::Cancelled), "job {i} in the cancelled suffix");
+            assert!(
+                matches!(o, JobOutcome::Cancelled),
+                "job {i} in the cancelled suffix"
+            );
         }
     }
 

@@ -13,7 +13,10 @@
 //! `scd`); optional `id` (defaults to the line number), `cfg`
 //! (`embedded_a5` default, `fpga_rocket`, `highend_a8`), `predefined`
 //! (object of numbers), `max_insts`, `production_weight`,
-//! `scheduled_fetch`, `traced` (collect a cycle decomposition).
+//! `scheduled_fetch`, `traced` (collect a cycle decomposition),
+//! `sample` (a `"period:warmup:measure"` sampling plan, e.g.
+//! `"1M:50k:20k"` — runs the job under interval sampling; incompatible
+//! with `traced`).
 //!
 //! Results stream back as JSONL, one line per job in input order — see
 //! [`render_result`].
@@ -21,7 +24,7 @@
 use crate::json::{self, push_str_literal, Value};
 use crate::payload::CachedRun;
 use scd_guest::{GuestOptions, RunRequest, Scheme, Vm};
-use scd_sim::SimConfig;
+use scd_sim::{SamplingPlan, SimConfig};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -46,6 +49,8 @@ pub struct JobSpec {
     pub opts: GuestOptions,
     /// Whether to collect (and cache) a cycle decomposition.
     pub traced: bool,
+    /// Interval-sampling plan (`None` runs full detail).
+    pub sample: Option<SamplingPlan>,
 }
 
 impl JobSpec {
@@ -110,7 +115,9 @@ impl JobSpec {
             }
         }
         let max_insts = match v.get("max_insts") {
-            Some(m) => m.as_u64().ok_or("'max_insts' must be an unsigned integer")?,
+            Some(m) => m
+                .as_u64()
+                .ok_or("'max_insts' must be an unsigned integer")?,
             None => u64::MAX,
         };
         let mut opts = GuestOptions::default();
@@ -124,18 +131,48 @@ impl JobSpec {
             Some(b) => b.as_bool().ok_or("'traced' must be a bool")?,
             None => false,
         };
-        Ok(JobSpec { id, vm, scheme, cfg, src, predefined, max_insts, opts, traced })
+        let sample = match v.get("sample") {
+            Some(s) => {
+                let plan = s
+                    .as_str()
+                    .ok_or("'sample' must be a period:warmup:measure string")?;
+                Some(SamplingPlan::parse(plan)?)
+            }
+            None => None,
+        };
+        if traced && sample.is_some() {
+            // The trace sink is a per-retirement observer; sampled runs
+            // cannot carry those (and a sampled breakdown would be a
+            // fragment, not the whole-run decomposition callers expect).
+            return Err("a job cannot be both traced and sampled".to_string());
+        }
+        Ok(JobSpec {
+            id,
+            vm,
+            scheme,
+            cfg,
+            src,
+            predefined,
+            max_insts,
+            opts,
+            traced,
+            sample,
+        })
     }
 
     /// Runs `f` with the borrowed [`RunRequest`] view of this job.
     pub fn with_request<R>(&self, f: impl FnOnce(&RunRequest<'_>) -> R) -> R {
-        let pre: Vec<(&str, f64)> =
-            self.predefined.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let pre: Vec<(&str, f64)> = self
+            .predefined
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
         let req = RunRequest::new(self.cfg.clone(), self.vm, &self.src)
             .predefined(&pre)
             .scheme(self.scheme)
             .opts(self.opts)
-            .max_insts(self.max_insts);
+            .max_insts(self.max_insts)
+            .sample(self.sample);
         f(&req)
     }
 
@@ -265,6 +302,13 @@ pub fn render_result(job: &JobSpec, outcome: &JobOutcome) -> String {
                 s.instructions,
                 done.wall.as_millis()
             );
+            if let Some(r) = &done.run.sample {
+                let _ = write!(
+                    out,
+                    ",\"sampled\":true,\"intervals\":{},\"cycles_ci95\":{},\"exact_fallback\":{}",
+                    r.intervals, r.cycles_ci95, r.exact_fallback
+                );
+            }
         }
         JobOutcome::Failed { error, attempts } => {
             let _ = write!(out, ",\"status\":\"error\",\"kind\":\"{}\"", error.kind());
@@ -306,15 +350,50 @@ mod tests {
     }
 
     #[test]
+    fn parses_sampled_job() {
+        let line = r#"{"src": "emit(1);", "vm": "lvm", "scheme": "scd", "sample": "1M:50k:20k"}"#;
+        let j = JobSpec::parse(line, 1).expect("parse");
+        let plan = j.sample.expect("plan parsed");
+        assert_eq!(
+            (plan.period, plan.warmup, plan.measure),
+            (1_000_000, 50_000, 20_000)
+        );
+        assert!(!plan.self_check, "jobs never opt into the paranoia pass");
+    }
+
+    #[test]
     fn rejects_malformed_jobs() {
         for (line, why) in [
             ("{}", "missing vm"),
             (r#"{"vm": "lvm", "scheme": "scd"}"#, "missing src/bench"),
-            (r#"{"src": "x", "bench": "y", "vm": "lvm", "scheme": "scd"}"#, "both src and bench"),
-            (r#"{"src": "x", "vm": "jvm", "scheme": "scd"}"#, "unknown vm"),
-            (r#"{"src": "x", "vm": "lvm", "scheme": "direct"}"#, "unknown scheme"),
-            (r#"{"bench": "no-such-bench", "vm": "lvm", "scheme": "scd"}"#, "unknown bench"),
-            (r#"{"src": "x", "vm": "lvm", "scheme": "scd", "cfg": "cray-1"}"#, "unknown cfg"),
+            (
+                r#"{"src": "x", "bench": "y", "vm": "lvm", "scheme": "scd"}"#,
+                "both src and bench",
+            ),
+            (
+                r#"{"src": "x", "vm": "jvm", "scheme": "scd"}"#,
+                "unknown vm",
+            ),
+            (
+                r#"{"src": "x", "vm": "lvm", "scheme": "direct"}"#,
+                "unknown scheme",
+            ),
+            (
+                r#"{"bench": "no-such-bench", "vm": "lvm", "scheme": "scd"}"#,
+                "unknown bench",
+            ),
+            (
+                r#"{"src": "x", "vm": "lvm", "scheme": "scd", "cfg": "cray-1"}"#,
+                "unknown cfg",
+            ),
+            (
+                r#"{"src": "x", "vm": "lvm", "scheme": "scd", "sample": "1M:50k"}"#,
+                "bad plan",
+            ),
+            (
+                r#"{"src": "x", "vm": "lvm", "scheme": "scd", "sample": "1M:50k:20k", "traced": true}"#,
+                "traced and sampled",
+            ),
             ("not json at all", "not json"),
         ] {
             assert!(JobSpec::parse(line, 1).is_err(), "must reject: {why}");
@@ -323,7 +402,8 @@ mod tests {
 
     #[test]
     fn jobs_file_skips_blanks_and_comments() {
-        let text = "\n# a comment\n{\"src\": \"emit(1);\", \"vm\": \"lvm\", \"scheme\": \"scd\"}\n\n";
+        let text =
+            "\n# a comment\n{\"src\": \"emit(1);\", \"vm\": \"lvm\", \"scheme\": \"scd\"}\n\n";
         let jobs = parse_jobs(text).expect("parse");
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].id, "job-3", "ids come from real line numbers");
@@ -366,6 +446,19 @@ mod tests {
         let mut other = j.clone();
         other.cfg = SimConfig::highend_a8();
         assert_ne!(m, other.cache_manifest());
+
+        // A sampled run estimates, a detailed run measures: the plan
+        // must split the entry, and different plans must not collide.
+        let mut sampled = j.clone();
+        sampled.sample = Some(SamplingPlan::parse("1M:50k:20k").unwrap());
+        assert_ne!(m, sampled.cache_manifest());
+        let mut other_plan = j.clone();
+        other_plan.sample = Some(SamplingPlan::parse("1M:50k:10k").unwrap());
+        assert_ne!(sampled.cache_manifest(), other_plan.cache_manifest());
+        // ...while `self_check` never does (it cannot change results).
+        let mut checked = sampled.clone();
+        checked.sample.as_mut().unwrap().self_check = true;
+        assert_eq!(sampled.cache_manifest(), checked.cache_manifest());
     }
 
     #[test]

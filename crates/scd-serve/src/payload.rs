@@ -13,7 +13,9 @@
 
 use crate::json::{self, Value};
 use scd_guest::GuestRun;
-use scd_sim::{AccessCounters, BranchCounters, BtbStats, CycleBreakdown, SimStats};
+use scd_sim::{
+    AccessCounters, BranchCounters, BtbStats, CycleBreakdown, SampleReport, SamplingPlan, SimStats,
+};
 use std::fmt::Write as _;
 
 /// Payload format version; bump on any layout change so stale entries
@@ -33,16 +35,28 @@ pub struct CachedRun {
     pub stats: SimStats,
     /// Event-derived cycle decomposition (`None` for untraced runs).
     pub breakdown: Option<CycleBreakdown>,
+    /// Sampling metadata (`None` for full-detail runs). Present exactly
+    /// when the job ran sampled — the stats above are then the scaled
+    /// estimate this report quantifies.
+    pub sample: Option<SampleReport>,
 }
 
 impl CachedRun {
-    /// Captures the cacheable part of a completed run.
+    /// Captures the cacheable part of a completed run. The sample
+    /// report's `self_check` knob is normalized off: it never changes
+    /// results, so a checked and an unchecked run must encode (and
+    /// compare) identically.
     pub fn from_run(run: &GuestRun, breakdown: Option<&CycleBreakdown>) -> Self {
+        let sample = run.sample.clone().map(|mut r| {
+            r.plan.self_check = false;
+            r
+        });
         CachedRun {
             checksum: run.checksum,
             dispatches: run.dispatches,
             stats: run.stats.clone(),
             breakdown: breakdown.cloned(),
+            sample,
         }
     }
 
@@ -54,6 +68,7 @@ impl CachedRun {
             dispatches: self.dispatches,
             stats: self.stats.clone(),
             sink: None,
+            sample: self.sample.clone(),
         }
     }
 }
@@ -63,7 +78,11 @@ fn push_branch(out: &mut String, name: &str, c: &BranchCounters) {
 }
 
 fn push_access(out: &mut String, name: &str, c: &AccessCounters) {
-    let _ = write!(out, "\"{name}\":[{},{},{}],", c.accesses, c.misses, c.writebacks);
+    let _ = write!(
+        out,
+        "\"{name}\":[{},{},{}],",
+        c.accesses, c.misses, c.writebacks
+    );
 }
 
 /// Encodes a [`CachedRun`] as deterministic JSON.
@@ -77,7 +96,11 @@ pub fn encode(run: &CachedRun) -> String {
     out.push_str("\"stats\":{");
     let _ = write!(out, "\"cycles\":{},", s.cycles);
     let _ = write!(out, "\"instructions\":{},", s.instructions);
-    let _ = write!(out, "\"dispatch_instructions\":{},", s.dispatch_instructions);
+    let _ = write!(
+        out,
+        "\"dispatch_instructions\":{},",
+        s.dispatch_instructions
+    );
     let _ = write!(out, "\"loads\":{},", s.loads);
     let _ = write!(out, "\"stores\":{},", s.stores);
     push_branch(&mut out, "cond", &s.cond);
@@ -126,6 +149,34 @@ pub fn encode(run: &CachedRun) -> String {
             );
         }
     }
+    // The sample object is emitted only when present: full-detail
+    // payloads stay byte-identical to entries written before sampling
+    // existed, so warm caches survive the format addition. The f64s are
+    // carried as IEEE-754 bit patterns to keep the encoding exact and
+    // deterministic.
+    if let Some(r) = &run.sample {
+        let _ = write!(
+            out,
+            ",\"sample\":{{\"plan\":[{},{},{}],\"intervals\":{},\"total_insts\":{},\
+             \"measured_insts\":{},\"measured_cycles\":{},\"ff_insts\":{},\"warm_insts\":{},\
+             \"cpi_mean_bits\":{},\"cpi_ci95_bits\":{},\"cycles_est\":{},\"cycles_ci95\":{},\
+             \"exact_fallback\":{}}}",
+            r.plan.period,
+            r.plan.warmup,
+            r.plan.measure,
+            r.intervals,
+            r.total_insts,
+            r.measured_insts,
+            r.measured_cycles,
+            r.ff_insts,
+            r.warm_insts,
+            r.cpi_mean.to_bits(),
+            r.cpi_ci95.to_bits(),
+            r.cycles_est,
+            r.cycles_ci95,
+            r.exact_fallback
+        );
+    }
     out.push('}');
     out
 }
@@ -146,19 +197,28 @@ fn tuple_u64<const N: usize>(v: &Value, key: &str) -> Result<[u64; N], String> {
     }
     let mut out = [0u64; N];
     for (slot, item) in out.iter_mut().zip(arr) {
-        *slot = item.as_u64().ok_or_else(|| format!("non-integer entry in '{key}'"))?;
+        *slot = item
+            .as_u64()
+            .ok_or_else(|| format!("non-integer entry in '{key}'"))?;
     }
     Ok(out)
 }
 
 fn branch(v: &Value, key: &str) -> Result<BranchCounters, String> {
     let [executed, mispredicted] = tuple_u64::<2>(v, key)?;
-    Ok(BranchCounters { executed, mispredicted })
+    Ok(BranchCounters {
+        executed,
+        mispredicted,
+    })
 }
 
 fn access(v: &Value, key: &str) -> Result<AccessCounters, String> {
     let [accesses, misses, writebacks] = tuple_u64::<3>(v, key)?;
-    Ok(AccessCounters { accesses, misses, writebacks })
+    Ok(AccessCounters {
+        accesses,
+        misses,
+        writebacks,
+    })
 }
 
 /// Decodes a payload produced by [`encode`]. Strict: version or field
@@ -170,15 +230,8 @@ pub fn decode(text: &str) -> Result<CachedRun, String> {
         return Err(format!("payload version {version}, want {VERSION}"));
     }
     let stats_v = v.get("stats").ok_or("missing field 'stats'")?;
-    let [
-        jte_inserts,
-        jte_cap_skips,
-        btb_evicted_by_jte,
-        jte_evictions,
-        btb_blocked_by_jte,
-        jte_flushes,
-        jte_flushed,
-    ] = tuple_u64::<7>(stats_v, "btb")?;
+    let [jte_inserts, jte_cap_skips, btb_evicted_by_jte, jte_evictions, btb_blocked_by_jte, jte_flushes, jte_flushed] =
+        tuple_u64::<7>(stats_v, "btb")?;
     let stats = SimStats {
         cycles: field_u64(stats_v, "cycles")?,
         instructions: field_u64(stats_v, "instructions")?,
@@ -213,18 +266,8 @@ pub fn decode(text: &str) -> Result<CachedRun, String> {
     let breakdown = match v.get("breakdown") {
         Some(Value::Null) => None,
         Some(_) => {
-            let [
-                total,
-                issue,
-                fetch_stall,
-                data_stall,
-                redirect,
-                bop_stall,
-                dispatch_total,
-                dispatch_redirect,
-                dispatch_fetch_stall,
-                events,
-            ] = tuple_u64::<10>(&v, "breakdown")?;
+            let [total, issue, fetch_stall, data_stall, redirect, bop_stall, dispatch_total, dispatch_redirect, dispatch_fetch_stall, events] =
+                tuple_u64::<10>(&v, "breakdown")?;
             Some(CycleBreakdown {
                 total,
                 issue,
@@ -240,11 +283,42 @@ pub fn decode(text: &str) -> Result<CachedRun, String> {
         }
         None => return Err("missing field 'breakdown'".to_string()),
     };
+    // Absent key (not null) means a full-detail run: the sample object
+    // is only ever written when the run was sampled, and pre-sampling
+    // payloads never carry the key at all.
+    let sample = match v.get("sample") {
+        None => None,
+        Some(s) => Some(decode_sample(s)?),
+    };
     Ok(CachedRun {
         checksum: field_u64(&v, "checksum")?,
         dispatches: field_u64(&v, "dispatches")?,
         stats,
         breakdown,
+        sample,
+    })
+}
+
+fn decode_sample(s: &Value) -> Result<SampleReport, String> {
+    let [period, warmup, measure] = tuple_u64::<3>(s, "plan")?;
+    let plan = SamplingPlan::new(period, warmup, measure)
+        .map_err(|e| format!("field 'sample.plan': {e}"))?;
+    Ok(SampleReport {
+        plan,
+        intervals: field_u64(s, "intervals")?,
+        total_insts: field_u64(s, "total_insts")?,
+        measured_insts: field_u64(s, "measured_insts")?,
+        measured_cycles: field_u64(s, "measured_cycles")?,
+        ff_insts: field_u64(s, "ff_insts")?,
+        warm_insts: field_u64(s, "warm_insts")?,
+        cpi_mean: f64::from_bits(field_u64(s, "cpi_mean_bits")?),
+        cpi_ci95: f64::from_bits(field_u64(s, "cpi_ci95_bits")?),
+        cycles_est: field_u64(s, "cycles_est")?,
+        cycles_ci95: field_u64(s, "cycles_ci95")?,
+        exact_fallback: s
+            .get("exact_fallback")
+            .and_then(Value::as_bool)
+            .ok_or("missing or mistyped field 'sample.exact_fallback'")?,
     })
 }
 
@@ -260,7 +334,10 @@ mod tests {
             n += 1;
             n
         };
-        let mut b = |_: &str| BranchCounters { executed: next(), mispredicted: next() };
+        let mut b = |_: &str| BranchCounters {
+            executed: next(),
+            mispredicted: next(),
+        };
         let cond = b("cond");
         let direct = b("direct");
         let ret = b("ret");
@@ -322,6 +399,27 @@ mod tests {
                 dispatch_fetch_stall: next(),
                 events: next(),
             }),
+            sample: None,
+        }
+    }
+
+    /// A sample report with distinct values in every field (and
+    /// non-representable-as-integer f64s, to exercise the bit-pattern
+    /// round trip).
+    fn dense_sample() -> SampleReport {
+        SampleReport {
+            plan: SamplingPlan::new(1_000_000, 50_000, 20_000).unwrap(),
+            intervals: 101,
+            total_insts: 102,
+            measured_insts: 103,
+            measured_cycles: 104,
+            ff_insts: 105,
+            warm_insts: 106,
+            cpi_mean: 1.375_000_000_1,
+            cpi_ci95: 0.031_250_000_7,
+            cycles_est: 107,
+            cycles_ci95: 108,
+            exact_fallback: false,
         }
     }
 
@@ -350,14 +448,63 @@ mod tests {
     fn u64_counters_survive_past_f64_precision() {
         let mut run = dense_run();
         run.stats.cycles = u64::MAX - 1;
-        assert_eq!(decode(&encode(&run)).expect("decode").stats.cycles, u64::MAX - 1);
+        assert_eq!(
+            decode(&encode(&run)).expect("decode").stats.cycles,
+            u64::MAX - 1
+        );
+    }
+
+    #[test]
+    fn full_detail_payloads_never_carry_the_sample_key() {
+        // Byte-compatibility with pre-sampling cache entries: a run
+        // without a sample report encodes exactly as version 1 always
+        // did, and such payloads decode with `sample: None`.
+        let run = dense_run();
+        let text = encode(&run);
+        assert!(
+            !text.contains("sample"),
+            "no sample key on full-detail payloads: {text}"
+        );
+        assert_eq!(decode(&text).expect("decode").sample, None);
+    }
+
+    #[test]
+    fn roundtrip_sampled() {
+        let mut run = dense_run();
+        run.breakdown = None;
+        run.sample = Some(dense_sample());
+        let text = encode(&run);
+        let back = decode(&text).expect("decode");
+        assert_eq!(back, run);
+        // f64s survive bit-exactly, not merely to printed precision.
+        let s = back.sample.unwrap();
+        assert_eq!(s.cpi_mean.to_bits(), dense_sample().cpi_mean.to_bits());
+        assert_eq!(s.cpi_ci95.to_bits(), dense_sample().cpi_ci95.to_bits());
+        assert_eq!(encode(&run), text, "sampled encoding is deterministic");
+    }
+
+    #[test]
+    fn mangled_sample_objects_are_errors() {
+        let mut run = dense_run();
+        run.sample = Some(dense_sample());
+        let text = encode(&run);
+        let missing = text.replacen("\"intervals\"", "\"intervals_gone\"", 1);
+        assert!(decode(&missing).is_err());
+        let bad_plan = text.replacen("\"plan\":[1000000", "\"plan\":[1", 1);
+        assert!(
+            decode(&bad_plan).is_err(),
+            "an impossible plan must not decode"
+        );
     }
 
     #[test]
     fn truncated_and_mangled_payloads_are_errors() {
         let text = encode(&dense_run());
         for cut in [0, 1, text.len() / 2, text.len() - 1] {
-            assert!(decode(&text[..cut]).is_err(), "truncation at {cut} must fail");
+            assert!(
+                decode(&text[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
         }
         let wrong_version = text.replacen("\"v\":1", "\"v\":999", 1);
         assert!(decode(&wrong_version).is_err());

@@ -38,6 +38,7 @@ pub mod machine;
 pub mod mem;
 pub mod predictor;
 pub mod report;
+pub mod sampling;
 pub mod snapshot;
 pub mod stats;
 pub mod tlb;
@@ -54,6 +55,7 @@ pub use machine::{
 };
 pub use mem::{MemFault, Memory};
 pub use predictor::{Direction, DirectionConfig, Ras};
+pub use sampling::{mean_ci95, ExecMode, SampleAccum, SampleReport, SamplingPlan};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{geomean, AccessCounters, BranchClass, BranchCounters, SimStats};
 pub use tlb::Tlb;

@@ -71,7 +71,7 @@ impl Machine {
     /// # Errors
     /// [`SimError::Mem`] on a faulting access, [`SimError::Break`] on
     /// `ebreak` or an unknown `ecall` service.
-    pub(super) fn execute_inst<const OBSERVED: bool>(
+    pub(super) fn execute_inst<const OBSERVED: bool, const WARMING: bool>(
         &mut self,
         inst: &Inst,
         pc: u64,
@@ -102,7 +102,7 @@ impl Machine {
                 if !hit {
                     let out = self.btb.insert(BtbKey::Pc(pc), target);
                     self.note_insert::<OBSERVED>(EntryKind::Pc, out);
-                    self.redirect::<OBSERVED>(
+                    self.redirect::<OBSERVED, WARMING>(
                         RedirectCause::JalMiss,
                         self.cfg.jal_redirect_penalty,
                     );
@@ -117,9 +117,14 @@ impl Machine {
                 self.wx(rd, pc + 4);
                 self.xready[rd.index()] = self.cycle + 1;
                 next_pc = target;
-                self.account_indirect::<OBSERVED>(pc, rd, rs1, target);
+                self.account_indirect::<OBSERVED, WARMING>(pc, rd, rs1, target);
             }
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let a = self.regs[rs1.index()];
                 let b = self.regs[rs2.index()];
                 let taken = exec::branch_taken(op, a, b);
@@ -141,13 +146,18 @@ impl Machine {
                 }
                 self.note_branch::<OBSERVED>(BranchClass::Conditional, mispredicted);
                 if mispredicted {
-                    self.redirect::<OBSERVED>(
+                    self.redirect::<OBSERVED, WARMING>(
                         RedirectCause::CondMispredict,
                         self.cfg.branch_miss_penalty,
                     );
                 }
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 if OBSERVED {
                     self.scratch.ea = Some(addr);
@@ -155,10 +165,15 @@ impl Machine {
                 let v = self.exec_load(op, addr).map_err(merr)?;
                 self.wx(rd, v);
                 self.stats.loads += 1;
-                self.data_timing::<OBSERVED>(addr, false);
+                self.data_timing::<OBSERVED, WARMING>(addr, false);
                 self.xready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
-            Inst::Store { op, rs2, rs1, offset } => {
+            Inst::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 let v = self.regs[rs2.index()];
                 if OBSERVED {
@@ -167,7 +182,7 @@ impl Machine {
                 }
                 self.exec_store(op, addr, v).map_err(merr)?;
                 self.stats.stores += 1;
-                self.data_timing::<OBSERVED>(addr, true);
+                self.data_timing::<OBSERVED, WARMING>(addr, true);
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 let v = alu(op, self.regs[rs1.index()], imm as u64);
@@ -196,7 +211,7 @@ impl Machine {
                 let v = self.mem.read_u64(addr).map_err(merr)?;
                 self.fregs[rd.index()] = v;
                 self.stats.loads += 1;
-                self.data_timing::<OBSERVED>(addr, false);
+                self.data_timing::<OBSERVED, WARMING>(addr, false);
                 self.fready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
             Inst::Fsd { rs2, rs1, offset } => {
@@ -205,9 +220,11 @@ impl Machine {
                     self.scratch.ea = Some(addr);
                     self.scratch.store = Some(self.fregs[rs2.index()]);
                 }
-                self.mem.write_u64(addr, self.fregs[rs2.index()]).map_err(merr)?;
+                self.mem
+                    .write_u64(addr, self.fregs[rs2.index()])
+                    .map_err(merr)?;
                 self.stats.stores += 1;
-                self.data_timing::<OBSERVED>(addr, true);
+                self.data_timing::<OBSERVED, WARMING>(addr, true);
             }
             Inst::FOp { op, rd, rs1, rs2 } => {
                 self.fregs[rd.index()] =
@@ -261,16 +278,22 @@ impl Machine {
                 self.scd[bid].rmask = self.regs[rs1.index()];
             }
             Inst::Bop { bid } => {
-                self.exec_bop::<OBSERVED>(bid, pc, &mut next_pc, scd_cfg, nbids);
+                self.exec_bop::<OBSERVED, WARMING>(bid, pc, &mut next_pc, scd_cfg, nbids);
             }
             Inst::Jru { bid, rs1 } => {
-                next_pc = self.exec_jru::<OBSERVED>(bid, rs1, pc, scd_cfg, nbids);
+                next_pc = self.exec_jru::<OBSERVED, WARMING>(bid, rs1, pc, scd_cfg, nbids);
             }
             Inst::JteFlush => {
                 let flushed = self.jte_flush();
                 self.note_flush::<OBSERVED>(flushed);
             }
-            Inst::LoadOp { op, bid, rd, rs1, offset } => {
+            Inst::LoadOp {
+                op,
+                bid,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let bid = bid as usize % nbids.max(1);
                 let addr = self.regs[rs1.index()].wrapping_add(offset as u64);
                 if OBSERVED {
@@ -279,7 +302,7 @@ impl Machine {
                 let v = self.exec_load(op, addr).map_err(merr)?;
                 self.wx(rd, v);
                 self.stats.loads += 1;
-                self.data_timing::<OBSERVED>(addr, false);
+                self.data_timing::<OBSERVED, WARMING>(addr, false);
                 let ready = self.cycle + 1 + self.cfg.load_use_penalty;
                 self.xready[rd.index()] = ready;
                 let s = &mut self.scd[bid];

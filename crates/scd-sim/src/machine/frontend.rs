@@ -16,15 +16,20 @@ use crate::trace::{BopEvent, BopOutcome, FetchAccess, RedirectCause, RedirectEve
 use scd_isa::Reg;
 
 impl Machine {
-    /// Instruction fetch timing for the instruction at `pc`.
-    pub(super) fn fetch_timing<const OBSERVED: bool>(&mut self, pc: u64) {
+    /// Instruction fetch timing for the instruction at `pc`. Under
+    /// `WARMING` the I-TLB / I-cache / L2 contents and statistics update
+    /// exactly as in detailed mode, but no miss cycles are charged (the
+    /// cycle clock is frozen for the whole warming stretch).
+    pub(super) fn fetch_timing<const OBSERVED: bool, const WARMING: bool>(&mut self, pc: u64) {
         let mut f = FetchAccess::default();
         self.stats.itlb.accesses += 1;
         if !self.itlb.access(pc) {
             self.stats.itlb.misses += 1;
             f.itlb_miss = true;
             f.penalty += self.cfg.tlb_miss_penalty;
-            self.cycle += self.cfg.tlb_miss_penalty;
+            if !WARMING {
+                self.cycle += self.cfg.tlb_miss_penalty;
+            }
         }
         self.stats.icache.accesses += 1;
         let a = self.icache.access(pc, false);
@@ -34,7 +39,9 @@ impl Machine {
             let (cost, l2) = self.l1_miss_cost(pc, false);
             f.l2 = l2;
             f.penalty += cost;
-            self.cycle += cost;
+            if !WARMING {
+                self.cycle += cost;
+            }
         }
         if OBSERVED {
             self.scratch.fetch = f;
@@ -50,12 +57,12 @@ impl Machine {
     /// access-ordering the interleaved loop would have produced — and
     /// takes the full [`Machine::fetch_timing`] path.
     #[inline]
-    pub(super) fn fetch_fast(&mut self, pc: u64) {
+    pub(super) fn fetch_fast<const WARMING: bool>(&mut self, pc: u64) {
         if self.icache.block_of(pc) == self.fetch_blk {
             self.fetch_streak += 1;
         } else {
             self.flush_fetch_streak();
-            self.fetch_timing::<false>(pc);
+            self.fetch_timing::<false, WARMING>(pc);
             self.fetch_blk = self.icache.block_of(pc);
         }
     }
@@ -76,12 +83,23 @@ impl Machine {
         self.fetch_blk = u64::MAX;
     }
 
-    /// Charges a front-end redirect penalty and closes the issue group.
-    pub(super) fn redirect<const OBSERVED: bool>(&mut self, cause: RedirectCause, penalty: u64) {
-        self.cycle += penalty;
-        self.issued_this_cycle = self.cfg.issue_width; // next inst starts a new cycle
+    /// Charges a front-end redirect penalty and closes the issue group
+    /// (a no-op under `WARMING`: predictor state was already updated by
+    /// the caller; only the timing side is suppressed).
+    pub(super) fn redirect<const OBSERVED: bool, const WARMING: bool>(
+        &mut self,
+        cause: RedirectCause,
+        penalty: u64,
+    ) {
+        if !WARMING {
+            self.cycle += penalty;
+            self.issued_this_cycle = self.cfg.issue_width; // next inst starts a new cycle
+        }
         if OBSERVED {
-            debug_assert!(self.scratch.redirect.is_none(), "two redirects in one retirement");
+            debug_assert!(
+                self.scratch.redirect.is_none(),
+                "two redirects in one retirement"
+            );
             self.scratch.redirect = Some(RedirectEvent { cause, penalty });
         }
     }
@@ -98,7 +116,7 @@ impl Machine {
 
     /// Predicts and accounts an indirect jump (`jalr`/`jru`) at `pc`
     /// resolving to `target`. Returns nothing; charges penalties.
-    pub(super) fn account_indirect<const OBSERVED: bool>(
+    pub(super) fn account_indirect<const OBSERVED: bool, const WARMING: bool>(
         &mut self,
         pc: u64,
         rd: Reg,
@@ -114,7 +132,10 @@ impl Machine {
             _ if self.cfg.indirect == IndirectPredictor::Ittage => {
                 // ITTAGE covers every indirect jump; the PC-indexed BTB
                 // is its base component.
-                let pred = self.ittage.predict(pc).or_else(|| self.btb.lookup(BtbKey::Pc(pc)));
+                let pred = self
+                    .ittage
+                    .predict(pc)
+                    .or_else(|| self.btb.lookup(BtbKey::Pc(pc)));
                 let miss = pred != Some(target);
                 self.ittage.update(pc, target);
                 if miss {
@@ -130,8 +151,13 @@ impl Machine {
                 let key = match (self.cfg.indirect, vbbi) {
                     (IndirectPredictor::Vbbi, Some(h)) => {
                         let hint = self.regs[h.hint_reg.index()] & h.mask;
-                        let ready =
-                            self.xready[h.hint_reg.index()] + self.cfg.fetch_lead <= self.cycle;
+                        // Warming freezes the cycle clock, which would
+                        // make the hint look permanently not-ready and
+                        // train the PC-indexed key instead; steady-state
+                        // behavior (the thing warming is priming for) is
+                        // the hint being available.
+                        let ready = WARMING
+                            || self.xready[h.hint_reg.index()] + self.cfg.fetch_lead <= self.cycle;
                         if ready {
                             BtbKey::Vbbi(vbbi_mix(pc, hint))
                         } else {
@@ -163,7 +189,7 @@ impl Machine {
         }
         self.note_branch::<OBSERVED>(class, mispredicted);
         if mispredicted {
-            self.redirect::<OBSERVED>(
+            self.redirect::<OBSERVED, WARMING>(
                 RedirectCause::IndirectMispredict,
                 self.cfg.branch_miss_penalty,
             );
@@ -216,7 +242,14 @@ impl Machine {
     /// Executes `bop`: under the stall scheme fetch waits for Rop, then
     /// redirects through the matching JTE; under the fall-through scheme
     /// an unready Rop simply falls through to the slow path.
-    pub(super) fn exec_bop<const OBSERVED: bool>(
+    ///
+    /// Under `WARMING` the frozen cycle clock would make every Rop look
+    /// permanently unready (stalling forever under the stall scheme,
+    /// never short-circuiting under fall-through), so readiness checks
+    /// are bypassed: a valid Rop consults the JTE directly, which is the
+    /// steady-state behavior both schemes converge to and keeps the JTE
+    /// consume-and-retrain cycle warm.
+    pub(super) fn exec_bop<const OBSERVED: bool, const WARMING: bool>(
         &mut self,
         bid: u8,
         pc: u64,
@@ -232,18 +265,20 @@ impl Machine {
             BopOutcome::Disabled
         } else if !s.rop_v {
             BopOutcome::RopInvalid
-        } else if scd_cfg.stall_on_unready {
+        } else if WARMING || scd_cfg.stall_on_unready {
             // Stall scheme: fetch waits until Rop is visible.
-            let need = s.rop_ready + self.cfg.fetch_lead;
-            if need > self.cycle {
-                stall = need - self.cycle;
-                self.stats.bop_stall_cycles += stall;
-                self.cycle = need;
+            if !WARMING {
+                let need = s.rop_ready + self.cfg.fetch_lead;
+                if need > self.cycle {
+                    stall = need - self.cycle;
+                    self.stats.bop_stall_cycles += stall;
+                    self.cycle = need;
+                }
             }
             if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
                 *next_pc = t;
                 self.scd[bid].rop_v = false;
-                self.redirect::<OBSERVED>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+                self.redirect::<OBSERVED, WARMING>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
                 BopOutcome::Hit
             } else {
                 BopOutcome::JteMiss
@@ -255,7 +290,7 @@ impl Machine {
         } else if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
             *next_pc = t;
             self.scd[bid].rop_v = false;
-            self.redirect::<OBSERVED>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+            self.redirect::<OBSERVED, WARMING>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
             BopOutcome::Hit
         } else {
             BopOutcome::JteMiss
@@ -275,7 +310,7 @@ impl Machine {
     /// pending (opcode → target) pair when one is armed, then predicts
     /// and accounts the jump like any other indirect. Returns the
     /// resolved target.
-    pub(super) fn exec_jru<const OBSERVED: bool>(
+    pub(super) fn exec_jru<const OBSERVED: bool, const WARMING: bool>(
         &mut self,
         bid: u8,
         rs1: Reg,
@@ -292,7 +327,7 @@ impl Machine {
             self.note_insert::<OBSERVED>(EntryKind::Jte, out);
             self.scd[bid].rop_v = false;
         }
-        self.account_indirect::<OBSERVED>(pc, Reg::ZERO, rs1, target);
+        self.account_indirect::<OBSERVED, WARMING>(pc, Reg::ZERO, rs1, target);
         target
     }
 }

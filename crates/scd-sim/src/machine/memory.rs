@@ -18,7 +18,10 @@ impl Machine {
                 if a.writeback {
                     self.stats.l2.writebacks += 1;
                 }
-                let ev = L2Access { miss: !a.hit, writeback: a.writeback };
+                let ev = L2Access {
+                    miss: !a.hit,
+                    writeback: a.writeback,
+                };
                 if a.hit {
                     (self.cfg.l2_latency, Some(ev))
                 } else {
@@ -31,14 +34,22 @@ impl Machine {
     }
 
     /// Data access timing; charges miss cycles and records attribution.
-    pub(super) fn data_timing<const OBSERVED: bool>(&mut self, addr: u64, write: bool) {
+    /// Under `WARMING` the D-TLB / D-cache / L2 contents and statistics
+    /// update exactly as in detailed mode, but no cycles are charged.
+    pub(super) fn data_timing<const OBSERVED: bool, const WARMING: bool>(
+        &mut self,
+        addr: u64,
+        write: bool,
+    ) {
         let mut d = DataAccess::default();
         self.stats.dtlb.accesses += 1;
         if !self.dtlb.access(addr) {
             self.stats.dtlb.misses += 1;
             d.dtlb_miss = true;
             d.penalty += self.cfg.tlb_miss_penalty;
-            self.cycle += self.cfg.tlb_miss_penalty;
+            if !WARMING {
+                self.cycle += self.cfg.tlb_miss_penalty;
+            }
         }
         self.stats.dcache.accesses += 1;
         let a = self.dcache.access(addr, write);
@@ -52,7 +63,9 @@ impl Machine {
             let (cost, l2) = self.l1_miss_cost(addr, write);
             d.l2 = l2;
             d.penalty += cost;
-            self.cycle += cost;
+            if !WARMING {
+                self.cycle += cost;
+            }
         }
         if OBSERVED {
             self.scratch.data = Some(d);

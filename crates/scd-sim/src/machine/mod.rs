@@ -41,6 +41,7 @@ mod frontend;
 mod memory;
 mod replay;
 mod retire;
+mod sampling;
 mod state;
 #[cfg(test)]
 mod tests;
@@ -182,6 +183,12 @@ pub struct Machine {
     /// (at every run-loop exit and before any non-streak fetch).
     fetch_blk: u64,
     fetch_streak: u64,
+
+    /// Decoded-text vector for the sampled fast-forward legs, handed
+    /// back by each leg's reference core so hundreds of legs per run
+    /// don't re-collect it from `insts`. Pure derived cache: never
+    /// snapshotted.
+    ff_decoded: Option<Vec<Option<Inst>>>,
 
     /// Run statistics.
     pub stats: SimStats,
@@ -347,6 +354,7 @@ impl Machine {
             test_producer_panic: false,
             fetch_blk: u64::MAX,
             fetch_streak: 0,
+            ff_decoded: None,
             stats: SimStats::default(),
             regs: [0; 32],
             fregs: [0; 32],
@@ -514,7 +522,11 @@ impl Machine {
     /// since their per-retirement hooks need functional execution
     /// in-line with timing.
     pub fn set_replay(&mut self, replay: bool) {
-        self.replay = if replay { ReplayMode::Auto } else { ReplayMode::Off };
+        self.replay = if replay {
+            ReplayMode::Auto
+        } else {
+            ReplayMode::Off
+        };
     }
 
     /// Like [`Machine::set_replay`]`(true)`, minus the single-CPU
@@ -523,6 +535,27 @@ impl Machine {
     /// this so the real engine is exercised on any host.
     pub fn force_replay(&mut self) {
         self.replay = ReplayMode::Force;
+    }
+
+    /// Which engine an *untraced* `run` on this machine resolves to
+    /// right now: `"replay"` (the execute-ahead producer/consumer pair)
+    /// or `"interleaved"` (the fused reference loop, either pinned or
+    /// the automatic single-CPU fallback). Perf records store this next
+    /// to the host CPU count so cross-box numbers are interpretable —
+    /// the two engines have very different throughput profiles.
+    /// Machines with an observer attached always run interleaved
+    /// regardless of what this reports.
+    pub fn replay_engine(&self) -> &'static str {
+        let pipelined = match self.replay {
+            ReplayMode::Off => false,
+            ReplayMode::Auto => host_can_pipeline(),
+            ReplayMode::Force => true,
+        };
+        if pipelined {
+            "replay"
+        } else {
+            "interleaved"
+        }
     }
 
     /// Makes the next execute-ahead replay producer thread panic while
@@ -581,12 +614,32 @@ impl Machine {
         // Every exit (exit ecall, limit, watchdog, PC/memory error)
         // funnels through here so a pending fetch streak is always
         // materialized before the caller can observe stats or state.
-        let r = self.run_loop::<OBSERVED>(max_insts);
+        let r = self.run_loop::<OBSERVED, false>(max_insts);
         self.flush_fetch_streak();
         r
     }
 
-    fn run_loop<const OBSERVED: bool>(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+    /// Runs in [`ExecMode::Warming`](crate::ExecMode): the interleaved
+    /// loop with the cycle clock frozen. Caches, TLBs, predictors, the
+    /// BTB/JTE overlay and every statistics counter update exactly as in
+    /// detailed mode, but no cycles are charged and the issue scoreboard
+    /// is bypassed. The sampled scheduler uses this to repair
+    /// micro-architectural state after a fast-forward leg; the counters
+    /// it accumulates here are later overwritten by the scaled estimate.
+    ///
+    /// # Errors
+    /// Same contract as [`Machine::run`]; `max_insts` is the same
+    /// absolute retirement count.
+    pub fn run_warming(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+        let r = self.run_loop::<false, true>(max_insts);
+        self.flush_fetch_streak();
+        r
+    }
+
+    fn run_loop<const OBSERVED: bool, const WARMING: bool>(
+        &mut self,
+        max_insts: u64,
+    ) -> Result<Exit, SimError> {
         let scd_cfg: ScdConfig = self.cfg.scd;
         let nbids = scd_cfg.branch_ids.min(MAX_BRANCH_IDS);
         let cycle_budget = self.cycle_budget;
@@ -629,17 +682,19 @@ impl Machine {
             // ---- frontend + issue timing ----
             let cycle_before = self.cycle;
             if OBSERVED {
-                self.fetch_timing::<OBSERVED>(pc);
+                self.fetch_timing::<OBSERVED, WARMING>(pc);
             } else {
-                self.fetch_fast(pc);
+                self.fetch_fast::<WARMING>(pc);
             }
-            self.issue(&si);
+            if !WARMING {
+                self.issue(&si);
+            }
 
             // ---- retire bookkeeping (counters, flush quantum, faults) ----
             self.begin_retirement::<OBSERVED>(si.in_dispatch, &scd_cfg);
 
             // ---- execute (functional semantics + per-class timing) ----
-            let step = self.execute_inst::<OBSERVED>(&inst, pc, nbids, &scd_cfg)?;
+            let step = self.execute_inst::<OBSERVED, WARMING>(&inst, pc, nbids, &scd_cfg)?;
 
             if OBSERVED {
                 if let Some(prof) = &mut self.profile {
@@ -659,7 +714,10 @@ impl Machine {
 
             if let Some(code) = step.exit_code {
                 self.finalize_partial();
-                return Ok(Exit { code, output: std::mem::take(&mut self.output) });
+                return Ok(Exit {
+                    code,
+                    output: std::mem::take(&mut self.output),
+                });
             }
             self.pc = step.next_pc;
         }

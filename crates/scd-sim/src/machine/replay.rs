@@ -236,7 +236,12 @@ impl Producer {
     #[inline]
     fn log_store(&mut self, addr: u64, width: u64) {
         if let Some(old) = self.core.read_mem(addr, width) {
-            self.undo.push_back(UndoEnt { n: self.n + 1, addr, width: width as u8, old });
+            self.undo.push_back(UndoEnt {
+                n: self.n + 1,
+                addr,
+                width: width as u8,
+                old,
+            });
         }
     }
 
@@ -317,7 +322,9 @@ impl Producer {
                         hint = BopHint::Target(t);
                     }
                 }
-                Inst::Store { op, rs1, offset, .. } => {
+                Inst::Store {
+                    op, rs1, offset, ..
+                } => {
                     let addr = self.core.regs[rs1.index()].wrapping_add(offset as u64);
                     self.log_store(addr, exec::store_width(op));
                 }
@@ -374,7 +381,9 @@ fn producer_loop(
     work_tx: mpsc::SyncSender<Box<Batch>>,
     down_rx: mpsc::Receiver<Down>,
 ) -> RefCore {
-    let mut free: Vec<Box<Batch>> = (0..CHANNEL_DEPTH + 1).map(|_| Box::new(Batch::new())).collect();
+    let mut free: Vec<Box<Batch>> = (0..CHANNEL_DEPTH + 1)
+        .map(|_| Box::new(Batch::new()))
+        .collect();
     // After a terminal batch (exit/limit/fault) the producer parks: only
     // a rollback (the terminal state was speculative) or a stop can
     // follow.
@@ -442,7 +451,11 @@ impl Machine {
             .mem
             .take_all_data()
             .into_iter()
-            .map(|(name, base, data)| Segment { name: name.to_string(), base, data })
+            .map(|(name, base, data)| Segment {
+                name: name.to_string(),
+                base,
+                data,
+            })
             .collect();
         let mut core = RefCore::from_owned_state(
             self.text_base,
@@ -552,12 +565,17 @@ impl Machine {
                     result = Some(Err(e));
                 }
                 Stop::Err(e) => {
-                    result = Some(Err(match self
-                        .replay_watchdogs(max_insts, cycle_budget, wall_budget, &wall_start)
-                    {
-                        Some(w) => w,
-                        None => self.replicate_error(e, &scd_cfg),
-                    }));
+                    result = Some(Err(
+                        match self.replay_watchdogs(
+                            max_insts,
+                            cycle_budget,
+                            wall_budget,
+                            &wall_start,
+                        ) {
+                            Some(w) => w,
+                            None => self.replicate_error(e, &scd_cfg),
+                        },
+                    ));
                 }
             }
         }
@@ -578,10 +596,14 @@ impl Machine {
                 // `SimError::ProducerPanic` documents that the machine
                 // must be discarded.
                 self.finalize_partial();
-                return Err(SimError::ProducerPanic { message: panic_message(&*payload) });
+                return Err(SimError::ProducerPanic {
+                    message: panic_message(&*payload),
+                });
             }
         };
-        self.mem.put_back_data(core.into_segments().into_iter().map(|s| s.data));
+        let hws = core.seg_high_waters().to_vec();
+        self.mem
+            .put_back_data(core.into_segments().into_iter().map(|s| s.data).zip(hws));
         match result {
             Some(r) => r,
             None => unreachable!("replay producer disconnected without a terminal batch"),
@@ -655,13 +677,16 @@ impl Machine {
         debug_assert_eq!(pc, self.pc, "replay stream out of sync with consumer PC");
         let inst = self.insts[idx];
         let si = self.static_info[idx];
-        self.fetch_fast(pc);
+        self.fetch_fast::<false>(pc);
         self.issue(&si);
         self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
         let step = self.replay_inst(&inst, pc, rec, nbids, scd_cfg)?;
         if let Some(code) = step.exit_code {
             self.finalize_partial();
-            return Ok(Some(Exit { code, output: std::mem::take(&mut self.output) }));
+            return Ok(Some(Exit {
+                code,
+                output: std::mem::take(&mut self.output),
+            }));
         }
         self.pc = step.next_pc;
         Ok(None)
@@ -680,12 +705,12 @@ impl Machine {
             Inst::Bop { bid } => bid,
             _ => unreachable!("bop record for a non-bop instruction"),
         };
-        self.fetch_fast(pc);
+        self.fetch_fast::<false>(pc);
         self.issue(&si);
         self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
         let hits_before = self.stats.bop_hits;
         let mut next_pc = pc + 4;
-        self.exec_bop::<false>(bid, pc, &mut next_pc, scd_cfg, nbids);
+        self.exec_bop::<false, false>(bid, pc, &mut next_pc, scd_cfg, nbids);
         self.pc = next_pc;
         let hit = self.stats.bop_hits > hits_before;
         hit == rec.taken && next_pc == rec.a
@@ -728,7 +753,7 @@ impl Machine {
                 self.wx(rd, pc + 4);
                 self.xready[rd.index()] = self.cycle + 1;
                 next_pc = target;
-                self.account_indirect::<false>(pc, rd, rs1, target);
+                self.account_indirect::<false, false>(pc, rd, rs1, target);
             }
             Inst::Branch { offset, .. } => {
                 let taken = rec.taken;
@@ -739,13 +764,13 @@ impl Machine {
                 let addr = rec.ea;
                 self.wx(rd, rec.a);
                 self.stats.loads += 1;
-                self.data_timing::<false>(addr, false);
+                self.data_timing::<false, false>(addr, false);
                 self.xready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
             Inst::Store { .. } => {
                 let addr = rec.ea;
                 self.stats.stores += 1;
-                self.data_timing::<false>(addr, true);
+                self.data_timing::<false, false>(addr, true);
             }
             Inst::OpImm { rd, .. } => {
                 self.wx(rd, rec.a);
@@ -768,13 +793,13 @@ impl Machine {
                 let addr = rec.ea;
                 self.fregs[rd.index()] = rec.a;
                 self.stats.loads += 1;
-                self.data_timing::<false>(addr, false);
+                self.data_timing::<false, false>(addr, false);
                 self.fready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
             Inst::Fsd { .. } => {
                 let addr = rec.ea;
                 self.stats.stores += 1;
-                self.data_timing::<false>(addr, true);
+                self.data_timing::<false, false>(addr, true);
             }
             Inst::FOp { op, rd, .. } => {
                 self.fregs[rd.index()] = rec.a;
@@ -823,7 +848,7 @@ impl Machine {
             Inst::Jru { bid, rs1 } => {
                 // Operand registers and SCD state are exact, so the slow
                 // path (JTE training + indirect prediction) runs as-is.
-                next_pc = self.exec_jru::<false>(bid, rs1, pc, scd_cfg, nbids);
+                next_pc = self.exec_jru::<false, false>(bid, rs1, pc, scd_cfg, nbids);
                 debug_assert_eq!(next_pc, rec.a, "jru target diverged from producer");
             }
             Inst::JteFlush => {
@@ -835,7 +860,7 @@ impl Machine {
                 let addr = rec.ea;
                 self.wx(rd, rec.a);
                 self.stats.loads += 1;
-                self.data_timing::<false>(addr, false);
+                self.data_timing::<false, false>(addr, false);
                 let ready = self.cycle + 1 + self.cfg.load_use_penalty;
                 self.xready[rd.index()] = ready;
                 let s = &mut self.scd[bid];
@@ -858,7 +883,7 @@ impl Machine {
         if !hit {
             let out = self.btb.insert(BtbKey::Pc(pc), target);
             self.note_insert::<false>(EntryKind::Pc, out);
-            self.redirect::<false>(RedirectCause::JalMiss, self.cfg.jal_redirect_penalty);
+            self.redirect::<false, false>(RedirectCause::JalMiss, self.cfg.jal_redirect_penalty);
         }
         self.note_branch::<false>(BranchClass::Direct, !hit);
     }
@@ -883,7 +908,10 @@ impl Machine {
         }
         self.note_branch::<false>(BranchClass::Conditional, mispredicted);
         if mispredicted {
-            self.redirect::<false>(RedirectCause::CondMispredict, self.cfg.branch_miss_penalty);
+            self.redirect::<false, false>(
+                RedirectCause::CondMispredict,
+                self.cfg.branch_miss_penalty,
+            );
         }
     }
 
@@ -892,13 +920,13 @@ impl Machine {
     /// timing, and a memory fault or trap retires its instruction
     /// (fetch + issue + `begin_retirement`) before erroring out of the
     /// execute stage.
-    fn replicate_error(&mut self, e: RefError, scd_cfg: &ScdConfig) -> SimError {
+    pub(super) fn replicate_error(&mut self, e: RefError, scd_cfg: &ScdConfig) -> SimError {
         match e {
             RefError::PcOutOfRange { pc } => SimError::PcOutOfRange { pc },
             RefError::Mem { pc, addr, write } => {
                 let idx = ((pc - self.text_base) / 4) as usize;
                 let si = self.static_info[idx];
-                self.fetch_fast(pc);
+                self.fetch_fast::<false>(pc);
                 self.issue(&si);
                 self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
                 let size = match self.insts[idx] {
@@ -907,12 +935,15 @@ impl Machine {
                     Inst::Fld { .. } | Inst::Fsd { .. } => 8,
                     _ => unreachable!("memory fault on a non-memory instruction"),
                 };
-                SimError::Mem { pc, fault: MemFault { addr, size, write } }
+                SimError::Mem {
+                    pc,
+                    fault: MemFault { addr, size, write },
+                }
             }
             RefError::Break { pc } => {
                 let idx = ((pc - self.text_base) / 4) as usize;
                 let si = self.static_info[idx];
-                self.fetch_fast(pc);
+                self.fetch_fast::<false>(pc);
                 self.issue(&si);
                 self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
                 SimError::Break { pc }

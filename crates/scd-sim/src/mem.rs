@@ -36,6 +36,13 @@ struct Segment {
     name: &'static str,
     base: u64,
     data: Vec<u8>,
+    /// Bytes-written high-water mark: every write through this memory
+    /// raises it, so `data[hw..]` is untouched since mapping — i.e.
+    /// still zero. The snapshot codec scans only `data[..hw]` for the
+    /// live extent, keeping snapshot cost proportional to *written*
+    /// memory: a mostly-untouched 192 MiB heap is neither scanned (which
+    /// would soft-fault every page in) nor cloned.
+    hw: usize,
 }
 
 /// Segmented guest memory.
@@ -71,7 +78,12 @@ impl Memory {
                 s.base
             );
         }
-        self.segments.push(Segment { name, base, data: vec![0; size as usize] });
+        self.segments.push(Segment {
+            name,
+            base,
+            data: vec![0; size as usize],
+            hw: 0,
+        });
     }
 
     /// Copies `bytes` into memory at `addr` (must be within one segment).
@@ -87,6 +99,7 @@ impl Memory {
             .unwrap_or_else(|| panic!("write_bytes to unmapped {addr:#x}"));
         let off = (addr - seg.base) as usize;
         seg.data[off..off + bytes.len()].copy_from_slice(bytes);
+        seg.hw = seg.hw.max(off + bytes.len());
     }
 
     #[inline]
@@ -131,7 +144,11 @@ impl Memory {
             size: SIZE as u64,
             write: true,
         })?;
-        self.segments[seg].data[off..off + SIZE].copy_from_slice(&bytes);
+        let s = &mut self.segments[seg];
+        s.data[off..off + SIZE].copy_from_slice(&bytes);
+        if off + SIZE > s.hw {
+            s.hw = off + SIZE;
+        }
         Ok(())
     }
 
@@ -172,7 +189,9 @@ impl Memory {
     /// order. Used by the fault-injection differential guard to compare
     /// whole memories byte for byte.
     pub fn segments(&self) -> impl Iterator<Item = (&'static str, u64, &[u8])> {
-        self.segments.iter().map(|s| (s.name, s.base, s.data.as_slice()))
+        self.segments
+            .iter()
+            .map(|s| (s.name, s.base, s.data.as_slice()))
     }
 
     // ---- execute-ahead replay (crate::machine::replay) ----
@@ -191,28 +210,52 @@ impl Memory {
     }
 
     /// Restores segment data moved out by [`Memory::take_all_data`], in
-    /// the same order.
-    pub(crate) fn put_back_data(&mut self, data: impl Iterator<Item = Vec<u8>>) {
+    /// the same order, merging in each segment's write high-water mark as
+    /// observed by the core that owned the memory (see
+    /// [`RefCore::seg_high_waters`](scd_ref::RefCore::seg_high_waters)).
+    pub(crate) fn put_back_data(&mut self, data: impl Iterator<Item = (Vec<u8>, usize)>) {
         let mut n = 0;
-        for (s, d) in self.segments.iter_mut().zip(data) {
+        for (s, (d, hw)) in self.segments.iter_mut().zip(data) {
             debug_assert!(s.data.is_empty(), "segment {} was not taken", s.name);
             s.data = d;
+            s.hw = s.hw.max(hw);
             n += 1;
         }
-        assert_eq!(n, self.segments.len(), "replay returned a different segment count");
+        assert_eq!(
+            n,
+            self.segments.len(),
+            "replay returned a different segment count"
+        );
     }
 
     // ---- checkpoint codec (crate::snapshot) ----
 
-    pub(crate) fn snapshot_segments(&self) -> Vec<(String, u64, Vec<u8>)> {
-        self.segments.iter().map(|s| (s.name.to_string(), s.base, s.data.clone())).collect()
+    /// Captures every segment zero-trimmed: (name, base, full size,
+    /// bytes up to the last non-zero one). Guests map a ~200 MB mostly
+    /// untouched heap; cloning only the live prefix keeps snapshots —
+    /// which the sampled-simulation scheduler takes at every run start —
+    /// proportional to touched memory, not mapped memory.
+    pub(crate) fn snapshot_segments(&self) -> Vec<(String, u64, u64, Vec<u8>)> {
+        self.segments
+            .iter()
+            .map(|s| {
+                let live = trimmed_len(&s.data[..s.hw]);
+                (
+                    s.name.to_string(),
+                    s.base,
+                    s.data.len() as u64,
+                    s.data[..live].to_vec(),
+                )
+            })
+            .collect()
     }
 
-    /// Restores segment contents from a snapshot. The target memory must
-    /// have the identical layout (same machine config and program).
+    /// Restores segment contents from a snapshot, zero-filling each
+    /// segment's trimmed tail. The target memory must have the identical
+    /// layout (same machine config and program).
     pub(crate) fn restore_segments(
         &mut self,
-        segs: &[(String, u64, Vec<u8>)],
+        segs: &[(String, u64, u64, Vec<u8>)],
     ) -> Result<(), String> {
         if segs.len() != self.segments.len() {
             return Err(format!(
@@ -221,8 +264,8 @@ impl Memory {
                 self.segments.len()
             ));
         }
-        for (s, (name, base, data)) in self.segments.iter_mut().zip(segs) {
-            if s.name != name || s.base != *base || s.data.len() != data.len() {
+        for (s, (name, base, size, data)) in self.segments.iter_mut().zip(segs) {
+            if s.name != name || s.base != *base || s.data.len() as u64 != *size {
                 return Err(format!(
                     "segment mismatch: machine {}@{:#x}+{:#x}, snapshot {}@{:#x}+{:#x}",
                     s.name,
@@ -230,13 +273,47 @@ impl Memory {
                     s.data.len(),
                     name,
                     base,
-                    data.len()
+                    size
                 ));
             }
-            s.data.copy_from_slice(data);
+            // Zero only up to the written extent: everything past it is
+            // still zero, and blanket-filling a mostly-untouched 192 MiB
+            // heap would materialize every shared zero page. After the
+            // restore, writes resume from the snapshot's live prefix.
+            s.data[..data.len()].copy_from_slice(data);
+            if s.hw > data.len() {
+                s.data[data.len()..s.hw].fill(0);
+            }
+            s.hw = data.len();
         }
         Ok(())
     }
+}
+
+/// Length of `data` up to and including its last non-zero byte. Scans
+/// backwards in 64-byte strides, OR-reducing eight words per stride so
+/// the inner loop vectorizes: untouched pages of a freshly mapped
+/// segment are kernel-shared zero pages, so the scan over the common
+/// mostly-zero heap runs at cache speed — a fraction of cloning it.
+fn trimmed_len(data: &[u8]) -> usize {
+    const STRIDE: usize = 64;
+    let blocks = data.len() / STRIDE;
+    let (body, tail) = data.split_at(blocks * STRIDE);
+    if let Some(p) = tail.iter().rposition(|&b| b != 0) {
+        return body.len() + p + 1;
+    }
+    for b in (0..blocks).rev() {
+        let chunk = &body[b * STRIDE..(b + 1) * STRIDE];
+        let mut or = 0u64;
+        for w in chunk.chunks_exact(8) {
+            or |= u64::from_le_bytes(w.try_into().expect("8-byte word"));
+        }
+        if or != 0 {
+            let last = chunk.iter().rposition(|&x| x != 0).expect("non-zero block");
+            return b * STRIDE + last + 1;
+        }
+    }
+    0
 }
 
 #[cfg(test)]
@@ -290,5 +367,35 @@ mod tests {
         m.add_segment("a", 0, 16);
         m.write_bytes(4, &[1, 2, 3, 4]);
         assert_eq!(m.read_u32(4).unwrap(), 0x04030201);
+    }
+
+    #[test]
+    fn trimmed_len_finds_the_last_nonzero_byte() {
+        assert_eq!(trimmed_len(&[]), 0);
+        assert_eq!(trimmed_len(&[0; 64]), 0);
+        assert_eq!(trimmed_len(&[1]), 1);
+        let mut d = vec![0u8; 100];
+        d[0] = 5;
+        assert_eq!(trimmed_len(&d), 1);
+        d[41] = 7; // mid-word, word-aligned scan must find the byte
+        assert_eq!(trimmed_len(&d), 42);
+        d[97] = 1; // in the sub-word tail
+        assert_eq!(trimmed_len(&d), 98);
+    }
+
+    #[test]
+    fn snapshot_segments_trim_and_restore_refills_tails() {
+        let mut m = Memory::new();
+        m.add_segment("a", 0x1000, 0x100);
+        m.write_u32(0x1004, 0xdead_beef).unwrap();
+        let snap = m.snapshot_segments();
+        assert_eq!(snap[0].2, 0x100, "full size recorded");
+        assert_eq!(snap[0].3.len(), 8, "data trimmed to the live prefix");
+        // Dirty a byte past the trim point, then restore: the tail must
+        // come back zero, not keep the dirt.
+        m.write_u8(0x10f0, 0xaa).unwrap();
+        m.restore_segments(&snap).unwrap();
+        assert_eq!(m.read_u8(0x10f0).unwrap(), 0);
+        assert_eq!(m.read_u32(0x1004).unwrap(), 0xdead_beef);
     }
 }

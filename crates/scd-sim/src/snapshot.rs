@@ -10,15 +10,27 @@
 //! run's [`crate::SimStats`] exactly; a test asserts this.
 //!
 //! The byte encoding ([`Snapshot::to_bytes`]/[`Snapshot::from_bytes`])
-//! is a self-contained little-endian format (magic `SCDCKPT1`) with no
+//! is a self-contained little-endian format (magic `SCDCKPT2`) with no
 //! external dependencies, used by `scd-cli run --checkpoint-every` /
 //! `--resume`.
+//!
+//! Memory segments are stored *zero-trimmed*: each entry records the
+//! segment's full size plus only the bytes up to its last non-zero one,
+//! and restore zero-fills the tail. Guests map a ~200 MB mostly
+//! untouched heap, and the sampled-simulation scheduler snapshots at
+//! every run start — cloning all of it made a snapshot cost more than
+//! the intervals it protects. Trimming is semantically invisible (the
+//! machine zero-initializes segments) and shrinks both in-memory
+//! snapshots and checkpoint files by orders of magnitude.
 
 use crate::stats::SimStats;
 use std::fmt;
 
-/// Magic prefix of the checkpoint byte format.
-const MAGIC: &[u8; 8] = b"SCDCKPT1";
+/// Magic prefix of the checkpoint byte format. `SCDCKPT1` stored full
+/// segment images; the zero-trimmed `SCDCKPT2` is not
+/// backwards-compatible, and old checkpoint files are rejected with a
+/// bad-magic error rather than misread.
+const MAGIC: &[u8; 8] = b"SCDCKPT2";
 
 /// Error decoding or restoring a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,8 +75,10 @@ pub struct Snapshot {
     /// All scalar core + µarch state, in the fixed order produced by
     /// `Machine::snapshot`.
     pub(crate) words: Vec<u64>,
-    /// Memory segments as (name, base, data).
-    pub(crate) segments: Vec<(String, u64, Vec<u8>)>,
+    /// Memory segments as (name, base, full size, zero-trimmed data):
+    /// `data` holds the segment's bytes up to its last non-zero one, and
+    /// everything from `data.len()` to `size` is implicitly zero.
+    pub(crate) segments: Vec<(String, u64, u64, Vec<u8>)>,
     /// Guest output bytes emitted so far.
     pub(crate) output: Vec<u8>,
 }
@@ -86,9 +100,10 @@ impl Snapshot {
         }
         push_bytes(&mut out, &self.output);
         push_u64(&mut out, self.segments.len() as u64);
-        for (name, base, data) in &self.segments {
+        for (name, base, size, data) in &self.segments {
             push_bytes(&mut out, name.as_bytes());
             push_u64(&mut out, *base);
+            push_u64(&mut out, *size);
             push_bytes(&mut out, data);
         }
         out
@@ -124,13 +139,25 @@ impl Snapshot {
             let name = String::from_utf8(r.bytes_field()?.to_vec())
                 .map_err(|_| SnapshotError::Format("segment name not utf-8".into()))?;
             let base = r.u64()?;
+            let size = r.u64()?;
             let data = r.bytes_field()?.to_vec();
-            segments.push((name, base, data));
+            if data.len() as u64 > size {
+                return Err(SnapshotError::Format(format!(
+                    "segment {name} carries {} bytes but declares size {size}",
+                    data.len()
+                )));
+            }
+            segments.push((name, base, size, data));
         }
         if r.pos != bytes.len() {
             return Err(SnapshotError::Format("trailing bytes".into()));
         }
-        Ok(Snapshot { fingerprint, words, segments, output })
+        Ok(Snapshot {
+            fingerprint,
+            words,
+            segments,
+            output,
+        })
     }
 }
 
@@ -229,8 +256,20 @@ pub(crate) fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
 
 /// Serializes every [`SimStats`] field in fixed order.
 pub(crate) fn stats_to_words(s: &SimStats, out: &mut Vec<u64>) {
-    out.extend_from_slice(&[s.cycles, s.instructions, s.dispatch_instructions, s.loads, s.stores]);
-    for b in [&s.cond, &s.direct, &s.ret, &s.indirect_dispatch, &s.indirect_other] {
+    out.extend_from_slice(&[
+        s.cycles,
+        s.instructions,
+        s.dispatch_instructions,
+        s.loads,
+        s.stores,
+    ]);
+    for b in [
+        &s.cond,
+        &s.direct,
+        &s.ret,
+        &s.indirect_dispatch,
+        &s.indirect_other,
+    ] {
         out.extend_from_slice(&[b.executed, b.mispredicted]);
     }
     out.extend_from_slice(&[
@@ -264,9 +303,13 @@ pub(crate) fn stats_from_words(c: &mut Cursor) -> Result<SimStats, SnapshotError
     s.dispatch_instructions = c.next()?;
     s.loads = c.next()?;
     s.stores = c.next()?;
-    for b in
-        [&mut s.cond, &mut s.direct, &mut s.ret, &mut s.indirect_dispatch, &mut s.indirect_other]
-    {
+    for b in [
+        &mut s.cond,
+        &mut s.direct,
+        &mut s.ret,
+        &mut s.indirect_dispatch,
+        &mut s.indirect_other,
+    ] {
         b.executed = c.next()?;
         b.mispredicted = c.next()?;
     }
@@ -275,7 +318,13 @@ pub(crate) fn stats_from_words(c: &mut Cursor) -> Result<SimStats, SnapshotError
     s.bop_misses = c.next()?;
     s.bop_stall_cycles = c.next()?;
     s.jru_executed = c.next()?;
-    for a in [&mut s.icache, &mut s.dcache, &mut s.l2, &mut s.itlb, &mut s.dtlb] {
+    for a in [
+        &mut s.icache,
+        &mut s.dcache,
+        &mut s.l2,
+        &mut s.itlb,
+        &mut s.dtlb,
+    ] {
         a.accesses = c.next()?;
         a.misses = c.next()?;
         a.writebacks = c.next()?;
@@ -300,7 +349,10 @@ mod tests {
         let snap = Snapshot {
             fingerprint: 0xfeed_beef,
             words: vec![1, 2, 3, u64::MAX],
-            segments: vec![("text".into(), 0x1000, vec![1, 2, 3]), ("heap".into(), 0x4000, vec![])],
+            segments: vec![
+                ("text".into(), 0x1000, 3, vec![1, 2, 3]),
+                ("heap".into(), 0x4000, 0x100, vec![]),
+            ],
             output: vec![b'h', b'i'],
         };
         let bytes = snap.to_bytes();
@@ -315,7 +367,12 @@ mod tests {
     fn malformed_bytes_error() {
         assert!(Snapshot::from_bytes(b"").is_err());
         assert!(Snapshot::from_bytes(b"NOTCKPT0").is_err());
-        let snap = Snapshot { fingerprint: 1, words: vec![7], segments: vec![], output: vec![] };
+        let snap = Snapshot {
+            fingerprint: 1,
+            words: vec![7],
+            segments: vec![],
+            output: vec![],
+        };
         let mut bytes = snap.to_bytes();
         bytes.truncate(bytes.len() - 1);
         assert!(Snapshot::from_bytes(&bytes).is_err());
@@ -323,6 +380,20 @@ mod tests {
         let mut bytes = snap.to_bytes();
         bytes.push(0);
         assert!(Snapshot::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_segment_data_is_rejected() {
+        let snap = Snapshot {
+            fingerprint: 1,
+            words: vec![],
+            segments: vec![("a".into(), 0, 2, vec![1, 2, 3])],
+            output: vec![],
+        };
+        assert!(matches!(
+            Snapshot::from_bytes(&snap.to_bytes()),
+            Err(SnapshotError::Format(_))
+        ));
     }
 
     #[test]
@@ -354,6 +425,9 @@ mod tests {
         // A truncated word stream must fail the full stats decode the
         // same way, not panic.
         let mut c = Cursor::new(&w);
-        assert!(matches!(stats_from_words(&mut c), Err(SnapshotError::Format(_))));
+        assert!(matches!(
+            stats_from_words(&mut c),
+            Err(SnapshotError::Format(_))
+        ));
     }
 }

@@ -177,6 +177,141 @@ impl SimStats {
             self.dispatch_instructions as f64 / self.instructions as f64
         }
     }
+
+    /// Every raw counter, flattened in one fixed order. The interval
+    /// arithmetic below ([`SimStats::delta_since`] /
+    /// [`SimStats::accumulate`] / [`SimStats::scaled`]) iterates this
+    /// array so a new counter field only needs to be added here (and in
+    /// `counters_mut`, kept in the same order) once.
+    fn counters(&self) -> [u64; 42] {
+        [
+            self.cycles,
+            self.instructions,
+            self.dispatch_instructions,
+            self.loads,
+            self.stores,
+            self.cond.executed,
+            self.cond.mispredicted,
+            self.direct.executed,
+            self.direct.mispredicted,
+            self.ret.executed,
+            self.ret.mispredicted,
+            self.indirect_dispatch.executed,
+            self.indirect_dispatch.mispredicted,
+            self.indirect_other.executed,
+            self.indirect_other.mispredicted,
+            self.bop_executed,
+            self.bop_hits,
+            self.bop_misses,
+            self.bop_stall_cycles,
+            self.jru_executed,
+            self.icache.accesses,
+            self.icache.misses,
+            self.icache.writebacks,
+            self.dcache.accesses,
+            self.dcache.misses,
+            self.dcache.writebacks,
+            self.l2.accesses,
+            self.l2.misses,
+            self.l2.writebacks,
+            self.itlb.accesses,
+            self.itlb.misses,
+            self.itlb.writebacks,
+            self.dtlb.accesses,
+            self.dtlb.misses,
+            self.dtlb.writebacks,
+            self.btb.jte_inserts,
+            self.btb.jte_cap_skips,
+            self.btb.btb_evicted_by_jte,
+            self.btb.jte_evictions,
+            self.btb.btb_blocked_by_jte,
+            self.btb.jte_flushes,
+            self.btb.jte_flushed,
+        ]
+    }
+
+    /// Mutable borrows of every counter, in [`SimStats::counters`] order
+    /// (distinct fields, so the simultaneous borrows are fine).
+    fn counters_mut(&mut self) -> [&mut u64; 42] {
+        [
+            &mut self.cycles,
+            &mut self.instructions,
+            &mut self.dispatch_instructions,
+            &mut self.loads,
+            &mut self.stores,
+            &mut self.cond.executed,
+            &mut self.cond.mispredicted,
+            &mut self.direct.executed,
+            &mut self.direct.mispredicted,
+            &mut self.ret.executed,
+            &mut self.ret.mispredicted,
+            &mut self.indirect_dispatch.executed,
+            &mut self.indirect_dispatch.mispredicted,
+            &mut self.indirect_other.executed,
+            &mut self.indirect_other.mispredicted,
+            &mut self.bop_executed,
+            &mut self.bop_hits,
+            &mut self.bop_misses,
+            &mut self.bop_stall_cycles,
+            &mut self.jru_executed,
+            &mut self.icache.accesses,
+            &mut self.icache.misses,
+            &mut self.icache.writebacks,
+            &mut self.dcache.accesses,
+            &mut self.dcache.misses,
+            &mut self.dcache.writebacks,
+            &mut self.l2.accesses,
+            &mut self.l2.misses,
+            &mut self.l2.writebacks,
+            &mut self.itlb.accesses,
+            &mut self.itlb.misses,
+            &mut self.itlb.writebacks,
+            &mut self.dtlb.accesses,
+            &mut self.dtlb.misses,
+            &mut self.dtlb.writebacks,
+            &mut self.btb.jte_inserts,
+            &mut self.btb.jte_cap_skips,
+            &mut self.btb.btb_evicted_by_jte,
+            &mut self.btb.jte_evictions,
+            &mut self.btb.btb_blocked_by_jte,
+            &mut self.btb.jte_flushes,
+            &mut self.btb.jte_flushed,
+        ]
+    }
+
+    /// Counter-wise `self − base`. Both views must come from the same
+    /// monotone run (`base` earlier), which every counter here is;
+    /// saturating guards against misuse rather than wrapping.
+    pub fn delta_since(&self, base: &SimStats) -> SimStats {
+        let mut d = SimStats::default();
+        let a = self.counters();
+        let b = base.counters();
+        for (dst, (x, y)) in d.counters_mut().into_iter().zip(a.into_iter().zip(b)) {
+            *dst = x.saturating_sub(y);
+        }
+        d
+    }
+
+    /// Counter-wise `self += other` (per-interval accumulation).
+    pub fn accumulate(&mut self, other: &SimStats) {
+        let o = other.counters();
+        for (dst, v) in self.counters_mut().into_iter().zip(o) {
+            *dst += v;
+        }
+    }
+
+    /// Counter-wise scaling by `num / den` with u128 intermediates and
+    /// round-to-nearest — the sampled-run extrapolation from measured
+    /// windows to the whole run.
+    pub fn scaled(&self, num: u64, den: u64) -> SimStats {
+        let den = den.max(1) as u128;
+        let mut s = SimStats::default();
+        let a = self.counters();
+        for (dst, v) in s.counters_mut().into_iter().zip(a) {
+            *dst = ((v as u128 * num as u128 + den / 2) / den) as u64;
+        }
+        s
+    }
 }
 
 /// Geometric mean helper for the paper's GEOMEAN rows.
@@ -210,7 +345,11 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut s = SimStats { cycles: 2000, instructions: 1000, ..Default::default() };
+        let mut s = SimStats {
+            cycles: 2000,
+            instructions: 1000,
+            ..Default::default()
+        };
         s.record_branch(BranchClass::IndirectDispatch, true);
         s.record_branch(BranchClass::IndirectDispatch, false);
         s.record_branch(BranchClass::Conditional, true);
@@ -223,7 +362,11 @@ mod tests {
 
     #[test]
     fn dispatch_fraction() {
-        let s = SimStats { instructions: 400, dispatch_instructions: 100, ..Default::default() };
+        let s = SimStats {
+            instructions: 400,
+            dispatch_instructions: 100,
+            ..Default::default()
+        };
         assert!((s.dispatch_fraction() - 0.25).abs() < 1e-12);
     }
 
@@ -243,8 +386,43 @@ mod tests {
     }
 
     #[test]
+    fn interval_arithmetic_round_trips() {
+        let mut base = SimStats {
+            cycles: 100,
+            instructions: 50,
+            ..Default::default()
+        };
+        base.icache.accesses = 40;
+        base.btb.jte_inserts = 7;
+        let mut later = SimStats {
+            cycles: 260,
+            instructions: 130,
+            ..Default::default()
+        };
+        later.icache.accesses = 90;
+        later.btb.jte_inserts = 19;
+        let d = later.delta_since(&base);
+        assert_eq!(d.cycles, 160);
+        assert_eq!(d.instructions, 80);
+        assert_eq!(d.icache.accesses, 50);
+        assert_eq!(d.btb.jte_inserts, 12);
+        let mut re = base.clone();
+        re.accumulate(&d);
+        assert_eq!(re, later);
+        // Scaling rounds to nearest.
+        let s = d.scaled(3, 2);
+        assert_eq!(s.cycles, 240);
+        assert_eq!(s.btb.jte_inserts, 18);
+        assert_eq!(d.scaled(1, 3).instructions, 27); // 80/3 = 26.67 → 27
+    }
+
+    #[test]
     fn access_mpki() {
-        let a = AccessCounters { accesses: 100, misses: 5, writebacks: 0 };
+        let a = AccessCounters {
+            accesses: 100,
+            misses: 5,
+            writebacks: 0,
+        };
         assert!((a.mpki(1000) - 5.0).abs() < 1e-12);
         assert_eq!(a.mpki(0), 0.0);
     }
