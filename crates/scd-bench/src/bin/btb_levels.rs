@@ -1,0 +1,7 @@
+//! Thin alias for `sweep --only btb_levels`: plans the report's cells into
+//! the shared run matrix, executes them in parallel, and renders via
+//! `scd_bench::figures::btb_levels`. Honors `--quick` and `--threads N`.
+
+fn main() {
+    scd_bench::run_report_cli("btb_levels");
+}

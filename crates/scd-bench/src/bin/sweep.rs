@@ -124,7 +124,7 @@ fn main() {
 
     let mut m = RunMatrix::new();
     m.set_interleaved(has("--interleaved"));
-    m.set_sample(sample.clone());
+    m.set_sample(sample);
     if let Some(p) = &sample {
         eprintln!(
             "sweep: interval sampling (plan {p}) — cycle counts are estimates; \

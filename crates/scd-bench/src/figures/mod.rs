@@ -8,6 +8,7 @@
 //! side-effect-free; all simulation happens in [`RunMatrix::run`].
 
 pub mod ablation;
+pub mod btb_levels;
 pub mod fig10;
 pub mod fig11;
 pub mod fig2;
@@ -108,6 +109,12 @@ pub const REPORTS: &[Report] = &[
         title: "design-choice ablations",
         default_scale: ArgScale::Tiny,
         plan: ablation::plan,
+    },
+    Report {
+        name: "btb_levels",
+        title: "BTB organization sensitivity + adversarial aliasing",
+        default_scale: ArgScale::Tiny,
+        plan: btb_levels::plan,
     },
 ];
 

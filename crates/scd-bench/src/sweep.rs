@@ -228,7 +228,7 @@ impl RunMatrix {
         let total = self.cells.len();
         let done = AtomicUsize::new(0);
         let interleaved = self.interleaved;
-        let sample = self.sample.clone();
+        let sample = self.sample;
         let outs = try_parallel_map(&self.cells, threads, interrupt, |spec| {
             let out = run_cell(spec, interleaved, sample.as_ref(), cache);
             if progress {
@@ -896,7 +896,7 @@ mod tests {
         // The sampled sweep shares the cache directory but must not see
         // a single full-detail entry as a hit (the plan splits the key).
         let smp_cache = Cache::open(&dir).expect("reopen cache");
-        let smp = sweep(Some(plan.clone()), &smp_cache);
+        let smp = sweep(Some(plan), &smp_cache);
         assert_eq!(
             stat(&smp_cache.stats.hits),
             0,

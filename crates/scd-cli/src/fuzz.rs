@@ -15,7 +15,7 @@
 
 use crate::{usage, EXIT_INTERNAL, EXIT_INVARIANT};
 use scd_ref::corpus::{self, Repro};
-use scd_ref::gen::{generate, GenConfig, Rng};
+use scd_ref::gen::{generate, GenBias, GenConfig, Rng};
 use scd_sim::{downcast_sink, LockstepSink, Machine, SimConfig, SimError};
 use std::process::exit;
 
@@ -24,6 +24,7 @@ struct FuzzOpts {
     count: u64,
     threads: usize,
     max_insts: u64,
+    bias: GenBias,
     save_failing: Option<String>,
     save_corpus: Option<String>,
     repro: Option<String>,
@@ -35,6 +36,7 @@ fn parse_fuzz_opts(mut argv: impl Iterator<Item = String>) -> FuzzOpts {
         count: 64,
         threads: 1,
         max_insts: 2_000_000,
+        bias: GenBias::Uniform,
         save_failing: None,
         save_corpus: None,
         repro: None,
@@ -46,6 +48,13 @@ fn parse_fuzz_opts(mut argv: impl Iterator<Item = String>) -> FuzzOpts {
             "--count" => o.count = num(argv.next()),
             "--threads" => o.threads = num(argv.next()).clamp(1, 64) as usize,
             "--max-insts" => o.max_insts = num(argv.next()),
+            "--bias" => {
+                o.bias = match argv.next().as_deref() {
+                    Some("uniform") => GenBias::Uniform,
+                    Some("aliasing") => GenBias::Aliasing,
+                    _ => usage(),
+                }
+            }
             "--save-failing" => o.save_failing = Some(argv.next().unwrap_or_else(|| usage())),
             "--save-corpus" => o.save_corpus = Some(argv.next().unwrap_or_else(|| usage())),
             "--repro" => o.repro = Some(argv.next().unwrap_or_else(|| usage())),
@@ -102,6 +111,14 @@ fn run_one(repro: &Repro, variant: &str, max_insts: u64) -> Result<u64, String> 
 /// per index so neighbouring indices share no structure.
 fn seed_for(base: u64, i: u64) -> u64 {
     Rng::new(base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next()
+}
+
+/// The shape constructor for the selected bias.
+fn config_for(bias: GenBias, seed: u64) -> GenConfig {
+    match bias {
+        GenBias::Uniform => GenConfig::from_seed(seed),
+        GenBias::Aliasing => GenConfig::aliasing_from_seed(seed),
+    }
 }
 
 fn repro_for(cfg: &GenConfig) -> Repro {
@@ -183,7 +200,7 @@ fn fuzz_all(o: &FuzzOpts) -> (u64, Vec<Failure>) {
                 let seed = seed_for(o.seed, i);
                 // Shrink and pin the reproducer (serial: failures are rare
                 // and the corpus write must be race-free).
-                let small = shrink(GenConfig::from_seed(seed), variant, o.max_insts);
+                let small = shrink(config_for(o.bias, seed), variant, o.max_insts);
                 let repro = repro_for(&small);
                 let repro_path = o.save_failing.as_ref().and_then(|dir| {
                     let path = format!("{dir}/fuzz-{i}-{variant}.repro");
@@ -201,7 +218,7 @@ fn fuzz_all(o: &FuzzOpts) -> (u64, Vec<Failure>) {
 /// All three variants for one index; first failing variant wins.
 fn fuzz_index(o: &FuzzOpts, i: u64) -> IndexResult {
     let seed = seed_for(o.seed, i);
-    let repro = repro_for(&GenConfig::from_seed(seed));
+    let repro = repro_for(&config_for(o.bias, seed));
     let mut checked = 0u64;
     for variant in VARIANTS {
         match run_one(&repro, variant, o.max_insts) {
@@ -247,10 +264,11 @@ pub fn cmd_fuzz(argv: impl Iterator<Item = String>) {
             eprintln!("cannot create {dir}: {e}");
             exit(EXIT_INTERNAL);
         }
+        let prefix = if o.bias == GenBias::Aliasing { "alias" } else { "seed" };
         for i in 0..o.count {
             let seed = seed_for(o.seed, i);
-            let repro = repro_for(&GenConfig::from_seed(seed));
-            let path = format!("{dir}/seed{}-{i}.repro", o.seed);
+            let repro = repro_for(&config_for(o.bias, seed));
+            let path = format!("{dir}/{prefix}{}-{i}.repro", o.seed);
             if let Err(e) = std::fs::write(&path, corpus::save(&repro)) {
                 eprintln!("cannot write {path}: {e}");
                 exit(EXIT_INTERNAL);
@@ -259,7 +277,8 @@ pub fn cmd_fuzz(argv: impl Iterator<Item = String>) {
     }
     let (checked, failures) = fuzz_all(&o);
     println!(
-        "fuzz: {} programs x {} variants, {} instructions lockstep-checked, {} failure{} (seed {})",
+        "fuzz{}: {} programs x {} variants, {} instructions lockstep-checked, {} failure{} (seed {})",
+        if o.bias == GenBias::Aliasing { " [aliasing bias]" } else { "" },
         o.count,
         VARIANTS.len(),
         checked,

@@ -50,7 +50,8 @@ fn usage() -> ! {
          \x20 scd bench list\n\
          \x20 scd model [--config a5|rocket|a8]\n\
          \x20 scd fuzz [--seed N] [--count N] [--threads N] [--max-insts N]\n\
-         \x20         [--save-failing DIR] [--save-corpus DIR] [--repro FILE]\n\
+         \x20         [--bias uniform|aliasing] [--save-failing DIR]\n\
+         \x20         [--save-corpus DIR] [--repro FILE]\n\
          \x20 scd serve --jobs batch.jsonl [--cache DIR] [--cache-stats] [--threads N]\n\
          \x20          [--timeout SECS]\n\
          exit codes: 0 ok, 2 usage, 3 guest trap, 4 watchdog, 5 invariant, 70 internal,\n\

@@ -45,11 +45,40 @@ impl Rng {
     }
 }
 
+/// Program-shape bias for the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenBias {
+    /// Default interpreter shape: a dense opcode alphabet `1..=blocks`.
+    Uniform,
+    /// Adversarial BTB aliasing: opcodes stride by
+    /// [`ALIAS_OPCODE_STRIDE`] so every JTE of a given bid folds into a
+    /// single L0 set of the two-level BTB organization, and all four
+    /// Rop masks are full-width so each hostile opcode stays a distinct
+    /// JTE key.
+    Aliasing,
+}
+
+/// Aliasing-bias opcode stride. Under the simulator's `arm_like`
+/// two-level BTB geometry (32-entry 2-way L0 = 16 sets, fold width 8) a
+/// JTE's raw key is `opcode ^ (bid << 56)`, whose 8-bit XOR-fold is
+/// `opcode ^ bid` for opcodes below 256. A stride-16 opcode has a zero
+/// low nibble, so the fold's low nibble — the L0 set index — is just
+/// `bid`: every JTE of a given bid contends for one 2-way set. (The
+/// geometry constants are restated here because scd-ref depends only on
+/// scd-isa, not scd-sim.)
+pub const ALIAS_OPCODE_STRIDE: u64 = 16;
+
+/// Aliasing-bias block ceiling, keeping the largest opcode
+/// (`blocks * 16 = 240`) below 256 so even the narrowest `.op` load
+/// width reads the whole opcode.
+const ALIAS_MAX_BLOCKS: u32 = 15;
+
 /// Knobs for one generated program.
 #[derive(Debug, Clone, Copy)]
 pub struct GenConfig {
     /// Number of distinct handler blocks (= dynamic opcode alphabet).
-    /// Clamped to `1..=200`. Shrinking reduces this.
+    /// Clamped to `1..=200` (`1..=15` under the aliasing bias).
+    /// Shrinking reduces this.
     pub blocks: u32,
     /// Outer iterations of the whole bytecode string.
     pub outer_iters: u32,
@@ -58,6 +87,8 @@ pub struct GenConfig {
     pub data_words: u32,
     /// The seed. The program is a pure function of this config.
     pub seed: u64,
+    /// Program-shape bias.
+    pub bias: GenBias,
 }
 
 impl GenConfig {
@@ -69,6 +100,22 @@ impl GenConfig {
             outer_iters: 2 + r.below(6) as u32,
             data_words: 64 << r.below(3),
             seed,
+            bias: GenBias::Uniform,
+        }
+    }
+
+    /// The adversarial-aliasing shape for a given seed: fewer handler
+    /// blocks (the strided alphabet tops out at 15), a longer bytecode
+    /// string and more outer iterations so the engineered BTB
+    /// contention gets hot.
+    pub fn aliasing_from_seed(seed: u64) -> Self {
+        let mut r = Rng::new(seed ^ 0xA11A_5ED0_BAD5_EED5);
+        GenConfig {
+            blocks: 4 + r.below(12) as u32,
+            outer_iters: 4 + r.below(8) as u32,
+            data_words: 64 << r.below(3),
+            seed,
+            bias: GenBias::Aliasing,
         }
     }
 }
@@ -108,7 +155,14 @@ const SCRATCH: [Reg; 5] = [Reg::T0, Reg::T1, Reg::T2, Reg::T4, Reg::T5];
 /// Panics if assembly fails — that is a generator bug (offsets are sized
 /// to stay in range), not a caller error.
 pub fn generate(cfg: &GenConfig) -> Generated {
-    let blocks = cfg.blocks.clamp(1, 200) as u64;
+    let aliasing = cfg.bias == GenBias::Aliasing;
+    let max_blocks = if aliasing { ALIAS_MAX_BLOCKS } else { 200 };
+    // Opcode `j` dispatches handler `j` in uniform mode; the aliasing
+    // bias spreads the alphabet to `j * stride` (jump-table slots
+    // between strides fall back to handler 0, which uniform-mode
+    // programs use as the string terminator and never reach here).
+    let stride = if aliasing { ALIAS_OPCODE_STRIDE } else { 1 };
+    let blocks = cfg.blocks.clamp(1, max_blocks) as u64;
     // Cap at 256 words so `addr_mask` (at most 2040) stays inside the
     // 12-bit signed immediate `andi` can encode.
     let data_words = (cfg.data_words.clamp(8, 256) as u64).next_power_of_two();
@@ -129,7 +183,12 @@ pub fn generate(cfg: &GenConfig) -> Generated {
     // Rmask per bid: bid 2 and 3 get narrower masks so high block counts
     // alias distinct opcodes onto one Rop value — the JTE map and the BTB
     // must both tolerate that (lockstep follows the DUT's hit pattern).
-    for (bid, mask) in [(0u8, 0xFFi64), (1, 0xFF), (2, 0x3F), (3, 0x1F)] {
+    // The aliasing bias instead keeps every mask full-width: its strided
+    // opcodes must reach the JTE key un-truncated so each (bid, opcode)
+    // pair stays a distinct entry fighting for the same hashed set.
+    let masks: [(u8, i64); 4] =
+        if aliasing { [(0, 0xFF), (1, 0xFF), (2, 0xFF), (3, 0xFF)] } else { [(0, 0xFF), (1, 0xFF), (2, 0x3F), (3, 0x1F)] };
+    for (bid, mask) in masks {
         a.li(Reg::T6, mask);
         a.setmask(bid, Reg::T6);
     }
@@ -169,13 +228,16 @@ pub fn generate(cfg: &GenConfig) -> Generated {
     // One opcode per 8-byte word; the narrow loads in the dispatch tail
     // read the low byte(s).
     a.ro_label("bytes");
-    let len = 4 + r.below(28);
+    // The aliasing bias runs a longer string: set thrash only shows
+    // once the working set of strided opcodes cycles a few times.
+    let len = if aliasing { 24 + r.below(40) } else { 4 + r.below(28) };
     for _ in 0..len {
-        a.ro_word(1 + r.below(blocks));
+        a.ro_word((1 + r.below(blocks)) * stride);
     }
     a.ro_word(0);
     a.ro_label("table");
-    for h in 0..=blocks {
+    for idx in 0..=blocks * stride {
+        let h = if idx % stride == 0 { idx / stride } else { 0 };
         a.ro_addr(&format!("handler{h}"));
     }
 
@@ -347,6 +409,29 @@ mod tests {
                 Err(e) => panic!("seed {seed}: {e}"),
             }
         }
+    }
+
+    #[test]
+    fn aliasing_bias_is_deterministic_and_runs_to_exit() {
+        let g1 = generate(&GenConfig::aliasing_from_seed(42));
+        let g2 = generate(&GenConfig::aliasing_from_seed(42));
+        assert_eq!(g1.program.words, g2.program.words);
+        assert_eq!(g1.program.rodata, g2.program.rodata);
+        for seed in 0..8u64 {
+            let g = generate(&GenConfig::aliasing_from_seed(seed));
+            let mut c = RefCore::from_program(&g.program, true, 4);
+            c.map("fuzzdata", g.data_base, g.data_size);
+            if let Err(e) = c.run(4_000_000) {
+                panic!("aliasing seed {seed}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn aliasing_bias_differs_from_uniform() {
+        let u = generate(&GenConfig::from_seed(5));
+        let a = generate(&GenConfig::aliasing_from_seed(5));
+        assert_ne!(u.program.words, a.program.words);
     }
 
     #[test]

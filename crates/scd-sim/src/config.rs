@@ -1,6 +1,6 @@
 //! Machine configurations, mirroring Table II of the paper.
 
-use crate::btb::BtbConfig;
+use crate::btb::{BtbConfig, TwoLevelBtbConfig};
 use crate::cache::{CacheConfig, Replacement};
 use crate::predictor::DirectionConfig;
 
@@ -223,6 +223,16 @@ impl SimConfig {
     pub fn with_dedicated_jte_table(mut self, entries: usize) -> Self {
         self.scd.dedicated_jte_table = true;
         self.scd.jte_table_entries = entries;
+        self
+    }
+
+    /// Returns a copy using the realistic two-level BTB organization
+    /// (extension study; DESIGN.md "Two-level BTB"). The replacement
+    /// policy and JTE cap of the current BTB carry over.
+    pub fn with_two_level_btb(mut self, tl: TwoLevelBtbConfig) -> Self {
+        let mut btb = BtbConfig::two_level(tl, self.btb.replacement);
+        btb.jte_cap = self.btb.jte_cap;
+        self.btb = btb;
         self
     }
 }

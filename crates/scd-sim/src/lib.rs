@@ -44,7 +44,10 @@ pub mod stats;
 pub mod tlb;
 pub mod trace;
 
-pub use btb::{Btb, BtbConfig, BtbKey, BtbStats, EntryKind, InsertOutcome};
+pub use btb::{
+    xor_fold, Btb, BtbConfig, BtbKey, BtbOrg, BtbStats, EntryKind, InsertOutcome,
+    TwoLevelBtbConfig, TwoLevelStats,
+};
 pub use cache::{Cache, CacheAccess, CacheConfig, Replacement};
 pub use config::{IndirectPredictor, ScdConfig, SimConfig};
 pub use fault::{diff_architectural, FaultEvent, FaultKind, FaultPlan};

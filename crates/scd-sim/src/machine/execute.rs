@@ -98,7 +98,9 @@ impl Machine {
                 next_pc = target;
                 // Direct jumps: BTB-predicted in fetch; miss costs a
                 // decode-stage redirect.
-                let hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+                let pred = self.btb.lookup_leveled(BtbKey::Pc(pc));
+                self.charge_l1_late_target::<WARMING>(pred.is_some_and(|(_, l1)| l1));
+                let hit = pred.map(|(t, _)| t) == Some(target);
                 if !hit {
                     let out = self.btb.insert(BtbKey::Pc(pc), target);
                     self.note_insert::<OBSERVED>(EntryKind::Pc, out);
@@ -133,7 +135,13 @@ impl Machine {
                 // direction predictor says taken AND the BTB supplies
                 // the target.
                 let dir_pred = self.direction.predict(pc);
-                let btb_hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+                let pred = self.btb.lookup_leveled(BtbKey::Pc(pc));
+                // Fetch acts on the BTB target only when the direction
+                // predictor says taken; only then can L1 lateness bite.
+                self.charge_l1_late_target::<WARMING>(
+                    dir_pred && pred.is_some_and(|(_, l1)| l1),
+                );
+                let btb_hit = pred.map(|(t, _)| t) == Some(target);
                 let pred_taken = dir_pred && btb_hit;
                 let mispredicted = pred_taken != taken;
                 self.direction.update(pc, taken);

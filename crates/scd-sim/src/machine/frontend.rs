@@ -104,6 +104,17 @@ impl Machine {
         }
     }
 
+    /// Charges the extra fetch bubbles of a prediction served by the
+    /// L1 bank of a two-level BTB (a no-op for the Ideal organization
+    /// and under `WARMING`). The late target steers fetch correctly —
+    /// no redirect event — it just arrives `l1_bubbles` cycles later
+    /// than an L0 hit would have.
+    pub(super) fn charge_l1_late_target<const WARMING: bool>(&mut self, from_l1: bool) {
+        if !WARMING && from_l1 {
+            self.cycle += self.btb.l1_hit_bubbles();
+        }
+    }
+
     fn branch_class(&self, pc: u64, rd: Reg, rs1: Reg) -> BranchClass {
         if self.sinfo(pc).dispatch_jump {
             BranchClass::IndirectDispatch
@@ -166,8 +177,12 @@ impl Machine {
                     }
                     _ => BtbKey::Pc(pc),
                 };
-                let pred = self.btb.lookup(key);
-                let miss = pred != Some(target);
+                let pred = self.btb.lookup_leveled(key);
+                // Fetch steers to whatever target the BTB supplies; an
+                // L1-served target arrives late whether or not it later
+                // verifies.
+                self.charge_l1_late_target::<WARMING>(pred.is_some_and(|(_, l1)| l1));
+                let miss = pred.map(|(t, _)| t) != Some(target);
                 if miss {
                     // Train with the resolved hint value (VBBI updates the
                     // BTB with the actual key at execute).
@@ -196,12 +211,15 @@ impl Machine {
         }
     }
 
+    /// JTE probe, reporting the serving level: the dedicated table is
+    /// always Ideal (never `from_l1`); the overlay inherits whatever
+    /// organization the BTB has.
     #[inline]
-    fn jte_lookup(&mut self, bid: u8, opcode: u64) -> Option<u64> {
+    fn jte_lookup(&mut self, bid: u8, opcode: u64) -> Option<(u64, bool)> {
         let key = BtbKey::Jte { bid, opcode };
         match &mut self.jte_table {
-            Some(t) => t.lookup(key),
-            None => self.btb.lookup(key),
+            Some(t) => t.lookup_leveled(key),
+            None => self.btb.lookup_leveled(key),
         }
     }
 
@@ -275,10 +293,16 @@ impl Machine {
                     self.cycle = need;
                 }
             }
-            if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
+            if let Some((t, from_l1)) = self.jte_lookup(bid as u8, s.rop_d) {
                 *next_pc = t;
                 self.scd[bid].rop_v = false;
-                self.redirect::<OBSERVED, WARMING>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+                // A JTE served from L1 steers fetch correctly but
+                // late; its bubbles ride the same redirect charge.
+                let late = if from_l1 { self.btb.l1_hit_bubbles() } else { 0 };
+                self.redirect::<OBSERVED, WARMING>(
+                    RedirectCause::BopHit,
+                    scd_cfg.bop_hit_bubbles + late,
+                );
                 BopOutcome::Hit
             } else {
                 BopOutcome::JteMiss
@@ -287,10 +311,14 @@ impl Machine {
             // Fall-through scheme: only short-circuit when Rop
             // was already available at fetch.
             BopOutcome::NotReady
-        } else if let Some(t) = self.jte_lookup(bid as u8, s.rop_d) {
+        } else if let Some((t, from_l1)) = self.jte_lookup(bid as u8, s.rop_d) {
             *next_pc = t;
             self.scd[bid].rop_v = false;
-            self.redirect::<OBSERVED, WARMING>(RedirectCause::BopHit, scd_cfg.bop_hit_bubbles);
+            let late = if from_l1 { self.btb.l1_hit_bubbles() } else { 0 };
+            self.redirect::<OBSERVED, WARMING>(
+                RedirectCause::BopHit,
+                scd_cfg.bop_hit_bubbles + late,
+            );
             BopOutcome::Hit
         } else {
             BopOutcome::JteMiss

@@ -879,7 +879,9 @@ impl Machine {
         use crate::btb::{BtbKey, EntryKind};
         use crate::stats::BranchClass;
         use crate::trace::RedirectCause;
-        let hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+        let pred = self.btb.lookup_leveled(BtbKey::Pc(pc));
+        self.charge_l1_late_target::<false>(pred.is_some_and(|(_, l1)| l1));
+        let hit = pred.map(|(t, _)| t) == Some(target);
         if !hit {
             let out = self.btb.insert(BtbKey::Pc(pc), target);
             self.note_insert::<false>(EntryKind::Pc, out);
@@ -895,7 +897,11 @@ impl Machine {
         use crate::stats::BranchClass;
         use crate::trace::RedirectCause;
         let dir_pred = self.direction.predict(pc);
-        let btb_hit = self.btb.lookup(BtbKey::Pc(pc)) == Some(target);
+        let pred = self.btb.lookup_leveled(BtbKey::Pc(pc));
+        // Fetch acts on the BTB target only when the direction
+        // predictor says taken; only then can L1 lateness bite.
+        self.charge_l1_late_target::<false>(dir_pred && pred.is_some_and(|(_, l1)| l1));
+        let btb_hit = pred.map(|(t, _)| t) == Some(target);
         let pred_taken = dir_pred && btb_hit;
         let mispredicted = pred_taken != taken;
         self.direction.update(pc, taken);

@@ -3,13 +3,16 @@
 //! checked against reference models and the population invariant.
 
 use proptest::prelude::*;
-use scd_sim::{Btb, BtbConfig, BtbKey, InsertOutcome, Ittage, Replacement};
+use scd_sim::{
+    Btb, BtbConfig, BtbKey, EntryKind, InsertOutcome, Ittage, Replacement, TwoLevelBtbConfig,
+};
 
 /// Decodes a compact op stream: each `u64` drives one BTB operation so
 /// the generated `Vec<u64>` shrink-prints small.
 fn key_from(word: u64) -> BtbKey {
-    // A deliberately tiny key universe (3 kinds x 16 raws) so streams
-    // collide constantly — aliasing bugs need collisions to show up.
+    // A deliberately tiny key universe (16 Pc raws, 16 Vbbi raws, and
+    // 4 bids x 16 opcodes of Jte keys) so streams collide constantly —
+    // aliasing bugs need collisions to show up.
     let raw = (word >> 8) & 0xF;
     match word % 3 {
         0 => BtbKey::Pc(raw << 2),
@@ -26,14 +29,16 @@ proptest! {
     fn lookup_after_insert_hits(
         ops in prop::collection::vec(any::<u64>(), 1..200),
         fully_assoc in any::<bool>(),
-        cap in 0usize..8,
+        cap in 0usize..12,
     ) {
         let cfg = if fully_assoc {
             BtbConfig::fully_assoc(16, Replacement::Lru)
         } else {
             BtbConfig::set_assoc(16, 2, Replacement::RoundRobin)
         };
-        let mut btb = Btb::new(BtbConfig { jte_cap: (cap < 4).then_some(cap), ..cfg });
+        // Caps 0..6 are in force (including the Some(0) always-drop
+        // path); 6..12 run uncapped.
+        let mut btb = Btb::new(BtbConfig { jte_cap: (cap < 6).then_some(cap), ..cfg });
         for (i, &w) in ops.iter().enumerate() {
             let key = key_from(w);
             let target = 0x4000 + (i as u64) * 4;
@@ -120,13 +125,36 @@ proptest! {
         btb.assert_population_invariant();
     }
 
+    /// With `jte_cap: Some(0)` every JTE insert takes the documented
+    /// drop path: `CapSkipped`, no resident JTE ever, other kinds
+    /// unaffected.
+    #[test]
+    fn jte_cap_zero_always_drops(ops in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut btb = Btb::new(BtbConfig {
+            jte_cap: Some(0),
+            ..BtbConfig::set_assoc(16, 2, Replacement::Lru)
+        });
+        for &w in &ops {
+            let key = key_from(w);
+            let out = btb.insert(key, 0x8000 + (w & 0xFFF));
+            if let BtbKey::Jte { .. } = key {
+                prop_assert_eq!(out, InsertOutcome::CapSkipped);
+                prop_assert!(btb.lookup(key).is_none(), "a dropped JTE must not hit");
+            } else {
+                prop_assert!(out != InsertOutcome::CapSkipped, "the cap only governs JTEs");
+            }
+            prop_assert_eq!(btb.resident_jtes(), 0);
+            btb.assert_population_invariant();
+        }
+    }
+
     /// The JTE cap bounds the resident-JTE population through any
     /// stream of inserts, lookups and flushes, and the population
     /// identity holds after every operation.
     #[test]
     fn jte_cap_is_never_exceeded(
         ops in prop::collection::vec(any::<u64>(), 1..300),
-        cap in 0usize..6,
+        cap in 0usize..8,
     ) {
         let cfg = BtbConfig {
             jte_cap: Some(cap),
@@ -151,6 +179,255 @@ proptest! {
                 btb.resident_jtes(),
                 cap
             );
+            btb.assert_population_invariant();
+        }
+    }
+
+    /// Exact reference model of the two-level structure: fully
+    /// associative single-set banks fed only `Pc` keys with wide
+    /// (collision-free) tags reduce each level to a timestamped entry
+    /// list. The model replays the documented motion rules — in-place
+    /// update in either level, fill-L0 with LRU demotion (the demoted
+    /// entry keeps its timestamp), promotion only into a free L0 slot —
+    /// and must agree with the hardware on every lookup result
+    /// (including the serving level) and on the exact per-level
+    /// contents after every operation.
+    #[test]
+    fn two_level_fully_assoc_matches_reference_model(
+        ops in prop::collection::vec((any::<bool>(), 0u64..24), 1..400),
+    ) {
+        const L0: usize = 4;
+        const L1: usize = 8;
+        let tl = TwoLevelBtbConfig {
+            l0_entries: L0,
+            l0_ways: 0,
+            l1_entries: L1,
+            l1_ways: 0,
+            fold_bits: 8,
+            tag_bits: 32,
+            l1_bubbles: 2,
+        };
+        let mut btb = Btb::new(BtbConfig::two_level(tl, Replacement::Lru));
+        // Model entries: (key, target, last-touch tick).
+        let mut l0: Vec<(u64, u64, u64)> = Vec::new();
+        let mut l1: Vec<(u64, u64, u64)> = Vec::new();
+        let mut tick = 0u64;
+        for (i, &(is_insert, k)) in ops.iter().enumerate() {
+            tick += 1;
+            let target = 0x1000 + k * 8 + (i as u64 % 2);
+            let p0 = l0.iter().position(|&(mk, _, _)| mk == k);
+            let p1 = l1.iter().position(|&(mk, _, _)| mk == k);
+            if is_insert {
+                match (p0, p1) {
+                    (Some(p), _) => l0[p] = (k, target, tick),
+                    (None, Some(p)) => l1[p] = (k, target, tick),
+                    (None, None) => {
+                        if l0.len() == L0 {
+                            let v = (0..l0.len()).min_by_key(|&j| l0[j].2).unwrap();
+                            let old = l0.remove(v);
+                            if l1.len() == L1 {
+                                let dv = (0..l1.len()).min_by_key(|&j| l1[j].2).unwrap();
+                                l1.remove(dv);
+                            }
+                            l1.push(old);
+                        }
+                        l0.push((k, target, tick));
+                    }
+                }
+                btb.insert(BtbKey::Pc(k << 2), target);
+            } else {
+                let expect = match (p0, p1) {
+                    (Some(p), _) => {
+                        l0[p].2 = tick;
+                        Some((l0[p].1, false))
+                    }
+                    (None, Some(p)) => {
+                        let t = l1[p].1;
+                        if l0.len() < L0 {
+                            let mut e = l1.remove(p);
+                            e.2 = tick;
+                            l0.push(e);
+                        } else {
+                            l1[p].2 = tick;
+                        }
+                        Some((t, true))
+                    }
+                    (None, None) => None,
+                };
+                prop_assert_eq!(
+                    btb.lookup_leveled(BtbKey::Pc(k << 2)),
+                    expect,
+                    "op #{} lookup of key {} disagrees with the model",
+                    i,
+                    k
+                );
+            }
+            let (h0, h1) = btb.snapshot_levels();
+            for (level, hw, model) in [("L0", &h0, &l0), ("L1", &h1, &l1)] {
+                let mut want: Vec<(u64, u64)> = model.iter().map(|&(k, t, _)| (k, t)).collect();
+                let mut got: Vec<(u64, u64)> = hw.iter().map(|&(_, k, t)| (k, t)).collect();
+                want.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(got, want, "{} contents diverge at op #{}", level, i);
+            }
+            btb.assert_population_invariant();
+        }
+    }
+
+    /// Structural invariants through arbitrary mixed-kind streams over
+    /// an aliasing-prone geometry (narrow tags, varying fold width):
+    /// the two levels stay exclusive (no probe can match in both at
+    /// once, per kind and hash class), the JTE census across both
+    /// banks equals the cap counter, and the cap bound holds after
+    /// every operation.
+    #[test]
+    fn two_level_exclusive_and_capped_through_any_stream(
+        ops in prop::collection::vec(any::<u64>(), 1..300),
+        cap in 0usize..6,
+        fold in 3u32..9,
+    ) {
+        let tl = TwoLevelBtbConfig {
+            l0_entries: 8,
+            l0_ways: 2,
+            l1_entries: 32,
+            l1_ways: 4,
+            fold_bits: fold,
+            tag_bits: 6,
+            l1_bubbles: 2,
+        };
+        let mut btb = Btb::new(BtbConfig {
+            jte_cap: Some(cap),
+            ..BtbConfig::two_level(tl, Replacement::Lru)
+        });
+        for (i, &w) in ops.iter().enumerate() {
+            match w % 5 {
+                4 => {
+                    btb.flush_jtes();
+                }
+                3 => {
+                    btb.lookup(key_from(w));
+                }
+                _ => {
+                    btb.insert(key_from(w), 0x8000 + (w & 0xFFF));
+                }
+            }
+            prop_assert!(btb.resident_jtes() <= cap);
+            btb.assert_population_invariant();
+            let (l0, l1) = btb.snapshot_levels();
+            // Exclusivity across levels, and no duplicate hash class
+            // within a level either.
+            for (a_idx, &(k0, r0, _)) in l0.iter().enumerate() {
+                for &(k1, r1, _) in &l1 {
+                    prop_assert!(
+                        !(k0 == k1 && tl.aliases(k0, r0, r1)),
+                        "op #{}: {:?} raw {:#x} matchable in both levels (vs {:#x})",
+                        i, k0, r0, r1
+                    );
+                }
+                for &(k1, r1, _) in &l0[a_idx + 1..] {
+                    prop_assert!(
+                        !(k0 == k1 && tl.aliases(k0, r0, r1)),
+                        "op #{}: duplicate L0 hash class for {:?} {:#x}/{:#x}",
+                        i, k0, r0, r1
+                    );
+                }
+            }
+            let jtes = l0
+                .iter()
+                .chain(l1.iter())
+                .filter(|&&(k, _, _)| k == EntryKind::Jte)
+                .count();
+            prop_assert_eq!(jtes, btb.resident_jtes(), "JTE census diverges at op #{}", i);
+        }
+    }
+
+    /// `TwoLevelBtbConfig::aliases` is the exact indistinguishability
+    /// predicate when both levels have the same set count: a probe of
+    /// `b` hits an entry inserted under `a` iff they alias. `Jte` keys
+    /// carry full-raw tags, so only the identical opcode ever matches
+    /// — hostile hashing can starve JTEs but never corrupt a dispatch
+    /// target.
+    #[test]
+    fn hash_collision_classes_predict_aliasing(
+        a in 0u64..4096,
+        b in 0u64..4096,
+        bid in 0u8..4,
+    ) {
+        let tl = TwoLevelBtbConfig {
+            l0_entries: 16,
+            l0_ways: 2,
+            l1_entries: 32,
+            l1_ways: 4,
+            fold_bits: 3,
+            tag_bits: 4,
+            l1_bubbles: 2,
+        };
+        let mut btb = Btb::new(BtbConfig::two_level(tl, Replacement::Lru));
+        btb.insert(BtbKey::Pc(a << 2), 0xA000);
+        let hit = btb.lookup(BtbKey::Pc(b << 2));
+        prop_assert_eq!(
+            hit.is_some(),
+            tl.aliases(EntryKind::Pc, a, b),
+            "Pc probe of {:#x} vs entry {:#x} disagrees with the collision class",
+            b,
+            a
+        );
+        if hit.is_some() {
+            // An aliased hit serves the class's single stored target.
+            prop_assert_eq!(hit, Some(0xA000));
+        }
+
+        let mut btb = Btb::new(BtbConfig::two_level(tl, Replacement::Lru));
+        btb.insert(BtbKey::Jte { bid, opcode: a }, 0xB000);
+        prop_assert_eq!(btb.lookup(BtbKey::Jte { bid, opcode: b }).is_some(), a == b);
+        let jraw = |op: u64| op ^ ((bid as u64) << 56);
+        prop_assert_eq!(tl.aliases(EntryKind::Jte, jraw(a), jraw(b)), a == b);
+    }
+
+    /// At-cap displacement across levels: through any insert stream, a
+    /// JTE insert is never `Blocked` (at the cap it always finds a JTE
+    /// to displace, in either bank), `CapSkipped` is exactly the
+    /// `Some(0)` drop path, and a `Pc`/`Vbbi` insert never chain-loses
+    /// a JTE through the demotion path.
+    #[test]
+    fn two_level_cap_displacement_outcomes(
+        ops in prop::collection::vec(any::<u64>(), 1..300),
+        cap in 0usize..5,
+    ) {
+        let tl = TwoLevelBtbConfig {
+            l0_entries: 4,
+            l0_ways: 2,
+            l1_entries: 16,
+            l1_ways: 4,
+            fold_bits: 4,
+            tag_bits: 8,
+            l1_bubbles: 2,
+        };
+        let mut btb = Btb::new(BtbConfig {
+            jte_cap: Some(cap),
+            ..BtbConfig::two_level(tl, Replacement::Lru)
+        });
+        for (i, &w) in ops.iter().enumerate() {
+            let key = key_from(w);
+            let out = btb.insert(key, 0x9000 + (w & 0xFF));
+            if let BtbKey::Jte { .. } = key {
+                prop_assert!(out != InsertOutcome::Blocked, "op #{}: JTE insert blocked", i);
+                if out == InsertOutcome::CapSkipped {
+                    prop_assert_eq!(cap, 0, "CapSkipped is the cap-0 drop path only");
+                }
+            } else {
+                prop_assert!(out != InsertOutcome::CapSkipped);
+                if let InsertOutcome::Inserted { evicted, remote_jte_evicted } = out {
+                    prop_assert!(!remote_jte_evicted);
+                    prop_assert!(
+                        evicted != Some(EntryKind::Jte),
+                        "op #{}: a {:?} insert chain-lost a JTE",
+                        i,
+                        key
+                    );
+                }
+            }
+            prop_assert!(btb.resident_jtes() <= cap);
             btb.assert_population_invariant();
         }
     }

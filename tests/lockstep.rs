@@ -3,17 +3,28 @@
 //! interpreter guest co-simulates divergence-free end to end.
 
 use scd_ref::corpus;
-use scd_sim::{downcast_sink, LockstepSink, Machine, SimConfig, SimError};
+use scd_sim::{
+    downcast_sink, LockstepSink, Machine, SimConfig, SimError, TwoLevelBtbConfig,
+};
 
-/// The three SCD configurations the fuzz harness exercises; mirrored
-/// here so a committed reproducer is replayed exactly as it was found.
-fn variant_configs() -> [(&'static str, SimConfig); 3] {
+/// The three SCD configurations the fuzz harness exercises — mirrored
+/// here so a committed reproducer is replayed exactly as it was found —
+/// plus the realistic two-level BTB organization, which the pinned
+/// adversarial-aliasing programs (`alias*.repro`) were engineered to
+/// stress. Timing differs there; architectural lockstep must not.
+fn variant_configs() -> [(&'static str, SimConfig); 4] {
     let stall = SimConfig::embedded_a5();
     let mut fallthrough = SimConfig::embedded_a5();
     fallthrough.scd.stall_on_unready = false;
     let mut off = SimConfig::embedded_a5();
     off.scd.enabled = false;
-    [("scd-stall", stall), ("scd-fallthrough", fallthrough), ("scd-off", off)]
+    let two_level = SimConfig::embedded_a5().with_two_level_btb(TwoLevelBtbConfig::arm_like());
+    [
+        ("scd-stall", stall),
+        ("scd-fallthrough", fallthrough),
+        ("scd-off", off),
+        ("scd-two-level", two_level),
+    ]
 }
 
 fn corpus_paths() -> Vec<std::path::PathBuf> {
