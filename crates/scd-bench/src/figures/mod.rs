@@ -38,6 +38,10 @@ pub struct Report {
     pub title: &'static str,
     /// The input scale the committed `results/` files were produced at.
     pub default_scale: ArgScale,
+    /// Whether the report's cells collect per-instruction traces.
+    /// Traced cells always run full detail (sampling would starve the
+    /// trace consumers), so sampled sweeps skip these reports entirely.
+    pub traced: bool,
     /// Plans the report's cells into `m` and returns its renderer.
     pub plan: fn(&mut RunMatrix, ArgScale) -> Box<dyn Render>,
 }
@@ -48,72 +52,84 @@ pub const REPORTS: &[Report] = &[
         name: "fig2",
         title: "branch MPKI breakdown, LVM baseline",
         default_scale: ArgScale::Sim,
+        traced: false,
         plan: fig2::plan,
     },
     Report {
         name: "fig3",
         title: "dispatcher-instruction fraction, LVM baseline",
         default_scale: ArgScale::Sim,
+        traced: false,
         plan: fig3::plan,
     },
     Report {
         name: "fig7",
         title: "overall speedups + cycle decomposition",
         default_scale: ArgScale::Sim,
+        traced: true,
         plan: fig7::plan,
     },
     Report {
         name: "fig8",
         title: "normalized dynamic instruction count",
         default_scale: ArgScale::Sim,
+        traced: false,
         plan: fig8::plan,
     },
     Report {
         name: "fig9",
         title: "branch MPKI per variant",
         default_scale: ArgScale::Sim,
+        traced: false,
         plan: fig9::plan,
     },
     Report {
         name: "fig10",
         title: "I-cache MPKI + fetch-stall attribution",
         default_scale: ArgScale::Sim,
+        traced: true,
         plan: fig10::plan,
     },
     Report {
         name: "fig11",
         title: "BTB-size and JTE-cap sensitivity",
         default_scale: ArgScale::Sim,
+        traced: false,
         plan: fig11::plan,
     },
     Report {
         name: "highend",
         title: "SCD on the dual-issue A8-like core",
         default_scale: ArgScale::Sim,
+        traced: false,
         plan: highend::plan,
     },
     Report {
         name: "table4",
         title: "instruction/cycle counts on the Rocket (FPGA) config",
         default_scale: ArgScale::Fpga,
+        traced: false,
         plan: table4::plan,
     },
     Report {
         name: "table5",
         title: "area/power model + EDP improvement",
         default_scale: ArgScale::Fpga,
+        traced: false,
         plan: table5::plan,
     },
     Report {
         name: "ablation",
         title: "design-choice ablations",
         default_scale: ArgScale::Tiny,
+        traced: false,
         plan: ablation::plan,
     },
     Report {
         name: "btb_levels",
         title: "BTB organization sensitivity + adversarial aliasing",
         default_scale: ArgScale::Tiny,
+        traced: false,
         plan: btb_levels::plan,
     },
 ];

@@ -233,11 +233,15 @@ pub fn write_artifact(path: impl AsRef<std::path::Path>, contents: &str) {
 /// (exits 70 if the file cannot be written — historically the write
 /// error was silently swallowed and a figure could vanish).
 pub fn emit_report(name: &str, body: &str) {
+    emit_report_to("results", name, body);
+}
+
+/// [`emit_report`] with an explicit output directory. Sampled sweeps
+/// route their previews to `results/sampled/` so the committed
+/// full-detail `results/` files are never overwritten by estimates.
+pub fn emit_report_to(dir: &str, name: &str, body: &str) {
     println!("{body}");
-    write_artifact(
-        std::path::Path::new("results").join(format!("{name}.txt")),
-        body,
-    );
+    write_artifact(std::path::Path::new(dir).join(format!("{name}.txt")), body);
 }
 
 /// Parses a `--quick` flag from the command line (tiny inputs, for CI).

@@ -7,7 +7,7 @@
 //!         [--trace out.jsonl] [--fault-plan NAME[@SEED]]
 //!         [--cycle-budget N] [--wall-budget SECS] [--interleaved]
 //!         [--checkpoint-every N] [--checkpoint-file F] [--resume F]
-//!         [--sample PERIOD:WARMUP:MEASURE]
+//!         [--sample default | PERIOD:WARMUP[/BTB=N,PRED=N]:MEASURE]
 //! scd disasm <script.luma> [--vm lvm|svm]
 //! scd listing [--scheme baseline|threaded|scd]     # guest interpreter asm
 //! scd bench list                                    # benchmark corpus
@@ -44,7 +44,7 @@ fn usage() -> ! {
          \x20         [--trace out.jsonl] [--fault-plan jte-corruption|btb-flush-storm|memory-system[@SEED]]\n\
          \x20         [--cycle-budget N] [--wall-budget SECS] [--interleaved]\n\
          \x20         [--checkpoint-every N] [--checkpoint-file F] [--resume F]\n\
-         \x20         [--sample PERIOD:WARMUP:MEASURE   e.g. --sample 1M:50k:20k]\n\
+         \x20         [--sample default | PERIOD:WARMUP[/BTB=N,PRED=N]:MEASURE]\n\
          \x20 scd disasm <script.luma> [--vm lvm|svm]\n\
          \x20 scd listing [--scheme baseline|threaded|scd] [--vm lvm|svm]\n\
          \x20 scd bench list\n\
@@ -166,10 +166,14 @@ fn parse_opts(mut argv: impl Iterator<Item = String>) -> Opts {
             "--interleaved" => o.interleaved = true,
             "--sample" => {
                 let spec = argv.next().unwrap_or_else(|| usage());
-                o.sample = Some(SamplingPlan::parse(&spec).unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    exit(2);
-                }));
+                o.sample = Some(if spec == "default" {
+                    SamplingPlan::qualified_default(false)
+                } else {
+                    SamplingPlan::parse(&spec).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        exit(2);
+                    })
+                });
             }
             "--arg" => {
                 let kv = argv.next().unwrap_or_else(|| usage());
@@ -253,14 +257,15 @@ fn cmd_run(o: Opts) {
         && (o.trace.is_some()
             || o.fault_plan.is_some()
             || o.checkpoint_every.is_some()
-            || o.resume.is_some()
-            || o.interleaved)
+            || o.resume.is_some())
     {
         // Sampled runs forbid per-retirement observers, and the mode
         // seams make mid-run checkpoints meaningless to a resumer.
+        // `--interleaved` is fine: it pins the interleaved warming
+        // engine, and sampled results are engine-invariant.
         eprintln!(
-            "--sample is incompatible with --trace, --fault-plan, --checkpoint-every, \
-             --resume and --interleaved"
+            "--sample is incompatible with --trace, --fault-plan, --checkpoint-every \
+             and --resume"
         );
         exit(2);
     }

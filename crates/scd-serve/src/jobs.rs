@@ -14,7 +14,8 @@
 //! (`embedded_a5` default, `fpga_rocket`, `highend_a8`), `predefined`
 //! (object of numbers), `max_insts`, `production_weight`,
 //! `scheduled_fetch`, `traced` (collect a cycle decomposition),
-//! `sample` (a `"period:warmup:measure"` sampling plan, e.g.
+//! `sample` (`"default"` for the qualified default plan, or a
+//! `"period:warmup:measure"` sampling plan, e.g.
 //! `"1M:50k:20k"` — runs the job under interval sampling; incompatible
 //! with `traced`).
 //!
@@ -135,8 +136,12 @@ impl JobSpec {
             Some(s) => {
                 let plan = s
                     .as_str()
-                    .ok_or("'sample' must be a period:warmup:measure string")?;
-                Some(SamplingPlan::parse(plan)?)
+                    .ok_or("'sample' must be a period:warmup:measure string or \"default\"")?;
+                Some(if plan == "default" {
+                    SamplingPlan::qualified_default(false)
+                } else {
+                    SamplingPlan::parse(plan)?
+                })
             }
             None => None,
         };
@@ -359,6 +364,16 @@ mod tests {
             (1_000_000, 50_000, 20_000)
         );
         assert!(!plan.self_check, "jobs never opt into the paranoia pass");
+    }
+
+    #[test]
+    fn sample_default_resolves_qualified_plan() {
+        let line = r#"{"src": "emit(1);", "vm": "lvm", "scheme": "scd", "sample": "default"}"#;
+        let j = JobSpec::parse(line, 1).expect("parse");
+        assert_eq!(
+            j.sample.expect("plan resolved"),
+            SamplingPlan::qualified_default(false)
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod replay;
 mod retire;
 mod sampling;
 mod state;
+mod warm;
 #[cfg(test)]
 mod tests;
 
@@ -114,6 +115,10 @@ pub struct Machine {
     /// Per-instruction static metadata, parallel to `insts`; rebuilt by
     /// [`Machine::set_annotations`]. See [`StaticInfo`].
     static_info: Vec<StaticInfo>,
+    /// Compact per-instruction dispatch table for the warming consumer,
+    /// parallel to `insts`; rebuilt with `static_info`. See
+    /// [`warm::WarmInfo`].
+    warm_info: Vec<warm::WarmInfo>,
     text_base: u64,
     text_end: u64,
 
@@ -362,6 +367,7 @@ impl Machine {
             mem,
             insts: Arc::clone(&program.insts),
             static_info: Vec::new(),
+            warm_info: Vec::new(),
             text_base: program.text_base,
             text_end: program.text_end(),
             cfg,
@@ -402,6 +408,12 @@ impl Machine {
                     .map(|j| self.ann.vbbi_hints[j]);
                 si
             })
+            .collect();
+        self.warm_info = self
+            .insts
+            .iter()
+            .zip(&info)
+            .map(|(inst, si)| warm::WarmInfo::of(inst, si.in_dispatch, &self.cfg))
             .collect();
         self.static_info = info;
     }

@@ -94,13 +94,13 @@ pub(crate) const REPLAY_BATCH: usize = 1024;
 /// Batches in flight between producer and consumer. Deep enough to ride
 /// out scheduling hiccups; shallow enough that the undo log and the
 /// rollback discard window stay small.
-const CHANNEL_DEPTH: usize = 4;
+pub(super) const CHANNEL_DEPTH: usize = 4;
 
 /// One retired instruction, as the producer saw it.
 #[derive(Debug, Clone, Copy, Default)]
-struct ReplayRec {
+pub(super) struct ReplayRec {
     /// Index into the decoded text / static side-table.
-    idx: u32,
+    pub(super) idx: u32,
     /// Conditional branch outcome, or a speculated `bop`'s predicted
     /// hit. Carried explicitly: a taken branch with offset 4 lands on
     /// `pc + 4` exactly like a not-taken one, and inferring "taken" from
@@ -109,9 +109,9 @@ struct ReplayRec {
     /// Writeback value (integer or FP), or the resolved target for
     /// `jalr`/`jru`/`bop` (whose integer writeback is statically absent
     /// or `pc + 4`).
-    a: u64,
+    pub(super) a: u64,
     /// Effective address of a memory access.
-    ea: u64,
+    pub(super) ea: u64,
     /// Store data (post width-truncation), or the masked `Rop` value for
     /// `load_op`.
     c: u64,
@@ -119,10 +119,13 @@ struct ReplayRec {
 
 /// Why the producer stopped filling a batch.
 #[derive(Debug, Clone, Copy)]
-enum Stop {
+pub(super) enum Stop {
     /// Batch full; more instructions pending.
     Full,
-    /// The guest's halting `ecall` is the last record in the batch.
+    /// The guest's halting `ecall` is the last record in the batch — or,
+    /// when the batch is empty, the guest halted inside the producer's
+    /// no-record fast-forward span (the attached [`SyncArch`] carries
+    /// the final state).
     Exit,
     /// The producer's instruction budget (the run's `max_insts`) is
     /// exhausted.
@@ -132,26 +135,72 @@ enum Stop {
     Err(RefError),
 }
 
+/// The producer's architectural state at its fast-forward → record
+/// boundary, shipped to the consumer in the first batch of a warm leg.
+/// The consumer adopts it exactly as the sampled scheduler's
+/// fast-forward leg syncs the reference core back.
+pub(super) struct SyncArch {
+    pub(super) regs: [u64; 32],
+    pub(super) fregs: [u64; 32],
+    pub(super) pc: u64,
+    /// Absolute retirement count at the boundary.
+    pub(super) n: u64,
+    pub(super) next_flush_at: u64,
+    /// Guest output bytes emitted since the producer was built.
+    pub(super) out: Vec<u8>,
+    /// `(rop_v, rop_d, rmask)` per branch id.
+    pub(super) scd: [(bool, u64, u64); super::MAX_BRANCH_IDS],
+}
+
 /// A fixed-size batch of retirement records, recycled through the
 /// channel pair (boxed, so channel sends move a pointer, not 40 KiB).
-struct Batch {
-    recs: Box<[ReplayRec]>,
-    len: usize,
-    stop: Stop,
+pub(super) struct Batch {
+    pub(super) recs: Box<[ReplayRec]>,
+    pub(super) len: usize,
+    pub(super) stop: Stop,
     /// Stream generation; bumped by every rollback so the consumer can
     /// discard batches speculated past a mispredicted `bop`.
-    gen: u32,
+    pub(super) gen: u32,
+    /// Fast-forward → record boundary state, attached exactly once per
+    /// producer (on the batch that crosses — or stops inside — the
+    /// fast-forward span). Absent entirely when the producer records
+    /// from its first instruction.
+    pub(super) sync: Option<Box<SyncArch>>,
 }
 
 impl Batch {
-    fn new() -> Self {
+    pub(super) fn new() -> Self {
         Batch {
             recs: vec![ReplayRec::default(); REPLAY_BATCH].into_boxed_slice(),
             len: 0,
             stop: Stop::Full,
             gen: 0,
+            sync: None,
         }
     }
+}
+
+/// Which structure classes a warming-mode replay record updates. The
+/// sampled warm leg turns each class on only for the tail of the leg
+/// its [`SamplingPlan`](crate::SamplingPlan) window spans; detailed
+/// replay passes [`WarmGates::ALL`] (and compiles every check away via
+/// the `!WARMING ||` guards).
+#[derive(Debug, Clone, Copy)]
+pub(super) struct WarmGates {
+    /// I$/I-TLB fetch touches and D$/D-TLB/L2 data touches.
+    pub(super) cache: bool,
+    /// PC-indexed BTB entries (direct jumps, conditional-branch targets).
+    pub(super) btb: bool,
+    /// Direction predictor, ITTAGE, RAS and indirect (`jalr`) traffic.
+    pub(super) pred: bool,
+}
+
+impl WarmGates {
+    pub(super) const ALL: WarmGates = WarmGates {
+        cache: true,
+        btb: true,
+        pred: true,
+    };
 }
 
 /// Old bytes of one producer-side store, for rollback.
@@ -165,7 +214,7 @@ struct UndoEnt {
 
 /// The consumer's exact architectural point, shipped to the producer on
 /// rollback.
-struct SyncState {
+pub(super) struct SyncState {
     regs: [u64; 32],
     fregs: [u64; 32],
     pc: u64,
@@ -179,7 +228,7 @@ struct SyncState {
 }
 
 /// Consumer → producer control messages.
-enum Down {
+pub(super) enum Down {
     /// A drained (or discarded) batch box, plus the consumer's
     /// retirement count — the producer prunes undo entries at or below
     /// it.
@@ -195,8 +244,8 @@ enum Down {
 /// The execute-ahead functional producer: an `scd-ref` core owning the
 /// guest memory, plus the mirrored flush-quantum bookkeeping and the
 /// store undo log.
-struct Producer {
-    core: RefCore,
+pub(super) struct Producer {
+    pub(super) core: RefCore,
     insts: Arc<[Inst]>,
     text_base: u64,
     text_end: u64,
@@ -205,6 +254,15 @@ struct Producer {
     /// Retirement count, continuing the machine's
     /// (`stats.instructions`).
     n: u64,
+    /// Retirement number at which record emission starts. Instructions
+    /// before it run producer-side at full functional speed with no
+    /// records, no undo logging and no consumer involvement — the warm
+    /// leg's fast-forward span. Pure replay sets it to the starting
+    /// count (record everything).
+    record_from: u64,
+    /// Whether the fast-forward → record boundary state has already been
+    /// shipped ([`Batch::sync`] is attached exactly once).
+    sync_sent: bool,
     /// Mirror of the machine's instruction-count-keyed context-switch
     /// flush quantum: the consumer flushes (JTEs *and* `Rop` valid bits)
     /// in `begin_retirement`, so the producer must clear its own `Rop`
@@ -212,7 +270,7 @@ struct Producer {
     /// that retirement.
     next_flush_at: u64,
     flush_interval: u64,
-    gen: u32,
+    pub(super) gen: u32,
     nbids: usize,
     undo: VecDeque<UndoEnt>,
     /// Test hook mirrored from [`Machine::inject_replay_producer_panic`]:
@@ -246,7 +304,7 @@ impl Producer {
     }
 
     /// Drops undo entries for stores the consumer has already replayed.
-    fn prune_undo(&mut self, acked: u64) {
+    pub(super) fn prune_undo(&mut self, acked: u64) {
         while self.undo.front().is_some_and(|e| e.n <= acked) {
             self.undo.pop_front();
         }
@@ -254,7 +312,7 @@ impl Producer {
 
     /// Rewinds memory to retirement `n`: undoes every logged store past
     /// it, newest first.
-    fn unwind_to(&mut self, n: u64) {
+    pub(super) fn unwind_to(&mut self, n: u64) {
         while self.undo.back().is_some_and(|e| e.n > n) {
             let e = self.undo.pop_back().expect("checked non-empty");
             self.core.write_mem(e.addr, e.width as u64, e.old);
@@ -265,7 +323,7 @@ impl Producer {
     /// The architectural JTE map is deliberately kept: it is monotone
     /// ground truth, and stale speculative entries can only cause
     /// another (caught) misprediction, never a wrong value.
-    fn rollback(&mut self, st: &SyncState) {
+    pub(super) fn rollback(&mut self, st: &SyncState) {
         self.unwind_to(st.n);
         self.core.regs = st.regs;
         self.core.fregs = st.fregs;
@@ -280,14 +338,77 @@ impl Producer {
         self.gen = self.gen.wrapping_add(1);
     }
 
+    /// Captures the fast-forward → record boundary state into `b`,
+    /// exactly once per producer.
+    fn attach_sync(&mut self, b: &mut Batch) {
+        if self.sync_sent {
+            return;
+        }
+        self.sync_sent = true;
+        let mut scd = [(false, 0u64, 0u64); super::MAX_BRANCH_IDS];
+        for (bid, dst) in scd.iter_mut().take(self.nbids).enumerate() {
+            *dst = self.core.scd_state(bid);
+        }
+        b.sync = Some(Box::new(SyncArch {
+            regs: self.core.regs,
+            fregs: self.core.fregs,
+            pc: self.core.pc,
+            n: self.n,
+            next_flush_at: self.next_flush_at,
+            out: self.core.output.clone(),
+            scd,
+        }));
+    }
+
     /// Fills `b` with up to a batch of retirement records, stopping at
     /// the halting `ecall`, the instruction budget, or a guest fault.
-    /// `bop`s are speculated through, not stopped at.
-    fn fill(&mut self, b: &mut Batch) -> Stop {
+    /// `bop`s are speculated through, not stopped at. A pending
+    /// fast-forward span (`record_from` ahead of the current count) runs
+    /// first, record-free, and ships its boundary state via
+    /// [`Batch::sync`].
+    pub(super) fn fill(&mut self, b: &mut Batch) -> Stop {
         if self.test_panic {
             panic!("test-injected replay producer panic");
         }
         b.len = 0;
+        b.sync = None;
+        // Fast-forward span (warm legs only): run the core at full
+        // functional speed with no records, chunked at the flush-quantum
+        // boundaries exactly as the sampled scheduler's fast-forward leg
+        // chunks its runs. No undo logging: rollback targets can never
+        // precede `record_from`.
+        while self.n < self.record_from {
+            if self.n >= self.max_insts {
+                self.attach_sync(b);
+                return Stop::Limit;
+            }
+            if self.n + 1 >= self.next_flush_at {
+                self.core.flush_rop();
+                self.next_flush_at = self.next_flush_at.saturating_add(self.flush_interval);
+            }
+            let stop = self
+                .record_from
+                .min(self.max_insts)
+                .min(self.next_flush_at.saturating_sub(1));
+            let before = self.core.instructions;
+            let r = self.core.run(self.core.instructions + (stop - self.n));
+            self.n += self.core.instructions - before;
+            match r {
+                Ok(_) => {
+                    // The halting `ecall` retired inside the span; the
+                    // consumer reconstructs the exit from the adopted
+                    // registers.
+                    self.attach_sync(b);
+                    return Stop::Exit;
+                }
+                Err(RefError::InstLimit { .. }) => {}
+                Err(e) => {
+                    self.attach_sync(b);
+                    return Stop::Err(e);
+                }
+            }
+        }
+        self.attach_sync(b);
         loop {
             if self.n >= self.max_insts {
                 return Stop::Limit;
@@ -365,7 +486,7 @@ impl Producer {
 
 /// Best-effort extraction of a panic payload's message (panics carry
 /// `String` or `&'static str` in practice; anything else is opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(super) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<String>()
         .cloned()
@@ -376,7 +497,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// The producer thread body: fill batches, ship them, obey control
 /// messages. Returns the core (with the guest memory, rewound to
 /// wherever the consumer stopped) for the machine to take back.
-fn producer_loop(
+pub(super) fn producer_loop(
     mut p: Producer,
     work_tx: mpsc::SyncSender<Box<Batch>>,
     down_rx: mpsc::Receiver<Down>,
@@ -433,20 +554,13 @@ fn producer_loop(
 }
 
 impl Machine {
-    /// The execute-ahead run loop: functionally identical to
-    /// [`Machine::run`]'s interleaved loop (same `Exit`/`SimError`
-    /// behavior, bit-identical `SimStats`), reached from `run` on
-    /// untraced machines unless [`Machine::set_replay`]`(false)` pinned
-    /// the interleaved reference loop.
-    pub(super) fn run_replay(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+    /// Builds the execute-ahead producer around the *moved* guest
+    /// memory. `record_from` is the retirement number at which record
+    /// emission starts: pure replay passes the current count (record
+    /// everything), warm legs pass the fast-forward boundary.
+    pub(super) fn make_producer(&mut self, max_insts: u64, record_from: u64) -> Producer {
         let scd_cfg: ScdConfig = self.cfg.scd;
         let nbids = scd_cfg.branch_ids.min(super::MAX_BRANCH_IDS);
-        let cycle_budget = self.cycle_budget;
-        let wall_budget = self.wall_budget;
-        let wall_start = std::time::Instant::now();
-        let out_base = self.output.len();
-
-        // Build the producer around the *moved* guest memory.
         let segments: Vec<Segment> = self
             .mem
             .take_all_data()
@@ -457,10 +571,14 @@ impl Machine {
                 data,
             })
             .collect();
+        let decoded = self
+            .ff_decoded
+            .take()
+            .unwrap_or_else(|| self.insts.iter().copied().map(Some).collect());
         let mut core = RefCore::from_owned_state(
             self.text_base,
             self.text_end,
-            self.insts.iter().copied().map(Some).collect(),
+            decoded,
             segments,
             self.regs,
             self.fregs,
@@ -474,20 +592,50 @@ impl Machine {
         for (bid, s) in self.scd.iter().take(nbids).enumerate() {
             core.seed_scd(bid, s.rop_v, s.rop_d, s.rmask);
         }
-        let producer = Producer {
+        Producer {
             core,
             insts: Arc::clone(&self.insts),
             text_base: self.text_base,
             text_end: self.text_end,
             max_insts,
             n: self.stats.instructions,
+            record_from,
+            // A producer that records from its first instruction has no
+            // fast-forward boundary to ship.
+            sync_sent: record_from <= self.stats.instructions,
             next_flush_at: self.next_flush_at,
             flush_interval: scd_cfg.flush_interval.unwrap_or(u64::MAX),
             gen: 0,
             nbids,
             undo: VecDeque::new(),
             test_panic: self.test_producer_panic,
-        };
+        }
+    }
+
+    /// Takes the guest memory (and the recycled decoded text) back from
+    /// a finished producer core.
+    pub(super) fn take_back_core(&mut self, core: RefCore) {
+        let hws = core.seg_high_waters().to_vec();
+        let (decoded, segments) = core.into_insts_and_segments();
+        self.ff_decoded = Some(decoded);
+        self.mem
+            .put_back_data(segments.into_iter().map(|s| s.data).zip(hws));
+    }
+
+    /// The execute-ahead run loop: functionally identical to
+    /// [`Machine::run`]'s interleaved loop (same `Exit`/`SimError`
+    /// behavior, bit-identical `SimStats`), reached from `run` on
+    /// untraced machines unless [`Machine::set_replay`]`(false)` pinned
+    /// the interleaved reference loop.
+    pub(super) fn run_replay(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+        let scd_cfg: ScdConfig = self.cfg.scd;
+        let nbids = scd_cfg.branch_ids.min(super::MAX_BRANCH_IDS);
+        let cycle_budget = self.cycle_budget;
+        let wall_budget = self.wall_budget;
+        let wall_start = std::time::Instant::now();
+        let out_base = self.output.len();
+
+        let producer = self.make_producer(max_insts, self.stats.instructions);
         let (work_tx, work_rx) = mpsc::sync_channel::<Box<Batch>>(CHANNEL_DEPTH);
         let (down_tx, down_rx) = mpsc::channel::<Down>();
         let thread = std::thread::spawn(move || producer_loop(producer, work_tx, down_rx));
@@ -523,7 +671,7 @@ impl Machine {
                 }
                 let rec = batch.recs[i];
                 if self.static_info[rec.idx as usize].class == InstClass::Bop {
-                    if !self.replay_bop(&rec, nbids, &scd_cfg) {
+                    if !self.replay_bop::<false>(&rec, nbids, &scd_cfg, WarmGates::ALL) {
                         // Mis-speculated: the consumer (which just
                         // resolved the bop for real) is the exact point
                         // to restart from.
@@ -535,7 +683,7 @@ impl Machine {
                     }
                     continue;
                 }
-                match self.replay_one(&rec, nbids, &scd_cfg) {
+                match self.replay_one::<false>(&rec, nbids, &scd_cfg, WarmGates::ALL) {
                     Ok(None) => {}
                     Ok(Some(exit)) => {
                         result = Some(Ok(exit));
@@ -573,7 +721,7 @@ impl Machine {
                             &wall_start,
                         ) {
                             Some(w) => w,
-                            None => self.replicate_error(e, &scd_cfg),
+                            None => self.replicate_error::<false>(e, &scd_cfg),
                         },
                     ));
                 }
@@ -601,9 +749,7 @@ impl Machine {
                 });
             }
         };
-        let hws = core.seg_high_waters().to_vec();
-        self.mem
-            .put_back_data(core.into_segments().into_iter().map(|s| s.data).zip(hws));
+        self.take_back_core(core);
         match result {
             Some(r) => r,
             None => unreachable!("replay producer disconnected without a terminal batch"),
@@ -612,7 +758,7 @@ impl Machine {
 
     /// Captures the consumer's exact architectural point for a producer
     /// rollback.
-    fn sync_state(&self, out_base: usize) -> SyncState {
+    pub(super) fn sync_state(&self, out_base: usize) -> SyncState {
         let mut scd = [(false, 0u64, 0u64); super::MAX_BRANCH_IDS];
         for (dst, s) in scd.iter_mut().zip(self.scd.iter()) {
             *dst = (s.rop_v, s.rop_d, s.rmask);
@@ -631,7 +777,7 @@ impl Machine {
     /// The interleaved loop's pre-retirement checks, in its order:
     /// instruction limit, then cycle watchdog, then (every 4096
     /// retirements) the wall-clock watchdog.
-    fn replay_watchdogs(
+    pub(super) fn replay_watchdogs(
         &mut self,
         max_insts: u64,
         cycle_budget: Option<u64>,
@@ -664,23 +810,33 @@ impl Machine {
     }
 
     /// Replays one recorded retirement: the interleaved loop's stage
-    /// sequence with the execute stage's timing twin.
+    /// sequence with the execute stage's timing twin. Under `WARMING`
+    /// this is the twin of `run_loop::<false, true>`: no issue
+    /// scoreboard, `fetch_fast::<true>` (clock frozen), with `gates`
+    /// selecting which structure classes actually update — uniform
+    /// all-on gates leave state bit-identical to
+    /// [`Machine::run_warming`].
     #[inline]
-    fn replay_one(
+    pub(super) fn replay_one<const WARMING: bool>(
         &mut self,
         rec: &ReplayRec,
         nbids: usize,
         scd_cfg: &ScdConfig,
+        gates: WarmGates,
     ) -> Result<Option<Exit>, SimError> {
         let idx = rec.idx as usize;
         let pc = self.text_base + 4 * idx as u64;
         debug_assert_eq!(pc, self.pc, "replay stream out of sync with consumer PC");
         let inst = self.insts[idx];
         let si = self.static_info[idx];
-        self.fetch_fast::<false>(pc);
-        self.issue(&si);
+        if !WARMING || gates.cache {
+            self.fetch_fast::<WARMING>(pc);
+        }
+        if !WARMING {
+            self.issue(&si);
+        }
         self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
-        let step = self.replay_inst(&inst, pc, rec, nbids, scd_cfg)?;
+        let step = self.replay_inst::<WARMING>(&inst, pc, rec, nbids, scd_cfg, gates)?;
         if let Some(code) = step.exit_code {
             self.finalize_partial();
             return Ok(Some(Exit {
@@ -695,8 +851,17 @@ impl Machine {
     /// Resolves a `bop` with the real front end (stall scheme, JTE
     /// lookup, redirect charging — all timing-dependent), retiring it
     /// exactly like the interleaved loop. Returns whether the producer's
-    /// speculation matched the resolved outcome.
-    fn replay_bop(&mut self, rec: &ReplayRec, nbids: usize, scd_cfg: &ScdConfig) -> bool {
+    /// speculation matched the resolved outcome. `bop` resolution and
+    /// JTE training are never gated off in warming mode: the producer's
+    /// speculation is checked against the DUT's JTE overlay, and letting
+    /// it go stale would turn warm legs into rollback storms.
+    pub(super) fn replay_bop<const WARMING: bool>(
+        &mut self,
+        rec: &ReplayRec,
+        nbids: usize,
+        scd_cfg: &ScdConfig,
+        gates: WarmGates,
+    ) -> bool {
         let idx = rec.idx as usize;
         let pc = self.text_base + 4 * idx as u64;
         debug_assert_eq!(pc, self.pc, "replay stream out of sync with consumer PC");
@@ -705,12 +870,16 @@ impl Machine {
             Inst::Bop { bid } => bid,
             _ => unreachable!("bop record for a non-bop instruction"),
         };
-        self.fetch_fast::<false>(pc);
-        self.issue(&si);
+        if !WARMING || gates.cache {
+            self.fetch_fast::<WARMING>(pc);
+        }
+        if !WARMING {
+            self.issue(&si);
+        }
         self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
         let hits_before = self.stats.bop_hits;
         let mut next_pc = pc + 4;
-        self.exec_bop::<false, false>(bid, pc, &mut next_pc, scd_cfg, nbids);
+        self.exec_bop::<false, WARMING>(bid, pc, &mut next_pc, scd_cfg, nbids);
         self.pc = next_pc;
         let hit = self.stats.bop_hits > hits_before;
         hit == rec.taken && next_pc == rec.a
@@ -722,13 +891,19 @@ impl Machine {
     /// instead of computed. Loads skip the memory read entirely; stores
     /// skip the write too (the producer applied it to the shared, moved
     /// guest memory already) and charge timing only.
-    fn replay_inst(
+    ///
+    /// Under `WARMING`, `gates` turns structure classes off for the head
+    /// of a warm leg with per-structure windows: architectural effects
+    /// (registers, counters, scoreboard stamps, SCD state) always apply,
+    /// only the cache/BTB/predictor *touches* are withheld.
+    fn replay_inst<const WARMING: bool>(
         &mut self,
         inst: &Inst,
         pc: u64,
         rec: &ReplayRec,
         nbids: usize,
         scd_cfg: &ScdConfig,
+        gates: WarmGates,
     ) -> Result<StepOut, SimError> {
         let mut next_pc = pc + 4;
         let mut exit_code: Option<u64> = None;
@@ -743,8 +918,10 @@ impl Machine {
                 self.wx(rd, pc + 4);
                 self.xready[rd.index()] = self.cycle + 1;
                 next_pc = target;
-                self.replay_jal_predict(pc, target);
-                if rd == Reg::RA {
+                if !WARMING || gates.btb {
+                    self.replay_jal_predict::<WARMING>(pc, target);
+                }
+                if (!WARMING || gates.pred) && rd == Reg::RA {
                     self.ras.push(pc + 4);
                 }
             }
@@ -753,24 +930,48 @@ impl Machine {
                 self.wx(rd, pc + 4);
                 self.xready[rd.index()] = self.cycle + 1;
                 next_pc = target;
-                self.account_indirect::<false, false>(pc, rd, rs1, target);
+                if !WARMING || gates.pred {
+                    self.account_indirect::<false, WARMING>(pc, rd, rs1, target);
+                }
             }
             Inst::Branch { offset, .. } => {
                 let taken = rec.taken;
                 let target = pc.wrapping_add(offset as u64);
-                self.replay_branch_predict(pc, target, taken, &mut next_pc);
+                if !WARMING || (gates.btb && gates.pred) {
+                    self.replay_branch_predict::<WARMING>(pc, target, taken, &mut next_pc);
+                } else {
+                    // Split windows: train each structure alone, with
+                    // the same update rules as the full arm.
+                    use crate::btb::BtbKey;
+                    if gates.pred {
+                        self.direction.update(pc, taken);
+                    }
+                    if gates.btb {
+                        let pred = self.btb.lookup_leveled(BtbKey::Pc(pc));
+                        if taken && pred.map(|(t, _)| t) != Some(target) {
+                            let _ = self.btb.insert(BtbKey::Pc(pc), target);
+                        }
+                    }
+                    if taken {
+                        next_pc = target;
+                    }
+                }
             }
             Inst::Load { rd, .. } => {
                 let addr = rec.ea;
                 self.wx(rd, rec.a);
                 self.stats.loads += 1;
-                self.data_timing::<false, false>(addr, false);
+                if !WARMING || gates.cache {
+                    self.data_timing::<false, WARMING>(addr, false);
+                }
                 self.xready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
             Inst::Store { .. } => {
                 let addr = rec.ea;
                 self.stats.stores += 1;
-                self.data_timing::<false, false>(addr, true);
+                if !WARMING || gates.cache {
+                    self.data_timing::<false, WARMING>(addr, true);
+                }
             }
             Inst::OpImm { rd, .. } => {
                 self.wx(rd, rec.a);
@@ -793,13 +994,17 @@ impl Machine {
                 let addr = rec.ea;
                 self.fregs[rd.index()] = rec.a;
                 self.stats.loads += 1;
-                self.data_timing::<false, false>(addr, false);
+                if !WARMING || gates.cache {
+                    self.data_timing::<false, WARMING>(addr, false);
+                }
                 self.fready[rd.index()] = self.cycle + 1 + self.cfg.load_use_penalty;
             }
             Inst::Fsd { .. } => {
                 let addr = rec.ea;
                 self.stats.stores += 1;
-                self.data_timing::<false, false>(addr, true);
+                if !WARMING || gates.cache {
+                    self.data_timing::<false, WARMING>(addr, true);
+                }
             }
             Inst::FOp { op, rd, .. } => {
                 self.fregs[rd.index()] = rec.a;
@@ -848,7 +1053,14 @@ impl Machine {
             Inst::Jru { bid, rs1 } => {
                 // Operand registers and SCD state are exact, so the slow
                 // path (JTE training + indirect prediction) runs as-is.
-                next_pc = self.exec_jru::<false, false>(bid, rs1, pc, scd_cfg, nbids);
+                // With the predictor gated off, the JTE overlay still
+                // trains (the `bop` speculation contract depends on it);
+                // only the ITTAGE/BTB indirect accounting is withheld.
+                next_pc = if !WARMING || gates.pred {
+                    self.exec_jru::<false, WARMING>(bid, rs1, pc, scd_cfg, nbids)
+                } else {
+                    self.exec_jru_train_only(bid, rs1, pc, scd_cfg, nbids)
+                };
                 debug_assert_eq!(next_pc, rec.a, "jru target diverged from producer");
             }
             Inst::JteFlush => {
@@ -860,7 +1072,9 @@ impl Machine {
                 let addr = rec.ea;
                 self.wx(rd, rec.a);
                 self.stats.loads += 1;
-                self.data_timing::<false, false>(addr, false);
+                if !WARMING || gates.cache {
+                    self.data_timing::<false, WARMING>(addr, false);
+                }
                 let ready = self.cycle + 1 + self.cfg.load_use_penalty;
                 self.xready[rd.index()] = ready;
                 let s = &mut self.scd[bid];
@@ -875,24 +1089,30 @@ impl Machine {
 
     /// The `jal` arm's prediction/accounting, verbatim from
     /// `execute_inst`.
-    fn replay_jal_predict(&mut self, pc: u64, target: u64) {
+    fn replay_jal_predict<const WARMING: bool>(&mut self, pc: u64, target: u64) {
         use crate::btb::{BtbKey, EntryKind};
         use crate::stats::BranchClass;
         use crate::trace::RedirectCause;
         let pred = self.btb.lookup_leveled(BtbKey::Pc(pc));
-        self.charge_l1_late_target::<false>(pred.is_some_and(|(_, l1)| l1));
+        self.charge_l1_late_target::<WARMING>(pred.is_some_and(|(_, l1)| l1));
         let hit = pred.map(|(t, _)| t) == Some(target);
         if !hit {
             let out = self.btb.insert(BtbKey::Pc(pc), target);
             self.note_insert::<false>(EntryKind::Pc, out);
-            self.redirect::<false, false>(RedirectCause::JalMiss, self.cfg.jal_redirect_penalty);
+            self.redirect::<false, WARMING>(RedirectCause::JalMiss, self.cfg.jal_redirect_penalty);
         }
         self.note_branch::<false>(BranchClass::Direct, !hit);
     }
 
     /// The conditional-branch arm's prediction/accounting, verbatim from
     /// `execute_inst`, with the outcome supplied by the record.
-    fn replay_branch_predict(&mut self, pc: u64, target: u64, taken: bool, next_pc: &mut u64) {
+    fn replay_branch_predict<const WARMING: bool>(
+        &mut self,
+        pc: u64,
+        target: u64,
+        taken: bool,
+        next_pc: &mut u64,
+    ) {
         use crate::btb::{BtbKey, EntryKind};
         use crate::stats::BranchClass;
         use crate::trace::RedirectCause;
@@ -900,7 +1120,7 @@ impl Machine {
         let pred = self.btb.lookup_leveled(BtbKey::Pc(pc));
         // Fetch acts on the BTB target only when the direction
         // predictor says taken; only then can L1 lateness bite.
-        self.charge_l1_late_target::<false>(dir_pred && pred.is_some_and(|(_, l1)| l1));
+        self.charge_l1_late_target::<WARMING>(dir_pred && pred.is_some_and(|(_, l1)| l1));
         let btb_hit = pred.map(|(t, _)| t) == Some(target);
         let pred_taken = dir_pred && btb_hit;
         let mispredicted = pred_taken != taken;
@@ -914,7 +1134,7 @@ impl Machine {
         }
         self.note_branch::<false>(BranchClass::Conditional, mispredicted);
         if mispredicted {
-            self.redirect::<false, false>(
+            self.redirect::<false, WARMING>(
                 RedirectCause::CondMispredict,
                 self.cfg.branch_miss_penalty,
             );
@@ -926,14 +1146,20 @@ impl Machine {
     /// timing, and a memory fault or trap retires its instruction
     /// (fetch + issue + `begin_retirement`) before erroring out of the
     /// execute stage.
-    pub(super) fn replicate_error(&mut self, e: RefError, scd_cfg: &ScdConfig) -> SimError {
+    pub(super) fn replicate_error<const WARMING: bool>(
+        &mut self,
+        e: RefError,
+        scd_cfg: &ScdConfig,
+    ) -> SimError {
         match e {
             RefError::PcOutOfRange { pc } => SimError::PcOutOfRange { pc },
             RefError::Mem { pc, addr, write } => {
                 let idx = ((pc - self.text_base) / 4) as usize;
                 let si = self.static_info[idx];
-                self.fetch_fast::<false>(pc);
-                self.issue(&si);
+                self.fetch_fast::<WARMING>(pc);
+                if !WARMING {
+                    self.issue(&si);
+                }
                 self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
                 let size = match self.insts[idx] {
                     Inst::Load { op, .. } | Inst::LoadOp { op, .. } => exec::load_width(op),
@@ -949,8 +1175,10 @@ impl Machine {
             RefError::Break { pc } => {
                 let idx = ((pc - self.text_base) / 4) as usize;
                 let si = self.static_info[idx];
-                self.fetch_fast::<false>(pc);
-                self.issue(&si);
+                self.fetch_fast::<WARMING>(pc);
+                if !WARMING {
+                    self.issue(&si);
+                }
                 self.begin_retirement::<false>(si.in_dispatch, scd_cfg);
                 SimError::Break { pc }
             }

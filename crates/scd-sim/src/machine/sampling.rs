@@ -20,7 +20,7 @@
 //! both the architectural (`Rop.v` clear) and micro-architectural (JTE
 //! flush) effects exactly where the detailed loop would have.
 
-use super::{Exit, Machine, SimError};
+use super::{Exit, Machine, ReplayMode, SimError};
 use crate::config::ScdConfig;
 use crate::sampling::{SampleAccum, SampleReport, SamplingPlan};
 use crate::snapshot::Snapshot;
@@ -134,7 +134,7 @@ impl Machine {
 
         match fault {
             Some(e) => {
-                let err = self.replicate_error(e, &scd_cfg);
+                let err = self.replicate_error::<false>(e, &scd_cfg);
                 self.flush_fetch_streak();
                 Err(err)
             }
@@ -185,36 +185,72 @@ impl Machine {
         let mut warm_insts = 0u64;
         let mut exit: Option<Exit> = None;
 
+        // The warm leg's engine. Per-structure windows always take the
+        // gated replay consumer — it is the only engine that implements
+        // them (inline via `warm_leg_sync` on hosts with no core to
+        // spare). Uniform plans take it only where it wins: when the
+        // producer thread can overlap the leg's fast-forward span with
+        // the previous drain (`Force`, or `Auto` on a pipelining host).
+        // On a single CPU the producer and drain serialize and the
+        // `run_fastforward` + `run_warming` cadence is cheaper, so
+        // `Auto` falls back to it — the two cadences are bit-identical
+        // either way, which `tests/warm_replay.rs` holds.
+        let split_windows = plan.btb_warmup != plan.warmup || plan.pred_warmup != plan.warmup;
+        let replay_warm = plan.warm_len() > 0
+            && (split_windows
+                || match self.replay {
+                    ReplayMode::Off => false,
+                    ReplayMode::Auto => super::host_can_pipeline(),
+                    ReplayMode::Force => true,
+                });
+
         while exit.is_none() && self.stats.instructions < max_insts {
             // --- fast-forward to the next interval's warm point ---
             let ff = plan.skip().min(max_insts - self.stats.instructions);
-            if ff > 0 {
-                let before = self.stats.instructions;
-                let code = self.run_fastforward(ff)?;
-                ff_insts += self.stats.instructions - before;
-                if let Some(code) = code {
-                    exit = Some(Exit {
-                        code,
-                        output: std::mem::take(&mut self.output),
-                    });
+            if replay_warm {
+                // --- fused fast-forward + replay-driven warming ---
+                let n0 = self.stats.instructions;
+                let warm_end = (n0 + ff).saturating_add(plan.warm_len()).min(max_insts);
+                let out = self.warm_leg(
+                    ff,
+                    warm_end,
+                    (plan.warmup, plan.btb_warmup, plan.pred_warmup),
+                )?;
+                ff_insts += out.ff_retired;
+                warm_insts += out.warm_retired;
+                if let Some(e) = out.exit {
+                    exit = Some(e);
                     break;
                 }
-            }
-
-            // --- functional warming ---
-            if plan.warmup > 0 && self.stats.instructions < max_insts {
-                let before = self.stats.instructions;
-                let until = (before + plan.warmup).min(max_insts);
-                match self.run_warming(until) {
-                    Ok(e) => {
-                        warm_insts += self.stats.instructions - before;
-                        exit = Some(e);
+            } else {
+                if ff > 0 {
+                    let before = self.stats.instructions;
+                    let code = self.run_fastforward(ff)?;
+                    ff_insts += self.stats.instructions - before;
+                    if let Some(code) = code {
+                        exit = Some(Exit {
+                            code,
+                            output: std::mem::take(&mut self.output),
+                        });
                         break;
                     }
-                    Err(SimError::InstLimit { .. }) => {
-                        warm_insts += self.stats.instructions - before;
+                }
+
+                // --- interleaved functional warming ---
+                if plan.warmup > 0 && self.stats.instructions < max_insts {
+                    let before = self.stats.instructions;
+                    let until = (before + plan.warmup).min(max_insts);
+                    match self.run_warming(until) {
+                        Ok(e) => {
+                            warm_insts += self.stats.instructions - before;
+                            exit = Some(e);
+                            break;
+                        }
+                        Err(SimError::InstLimit { .. }) => {
+                            warm_insts += self.stats.instructions - before;
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Err(e) => return Err(e),
                 }
             }
             if self.stats.instructions >= max_insts {

@@ -1,0 +1,587 @@
+//! The replay-driven warming engine: functional warming off the
+//! execute-ahead retirement stream.
+//!
+//! PR 8's sampled scheduler repaired micro-architectural state with the
+//! interleaved loop in `WARMING` mode — full fetch/issue/execute
+//! machinery per retirement, just with the clock frozen. That caps the
+//! speedup at the detailed loop's own throughput (the duty-cycle
+//! ceiling documented in EXPERIMENTS.md). This module replaces the warm
+//! leg with a consumer of the [`replay`](super::replay) producer's
+//! record stream: the `scd-ref` ISS executes ahead at functional speed
+//! while the consumer applies only *structure-content* updates — I$/
+//! I-TLB touches per fetch block (through the fetch-streak collapse),
+//! D$/D-TLB/L2 touches per memory record, BTB/JTE inserts and
+//! direction/ITTAGE updates per branch record — through the same
+//! `WARMING`-monomorphized timing twins detailed replay uses, so the
+//! post-warming structure state is bit-identical to
+//! [`Machine::run_warming`] by construction (`tests/warm_replay.rs`
+//! proves it on full snapshots).
+//!
+//! The producer additionally absorbs the leg's *fast-forward* span:
+//! [`Producer::fill`] runs record-free up to `record_from` and ships
+//! the boundary state in [`Batch::sync`], so on multi-core hosts the
+//! fast-forward of interval *k+1* overlaps the consumer's drain of
+//! interval *k*'s warm records. On single-CPU hosts ([`warm_leg_sync`])
+//! the producer fills batches inline on the consumer thread — no
+//! pipelining, but the structure-only drain is still far cheaper than
+//! the interleaved warming loop.
+//!
+//! Per-structure windows: a [`SamplingPlan`](crate::SamplingPlan) may
+//! give the branch-predictor complex a longer warm window than the
+//! caches (`PERIOD:WARMUP/BTB=..,PRED=..:MEASURE`). The leg spans the
+//! *longest* window; each record computes its distance from the leg end
+//! and opens a structure class's [`WarmGates`] gate only inside that
+//! class's window. Architectural effects (registers, SCD state, the JTE
+//! overlay backing `bop` speculation, counters, scoreboard stamps)
+//! always apply — only structure touches are withheld — so a uniform
+//! plan's gates are all-on from the first record and the engine stays
+//! bit-identical to the detailed-loop warmer.
+
+use super::replay::{
+    panic_message, producer_loop, Batch, Down, ReplayRec, Stop, SyncArch, SyncState, WarmGates,
+    CHANNEL_DEPTH,
+};
+use super::{Exit, Machine, ReplayMode, SimError};
+use crate::config::ScdConfig;
+use crate::trace::InstClass;
+use crate::SimConfig;
+use scd_isa::{AluOp, FpOp, Inst, Reg};
+use std::sync::mpsc;
+
+/// Compact per-instruction dispatch entry for the warming consumer,
+/// precomputed alongside `StaticInfo`. The hot record classes — plain
+/// ALU/FP writebacks and memory accesses, the overwhelming majority of
+/// any retirement stream — are applied from this table without loading
+/// the full `Inst` enum, taking its wide match, or reading the
+/// `StaticInfo` row. Each field mirrors the corresponding `replay_inst`
+/// arm exactly, so the fast path stays bit-identical to the slow one
+/// (and therefore to [`Machine::run_warming`]).
+///
+/// Packed to 4 bytes on purpose: the table is indexed randomly (by the
+/// record's text index) on every drained record, and at 4 B/entry even
+/// a large guest text keeps it L1-resident — at the natural layout the
+/// lookup was measurably memory-bound.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct WarmInfo {
+    pub(super) kind: WarmKind,
+    /// Destination register index (integer or FP file per `kind`) in
+    /// bits 0-6; bit 7 carries the `begin_retirement` dispatcher
+    /// attribution.
+    dst: u8,
+    /// Result latency: the scoreboard stamp is `cycle + lat`. Loads
+    /// fold the load-use penalty in; `Op` folds the mul/div latency.
+    /// An (absurd) configured latency that overflows u16 demotes the
+    /// instruction to `Slow`, which reads the config directly.
+    lat: u16,
+}
+
+impl WarmInfo {
+    #[inline]
+    pub(super) fn in_dispatch(self) -> bool {
+        self.dst & 0x80 != 0
+    }
+
+    #[inline]
+    pub(super) fn dst(self) -> usize {
+        (self.dst & 0x7f) as usize
+    }
+
+    #[inline]
+    pub(super) fn lat(self) -> u64 {
+        u64::from(self.lat)
+    }
+}
+
+/// How the warming consumer applies one record class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum WarmKind {
+    /// `wx(dst, a)` + integer scoreboard stamp.
+    IntAlu,
+    /// FP writeback + FP scoreboard stamp.
+    FpAlu,
+    /// Integer load: writeback, load counter, gated D-side timing.
+    Load,
+    /// FP load: writeback, load counter, gated D-side timing.
+    Fld,
+    /// Store or FP store: store counter, gated D-side timing.
+    Store,
+    /// `fence`: retirement bookkeeping only.
+    Nop,
+    /// Control flow, SCD, syscalls: the full `replay_one` arm.
+    Slow,
+}
+
+impl WarmInfo {
+    pub(super) fn of(inst: &Inst, in_dispatch: bool, cfg: &SimConfig) -> Self {
+        let (kind, dst, lat) = match *inst {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::FmvXD { rd, .. } => (WarmKind::IntAlu, rd.index(), 1),
+            Inst::Op { op, rd, .. } => {
+                let lat = if op.is_muldiv() {
+                    if matches!(op, AluOp::Mul | AluOp::Mulh | AluOp::Mulhu | AluOp::Mulw) {
+                        cfg.mul_latency
+                    } else {
+                        cfg.div_latency
+                    }
+                } else {
+                    1
+                };
+                (WarmKind::IntAlu, rd.index(), lat)
+            }
+            Inst::FCmp { rd, .. } | Inst::FcvtLD { rd, .. } => {
+                (WarmKind::IntAlu, rd.index(), cfg.fpu_latency)
+            }
+            Inst::FOp { op, rd, .. } => {
+                let lat = match op {
+                    FpOp::FdivD | FpOp::FsqrtD => cfg.fdiv_latency,
+                    _ => cfg.fpu_latency,
+                };
+                (WarmKind::FpAlu, rd.index(), lat)
+            }
+            Inst::FcvtDL { rd, .. } => (WarmKind::FpAlu, rd.index(), cfg.fpu_latency),
+            Inst::FmvDX { rd, .. } => (WarmKind::FpAlu, rd.index(), 1),
+            Inst::Load { rd, .. } => (WarmKind::Load, rd.index(), 1 + cfg.load_use_penalty),
+            Inst::Fld { rd, .. } => (WarmKind::Fld, rd.index(), 1 + cfg.load_use_penalty),
+            Inst::Store { .. } | Inst::Fsd { .. } => (WarmKind::Store, 0, 0),
+            Inst::Fence => (WarmKind::Nop, 0, 0),
+            _ => (WarmKind::Slow, 0, 0),
+        };
+        let (kind, lat) = match u16::try_from(lat) {
+            Ok(l) => (kind, l),
+            Err(_) => (WarmKind::Slow, 0),
+        };
+        WarmInfo {
+            kind,
+            dst: dst as u8 | if in_dispatch { 0x80 } else { 0 },
+            lat,
+        }
+    }
+}
+
+/// What a fast-forward + warming leg did, for the sampled scheduler's
+/// bookkeeping.
+pub(super) struct WarmLegOut {
+    /// The guest halted during the leg (in either span).
+    pub(super) exit: Option<Exit>,
+    /// Retirements absorbed by the record-free fast-forward span.
+    pub(super) ff_retired: u64,
+    /// Retirements replayed through the warming consumer.
+    pub(super) warm_retired: u64,
+    /// Wall time spent inside the consumer drain alone (excludes
+    /// producer fill time), for warming-throughput measurement.
+    pub(super) drain_wall: std::time::Duration,
+}
+
+/// Per-leg constants threaded through the batch-drain helper.
+struct WarmCtl {
+    scd_cfg: ScdConfig,
+    nbids: usize,
+    /// Retirement count at leg entry.
+    n0: u64,
+    /// First recorded retirement (`n0` + the fast-forward span).
+    record_from: u64,
+    /// Absolute retirement count the leg runs to.
+    warm_end: u64,
+    /// Per-structure window lengths, as distances from `warm_end`.
+    cache_w: u64,
+    btb_w: u64,
+    pred_w: u64,
+    /// Guest-output length at producer build, for rollback sync.
+    out_base: usize,
+    /// Whether cycle/wall watchdogs need per-record checks.
+    per_rec: bool,
+    cycle_budget: Option<u64>,
+    wall_budget: Option<std::time::Duration>,
+    wall_start: std::time::Instant,
+    /// Filled in when the boundary [`SyncArch`] is adopted.
+    ff_retired: u64,
+    /// Accumulated consumer-drain wall time.
+    drain: std::time::Duration,
+}
+
+/// What the engine loop should do after draining one batch.
+enum DrainAct {
+    /// Batch ran full; keep streaming.
+    Continue,
+    /// A `bop` speculation failed; rewind the producer to this state.
+    Rollback(Box<SyncState>),
+    /// The leg is over: guest exit, leg boundary (`Ok(None)`), or error.
+    Done(Result<Option<Exit>, SimError>),
+}
+
+impl Machine {
+    /// Adopts the producer's fast-forward boundary state, exactly as
+    /// `run_fastforward` syncs its reference core back: architectural
+    /// registers, PC, instruction count, guest output and SCD state,
+    /// with `rop_ready` stamped at the (frozen) current cycle. The
+    /// machine-side effects of every flush quantum the span crossed —
+    /// the JTE flushes `run_fastforward` interleaves with its chunks —
+    /// are replicated first, so the adopted `Rop` valid bits survive.
+    fn adopt_sync(&mut self, sync: &SyncArch, nbids: usize) {
+        let interval = self.cfg.scd.flush_interval.unwrap_or(u64::MAX);
+        while self.next_flush_at < sync.next_flush_at {
+            self.jte_flush();
+            self.next_flush_at = self.next_flush_at.saturating_add(interval);
+        }
+        debug_assert_eq!(self.next_flush_at, sync.next_flush_at);
+        self.regs = sync.regs;
+        self.fregs = sync.fregs;
+        self.pc = sync.pc;
+        self.stats.instructions = sync.n;
+        self.output.extend_from_slice(&sync.out);
+        for (bid, s) in self.scd.iter_mut().take(nbids).enumerate() {
+            let (rop_v, rop_d, rmask) = sync.scd[bid];
+            s.rop_v = rop_v;
+            s.rop_d = rop_d;
+            s.rmask = rmask;
+            s.rop_ready = self.cycle;
+        }
+    }
+
+    /// Applies one hot-class record: the common prologue
+    /// (`fetch_fast` + `begin_retirement`) and the matching
+    /// `replay_inst` arm, driven from the compact [`WarmInfo`] table.
+    /// Call-for-call identical to `replay_one::<true>` on these
+    /// classes — same order, same gated structure touches, same
+    /// scoreboard stamps — just without the full-width dispatch.
+    #[inline(always)]
+    fn warm_fast(&mut self, rec: &ReplayRec, wi: WarmInfo, gates: WarmGates, scd_cfg: &ScdConfig) {
+        let pc = self.text_base + 4 * rec.idx as u64;
+        debug_assert_eq!(pc, self.pc, "replay stream out of sync with consumer PC");
+        if gates.cache {
+            self.fetch_fast::<true>(pc);
+        }
+        self.begin_retirement::<false>(wi.in_dispatch(), scd_cfg);
+        let dst = wi.dst();
+        match wi.kind {
+            WarmKind::IntAlu => {
+                if dst != 0 {
+                    self.regs[dst] = rec.a;
+                }
+                self.xready[dst] = self.cycle + wi.lat();
+            }
+            WarmKind::FpAlu => {
+                self.fregs[dst] = rec.a;
+                self.fready[dst] = self.cycle + wi.lat();
+            }
+            WarmKind::Load => {
+                if dst != 0 {
+                    self.regs[dst] = rec.a;
+                }
+                self.stats.loads += 1;
+                if gates.cache {
+                    self.data_timing::<false, true>(rec.ea, false);
+                }
+                self.xready[dst] = self.cycle + wi.lat();
+            }
+            WarmKind::Fld => {
+                self.fregs[dst] = rec.a;
+                self.stats.loads += 1;
+                if gates.cache {
+                    self.data_timing::<false, true>(rec.ea, false);
+                }
+                self.fready[dst] = self.cycle + wi.lat();
+            }
+            WarmKind::Store => {
+                self.stats.stores += 1;
+                if gates.cache {
+                    self.data_timing::<false, true>(rec.ea, true);
+                }
+            }
+            WarmKind::Nop => {}
+            WarmKind::Slow => unreachable!("slow records take replay_one"),
+        }
+        self.pc = pc + 4;
+    }
+
+    /// Drains one batch through the warming twins. Shared verbatim by
+    /// the threaded and inline engines so they cannot diverge.
+    fn drain_warm_batch(&mut self, c: &mut WarmCtl, batch: &mut Batch) -> DrainAct {
+        if let Some(sync) = batch.sync.take() {
+            c.ff_retired = sync.n - c.n0;
+            self.adopt_sync(&sync, c.nbids);
+        }
+        let mut i = 0;
+        while i < batch.len {
+            // Distance of the *next* retirement from the leg end; a
+            // window of length W admits exactly the leg's last W
+            // retirements. Every retirement shrinks the distance by
+            // exactly one, so the gates are loop-invariant until the
+            // nearest still-closed window opens — evaluate them once
+            // per such segment instead of per record (for a uniform
+            // plan the whole batch is one segment).
+            let remaining = c.warm_end - self.stats.instructions;
+            let gates = WarmGates {
+                cache: remaining <= c.cache_w,
+                btb: remaining <= c.btb_w,
+                pred: remaining <= c.pred_w,
+            };
+            let mut span = batch.len - i;
+            for w in [c.cache_w, c.btb_w, c.pred_w] {
+                if remaining > w {
+                    span = span.min((remaining - w) as usize);
+                }
+            }
+            for rec in &batch.recs[i..i + span] {
+                if c.per_rec {
+                    if let Some(e) = self.replay_watchdogs(
+                        c.warm_end,
+                        c.cycle_budget,
+                        c.wall_budget,
+                        &c.wall_start,
+                    ) {
+                        return DrainAct::Done(Err(e));
+                    }
+                }
+                let wi = self.warm_info[rec.idx as usize];
+                if wi.kind != WarmKind::Slow {
+                    self.warm_fast(rec, wi, gates, &c.scd_cfg);
+                    continue;
+                }
+                let rec = *rec;
+                if self.static_info[rec.idx as usize].class == InstClass::Bop {
+                    if !self.replay_bop::<true>(&rec, c.nbids, &c.scd_cfg, gates) {
+                        return DrainAct::Rollback(Box::new(self.sync_state(c.out_base)));
+                    }
+                    continue;
+                }
+                match self.replay_one::<true>(&rec, c.nbids, &c.scd_cfg, gates) {
+                    Ok(None) => {}
+                    Ok(Some(exit)) => return DrainAct::Done(Ok(Some(exit))),
+                    Err(e) => return DrainAct::Done(Err(e)),
+                }
+            }
+            i += span;
+        }
+        match batch.stop {
+            Stop::Full => DrainAct::Continue,
+            Stop::Exit => {
+                // A record-phase exit carries its `ecall` record and was
+                // resolved in the loop above, so reaching here means the
+                // guest halted inside the fast-forward span: the adopted
+                // state is final, exactly as `run_fastforward` reports
+                // it (no `finalize_partial`).
+                debug_assert_eq!(batch.len, 0, "record-phase exits carry their record");
+                DrainAct::Done(Ok(Some(Exit {
+                    code: self.regs[Reg::A0.index()],
+                    output: std::mem::take(&mut self.output),
+                })))
+            }
+            Stop::Limit => {
+                let e = self
+                    .replay_watchdogs(c.warm_end, c.cycle_budget, c.wall_budget, &c.wall_start)
+                    .expect("producer stopped at the warm-leg boundary");
+                debug_assert!(matches!(e, SimError::InstLimit { .. }));
+                DrainAct::Done(Ok(None))
+            }
+            Stop::Err(e) => {
+                let err = if self.stats.instructions < c.record_from {
+                    // Fast-forward-span fault: `run_fastforward`
+                    // replicates straight away, detailed-mode charging.
+                    self.replicate_error::<false>(e, &c.scd_cfg)
+                } else {
+                    match self.replay_watchdogs(
+                        c.warm_end,
+                        c.cycle_budget,
+                        c.wall_budget,
+                        &c.wall_start,
+                    ) {
+                        Some(w) => w,
+                        None => self.replicate_error::<true>(e, &c.scd_cfg),
+                    }
+                };
+                DrainAct::Done(Err(err))
+            }
+        }
+    }
+
+    /// One fast-forward + warming leg of a sampled run: `ff` record-free
+    /// retirements, then warming replay up to the absolute retirement
+    /// count `warm_end`, with per-structure window lengths `(cache, btb,
+    /// pred)` measured back from `warm_end`.
+    ///
+    /// Engine selection follows [`Machine::run`]'s replay policy: the
+    /// threaded producer on pipelining hosts (or under
+    /// [`Machine::force_replay`]), the inline single-thread engine
+    /// otherwise — both drain through the same code and leave
+    /// bit-identical state.
+    pub(super) fn warm_leg(
+        &mut self,
+        ff: u64,
+        warm_end: u64,
+        windows: (u64, u64, u64),
+    ) -> Result<WarmLegOut, SimError> {
+        let n0 = self.stats.instructions;
+        let mut ctl = WarmCtl {
+            scd_cfg: self.cfg.scd,
+            nbids: self.cfg.scd.branch_ids.min(super::MAX_BRANCH_IDS),
+            n0,
+            record_from: n0 + ff,
+            warm_end,
+            cache_w: windows.0,
+            btb_w: windows.1,
+            pred_w: windows.2,
+            out_base: self.output.len(),
+            per_rec: self.cycle_budget.is_some() || self.wall_budget.is_some(),
+            cycle_budget: self.cycle_budget,
+            wall_budget: self.wall_budget,
+            wall_start: std::time::Instant::now(),
+            ff_retired: 0,
+            drain: std::time::Duration::ZERO,
+        };
+        let threaded = match self.replay {
+            ReplayMode::Off => false,
+            ReplayMode::Auto => super::host_can_pipeline(),
+            ReplayMode::Force => true,
+        };
+        let result = if threaded {
+            self.warm_leg_threaded(&mut ctl)?
+        } else {
+            self.warm_leg_sync(&mut ctl)?
+        };
+        Ok(WarmLegOut {
+            exit: result,
+            ff_retired: ctl.ff_retired,
+            warm_retired: self.stats.instructions - n0 - ctl.ff_retired,
+            drain_wall: ctl.drain,
+        })
+    }
+
+    /// The pipelined engine: the producer fast-forwards and records on
+    /// its own thread while the consumer drains. Mirrors
+    /// [`Machine::run_replay`]'s loop, rollback protocol and teardown.
+    fn warm_leg_threaded(&mut self, ctl: &mut WarmCtl) -> Result<Option<Exit>, SimError> {
+        let producer = self.make_producer(ctl.warm_end, ctl.record_from);
+        let (work_tx, work_rx) = mpsc::sync_channel::<Box<Batch>>(CHANNEL_DEPTH);
+        let (down_tx, down_rx) = mpsc::channel::<Down>();
+        let thread = std::thread::spawn(move || producer_loop(producer, work_tx, down_rx));
+
+        let mut expected_gen = 0u32;
+        let mut result: Option<Result<Option<Exit>, SimError>> = None;
+        while result.is_none() {
+            let mut batch = match work_rx.recv() {
+                Ok(b) => b,
+                // Producer panicked; the join below contains it.
+                Err(_) => break,
+            };
+            if batch.gen != expected_gen {
+                let _ = down_tx.send(Down::Recycle(batch, self.stats.instructions));
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            let act = self.drain_warm_batch(ctl, &mut batch);
+            ctl.drain += t0.elapsed();
+            if matches!(act, DrainAct::Rollback(_)) {
+                expected_gen = expected_gen.wrapping_add(1);
+            }
+            batch.len = 0;
+            match act {
+                DrainAct::Continue => {
+                    let _ = down_tx.send(Down::Recycle(batch, self.stats.instructions));
+                }
+                DrainAct::Rollback(st) => {
+                    let _ = down_tx.send(Down::Rollback(st));
+                    let _ = down_tx.send(Down::Recycle(batch, self.stats.instructions));
+                }
+                DrainAct::Done(r) => {
+                    let _ = down_tx.send(Down::Recycle(batch, self.stats.instructions));
+                    result = Some(r);
+                }
+            }
+        }
+
+        self.flush_fetch_streak();
+        let _ = down_tx.send(Down::Stop(self.stats.instructions));
+        while work_rx.recv().is_ok() {}
+        let core = match thread.join() {
+            Ok(core) => core,
+            Err(payload) => {
+                // Same containment as `run_replay`: the producer owned
+                // the guest memory, so the machine must be discarded.
+                self.finalize_partial();
+                return Err(SimError::ProducerPanic {
+                    message: panic_message(&*payload),
+                });
+            }
+        };
+        self.take_back_core(core);
+        match result {
+            Some(r) => r,
+            None => unreachable!("warm producer disconnected without a terminal batch"),
+        }
+    }
+
+    /// The single-thread engine for hosts with no core to spare: the
+    /// producer fills batches inline between drains. No pipelining, but
+    /// the structure-only drain still beats the interleaved warming
+    /// loop, and the batch/rollback protocol is byte-for-byte the
+    /// threaded one's.
+    fn warm_leg_sync(&mut self, ctl: &mut WarmCtl) -> Result<Option<Exit>, SimError> {
+        let mut p = self.make_producer(ctl.warm_end, ctl.record_from);
+        let mut batch = Box::new(Batch::new());
+        let result = loop {
+            batch.gen = p.gen;
+            batch.stop = p.fill(&mut batch);
+            let t0 = std::time::Instant::now();
+            let act = self.drain_warm_batch(ctl, &mut batch);
+            ctl.drain += t0.elapsed();
+            match act {
+                DrainAct::Continue => {
+                    batch.len = 0;
+                    p.prune_undo(self.stats.instructions);
+                }
+                DrainAct::Rollback(st) => p.rollback(&st),
+                DrainAct::Done(r) => break r,
+            }
+        };
+        self.flush_fetch_streak();
+        p.unwind_to(self.stats.instructions);
+        self.take_back_core(p.core);
+        result
+    }
+
+    /// Runs warming replay until `max_insts` total retirements: the
+    /// replay-driven equivalent of [`Machine::run_warming`], leaving
+    /// bit-identical machine state (same `Exit` / `InstLimit` contract).
+    /// The sampled scheduler drives [`Machine::warm_leg`] directly; this
+    /// entry point serves warming-throughput measurement and the
+    /// bit-identity tests.
+    ///
+    /// # Errors
+    /// `InstLimit` when the budget runs out first — the normal
+    /// "warm leg complete" outcome, as with `run_warming`.
+    pub fn run_warming_replay(&mut self, max_insts: u64) -> Result<Exit, SimError> {
+        let out = self.warm_leg(0, max_insts, (u64::MAX, u64::MAX, u64::MAX))?;
+        match out.exit {
+            Some(e) => Ok(e),
+            None => Err(SimError::InstLimit { limit: max_insts }),
+        }
+    }
+
+    /// Measurement hook for the benchmark harness: runs one
+    /// fast-forward + warming leg (`ff` record-free retirements, then
+    /// warming replay up to `warm_end` total retirements, with
+    /// per-structure windows `(cache, btb, pred)` measured back from
+    /// `warm_end`) and reports `(warm_retired, drain_seconds)` — the
+    /// wall time spent inside the consumer drain alone. On a pipelining
+    /// host the drain is the leg's *marginal* warming cost: producer
+    /// fill overlaps fast-forward work the sampled schedule has to do
+    /// anyway.
+    ///
+    /// # Errors
+    /// Propagates watchdog/guest errors; hitting `warm_end` is the
+    /// normal outcome and returns `Ok` (as does an early guest exit,
+    /// with fewer retirements).
+    #[doc(hidden)]
+    pub fn warm_bench(
+        &mut self,
+        ff: u64,
+        warm_end: u64,
+        windows: (u64, u64, u64),
+    ) -> Result<(u64, f64), SimError> {
+        let out = self.warm_leg(ff, warm_end, windows)?;
+        Ok((out.warm_retired, out.drain_wall.as_secs_f64()))
+    }
+}

@@ -1,0 +1,373 @@
+//! Bit-identity of the replay-driven warming engine: the gated record
+//! consumer must leave byte-for-byte the machine state of the
+//! interleaved `WARMING = true` loop — caches, TLBs, BTB/JTE overlay,
+//! direction predictor/ITTAGE, RAS, SCD registers, scoreboard stamps
+//! and counters, all carried by the `SCDCKPT2` snapshot codec — on both
+//! the threaded (execute-ahead) and inline single-CPU engines. On top
+//! of that, sampled runs must not care which warming engine ran: the
+//! result cache does not key on the engine, so `run_sampled` under
+//! `--interleaved`, the automatic host policy, and forced replay must
+//! all produce identical estimates.
+
+use proptest::prelude::*;
+use scd_isa::{Asm, Inst, LoadOp, Program, Reg};
+use scd_sim::{Machine, SamplingPlan, SimConfig, SimError};
+
+/// The sampled-test dispatcher guest: `n` bytecode dispatches through a
+/// `bop`/`jru` loop, touching every structure warming must fill
+/// (caches, TLBs, direction predictor, BTB, JTE overlay, RAS via the
+/// fill loop's calls, SCD registers).
+fn dispatcher_program(n: i64) -> Program {
+    let mut a = Asm::new(0x1_0000);
+    a.li(Reg::S1, 0x10_0000);
+    a.li(Reg::T0, 0);
+    a.li(Reg::T1, n);
+    a.label("fill");
+    a.andi(Reg::T2, Reg::T0, 1);
+    a.slli(Reg::T3, Reg::T0, 2);
+    a.add(Reg::T3, Reg::T3, Reg::S1);
+    a.sw(Reg::T2, 0, Reg::T3);
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.bne(Reg::T0, Reg::T1, "fill");
+    a.li(Reg::T2, 2);
+    a.slli(Reg::T3, Reg::T0, 2);
+    a.add(Reg::T3, Reg::T3, Reg::S1);
+    a.sw(Reg::T2, 0, Reg::T3);
+
+    a.li(Reg::T0, 0x3f);
+    a.setmask(0, Reg::T0);
+    a.li(Reg::A2, 0);
+    a.la(Reg::S2, "jt");
+    a.label("dispatch");
+    a.load_op(LoadOp::Lw, 0, Reg::A0, 0, Reg::S1);
+    a.addi(Reg::S1, Reg::S1, 4);
+    a.bop(0);
+    a.andi(Reg::A1, Reg::A0, 0x3f);
+    a.sltiu(Reg::T3, Reg::A1, 3);
+    a.beqz(Reg::T3, "bad");
+    a.slli(Reg::T3, Reg::A1, 3);
+    a.add(Reg::T3, Reg::T3, Reg::S2);
+    a.ld(Reg::T4, 0, Reg::T3);
+    a.jru(0, Reg::T4);
+
+    a.label("h0");
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.j("dispatch");
+    a.label("h1");
+    a.addi(Reg::A2, Reg::A2, 2);
+    a.j("dispatch");
+    a.label("h2");
+    a.mv(Reg::A0, Reg::A2);
+    a.li(Reg::A7, 0);
+    a.ecall();
+    a.label("bad");
+    a.inst(Inst::Ebreak);
+
+    a.ro_label("jt");
+    a.ro_addr("h0");
+    a.ro_addr("h1");
+    a.ro_addr("h2");
+    a.finish().expect("assemble")
+}
+
+/// A plain (SCD-less) guest: nested loops over a strided buffer with a
+/// call/return pair per iteration — exercises the D-side, direct and
+/// indirect branches and the RAS without any `bop`/`jru` traffic, so
+/// warming replay is covered off the speculation fast path too.
+fn strider_program(rows: i64, stride: i64) -> Program {
+    let mut a = Asm::new(0x1_0000);
+    a.li(Reg::S1, 0x10_0000);
+    a.li(Reg::S2, rows);
+    a.li(Reg::S3, stride);
+    a.li(Reg::A2, 0);
+    a.label("outer");
+    a.li(Reg::T0, 0);
+    a.label("inner");
+    a.mul(Reg::T1, Reg::T0, Reg::S3);
+    a.add(Reg::T1, Reg::T1, Reg::S1);
+    a.lw(Reg::T2, 0, Reg::T1);
+    a.add(Reg::A2, Reg::A2, Reg::T2);
+    a.sw(Reg::A2, 0, Reg::T1);
+    a.call("bump");
+    a.addi(Reg::T0, Reg::T0, 1);
+    a.blt(Reg::T0, Reg::S3, "inner");
+    a.addi(Reg::S2, Reg::S2, -1);
+    a.bnez(Reg::S2, "outer");
+    a.andi(Reg::A0, Reg::A2, 0xff);
+    a.li(Reg::A7, 0);
+    a.ecall();
+    a.label("bump");
+    a.addi(Reg::A2, Reg::A2, 1);
+    a.ret();
+    a.finish().expect("assemble")
+}
+
+fn machine(cfg: &SimConfig, p: &Program) -> Machine {
+    let mut m = Machine::new(cfg.clone(), p);
+    m.map("scratch", 0x10_0000, 0x10_0000);
+    m.disable_invariants();
+    m
+}
+
+fn hit_limit(r: Result<scd_sim::Exit, SimError>) -> bool {
+    matches!(r, Err(SimError::InstLimit { .. }))
+}
+
+/// Drives warming to `limit` on four machines — the interleaved
+/// reference warmer and replay warming under each engine policy — and
+/// asserts full-snapshot byte equality, then that a detailed measured
+/// window from the warmed state stays byte-identical too.
+fn assert_warm_identity(cfg: &SimConfig, p: &Program, limit: u64, measure: u64) {
+    let mut reference = machine(cfg, p);
+    let r0 = reference.run_warming(limit);
+
+    type EnginePin = fn(&mut Machine);
+    let engines: [(&str, EnginePin); 3] = [
+        ("interleaved-inline", |m| m.set_replay(false)),
+        ("auto", |_| {}),
+        ("forced-threaded", Machine::force_replay),
+    ];
+    for (name, pin) in engines {
+        let mut m = machine(cfg, p);
+        pin(&mut m);
+        let r = m.run_warming_replay(limit);
+        assert_eq!(
+            format!("{r:?}"),
+            format!("{:?}", &r0),
+            "warming outcome diverged under {name}"
+        );
+        assert_eq!(
+            m.snapshot().to_bytes(),
+            reference.snapshot().to_bytes(),
+            "post-warming snapshot diverged under {name}"
+        );
+        if measure > 0 && r.is_err() {
+            // The warmed structures must behave identically under
+            // detailed timing, not just encode identically.
+            let mut mm = m;
+            let mut rr = machine(cfg, p);
+            rr.restore(&reference.snapshot()).expect("restore");
+            let a = mm.run(limit + measure);
+            let b = rr.run(limit + measure);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "measured exit ({name})");
+            assert_eq!(mm.stats, rr.stats, "measured stats ({name})");
+        }
+    }
+}
+
+#[test]
+fn warm_replay_matches_interleaved_warmer() {
+    let p = dispatcher_program(4000);
+    let cfg = SimConfig::embedded_a5();
+    assert_warm_identity(&cfg, &p, 30_000, 5_000);
+}
+
+#[test]
+fn warm_replay_matches_under_flush_quantum() {
+    // JTE flushes mid-warming force bop mispredictions and producer
+    // rollbacks; identity must survive the rollback protocol.
+    let p = dispatcher_program(4000);
+    let mut cfg = SimConfig::embedded_a5();
+    cfg.scd.flush_interval = Some(2_000);
+    assert_warm_identity(&cfg, &p, 30_000, 5_000);
+}
+
+#[test]
+fn warm_replay_matches_on_guest_exit() {
+    // Budget far past the guest's end: warming replay must surface the
+    // exit exactly like the interleaved warmer.
+    let p = dispatcher_program(300);
+    let cfg = SimConfig::embedded_a5();
+    assert_warm_identity(&cfg, &p, 10_000_000, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary guests, warming budgets and flush quanta: the replay
+    /// warming engine (both engine policies) leaves bit-identical
+    /// snapshots to `run_warming`.
+    #[test]
+    fn warm_replay_bit_identical(
+        dispatches in 200i64..3_000,
+        limit in 1_000u64..40_000,
+        flush_raw in 0u64..5_000,
+        strided in 0u8..2,
+        rows in 2i64..40,
+        stride in 2i64..24,
+    ) {
+        let p = if strided == 1 {
+            strider_program(rows, stride)
+        } else {
+            dispatcher_program(dispatches)
+        };
+        let mut cfg = SimConfig::embedded_a5();
+        // Below 1k the raw draw means "no flush quantum".
+        cfg.scd.flush_interval = (flush_raw >= 1_000).then_some(flush_raw);
+
+        let mut reference = machine(&cfg, &p);
+        let r0 = reference.run_warming(limit);
+        let want = reference.snapshot().to_bytes();
+
+        for forced in [false, true] {
+            let mut m = machine(&cfg, &p);
+            if forced {
+                m.force_replay();
+            } else {
+                m.set_replay(false);
+            }
+            let r = m.run_warming_replay(limit);
+            prop_assert_eq!(format!("{r:?}"), format!("{:?}", &r0));
+            prop_assert_eq!(m.snapshot().to_bytes(), want.clone());
+        }
+    }
+
+    /// Sampled runs are engine-invariant: the same plan under the
+    /// interleaved warmer, inline replay warming and forced threaded
+    /// replay warming produces identical exits, reports and estimates —
+    /// the invariant the content-addressed result cache relies on.
+    #[test]
+    fn sampled_run_is_engine_invariant(
+        dispatches in 500i64..4_000,
+        period in 3_000u64..10_000,
+        warm_permille in 100u64..400,
+        measure_permille in 100u64..400,
+        flush_raw in 0u64..8_000,
+    ) {
+        let flush = (flush_raw >= 2_000).then_some(flush_raw);
+        let warmup = (period * warm_permille / 1000).max(1);
+        let measure = (period * measure_permille / 1000).max(1);
+        let plan = SamplingPlan::new(period, warmup, measure).unwrap();
+        let p = dispatcher_program(dispatches);
+        let mut cfg = SimConfig::embedded_a5();
+        cfg.scd.flush_interval = flush;
+
+        let mut runs = Vec::new();
+        for mode in 0..3u8 {
+            let mut m = machine(&cfg, &p);
+            match mode {
+                0 => m.set_replay(false),
+                1 => {}
+                _ => m.force_replay(),
+            }
+            let r = m.run_sampled(10_000_000, &plan);
+            runs.push((format!("{r:?}"), m.stats.clone()));
+        }
+        prop_assert_eq!(&runs[0].0, &runs[1].0);
+        prop_assert_eq!(&runs[0].0, &runs[2].0);
+        prop_assert_eq!(&runs[0].1, &runs[1].1);
+        prop_assert_eq!(&runs[0].1, &runs[2].1);
+    }
+}
+
+/// Golden sampled run whose guest halts *inside* a warm leg (after
+/// measured intervals have accumulated): the warming/measure boundary
+/// bookkeeping must attribute every retirement, and the replay engine
+/// must agree with the interleaved warmer down to the estimate.
+#[test]
+fn golden_sampled_exit_crosses_warming_boundary() {
+    let p = dispatcher_program(2_000);
+    let cfg = SimConfig::embedded_a5();
+
+    // Full-detail reference for the architectural result.
+    let mut full = machine(&cfg, &p);
+    let e_full = full.run(10_000_000).expect("full run");
+    let total = full.stats.instructions;
+
+    // Place the guest's end inside a warm leg: with period 4k and the
+    // end at `total`, pick warmup long enough that `total % 4k` lands
+    // after the skip but before the measure window.
+    let period = 4_000u64;
+    let into = total % period;
+    assert!(into > 600, "guest length {total} must overshoot the skip");
+    let plan = SamplingPlan::new(period, into.saturating_sub(200), 200).unwrap();
+
+    let mut runs = Vec::new();
+    for forced in [false, true] {
+        let mut m = machine(&cfg, &p);
+        if forced {
+            m.force_replay();
+        } else {
+            m.set_replay(false);
+        }
+        let (e, report) = m.run_sampled(10_000_000, &plan).expect("sampled run");
+        assert_eq!(e.code, e_full.code, "exit code (forced={forced})");
+        assert_eq!(e.output, e_full.output, "guest output (forced={forced})");
+        assert!(!report.exact_fallback);
+        assert!(report.intervals >= 1);
+        // Every retirement is attributed to exactly one leg.
+        assert_eq!(
+            report.total_insts,
+            report.ff_insts + report.warm_insts + report.measured_insts
+        );
+        runs.push((report, m.stats.clone()));
+    }
+    assert_eq!(format!("{:?}", runs[0].0), format!("{:?}", runs[1].0));
+    assert_eq!(runs[0].1, runs[1].1);
+}
+
+/// Per-structure windows: a split plan (short cache window, longer
+/// BTB/predictor windows) runs the whole leg under the replay engine on
+/// every host, keeps architectural results exact, and collapses to the
+/// uniform plan when the windows are equal.
+#[test]
+fn split_windows_run_and_stay_architecturally_exact() {
+    let p = dispatcher_program(3_000);
+    let cfg = SimConfig::embedded_a5();
+
+    let mut full = machine(&cfg, &p);
+    let e_full = full.run(10_000_000).expect("full run");
+
+    let plan = SamplingPlan::parse("4k:600/BTB=1k,PRED=1500:800").unwrap();
+    assert_eq!(plan.warm_len(), 1_500);
+    for forced in [false, true] {
+        let mut m = machine(&cfg, &p);
+        if forced {
+            m.force_replay();
+        } else {
+            m.set_replay(false);
+        }
+        let (e, report) = m.run_sampled(10_000_000, &plan).expect("sampled run");
+        assert_eq!(e.code, e_full.code);
+        assert_eq!(e.output, e_full.output);
+        assert!(!report.exact_fallback);
+        assert!(report.intervals >= 2, "intervals: {}", report.intervals);
+        // The warm legs span the longest window.
+        assert!(report.warm_insts >= report.intervals * 1_400);
+    }
+
+    // Uniform overrides are the plain plan: same parse, same cadence,
+    // same estimate.
+    let uniform = SamplingPlan::parse("4k:1k/BTB=1k,PRED=1k:800").unwrap();
+    let plain = SamplingPlan::parse("4k:1k:800").unwrap();
+    assert_eq!(uniform.manifest(), plain.manifest());
+    let mut a = machine(&cfg, &p);
+    let mut b = machine(&cfg, &p);
+    let ra = a.run_sampled(10_000_000, &uniform).expect("uniform");
+    let rb = b.run_sampled(10_000_000, &plain).expect("plain");
+    assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+    assert_eq!(a.stats, b.stats);
+}
+
+/// Warming proceeds in detailed-replay style too: after replay warming,
+/// continuing in *detailed* mode from the warmed state must match the
+/// interleaved continuation — i.e. the warm seam composes with ordinary
+/// runs, not just with sampled legs.
+#[test]
+fn warm_then_detailed_seam_composes() {
+    let p = strider_program(60, 16);
+    let cfg = SimConfig::embedded_a5();
+
+    let mut a = machine(&cfg, &p);
+    assert!(hit_limit(a.run_warming(8_000)));
+    let ea = a.run(20_000);
+
+    let mut b = machine(&cfg, &p);
+    b.force_replay();
+    assert!(hit_limit(b.run_warming_replay(8_000)));
+    let eb = b.run(20_000);
+
+    assert_eq!(format!("{ea:?}"), format!("{eb:?}"));
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.snapshot().to_bytes(), b.snapshot().to_bytes());
+}
